@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark compiles workloads once, then times the performance-model
+evaluation with pytest-benchmark; the *modeled* results (the paper's
+figures) are printed as tables and attached as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import pytest
+
+from repro import CompilerOptions, XEON_8358, compile_graph
+from repro.baseline import BaselineExecutor
+from repro.perfmodel import MachineSimulator, specs_for_partition
+
+
+def model_compiled(
+    graph, options: Optional[CompilerOptions] = None
+) -> float:
+    """Modeled steady-state cycles for the compiled partition."""
+    partition = compile_graph(graph, options=options)
+    specs, warm = specs_for_partition(partition, XEON_8358)
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)  # warm-up pass settles cache residency
+    return sim.run_all(specs).total_cycles
+
+
+def model_baseline(graph) -> float:
+    """Modeled steady-state cycles for the primitives baseline."""
+    executor = BaselineExecutor(graph, XEON_8358)
+    specs, warm = executor.specs()
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)
+    return sim.run_all(specs).total_cycles
+
+
+@pytest.fixture
+def machine():
+    return XEON_8358

@@ -1,0 +1,71 @@
+"""Figure 3: the anchor cost table, instantiated.
+
+Prints the working-set / access-count / total-access table for a concrete
+template instantiation (an MLP_1 layer at batch 256) and checks the
+relations the paper's fusion heuristic relies on.
+"""
+
+from repro.dtypes import DType
+from repro.microkernel.machine import XEON_8358
+from repro.perfmodel.report import format_speedup_table
+from repro.templates.anchors import (
+    Anchor,
+    anchor_access_times,
+    anchor_total_accesses,
+    anchor_working_set,
+    cost_table,
+)
+from repro.templates.heuristics import select_matmul_params
+
+
+def test_fig3_anchor_cost_table(benchmark):
+    benchmark(
+        lambda: select_matmul_params(256, 512, 256, DType.f32, XEON_8358)
+    )
+    # A fixed instantiation with NSN > 1 so the table exhibits the
+    # redundancy effects Figure 3 discusses.
+    from repro.templates.params import MatmulParams
+
+    params = MatmulParams(
+        m=256, n=512, k=256, mb=32, nb=64, kb=64, bs=2, mpn=4, npn=2
+    )
+    rows = []
+    for row in cost_table(params):
+        rows.append(
+            {
+                "anchor": row.anchor.value,
+                "operand": row.operand.upper(),
+                "working set (elems/core)": row.working_set,
+                "visits/core": row.access_times,
+                "total accesses/core": row.total_accesses,
+            }
+        )
+    print()
+    print(f"template: {params.describe()}")
+    print(
+        format_speedup_table(
+            "Figure 3. Anchor cost table (instantiated)",
+            rows,
+            [
+                "anchor",
+                "operand",
+                "working set (elems/core)",
+                "visits/core",
+                "total accesses/core",
+            ],
+        )
+    )
+    # The qualitative facts the paper derives from this table:
+    # anchor #4 is good for A (same total as #5, fewer redundant sweeps).
+    assert anchor_total_accesses(Anchor.PRE_4, params, "a") < (
+        anchor_total_accesses(Anchor.PRE_5, params, "a")
+    )
+    # anchor #5 has the smallest B slice.
+    assert anchor_working_set(Anchor.PRE_5, params, "b") < (
+        anchor_working_set(Anchor.PRE_4, params, "b")
+    )
+    # post-op anchor #1 has the smallest (hottest) C slice.
+    assert anchor_working_set(Anchor.POST_1, params, "c") <= (
+        anchor_working_set(Anchor.POST_2, params, "c")
+    )
+    assert anchor_access_times(Anchor.POST_2, params) == 1

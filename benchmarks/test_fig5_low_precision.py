@@ -1,0 +1,72 @@
+"""Figure 5: the Graph IR optimization passes on a quantized MLP.
+
+Not a performance figure — Figure 5 illustrates graph *transformations*.
+This bench walks one quantized matmul through the pipeline and prints the
+graph at each stage the figure draws: the input quantized graph, after
+low-precision conversion, and after constant-weight preprocessing (the
+``const_weight_comp`` split), asserting the structural facts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder, format_graph
+from repro.graph_ir.passes.constant_weight import SplitInitGraphPass
+from repro.graph_ir.passes.dce import DcePass
+from repro.graph_ir.passes.decompose import DecomposePass
+from repro.graph_ir.passes.low_precision import LowPrecisionPass
+from repro.graph_ir.passes.pass_base import CompileContext
+
+
+def quantized_layer():
+    b = GraphBuilder("fig5")
+    xq = b.input("x", DType.u8, (32, 64))
+    wq = b.constant("w", dtype=DType.s8, shape=(64, 32))
+    x = b.dequantize(xq, scale=0.1, zero_point=16)  # a_s, a_z
+    w = b.dequantize(wq, scale=0.05)  # b_s
+    y = b.matmul(x, w)
+    q = b.quantize(y, scale=0.2, zero_point=8, dtype=DType.u8)  # c_s, c_z
+    b.output(q)
+    return b.finish()
+
+
+def test_fig5_pass_stages(benchmark):
+    graph = quantized_layer()
+    print()
+    print("== stage 1: input quantized DNN graph ==")
+    print(format_graph(graph))
+    assert any(op.kind == "dequantize" for op in graph.ops)
+    fp32_matmuls = [
+        op
+        for op in graph.ops
+        if op.kind == "matmul" and op.inputs[0].dtype == DType.f32
+    ]
+    assert fp32_matmuls, "the input graph computes the matmul in fp32"
+
+    ctx = CompileContext()
+    graph = LowPrecisionPass().run(graph, ctx)
+    graph = DcePass().run(graph, ctx)
+    print("\n== stage 2: after low-precision conversion ==")
+    print(format_graph(graph))
+    matmul = next(op for op in graph.ops if op.kind == "matmul")
+    assert matmul.inputs[0].dtype == DType.u8
+    assert matmul.inputs[1].dtype == DType.s8
+    # The compensation term (a_z * colsum(B)) exists.
+    assert any(op.kind == "reduce_sum" for op in graph.ops)
+
+    graph = DecomposePass().run(graph, ctx)
+    graph = SplitInitGraphPass().run(graph, ctx)
+    print("\n== stage 3: after constant-weight preprocessing ==")
+    print("main graph:")
+    print(format_graph(graph))
+    assert ctx.init_graph is not None
+    print("\ninit graph (const_weight_comp, runs once):")
+    print(format_graph(ctx.init_graph))
+    # The compensation moved into the init graph; the main graph keeps the
+    # int8 matmul and the element-wise epilogue.
+    assert any(op.kind == "reduce_sum" for op in ctx.init_graph.ops)
+    assert not any(op.kind == "reduce_sum" for op in graph.ops)
+    assert any(op.kind == "matmul" for op in graph.ops)
+
+    benchmark(lambda: LowPrecisionPass().run(quantized_layer(), CompileContext()))

@@ -1,0 +1,92 @@
+"""Figure 7: individual matmul op, compiler vs expert-tuned primitives.
+
+The paper evaluates every MLP layer shape x batch size, both dtypes, with
+pre-packed weights and plain-layout input/output, reporting the compiler
+~6% faster on average, winning many smaller problems and losing at k=479.
+This bench regenerates the series and asserts those shape properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, DType, GraphBuilder
+from repro.perfmodel.report import format_speedup_table, geomean
+from repro.workloads import individual_matmul_shapes
+
+from conftest import model_baseline, model_compiled
+
+
+def single_matmul_graph(m, k, n, dtype):
+    b = GraphBuilder(f"mm_{m}x{k}x{n}_{dtype.value}")
+    if dtype == DType.f32:
+        x = b.input("x", DType.f32, (m, k))
+        w = b.constant("w", dtype=DType.f32, shape=(k, n))
+        b.output(b.matmul(x, w))
+    else:
+        xq = b.input("x", DType.u8, (m, k))
+        wq = b.constant("w", dtype=DType.s8, shape=(k, n))
+        x = b.dequantize(xq, scale=0.05, zero_point=8)
+        w = b.dequantize(wq, scale=0.05)
+        b.output(b.matmul(x, w))
+    return b.finish()
+
+
+@pytest.mark.parametrize("dtype", [DType.f32, DType.s8], ids=["fp32", "int8"])
+def test_fig7_individual_matmul(benchmark, dtype):
+    shapes = individual_matmul_shapes()
+    rows = []
+    ratios = []
+    k479_ratios = []
+    small_ratios = []
+    for shape in shapes:
+        graph_c = single_matmul_graph(shape.m, shape.k, shape.n, dtype)
+        graph_b = single_matmul_graph(shape.m, shape.k, shape.n, dtype)
+        compiled = model_compiled(graph_c)
+        baseline = model_baseline(graph_b)
+        ratio = baseline / compiled
+        ratios.append(ratio)
+        if shape.k == 479:
+            k479_ratios.append(ratio)
+        if shape.macs < 5_000_000:
+            small_ratios.append(ratio)
+        rows.append(
+            {
+                "shape": shape.name,
+                "baseline cycles": round(baseline),
+                "compiled cycles": round(compiled),
+                "speedup": ratio,
+            }
+        )
+    print()
+    print(
+        format_speedup_table(
+            f"Figure 7. Individual matmul, {dtype.value} "
+            f"(paper: ~1.06x average, losses at k=479)",
+            rows,
+            ["shape", "baseline cycles", "compiled cycles", "speedup"],
+        )
+    )
+    avg = geomean(ratios)
+    print(f"geomean speedup: {avg:.3f}   (paper reports ~1.06 overall)")
+    print(f"k=479 geomean:   {geomean(k479_ratios):.3f} (paper: below 1.0)")
+
+    # Shape assertions (who wins, where the losses fall).
+    assert avg > 1.0, "compiler should beat primitives on average"
+    assert avg < 1.4, "average gain should stay modest (near-parity claim)"
+    assert geomean(k479_ratios) < 1.0, "k=479 should favor the primitives"
+    wins = sum(1 for r in ratios if r > 1.0)
+    assert wins >= len(ratios) // 2, (
+        "the compiler should win at least half the individual problems"
+    )
+    # Losses concentrate at the pathological shapes the paper discusses:
+    # unaligned k (479) and degenerate layers (k=13 entry, n=1 exit).
+    for shape, ratio in zip(shapes, ratios):
+        if ratio < 0.97:
+            assert shape.k in (479, 13) or shape.n == 1, (
+                f"unexpected loss at {shape.name}: {ratio:.3f}"
+            )
+    # pytest-benchmark target: the model evaluation itself.
+    graph = single_matmul_graph(256, 512, 256, dtype)
+    benchmark(lambda: model_compiled(
+        single_matmul_graph(256, 512, 256, dtype)
+    ))

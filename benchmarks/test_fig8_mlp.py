@@ -1,0 +1,120 @@
+"""Figure 8 (MLP): full compiler vs no-coarse-fusion vs primitives.
+
+Regenerates the MLP bars: for every workload x batch x dtype, the modeled
+cycles of the baseline, the compiler with coarse-grain fusion disabled
+(the paper's middle setting) and the full compiler.  Asserts the paper's
+qualitative results:
+
+* MLP_1 int8 shows the largest speedups, with coarse-grain fusion the
+  dominant contributor (paper: 2.72x total, 1.95x from coarse fusion);
+* MLP_1 fp32 gains are clearly smaller than int8 (paper: 1.47x);
+* MLP_2 gains are small (paper: 1.10x int8, 1.01x fp32), with the
+  no-coarse setting near parity (paper: -1%).
+"""
+
+import pytest
+
+from repro import CompilerOptions, DType
+from repro.perfmodel.report import format_speedup_table, geomean
+from repro.workloads import MLP_BATCH_SIZES, build_mlp_graph
+
+from conftest import model_baseline, model_compiled
+
+
+def sweep(workload, dtype):
+    rows = []
+    for batch in MLP_BATCH_SIZES:
+        baseline = model_baseline(build_mlp_graph(workload, batch, dtype))
+        no_coarse = model_compiled(
+            build_mlp_graph(workload, batch, dtype),
+            CompilerOptions.no_coarse_fusion(),
+        )
+        full = model_compiled(build_mlp_graph(workload, batch, dtype))
+        rows.append(
+            {
+                "test": f"{workload} b{batch} {dtype.value}",
+                "baseline": round(baseline),
+                "no-coarse": round(no_coarse),
+                "full": round(full),
+                "speedup": baseline / full,
+                "nc speedup": baseline / no_coarse,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize(
+    "workload,dtype,paper_full,paper_nc",
+    [
+        ("MLP_1", DType.s8, 2.72, 1.40),
+        ("MLP_1", DType.f32, 1.47, 1.28),
+        ("MLP_2", DType.s8, 1.10, 0.99),
+        ("MLP_2", DType.f32, 1.01, 0.99),
+    ],
+    ids=["mlp1-int8", "mlp1-fp32", "mlp2-int8", "mlp2-fp32"],
+)
+def test_fig8_mlp(benchmark, workload, dtype, paper_full, paper_nc):
+    rows = sweep(workload, dtype)
+    print()
+    print(
+        format_speedup_table(
+            f"Figure 8 (MLP). {workload} {dtype.value} "
+            f"(paper: {paper_full}x full, ~{paper_nc}x without coarse fusion)",
+            rows,
+            ["test", "baseline", "no-coarse", "full", "speedup", "nc speedup"],
+        )
+    )
+    speedups = [r["speedup"] for r in rows]
+    nc_speedups = [r["nc speedup"] for r in rows]
+    print(
+        f"geomean: full {geomean(speedups):.2f} (paper {paper_full}), "
+        f"no-coarse {geomean(nc_speedups):.2f} (paper ~{paper_nc})"
+    )
+    # Shape assertions.
+    assert geomean(speedups) >= geomean(nc_speedups) * 0.999, (
+        "coarse-grain fusion must not hurt"
+    )
+    if workload == "MLP_1":
+        assert geomean(speedups) > 1.15, "MLP_1 should show clear gains"
+    else:
+        assert geomean(speedups) < 1.6, "MLP_2 gains should be modest"
+        assert 0.9 < geomean(nc_speedups) < 1.25, (
+            "MLP_2 without coarse fusion should be near parity"
+        )
+    benchmark(
+        lambda: model_compiled(build_mlp_graph(workload, 32, dtype))
+    )
+
+
+def test_fig8_mlp_cross_config_ordering(benchmark):
+    """MLP_1 int8 > MLP_1 fp32 and MLP_2 int8 > MLP_2 fp32 (Fig. 8)."""
+    results = {}
+    for workload in ("MLP_1", "MLP_2"):
+        for dtype in (DType.s8, DType.f32):
+            speedups = [r["speedup"] for r in sweep(workload, dtype)]
+            results[(workload, dtype)] = geomean(speedups)
+    assert results[("MLP_1", DType.s8)] > results[("MLP_1", DType.f32)]
+    assert results[("MLP_2", DType.s8)] > results[("MLP_2", DType.f32)]
+    assert results[("MLP_1", DType.s8)] > results[("MLP_2", DType.s8)]
+    benchmark(lambda: model_baseline(build_mlp_graph("MLP_1", 32, DType.s8)))
+
+
+def test_fig8_mlp1_int8_coarse_fusion_dominates(benchmark):
+    """Paper: of MLP_1 int8's 2.72x, coarse-grain fusion contributes 1.95x
+    — more than all other optimizations combined."""
+    coarse_factor = []
+    other_factor = []
+    for batch in MLP_BATCH_SIZES:
+        baseline = model_baseline(build_mlp_graph("MLP_1", batch, DType.s8))
+        no_coarse = model_compiled(
+            build_mlp_graph("MLP_1", batch, DType.s8),
+            CompilerOptions.no_coarse_fusion(),
+        )
+        full = model_compiled(build_mlp_graph("MLP_1", batch, DType.s8))
+        coarse_factor.append(no_coarse / full)
+        other_factor.append(baseline / no_coarse)
+    assert geomean(coarse_factor) > geomean(other_factor), (
+        "coarse-grain fusion should be the dominant contributor for "
+        "MLP_1 int8"
+    )
+    benchmark(lambda: model_compiled(build_mlp_graph("MLP_1", 32, DType.s8)))

@@ -1,0 +1,80 @@
+"""Table 1: the workload parameter matrix.
+
+Not a performance result — this bench verifies and prints the exact
+workload matrix the paper evaluates, as produced by the workload registry.
+"""
+
+import pytest
+
+from repro.dtypes import DType
+from repro.perfmodel.report import format_speedup_table
+from repro.workloads import (
+    MHA_BATCH_SIZES,
+    MHA_CONFIGS,
+    MLP_BATCH_SIZES,
+    MLP_CONFIGS,
+    build_mha_graph,
+    build_mlp_graph,
+)
+
+
+def test_table1_matrix(benchmark):
+    rows = []
+    for name, dims in MLP_CONFIGS.items():
+        rows.append(
+            {
+                "workload": name,
+                "dtypes": "Int8, FP32",
+                "batch sizes": ", ".join(str(b) for b in MLP_BATCH_SIZES),
+                "seq len": "N/A",
+                "hidden": "x".join(str(d) for d in dims),
+                "heads": "N/A",
+            }
+        )
+    for name, cfg in MHA_CONFIGS.items():
+        rows.append(
+            {
+                "workload": name,
+                "dtypes": "Int8, FP32",
+                "batch sizes": ", ".join(str(b) for b in MHA_BATCH_SIZES),
+                "seq len": str(cfg.seq_len),
+                "hidden": str(cfg.hidden),
+                "heads": str(cfg.heads),
+            }
+        )
+    print()
+    print(
+        format_speedup_table(
+            "Table 1. Workload parameters",
+            rows,
+            ["workload", "dtypes", "batch sizes", "seq len", "hidden", "heads"],
+        )
+    )
+    # The paper's exact values.
+    assert MLP_CONFIGS["MLP_1"] == (13, 512, 256, 128)
+    assert MLP_CONFIGS["MLP_2"] == (479, 1024, 1024, 512, 256, 1)
+    assert MLP_BATCH_SIZES == (32, 64, 128, 256, 512)
+    assert MHA_BATCH_SIZES == (32, 64, 128)
+    assert (MHA_CONFIGS["MHA_1"].seq_len, MHA_CONFIGS["MHA_1"].hidden,
+            MHA_CONFIGS["MHA_1"].heads) == (128, 768, 8)
+    assert (MHA_CONFIGS["MHA_2"].seq_len, MHA_CONFIGS["MHA_2"].hidden,
+            MHA_CONFIGS["MHA_2"].heads) == (128, 768, 12)
+    assert (MHA_CONFIGS["MHA_3"].seq_len, MHA_CONFIGS["MHA_3"].hidden,
+            MHA_CONFIGS["MHA_3"].heads) == (384, 1024, 8)
+    assert (MHA_CONFIGS["MHA_4"].seq_len, MHA_CONFIGS["MHA_4"].hidden,
+            MHA_CONFIGS["MHA_4"].heads) == (512, 1024, 16)
+
+    # Every cell of the matrix must build a valid graph.
+    def build_all():
+        count = 0
+        for name in MLP_CONFIGS:
+            for dtype in (DType.f32, DType.s8):
+                build_mlp_graph(name, MLP_BATCH_SIZES[0], dtype)
+                count += 1
+        for name in MHA_CONFIGS:
+            for dtype in (DType.f32, DType.s8):
+                build_mha_graph(name, MHA_BATCH_SIZES[0], dtype)
+                count += 1
+        return count
+
+    assert benchmark(build_all) == 12

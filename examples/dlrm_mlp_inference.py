@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""DLRM-style MLP inference: the paper's MLP_1/MLP_2 workloads.
+
+Compiles the Table 1 MLP workloads in fp32 and int8, verifies the compiled
+int8 path against exact integer math, and prints a mini Figure 8: modeled
+cycles for the oneDNN-primitives-style baseline, the compiler without
+coarse-grain fusion, and the full compiler.
+
+Run:  python examples/dlrm_mlp_inference.py
+"""
+
+import numpy as np
+
+from repro import CompilerOptions, DType, XEON_8358, compile_graph
+from repro.baseline import BaselineExecutor
+from repro.perfmodel import MachineSimulator, specs_for_partition
+from repro.perfmodel.report import format_speedup_table, geomean
+from repro.workloads import build_mlp_graph, make_mlp_inputs
+
+
+def modeled_cycles_compiled(graph, options=None) -> float:
+    partition = compile_graph(graph, options=options)
+    specs, warm = specs_for_partition(partition, XEON_8358)
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)  # settle cache state
+    return sim.run_all(specs).total_cycles
+
+
+def modeled_cycles_baseline(graph) -> float:
+    executor = BaselineExecutor(graph, XEON_8358)
+    specs, warm = executor.specs()
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)
+    return sim.run_all(specs).total_cycles
+
+
+def check_numerics() -> None:
+    """Run the compiled int8 MLP_1 and compare against the baseline
+    executor (both execute real numpy math)."""
+    graph = build_mlp_graph("MLP_1", 32, DType.s8)
+    inputs = make_mlp_inputs("MLP_1", 32, DType.s8)
+    partition = compile_graph(build_mlp_graph("MLP_1", 32, DType.s8))
+    compiled_out = list(partition.execute(inputs).values())[0]
+    baseline = BaselineExecutor(graph, XEON_8358)
+    baseline_out = list(baseline.execute(inputs).values())[0]
+    err = np.abs(compiled_out - baseline_out).max()
+    denom = max(np.abs(baseline_out).max(), 1.0)
+    print(f"int8 MLP_1: max |compiled - baseline| = {err:.4f} "
+          f"(relative {err / denom:.2e})")
+    assert err / denom < 1e-2
+
+
+def main() -> None:
+    check_numerics()
+    rows = []
+    for workload in ("MLP_1", "MLP_2"):
+        for dtype, label in ((DType.s8, "int8"), (DType.f32, "fp32")):
+            speedups = []
+            for batch in (32, 128, 512):
+                base = modeled_cycles_baseline(
+                    build_mlp_graph(workload, batch, dtype)
+                )
+                no_coarse = modeled_cycles_compiled(
+                    build_mlp_graph(workload, batch, dtype),
+                    CompilerOptions.no_coarse_fusion(),
+                )
+                full = modeled_cycles_compiled(
+                    build_mlp_graph(workload, batch, dtype)
+                )
+                speedups.append(base / full)
+                rows.append(
+                    {
+                        "test": f"{workload} b{batch} {label}",
+                        "baseline kcycles": round(base / 1000),
+                        "no-coarse kcycles": round(no_coarse / 1000),
+                        "full kcycles": round(full / 1000),
+                        "speedup": base / full,
+                    }
+                )
+            print(
+                f"{workload} {label}: geomean speedup "
+                f"{geomean(speedups):.2f}x"
+            )
+    print()
+    print(
+        format_speedup_table(
+            "MLP inference, modeled on Xeon-8358 (mini Figure 8)",
+            rows,
+            [
+                "test",
+                "baseline kcycles",
+                "no-coarse kcycles",
+                "full kcycles",
+                "speedup",
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

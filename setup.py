@@ -1,0 +1,10 @@
+"""Setup shim: enables editable installs in environments without `wheel`.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works offline (pip's PEP-517 editable path
+requires the `wheel` package, which is not installed here).
+"""
+
+from setuptools import setup
+
+setup()

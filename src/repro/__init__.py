@@ -1,0 +1,46 @@
+"""repro: a reproduction of the oneDNN Graph Compiler (CGO 2024).
+
+A hybrid tensor compiler for DNN computation subgraphs: expert-tuned
+batch-reduce GEMM microkernels plus two levels of compiler IR (Graph IR and
+Tensor IR), with the paper's domain-specific optimizations — low-precision
+conversion, constant-weight preprocessing, layout propagation, fine-grain
+(anchor-based) and coarse-grain fusion, tensor-size and buffer-reuse
+optimization.
+
+Quickstart::
+
+    import numpy as np
+    from repro import DType, GraphBuilder, compile_graph
+
+    b = GraphBuilder("mlp")
+    x = b.input("x", DType.f32, (64, 512))
+    w = b.constant("w", dtype=DType.f32, shape=(512, 256))  # runtime const
+    b.output(b.relu(b.matmul(x, w)))
+    partition = compile_graph(b.finish())
+    out = partition.execute({
+        "x": np.random.randn(64, 512).astype(np.float32),
+        "w": np.random.randn(512, 256).astype(np.float32),
+    })
+"""
+
+from .core.compiler import compile_graph
+from .core.options import CompilerOptions
+from .dtypes import DType
+from .graph_ir import Graph, GraphBuilder, format_graph
+from .microkernel.machine import MachineModel, XEON_8358
+from .runtime.partition import CompiledPartition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_graph",
+    "CompilerOptions",
+    "DType",
+    "Graph",
+    "GraphBuilder",
+    "format_graph",
+    "MachineModel",
+    "XEON_8358",
+    "CompiledPartition",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baseline: an expert-tuned primitives library (oneDNN-primitives-like).
+
+The paper's baseline executes the DNN graph op by op, offloading each
+performance-critical operation to a primitive with these capabilities and
+limitations:
+
+* matmul primitives support *post-op attributes* — chains of element-wise
+  and binary ops fused into the kernel epilogue — but **not** reductions:
+  softmax cannot fuse into the preceding batch matmul;
+* weights are pre-packed to blocked layouts and int8 compensation is
+  precomputed, both cached across executions;
+* the same low-precision graph mapping is applied before primitive calls;
+* every primitive call pays framework/library dispatch overhead.
+"""
+
+from .executor import BaselineExecutor, BaselinePlan
+from .primitives import Primitive
+
+__all__ = ["BaselineExecutor", "BaselinePlan", "Primitive"]

@@ -1,0 +1,165 @@
+"""Baseline graph executor: primitive planning, execution and cost specs.
+
+Mirrors how DL frameworks integrate oneDNN primitives:
+
+1. The input graph gets the same low-precision mapping the compiler
+   applies, (de)quantize chains decomposed so requantization fuses as
+   element-wise post-op attributes, constants folded, and weight
+   preprocessing (prepack, compensation) split off and cached.
+2. The remaining graph maps to a sequence of primitives: matmuls absorb
+   element-wise / binary post-op chains (the oneDNN post-ops mechanism,
+   *no reductions*); softmax, gelu and leftovers run as standalone
+   primitives, each paying API dispatch and a parallel-region launch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+import numpy as np
+
+from ..graph_ir.graph import Graph
+from ..graph_ir.op import Op, OpCategory
+from ..graph_ir.op_registry import get_schema
+from ..graph_ir.passes.constant_fold import ConstantFoldPass
+from ..graph_ir.passes.constant_weight import SplitInitGraphPass
+from ..graph_ir.passes.cse import CsePass
+from ..graph_ir.passes.dce import DcePass
+from ..graph_ir.passes.decompose import DecomposePass
+from ..graph_ir.passes.low_precision import LowPrecisionPass
+from ..graph_ir.passes.pass_base import CompileContext
+from ..graph_ir.reference import evaluate_graph
+from ..microkernel.machine import MachineModel, XEON_8358
+from ..perfmodel.compiled_model import _key, _physical_bytes
+from ..perfmodel.timing import KernelSpec
+from .primitives import Primitive
+
+#: oneDNN-style limit on the post-op attribute chain length.
+MAX_POST_OPS = 12
+
+
+@dataclass
+class BaselinePlan:
+    """The primitive schedule for one graph."""
+
+    primitives: List[Primitive] = field(default_factory=list)
+
+    @property
+    def num_calls(self) -> int:
+        return len(self.primitives)
+
+    def describe(self) -> List[str]:
+        return [p.name for p in self.primitives]
+
+
+class BaselineExecutor:
+    """Plans, executes and prices a graph with the primitives library."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        machine: MachineModel = XEON_8358,
+        enable_low_precision: bool = True,
+    ) -> None:
+        self.machine = machine
+        ctx = CompileContext(machine=machine)
+        if enable_low_precision:
+            graph = LowPrecisionPass().run(graph, ctx)
+        graph = DecomposePass(only={"quantize", "dequantize", "bias_add"}).run(
+            graph, ctx
+        )
+        graph = ConstantFoldPass().run(graph, ctx)
+        graph = CsePass().run(graph, ctx)
+        graph = DcePass().run(graph, ctx)
+        graph = SplitInitGraphPass().run(graph, ctx)
+        graph.validate()
+        self.graph = graph
+        self.ctx = ctx
+        self.init_graph = ctx.init_graph
+        self.plan = self._build_plan()
+        self._cache: Dict[int, np.ndarray] = {}
+        self._initialized = False
+
+    # -- primitive planning ------------------------------------------------------
+
+    def _build_plan(self) -> BaselinePlan:
+        plan = BaselinePlan()
+        consumers = self.graph.consumer_map()
+        output_ids = {t.id for t in self.graph.outputs}
+        absorbed: Set[int] = set()
+        for op in self.graph.topological_order():
+            if op.id in absorbed:
+                continue
+            if op.kind == "matmul":
+                post = self._grow_post_ops(op, consumers, output_ids, absorbed)
+                plan.primitives.append(
+                    Primitive(kind="matmul", op=op, post_ops=post)
+                )
+            elif op.kind == "softmax":
+                # oneDNN softmax supports destination quantization: the
+                # requant chain folds into the primitive's epilogue.
+                post = self._grow_post_ops(op, consumers, output_ids, absorbed)
+                plan.primitives.append(
+                    Primitive(kind="softmax", op=op, post_ops=post)
+                )
+            else:
+                plan.primitives.append(Primitive(kind="eltwise", op=op))
+        return plan
+
+    def _grow_post_ops(
+        self,
+        matmul: Op,
+        consumers: Dict[int, List[Op]],
+        output_ids: Set[int],
+        absorbed: Set[int],
+    ) -> List[Op]:
+        """oneDNN post-op attrs: a single-consumer element-wise chain."""
+        chain: List[Op] = []
+        current = matmul.outputs[0]
+        while len(chain) < MAX_POST_OPS:
+            if current.id in output_ids:
+                # The value must be materialized; stop fusing here.
+                break
+            users = consumers.get(current.id, [])
+            if len(users) != 1:
+                break
+            user = users[0]
+            schema = get_schema(user.kind)
+            if schema.category is not OpCategory.FUSIBLE:
+                break
+            if not schema.is_elementwise:
+                break  # reductions / data movement do not fuse (the gap!)
+            chain.append(user)
+            absorbed.add(user.id)
+            current = user.outputs[0]
+        return chain
+
+    # -- numeric execution -------------------------------------------------------
+
+    def execute(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run the graph numerically (reference kernels per primitive)."""
+        feed = dict(inputs)
+        if self.init_graph is not None and not self._initialized:
+            init_out = evaluate_graph(self.init_graph, feed)
+            for tensor in self.init_graph.outputs:
+                self._cache[tensor.id] = init_out[tensor.name]
+            self._initialized = True
+        named_cache = {
+            tensor.name: self._cache[tensor.id]
+            for tensor in (self.init_graph.outputs if self.init_graph else [])
+        }
+        return evaluate_graph(self.graph, {**feed, **named_cache})
+
+    # -- pricing -------------------------------------------------------------------
+
+    def specs(self) -> Tuple[List[KernelSpec], List[Tuple[str, int]]]:
+        """(kernel specs, warm set) for one steady-state execution."""
+        warm = []
+        if self.init_graph is not None:
+            for tensor in self.init_graph.outputs:
+                warm.append((_key(tensor), _physical_bytes(tensor)))
+        for tensor in self.graph.inputs:
+            if tensor.is_constant:
+                warm.append((_key(tensor), _physical_bytes(tensor)))
+        return [p.spec(self.machine) for p in self.plan.primitives], warm

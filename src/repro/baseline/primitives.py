@@ -1,0 +1,180 @@
+"""Primitive descriptors and their cost specs.
+
+Each primitive prices itself the way the real library behaves: matmuls run
+the same expert heuristic as the compiler (with expert tail handling —
+primitives ship specialized tail kernels), memory-bound primitives stream
+their tensors, and every call pays one API dispatch plus one parallel
+region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dtypes import DType
+from ..graph_ir.logical_tensor import LogicalTensor
+from ..graph_ir.op import Op
+from ..microkernel.machine import MachineModel
+from ..perfmodel.timing import KernelSpec, TensorAccess
+from ..perfmodel.compiled_model import (
+    TRANSCENDENTAL_KINDS,
+    _key,
+    _physical_bytes,
+)
+from ..templates.cost_model import (
+    load_balance_efficiency,
+    microkernel_efficiency,
+    unaligned_k_efficiency,
+)
+from ..templates.heuristics import select_matmul_params
+
+#: Throughput factor of a matmul whose activation operand arrives in plain
+#: layout: packing/strided access inside every primitive call, which layout
+#: propagation lets the compiler skip for chained matmuls.
+PLAIN_ACTIVATION_EFFICIENCY = 0.92
+
+
+@dataclass
+class Primitive:
+    """One baseline library call: a main op plus fused post-op attrs."""
+
+    kind: str  # "matmul", "softmax", "eltwise", "reduce", "reorder"
+    op: Op
+    post_ops: List[Op] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        suffix = f"+{len(self.post_ops)}post" if self.post_ops else ""
+        return f"prim_{self.op.name}{suffix}"
+
+    @property
+    def output(self) -> LogicalTensor:
+        if self.post_ops:
+            return self.post_ops[-1].outputs[0]
+        return self.op.outputs[0]
+
+    def spec(self, machine: MachineModel) -> KernelSpec:
+        if self.kind == "matmul":
+            return self._matmul_spec(machine)
+        if self.kind == "softmax":
+            return self._softmax_spec()
+        return self._memory_bound_spec()
+
+    # -- matmul + post-op attrs -------------------------------------------------
+
+    def _matmul_spec(self, machine: MachineModel) -> KernelSpec:
+        op = self.op
+        out_shape = op.outputs[0].shape
+        m, n = out_shape[-2:]
+        a = op.inputs[0]
+        b = op.inputs[1]
+        k = a.shape[-2] if op.attr("transpose_a") else a.shape[-1]
+        batch = 1
+        for d in out_shape[:-2]:
+            batch *= d
+        dtype = a.dtype
+        params = select_matmul_params(
+            m, n, k, dtype, machine, batch=batch, expert_tail_handling=True
+        )
+        efficiency = microkernel_efficiency(
+            params.mb, params.nb, params.kb, params.bs, dtype, machine
+        ) * unaligned_k_efficiency(k, dtype, expert_tail_handling=True)
+        if not a.is_constant:
+            # Plain-layout activation input: the primitive packs (or reads
+            # strided) inside every call.  The compiler's layout propagation
+            # keeps chained activations blocked and avoids this cost.
+            efficiency *= PLAIN_ACTIVATION_EFFICIENCY
+        spec = KernelSpec(
+            name=self.name,
+            flops=2.0 * params.batch * params.m * params.n * params.k,
+            dtype=dtype,
+            efficiency=efficiency,
+            balance=load_balance_efficiency(params, machine),
+            parallel_tasks=params.num_cores_used * params.batch,
+            launches=1,
+            api_calls=1,
+        )
+        spec.reads.append(TensorAccess(_key(a), _physical_bytes(a)))
+        if not b.is_constant:
+            # Activation B operands are packed on the fly, like the
+            # compiler's full pre-pack.
+            blocked = params.k * params.n * b.dtype.size
+            for d in b.shape[:-2]:
+                blocked *= d
+            spec.writes.append(TensorAccess(f"{_key(b)}_blk", blocked))
+            spec.reads.append(TensorAccess(f"{_key(b)}_blk", blocked))
+        spec.reads.append(TensorAccess(_key(b), _physical_bytes(b)))
+        elements = float(batch * m * n)
+        internal = {op.outputs[0].id}
+        for post in self.post_ops:
+            if post.kind in TRANSCENDENTAL_KINDS:
+                spec.transcendental_elems += elements
+            else:
+                spec.eltwise_elems += elements
+            for operand in post.inputs:
+                if operand.id in internal:
+                    continue
+                spec.reads.append(
+                    TensorAccess(_key(operand), _physical_bytes(operand))
+                )
+            internal.update(o.id for o in post.outputs)
+        spec.writes.append(
+            TensorAccess(_key(self.output), _physical_bytes(self.output))
+        )
+        return spec
+
+    # -- memory-bound primitives ---------------------------------------------------
+
+    def _softmax_spec(self) -> KernelSpec:
+        """Softmax streams its tensor ~3x (max pass, exp+sum pass, scale).
+
+        Fused epilogue post-ops (destination quantization) add element-wise
+        work but no extra passes.
+        """
+        x = self.op.inputs[0]
+        out = self.output
+        elements = float(out.num_elements)
+        spec = KernelSpec(
+            name=self.name,
+            dtype=out.dtype,
+            eltwise_elems=2.0 * elements,
+            transcendental_elems=elements,
+            launches=1,
+            api_calls=1,
+        )
+        for post in self.post_ops:
+            if post.kind in TRANSCENDENTAL_KINDS:
+                spec.transcendental_elems += elements
+            else:
+                spec.eltwise_elems += elements
+        nbytes = _physical_bytes(x)
+        spec.reads.append(TensorAccess(_key(x), nbytes))
+        spec.reads.append(TensorAccess(_key(x), nbytes))  # second pass
+        spec.writes.append(TensorAccess(_key(out), _physical_bytes(out)))
+        return spec
+
+    def _memory_bound_spec(self) -> KernelSpec:
+        out = self.output
+        elements = float(out.num_elements)
+        spec = KernelSpec(
+            name=self.name,
+            dtype=out.dtype,
+            launches=1,
+            api_calls=1,
+        )
+        if self.op.kind in TRANSCENDENTAL_KINDS or self.op.kind == "gelu":
+            spec.transcendental_elems += elements
+        else:
+            spec.eltwise_elems += elements
+        for post in self.post_ops:
+            if post.kind in TRANSCENDENTAL_KINDS:
+                spec.transcendental_elems += elements
+            else:
+                spec.eltwise_elems += elements
+        for operand in self.op.inputs:
+            spec.reads.append(
+                TensorAccess(_key(operand), _physical_bytes(operand))
+            )
+        spec.writes.append(TensorAccess(_key(out), _physical_bytes(out)))
+        return spec

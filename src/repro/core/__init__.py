@@ -1,0 +1,6 @@
+"""Public compilation API."""
+
+from .options import CompilerOptions
+from .compiler import compile_graph
+
+__all__ = ["CompilerOptions", "compile_graph"]

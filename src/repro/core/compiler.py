@@ -1,0 +1,101 @@
+"""The compiler driver: Graph IR in, CompiledPartition out.
+
+Runs the Graph IR pipeline (low-precision conversion, decomposition,
+cleanups, layout propagation, constant-weight split, fusion), lowers the
+fusion plan through the microkernel templates, runs the Tensor IR passes
+(loop merge, tensor shrink, buffer reuse, simplify) and wraps the result
+in an executable :class:`~repro.runtime.partition.CompiledPartition`.
+
+Note: compilation takes ownership of the graph and mutates it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graph_ir.graph import Graph
+from ..graph_ir.passes import CompileContext, PassManager, default_pipeline
+from ..lowering.lower_graph import LoweredPartition, lower_graph
+from ..microkernel.machine import MachineModel, XEON_8358
+from ..runtime.partition import CompiledPartition
+from ..tensor_ir.passes import (
+    BufferReusePass,
+    LoopMergePass,
+    SimplifyPass,
+    TensorShrinkPass,
+)
+from .options import CompilerOptions
+
+
+def compile_graph(
+    graph: Graph,
+    machine: MachineModel = XEON_8358,
+    options: Optional[CompilerOptions] = None,
+) -> CompiledPartition:
+    """Compile a DNN computation graph for the target machine."""
+    options = options or CompilerOptions()
+    ctx = CompileContext(machine=machine, options=options)
+    manager = PassManager(
+        default_pipeline(
+            enable_low_precision=options.enable_low_precision,
+            enable_coarse_grain_fusion=options.enable_coarse_grain_fusion,
+        )
+    )
+    graph, ctx = manager.run(graph, ctx)
+    if not options.enable_constant_cache:
+        # Fold the init graph back: treat its ops as main-graph ops.
+        _disable_constant_cache(graph, ctx)
+    lowered = lower_graph(graph, ctx)
+    _run_tensor_ir_pipeline(lowered, options)
+    return CompiledPartition(lowered)
+
+
+def _run_tensor_ir_pipeline(
+    lowered: LoweredPartition, options: CompilerOptions
+) -> None:
+    module = lowered.module
+    SimplifyPass().run(module)
+    if options.enable_coarse_grain_fusion:
+        merger = LoopMergePass()
+        merger.run(module)
+        lowered.ctx.note(
+            f"loop_merge: merged groups {merger.merged_groups}"
+        )
+    if options.enable_tensor_shrink:
+        shrinker = TensorShrinkPass()
+        shrinker.run(module)
+        lowered.ctx.note(f"tensor_shrink: {shrinker.report}")
+    if options.enable_buffer_reuse:
+        reuser = BufferReusePass()
+        reuser.run(module)
+    if lowered.init_module is not None:
+        SimplifyPass().run(lowered.init_module)
+        if options.enable_tensor_shrink:
+            TensorShrinkPass().run(lowered.init_module)
+
+
+def _disable_constant_cache(graph: Graph, ctx: CompileContext) -> None:
+    """Re-inline the init graph for the no-constant-cache ablation."""
+    init = ctx.init_graph
+    if init is None:
+        return
+    boundary_ids = {t.id for t in init.outputs}
+    # Boundary tensors were added as main inputs; remove them and splice
+    # the init ops back in front.
+    graph.inputs = [t for t in graph.inputs if t.id not in boundary_ids]
+    for tensor in init.inputs:
+        if all(t.id != tensor.id for t in graph.inputs):
+            graph.inputs.append(tensor)
+            if tensor.id in init.constants:
+                graph.constants[tensor.id] = init.constants[tensor.id]
+    graph.ops = list(init.ops) + graph.ops
+    ctx.init_graph = None
+    # The fusion plan must account for the re-inlined ops.
+    from ..graph_ir.fused_op import StandaloneOp
+
+    if ctx.fusion_plan is not None:
+        prefix = [
+            StandaloneOp(name=op.name, op=op) for op in init.topological_order()
+        ]
+        ctx.fusion_plan.items = prefix + ctx.fusion_plan.items
+    graph.validate()

@@ -1,0 +1,32 @@
+"""Compiler options.
+
+The toggles mirror the configurations the paper evaluates: the full
+compiler, the compiler with coarse-grain fusion disabled (the "middle
+setting" of Figure 8), and individual Tensor IR optimizations for ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Feature toggles for one compilation."""
+
+    #: Rewrite dequantize/matmul/quantize islands to int8 + compensation.
+    enable_low_precision: bool = True
+    #: Coarse-grain fusion: merge outer parallel loops of fused ops.
+    enable_coarse_grain_fusion: bool = True
+    #: Tensor size optimization (shrink full-size anchor temporaries).
+    enable_tensor_shrink: bool = True
+    #: Memory buffer reuse (arena planning for intermediates).
+    enable_buffer_reuse: bool = True
+    #: Constant-weight preprocessing (init-graph split + caching).
+    enable_constant_cache: bool = True
+
+    @staticmethod
+    def no_coarse_fusion() -> "CompilerOptions":
+        """The paper's middle configuration in Figure 8."""
+        return CompilerOptions(enable_coarse_grain_fusion=False)

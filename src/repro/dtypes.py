@@ -1,0 +1,131 @@
+"""Data types used by the compiler, plus quantization helpers.
+
+The paper's workloads run in FP32 and Int8 (asymmetric, dynamic or static
+quantization).  Accumulation for Int8 matmuls is Int32, exactly as VNNI/AMX
+hardware accumulates, which is what makes the low-precision rewrite in the
+paper *exact* rather than approximate.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from .errors import DataTypeError
+
+
+class DType(enum.Enum):
+    """Element data type of a logical tensor."""
+
+    f32 = "f32"
+    bf16 = "bf16"
+    s32 = "s32"
+    s8 = "s8"
+    u8 = "u8"
+    s64 = "s64"
+    boolean = "bool"
+
+    @property
+    def size(self) -> int:
+        """Size of one element in bytes."""
+        return _SIZES[self]
+
+    @property
+    def is_floating(self) -> bool:
+        return self in (DType.f32, DType.bf16)
+
+    @property
+    def is_integral(self) -> bool:
+        return self in (DType.s32, DType.s8, DType.u8, DType.s64)
+
+    @property
+    def is_low_precision(self) -> bool:
+        """True for the 8-bit types the low-precision pass targets."""
+        return self in (DType.s8, DType.u8)
+
+    def to_numpy(self) -> np.dtype:
+        """The numpy dtype used to store elements of this type.
+
+        bf16 is stored as float32 (numpy has no bf16); the perf model still
+        charges 2 bytes per element for it.
+        """
+        return _NUMPY[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.value}"
+
+
+_SIZES = {
+    DType.f32: 4,
+    DType.bf16: 2,
+    DType.s32: 4,
+    DType.s8: 1,
+    DType.u8: 1,
+    DType.s64: 8,
+    DType.boolean: 1,
+}
+
+_NUMPY = {
+    DType.f32: np.dtype(np.float32),
+    DType.bf16: np.dtype(np.float32),
+    DType.s32: np.dtype(np.int32),
+    DType.s8: np.dtype(np.int8),
+    DType.u8: np.dtype(np.uint8),
+    DType.s64: np.dtype(np.int64),
+    DType.boolean: np.dtype(np.bool_),
+}
+
+_FROM_NUMPY = {
+    np.dtype(np.float32): DType.f32,
+    np.dtype(np.int32): DType.s32,
+    np.dtype(np.int8): DType.s8,
+    np.dtype(np.uint8): DType.u8,
+    np.dtype(np.int64): DType.s64,
+    np.dtype(np.bool_): DType.boolean,
+}
+
+
+def from_numpy(dtype: Union[np.dtype, type]) -> DType:
+    """Map a numpy dtype back to a :class:`DType`."""
+    key = np.dtype(dtype)
+    try:
+        return _FROM_NUMPY[key]
+    except KeyError:
+        raise DataTypeError(f"no DType corresponding to numpy dtype {key}")
+
+
+def accumulator_dtype(dtype: DType) -> DType:
+    """Accumulation type used by matmul for a given input element type."""
+    if dtype in (DType.s8, DType.u8):
+        return DType.s32
+    if dtype in (DType.f32, DType.bf16):
+        return DType.f32
+    raise DataTypeError(f"matmul does not accumulate over {dtype}")
+
+
+def quantize_array(
+    data: np.ndarray, scale: float, zero_point: int, dtype: DType
+) -> np.ndarray:
+    """Quantize an fp32 array: ``q = clip(round(x / scale) + zp)``.
+
+    Matches the (de)quantize op semantics used in the paper's quantized MLP
+    example (asymmetric for activations, symmetric ``zp = 0`` for weights).
+    """
+    if not dtype.is_low_precision:
+        raise DataTypeError(f"cannot quantize to {dtype}")
+    info = np.iinfo(dtype.to_numpy())
+    # float32 arithmetic matches the CPU instruction sequences compiled code
+    # uses, keeping the decomposed quantize path bit-identical.
+    q = np.rint(np.asarray(data, dtype=np.float32) / np.float32(scale))
+    q = q + np.float32(zero_point)
+    return np.clip(q, info.min, info.max).astype(dtype.to_numpy())
+
+
+def dequantize_array(
+    data: np.ndarray, scale: float, zero_point: int
+) -> np.ndarray:
+    """Dequantize to fp32: ``x = (q - zp) * scale`` in float32 arithmetic."""
+    shifted = data.astype(np.float32) - np.float32(zero_point)
+    return (shifted * np.float32(scale)).astype(np.float32)

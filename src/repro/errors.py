@@ -1,0 +1,48 @@
+"""Typed exceptions raised across the compiler.
+
+Every error that a user of the library can trigger through the public API is
+an instance of :class:`GraphCompilerError`, so callers can catch one type.
+Internal invariant violations use plain ``AssertionError`` and indicate bugs.
+"""
+
+from __future__ import annotations
+
+
+class GraphCompilerError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphValidationError(GraphCompilerError):
+    """The input Graph IR is malformed (cycles, dangling tensors, ...)."""
+
+
+class ShapeInferenceError(GraphCompilerError):
+    """Operand shapes are incompatible for an op, or a shape is unknown."""
+
+
+class DataTypeError(GraphCompilerError):
+    """Operand data types are invalid or incompatible for an op."""
+
+
+class UnsupportedOpError(GraphCompilerError):
+    """An op kind is not registered or not supported by a pass/backend."""
+
+
+class LoweringError(GraphCompilerError):
+    """Graph IR could not be lowered to Tensor IR."""
+
+
+class TensorIRError(GraphCompilerError):
+    """Malformed Tensor IR (unknown symbol, type mismatch, bad loop)."""
+
+
+class ExecutionError(GraphCompilerError):
+    """Runtime failure while executing a compiled partition."""
+
+
+class LayoutError(GraphCompilerError):
+    """Invalid memory layout or an impossible layout conversion."""
+
+
+class HeuristicError(GraphCompilerError):
+    """Template parameter selection failed for a tunable op."""

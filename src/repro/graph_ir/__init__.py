@@ -1,0 +1,33 @@
+"""Graph IR: the upper intermediate representation of the compiler.
+
+Graph IR keeps DNN op semantics (matmul, relu, softmax, ...) so that the
+domain-specific optimizations of the paper — low-precision conversion,
+constant-weight preprocessing, layout propagation and fusion — can be
+expressed as graph-to-graph passes.
+"""
+
+from .layout import BlockedLayout, blocked_2d, plain
+from .logical_tensor import LogicalTensor, PropertyKind
+from .op import Op, OpCategory
+from .graph import Graph
+from .builder import GraphBuilder
+from .op_registry import OP_REGISTRY, OpSchema
+from .printer import format_graph
+from . import conv  # noqa: F401  (registers conv2d / im2col op schemas)
+from .conv import conv2d
+
+__all__ = [
+    "BlockedLayout",
+    "blocked_2d",
+    "plain",
+    "LogicalTensor",
+    "PropertyKind",
+    "Op",
+    "OpCategory",
+    "Graph",
+    "GraphBuilder",
+    "OP_REGISTRY",
+    "OpSchema",
+    "format_graph",
+    "conv2d",
+]

@@ -1,0 +1,239 @@
+"""Convenience builder for constructing Graph IR graphs.
+
+The builder runs shape/dtype inference as ops are added, so user code only
+names inputs and chains op calls::
+
+    b = GraphBuilder("mlp")
+    x = b.input("x", DType.f32, (64, 512))
+    w = b.constant("w", np.random.rand(512, 256).astype(np.float32))
+    y = b.matmul(x, w)
+    y = b.relu(y)
+    b.output(y)
+    graph = b.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..dtypes import DType, from_numpy
+from .graph import Graph
+from .layout import BlockedLayout
+from .logical_tensor import LogicalTensor, PropertyKind
+from .op import Op
+from .op_registry import get_schema
+
+
+class GraphBuilder:
+    """Incrementally builds a validated :class:`Graph`."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.graph = Graph(name)
+
+    # -- inputs --------------------------------------------------------------
+
+    def input(
+        self,
+        name: str,
+        dtype: DType,
+        shape: Sequence[int],
+        constant: bool = False,
+    ) -> LogicalTensor:
+        """Declare a graph input tensor."""
+        tensor = LogicalTensor(
+            dtype=dtype,
+            shape=tuple(shape),
+            name=name,
+            prop=PropertyKind.CONSTANT if constant else PropertyKind.VARIABLE,
+        )
+        self.graph.add_input(tensor)
+        return tensor
+
+    def constant(
+        self,
+        name: str,
+        data: Optional[np.ndarray] = None,
+        dtype: Optional[DType] = None,
+        shape: Optional[Sequence[int]] = None,
+    ) -> LogicalTensor:
+        """Declare a constant input.
+
+        With ``data`` the constant is compile-time (folded by passes);
+        without it the tensor is a *runtime constant*: its buffer arrives at
+        the first execution and never changes (the static-quantization weight
+        scenario of the paper).
+        """
+        if data is not None:
+            data = np.asarray(data)
+            dtype = dtype or from_numpy(data.dtype)
+            shape = tuple(data.shape)
+        if dtype is None or shape is None:
+            raise ValueError("constant needs data, or both dtype and shape")
+        tensor = LogicalTensor(
+            dtype=dtype,
+            shape=tuple(shape),
+            name=name,
+            prop=PropertyKind.CONSTANT,
+        )
+        self.graph.add_constant(tensor, data)
+        return tensor
+
+    def scalar(self, name: str, value: float, dtype: DType = DType.f32):
+        """A 1-element compile-time constant, handy as a binary operand."""
+        return self.constant(
+            name, np.full((1,), value, dtype=dtype.to_numpy())
+        )
+
+    # -- generic op insertion -------------------------------------------------
+
+    def op(
+        self,
+        kind: str,
+        inputs: Sequence[LogicalTensor],
+        attrs: Optional[dict] = None,
+        name: str = "",
+        output_names: Optional[Sequence[str]] = None,
+    ) -> LogicalTensor:
+        """Add an op, inferring its output logical tensors.
+
+        Returns the (single) output tensor; multi-output ops return the
+        first and callers can reach the rest via ``op.outputs``.
+        """
+        attrs = dict(attrs or {})
+        schema = get_schema(kind)
+        specs = [(t.dtype, t.shape) for t in inputs]
+        inferred = schema.infer(specs, attrs)
+        outputs = []
+        for i, (dtype, shape) in enumerate(inferred):
+            out_name = output_names[i] if output_names else ""
+            outputs.append(
+                LogicalTensor(dtype=dtype, shape=shape, name=out_name)
+            )
+        node = Op(
+            kind=kind,
+            inputs=list(inputs),
+            outputs=outputs,
+            attrs=attrs,
+            name=name,
+        )
+        self.graph.add_op(node)
+        return outputs[0]
+
+    # -- sugar for common ops --------------------------------------------------
+
+    def matmul(
+        self,
+        a: LogicalTensor,
+        b: LogicalTensor,
+        transpose_a: bool = False,
+        transpose_b: bool = False,
+    ) -> LogicalTensor:
+        return self.op(
+            "matmul",
+            [a, b],
+            {"transpose_a": transpose_a, "transpose_b": transpose_b},
+        )
+
+    def add(self, a, b):
+        return self.op("add", [a, b])
+
+    def sub(self, a, b):
+        return self.op("sub", [a, b])
+
+    def mul(self, a, b):
+        return self.op("mul", [a, b])
+
+    def div(self, a, b):
+        return self.op("div", [a, b])
+
+    def maximum(self, a, b):
+        return self.op("maximum", [a, b])
+
+    def relu(self, x):
+        return self.op("relu", [x])
+
+    def exp(self, x):
+        return self.op("exp", [x])
+
+    def tanh(self, x):
+        return self.op("tanh", [x])
+
+    def sigmoid(self, x):
+        return self.op("sigmoid", [x])
+
+    def gelu(self, x, approximate: str = "erf"):
+        return self.op("gelu", [x], {"approximate": approximate})
+
+    def silu(self, x):
+        return self.op("silu", [x])
+
+    def softmax(self, x, axis: int = -1):
+        return self.op("softmax", [x], {"axis": axis})
+
+    def bias_add(self, x, bias):
+        return self.op("bias_add", [x, bias])
+
+    def layernorm(self, x, gamma, beta, epsilon: float = 1e-5):
+        return self.op("layernorm", [x, gamma, beta], {"epsilon": epsilon})
+
+    def batchnorm(self, x, gamma, beta, mean, var, epsilon: float = 1e-5):
+        return self.op(
+            "batchnorm_inference",
+            [x, gamma, beta, mean, var],
+            {"epsilon": epsilon},
+        )
+
+    def reduce_sum(self, x, axis=None, keepdims: bool = True):
+        return self.op("reduce_sum", [x], {"axis": axis, "keepdims": keepdims})
+
+    def reduce_max(self, x, axis=None, keepdims: bool = True):
+        return self.op("reduce_max", [x], {"axis": axis, "keepdims": keepdims})
+
+    def transpose(self, x, perm: Sequence[int]):
+        return self.op("transpose", [x], {"perm": tuple(perm)})
+
+    def reshape(self, x, shape: Sequence[int]):
+        return self.op("reshape", [x], {"shape": tuple(shape)})
+
+    def broadcast(self, x, shape: Sequence[int]):
+        return self.op("broadcast", [x], {"shape": tuple(shape)})
+
+    def cast(self, x, dtype: DType):
+        return self.op("cast", [x], {"dtype": dtype})
+
+    def clip(self, x, lo: float, hi: float):
+        return self.op("clip", [x], {"min": lo, "max": hi})
+
+    def reorder(self, x, layout: BlockedLayout):
+        return self.op("reorder", [x], {"layout": layout})
+
+    def quantize(
+        self,
+        x,
+        scale: float,
+        zero_point: int = 0,
+        dtype: DType = DType.s8,
+    ):
+        return self.op(
+            "quantize",
+            [x],
+            {"scale": scale, "zero_point": zero_point, "dtype": dtype},
+        )
+
+    def dequantize(self, x, scale: float, zero_point: int = 0):
+        return self.op(
+            "dequantize", [x], {"scale": scale, "zero_point": zero_point}
+        )
+
+    # -- finalization -----------------------------------------------------------
+
+    def output(self, tensor: LogicalTensor) -> None:
+        self.graph.mark_output(tensor)
+
+    def finish(self, validate: bool = True) -> Graph:
+        if validate:
+            self.graph.validate()
+            self.graph.infer_shapes()
+        return self.graph

@@ -1,0 +1,147 @@
+"""Convolution support: conv2d as an im2col + matmul decomposition.
+
+The paper's compiler ships templates for the compute-intensive primitives
+of its workloads (matmul); convolutions route onto the same machinery by
+lowering NHWC conv2d to an im2col gather followed by a matmul — the weight
+reshape is constant-folded and the matmul reuses the full template stack
+(blocked layouts, fused post-ops, constant-weight preprocessing).
+
+Registered ops:
+
+* ``im2col`` (fusible data movement) — extract sliding-window patches;
+* ``conv2d`` (complex) — decomposed by :class:`DecomposePass`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeInferenceError
+from .builder import GraphBuilder
+from .logical_tensor import LogicalTensor
+from .op import Op, OpCategory
+from .op_registry import OpSchema, Spec, register
+
+
+def _conv_geometry(
+    x_shape: Tuple[int, ...], attrs: Dict[str, Any]
+) -> Tuple[int, int, int, int, int, int, int, int]:
+    if len(x_shape) != 4:
+        raise ShapeInferenceError(
+            f"conv input must be NHWC 4-D, got {x_shape}"
+        )
+    kh, kw = attrs["kernel"]
+    sh, sw = attrs.get("stride", (1, 1))
+    ph, pw = attrs.get("padding", (0, 0))
+    n, h, w, c = x_shape
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeInferenceError(
+            f"conv kernel {kh}x{kw} does not fit input {x_shape} "
+            f"with stride {(sh, sw)} padding {(ph, pw)}"
+        )
+    return n, c, kh, kw, sh, sw, oh, ow
+
+
+def _infer_im2col(specs: Sequence[Spec], attrs: Dict[str, Any]) -> List[Spec]:
+    dtype, shape = specs[0]
+    n, c, kh, kw, _, _, oh, ow = _conv_geometry(shape, attrs)
+    return [(dtype, (n, oh, ow, kh * kw * c))]
+
+
+def _ref_im2col(arrays: Sequence[np.ndarray], attrs: Dict[str, Any]):
+    x = arrays[0]
+    n, c, kh, kw, sh, sw, oh, ow = _conv_geometry(x.shape, attrs)
+    ph, pw = attrs.get("padding", (0, 0))
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+    out = np.zeros((n, oh, ow, kh * kw * c), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            patch = x[:, i : i + sh * oh : sh, j : j + sw * ow : sw, :]
+            out[..., (i * kw + j) * c : (i * kw + j + 1) * c] = patch
+    return [out]
+
+
+register(
+    OpSchema(
+        kind="im2col",
+        category=OpCategory.FUSIBLE,
+        num_inputs=(1, 1),
+        infer=_infer_im2col,
+        reference=_ref_im2col,
+    )
+)
+
+
+def _infer_conv2d(specs: Sequence[Spec], attrs: Dict[str, Any]) -> List[Spec]:
+    (dtype, x_shape), (w_dtype, w_shape) = specs
+    n, c, kh, kw, _, _, oh, ow = _conv_geometry(x_shape, attrs)
+    if len(w_shape) != 4 or w_shape[:3] != (kh, kw, c):
+        raise ShapeInferenceError(
+            f"conv weight must be [{kh}, {kw}, {c}, O], got {w_shape}"
+        )
+    if dtype != w_dtype:
+        raise ShapeInferenceError("conv input/weight dtypes must match")
+    return [(dtype, (n, oh, ow, w_shape[3]))]
+
+
+def _ref_conv2d(arrays: Sequence[np.ndarray], attrs: Dict[str, Any]):
+    x, w = arrays
+    patches = _ref_im2col([x], attrs)[0]
+    n, oh, ow, patch_len = patches.shape
+    out_channels = w.shape[3]
+    flat = patches.reshape(n * oh * ow, patch_len).astype(np.float32)
+    kernel = w.reshape(patch_len, out_channels).astype(np.float32)
+    return [(flat @ kernel).reshape(n, oh, ow, out_channels)]
+
+
+register(
+    OpSchema(
+        kind="conv2d",
+        category=OpCategory.COMPLEX,
+        num_inputs=(2, 2),
+        infer=_infer_conv2d,
+        reference=_ref_conv2d,
+    )
+)
+
+
+def decompose_conv2d(b: GraphBuilder, op: Op) -> LogicalTensor:
+    """conv2d -> im2col + reshape + matmul + reshape.
+
+    The weight reshape is constant when the weight is, so constant folding
+    or the init function absorbs it; the matmul then flows through the
+    normal template pipeline (blocked weight prepacking, post-op fusion).
+    """
+    x, w = op.inputs
+    attrs = dict(op.attrs)
+    n, c, kh, kw, _, _, oh, ow = _conv_geometry(x.shape, attrs)
+    out_channels = w.shape[3]
+    patches = b.op("im2col", [x], attrs)
+    flat = b.reshape(patches, (n * oh * ow, kh * kw * c))
+    kernel = b.reshape(w, (kh * kw * c, out_channels))
+    y = b.matmul(flat, kernel)
+    return b.reshape(y, (n, oh, ow, out_channels))
+
+
+def conv2d(
+    b: GraphBuilder,
+    x: LogicalTensor,
+    w: LogicalTensor,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> LogicalTensor:
+    """Builder sugar for an NHWC conv2d op."""
+    return b.op(
+        "conv2d",
+        [x, w],
+        {
+            "kernel": (w.shape[0], w.shape[1]),
+            "stride": tuple(stride),
+            "padding": tuple(padding),
+        },
+    )

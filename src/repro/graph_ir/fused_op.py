@@ -1,0 +1,207 @@
+"""Fused OP representation: the output of the fusion optimization.
+
+A :class:`FusedMatmul` bundles one Tunable OP (matmul) with the Fusible OPs
+the fine-grain fusion pass attached to its template anchors.  The fusion
+plan — an ordered list of fused ops and standalone ops — is what lowering
+turns into Tensor IR functions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from ..errors import LoweringError
+from ..templates.anchors import Anchor
+from ..templates.params import MatmulParams
+from .logical_tensor import LogicalTensor
+from .op import Op
+from .op_registry import get_schema
+
+
+class OperandMode(enum.Enum):
+    """How a matmul operand reaches the template.
+
+    * ``BLOCKED`` — the physical buffer is already in the template's blocked
+      layout (layout propagation arranged it, or the init function
+      preprocessed a constant weight).
+    * ``PACK_FULL`` — plain input packed to a blocked temporary before the
+      main loop nest (the reorder is still inside this fused op).
+    * ``PACK_SLICE`` — plain input packed slice-by-slice at pre-op anchor #4
+      (the fine-grain fused reorder of the paper's Figure 4).
+    """
+
+    BLOCKED = "blocked"
+    PACK_FULL = "pack_full"
+    PACK_SLICE = "pack_slice"
+
+
+@dataclass
+class FusedMatmul:
+    """One Fused OP: a matmul plus fused pre-ops and post-ops.
+
+    ``post_ops`` is a topologically ordered list of fusible basic ops whose
+    dataflow starts at the matmul output; inputs of each post-op are either
+    earlier chain values (internal) or external tensors (bias, mask, ...).
+    """
+
+    name: str
+    matmul: Op
+    params: MatmulParams
+    post_ops: List[Op] = field(default_factory=list)
+    a_mode: OperandMode = OperandMode.PACK_FULL
+    b_mode: OperandMode = OperandMode.BLOCKED
+    #: Anchor assignment per fused post-op group / pre-op, for reporting and
+    #: the performance model.
+    anchors: Dict[str, Anchor] = field(default_factory=dict)
+    #: Coarse-grain fusion tag: fused ops sharing a tag merge outer loops.
+    merge_tag: Optional[str] = None
+
+    # -- derived structure -----------------------------------------------------
+
+    @property
+    def a(self) -> LogicalTensor:
+        return self.matmul.inputs[0]
+
+    @property
+    def b(self) -> LogicalTensor:
+        return self.matmul.inputs[1]
+
+    @property
+    def transpose_a(self) -> bool:
+        return bool(self.matmul.attr("transpose_a", False))
+
+    @property
+    def transpose_b(self) -> bool:
+        return bool(self.matmul.attr("transpose_b", False))
+
+    @property
+    def output(self) -> LogicalTensor:
+        """The tensor this fused op ultimately produces."""
+        if self.post_ops:
+            return self.post_ops[-1].outputs[0]
+        return self.matmul.outputs[0]
+
+    def internal_tensor_ids(self) -> Set[int]:
+        """Ids of values produced inside the fused region."""
+        ids = {self.matmul.outputs[0].id}
+        for op in self.post_ops:
+            for out in op.outputs:
+                ids.add(out.id)
+        return ids
+
+    def external_inputs(self) -> List[LogicalTensor]:
+        """External tensors the fused op reads: A, B, then post-op operands."""
+        internal = self.internal_tensor_ids()
+        seen = {self.a.id, self.b.id}
+        result = [self.a, self.b]
+        for op in self.post_ops:
+            for tensor in op.inputs:
+                if tensor.id in internal or tensor.id in seen:
+                    continue
+                seen.add(tensor.id)
+                result.append(tensor)
+        return result
+
+    @property
+    def reduction_ops(self) -> List[Op]:
+        return [
+            op for op in self.post_ops if get_schema(op.kind).is_reduction
+        ]
+
+    @property
+    def has_n_reduction(self) -> bool:
+        """True when a fused post-op reduces along the n (last) dimension."""
+        for op in self.reduction_ops:
+            axis = op.attr("axis")
+            ndims = op.inputs[0].ndims
+            axes = (
+                tuple(range(ndims))
+                if axis is None
+                else ((axis,) if isinstance(axis, int) else tuple(axis))
+            )
+            if any(a % ndims == ndims - 1 for a in axes):
+                return True
+        return False
+
+    def reduction_split_index(self) -> int:
+        """Index of the first post-op that is, or depends on, a reduction.
+
+        Post-ops before the index form the element-wise group inserted at
+        post-op anchor #1; the rest (the reduction and its dependents) are
+        processed at row level, mirroring the paper's two-group split.
+        Returns ``len(post_ops)`` when there is no reduction.
+        """
+        tainted: Set[int] = set()
+        split = len(self.post_ops)
+        for i, op in enumerate(self.post_ops):
+            is_red = get_schema(op.kind).is_reduction
+            uses_tainted = any(t.id in tainted for t in op.inputs)
+            if is_red or uses_tainted:
+                split = min(split, i)
+                for out in op.outputs:
+                    tainted.add(out.id)
+        # Everything after the first tainted op must also be in group 2;
+        # fusion only builds plans where the groups are contiguous.
+        for i, op in enumerate(self.post_ops[split:], start=split):
+            is_red = get_schema(op.kind).is_reduction
+            uses_tainted = any(t.id in tainted for t in op.inputs)
+            if not (is_red or uses_tainted):
+                raise LoweringError(
+                    f"fused op {self.name}: post-op {op.name} is independent "
+                    f"of the reduction but ordered after it"
+                )
+            for out in op.outputs:
+                tainted.add(out.id)
+        return split
+
+    def evaluate_reference(
+        self, inputs: Dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Oracle: run the fused region op-by-op with reference kernels."""
+        env = dict(inputs)
+        for op in [self.matmul] + self.post_ops:
+            args = []
+            for tensor in op.inputs:
+                if tensor.id not in env:
+                    raise LoweringError(
+                        f"fused op {self.name}: missing input {tensor.name}"
+                    )
+                args.append(env[tensor.id])
+            results = get_schema(op.kind).reference(args, op.attrs)
+            for out, val in zip(op.outputs, results):
+                env[out.id] = np.asarray(val, dtype=out.dtype.to_numpy())
+        return env[self.output.id]
+
+
+@dataclass
+class StandaloneOp:
+    """A graph op that did not fuse into any Tunable OP.
+
+    Lowered as its own simple loop nest (element-wise/reduction/reorder over
+    row slices).
+    """
+
+    name: str
+    op: Op
+
+
+FusionItem = Union[FusedMatmul, StandaloneOp]
+
+
+@dataclass
+class FusionPlan:
+    """The ordered execution plan the fusion passes produce."""
+
+    items: List[FusionItem] = field(default_factory=list)
+
+    @property
+    def fused_matmuls(self) -> List[FusedMatmul]:
+        return [i for i in self.items if isinstance(i, FusedMatmul)]
+
+    @property
+    def standalone_ops(self) -> List[StandaloneOp]:
+        return [i for i in self.items if isinstance(i, StandaloneOp)]

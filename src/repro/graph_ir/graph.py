@@ -1,0 +1,227 @@
+"""The Graph IR graph: a DAG of ops over logical tensors.
+
+The graph owns value semantics (each logical tensor has at most one producer)
+and provides the mutation utilities the optimization passes rely on:
+use-replacement, op removal, topological ordering and validation.
+
+Compile-time constant *data* (e.g. weights available at compile time) is
+attached via :attr:`Graph.constants`; tensors whose data arrives only at
+runtime but never changes are flagged ``PropertyKind.CONSTANT`` and handled
+by constant-weight preprocessing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import GraphValidationError
+from .logical_tensor import LogicalTensor, PropertyKind
+from .op import Op
+
+
+class Graph:
+    """A computation graph: ops, logical tensors, inputs and outputs."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.ops: List[Op] = []
+        self.inputs: List[LogicalTensor] = []
+        self.outputs: List[LogicalTensor] = []
+        #: Compile-time constant data, keyed by logical tensor id.
+        self.constants: Dict[int, np.ndarray] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_input(self, tensor: LogicalTensor) -> LogicalTensor:
+        if any(t.id == tensor.id for t in self.inputs):
+            raise GraphValidationError(f"input {tensor.name} added twice")
+        self.inputs.append(tensor)
+        return tensor
+
+    def add_constant(
+        self, tensor: LogicalTensor, data: Optional[np.ndarray] = None
+    ) -> LogicalTensor:
+        """Add a constant input; ``data`` binds compile-time values."""
+        tensor.prop = PropertyKind.CONSTANT
+        self.add_input(tensor)
+        if data is not None:
+            self.bind_constant(tensor, data)
+        return tensor
+
+    def bind_constant(self, tensor: LogicalTensor, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=tensor.dtype.to_numpy())
+        if tuple(data.shape) != tensor.shape:
+            raise GraphValidationError(
+                f"constant data shape {data.shape} does not match tensor "
+                f"{tensor.name} shape {tensor.shape}"
+            )
+        self.constants[tensor.id] = data
+
+    def add_op(self, op: Op) -> Op:
+        self.ops.append(op)
+        return op
+
+    def mark_output(self, tensor: LogicalTensor) -> None:
+        self.outputs.append(tensor)
+
+    # -- queries ------------------------------------------------------------
+
+    def producer(self, tensor: LogicalTensor) -> Optional[Op]:
+        """The op producing ``tensor``, or None for graph inputs."""
+        for op in self.ops:
+            if any(out.id == tensor.id for out in op.outputs):
+                return op
+        return None
+
+    def consumers(self, tensor: LogicalTensor) -> List[Op]:
+        """All ops consuming ``tensor``, in graph order."""
+        return [
+            op
+            for op in self.ops
+            if any(inp.id == tensor.id for inp in op.inputs)
+        ]
+
+    def producer_map(self) -> Dict[int, Op]:
+        """tensor id -> producing op, for every op output."""
+        result: Dict[int, Op] = {}
+        for op in self.ops:
+            for out in op.outputs:
+                if out.id in result:
+                    raise GraphValidationError(
+                        f"tensor {out.name} produced by both "
+                        f"{result[out.id].name} and {op.name}"
+                    )
+                result[out.id] = op
+        return result
+
+    def consumer_map(self) -> Dict[int, List[Op]]:
+        result: Dict[int, List[Op]] = {}
+        for op in self.ops:
+            for inp in op.inputs:
+                result.setdefault(inp.id, []).append(op)
+        return result
+
+    def all_tensors(self) -> List[LogicalTensor]:
+        """Every distinct logical tensor referenced by the graph."""
+        seen: Dict[int, LogicalTensor] = {}
+        for t in self.inputs:
+            seen.setdefault(t.id, t)
+        for op in self.ops:
+            for t in list(op.inputs) + list(op.outputs):
+                seen.setdefault(t.id, t)
+        return list(seen.values())
+
+    def is_input(self, tensor: LogicalTensor) -> bool:
+        return any(t.id == tensor.id for t in self.inputs)
+
+    def is_output(self, tensor: LogicalTensor) -> bool:
+        return any(t.id == tensor.id for t in self.outputs)
+
+    # -- mutation helpers for passes ----------------------------------------
+
+    def replace_uses(
+        self,
+        old: LogicalTensor,
+        new: LogicalTensor,
+        in_outputs: bool = True,
+    ) -> None:
+        """Redirect every consumer (and optionally graph outputs) of ``old``."""
+        for op in self.ops:
+            op.inputs = [new if t.id == old.id else t for t in op.inputs]
+        if in_outputs:
+            self.outputs = [new if t.id == old.id else t for t in self.outputs]
+
+    def remove_op(self, op: Op) -> None:
+        self.ops.remove(op)
+
+    def remove_ops(self, ops: Iterable[Op]) -> None:
+        doomed = {op.id for op in ops}
+        self.ops = [op for op in self.ops if op.id not in doomed]
+
+    # -- ordering and validation --------------------------------------------
+
+    def topological_order(self) -> List[Op]:
+        """Ops sorted so producers precede consumers.
+
+        Raises:
+            GraphValidationError: if the graph contains a cycle.
+        """
+        producers = self.producer_map()
+        indegree: Dict[int, int] = {}
+        dependents: Dict[int, List[Op]] = {}
+        for op in self.ops:
+            count = 0
+            for inp in op.inputs:
+                dep = producers.get(inp.id)
+                if dep is not None and dep.id != op.id:
+                    count += 1
+                    dependents.setdefault(dep.id, []).append(op)
+            indegree[op.id] = count
+        ready = [op for op in self.ops if indegree[op.id] == 0]
+        order: List[Op] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for succ in dependents.get(op.id, []):
+                indegree[succ.id] -= 1
+                if indegree[succ.id] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.ops):
+            cyclic = [op.name for op in self.ops if indegree[op.id] > 0]
+            raise GraphValidationError(f"graph has a cycle through {cyclic}")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises GraphValidationError."""
+        from .op_registry import get_schema  # local import to avoid a cycle
+
+        producers = self.producer_map()
+        input_ids: Set[int] = {t.id for t in self.inputs}
+        for op in self.ops:
+            schema = get_schema(op.kind)
+            lo, hi = schema.num_inputs
+            if not lo <= len(op.inputs) <= hi:
+                raise GraphValidationError(
+                    f"op {op.name} has {len(op.inputs)} inputs, expected "
+                    f"between {lo} and {hi}"
+                )
+            for inp in op.inputs:
+                if inp.id not in producers and inp.id not in input_ids:
+                    raise GraphValidationError(
+                        f"op {op.name} consumes dangling tensor {inp.name}"
+                    )
+        for out in self.outputs:
+            if out.id not in producers and out.id not in input_ids:
+                raise GraphValidationError(
+                    f"graph output {out.name} is produced by no op"
+                )
+        self.topological_order()  # raises on cycles
+
+    def infer_shapes(self) -> None:
+        """Re-run shape/dtype inference over the graph, checking consistency."""
+        from .op_registry import get_schema
+
+        for op in self.topological_order():
+            schema = get_schema(op.kind)
+            specs = [(t.dtype, t.shape) for t in op.inputs]
+            inferred = schema.infer(specs, op.attrs)
+            if len(inferred) != len(op.outputs):
+                raise GraphValidationError(
+                    f"op {op.name} declares {len(op.outputs)} outputs but "
+                    f"inference produced {len(inferred)}"
+                )
+            for out, (dtype, shape) in zip(op.outputs, inferred):
+                if out.dtype != dtype or out.shape != shape:
+                    raise GraphValidationError(
+                        f"op {op.name} output {out.name} is "
+                        f"{out.dtype.value}{list(out.shape)} but inference "
+                        f"says {dtype.value}{list(shape)}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph({self.name}: {len(self.ops)} ops, "
+            f"{len(self.inputs)} inputs, {len(self.outputs)} outputs)"
+        )

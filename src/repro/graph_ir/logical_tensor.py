@@ -1,0 +1,111 @@
+"""Logical tensors: the values flowing along Graph IR edges.
+
+A logical tensor carries metadata only (dtype, static shape, layout and the
+constness property used by constant-weight preprocessing); actual data lives
+in runtime buffers.  Each logical tensor has a unique id within its graph and
+is produced by at most one op (SSA-like value semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..dtypes import DType
+from ..errors import ShapeInferenceError
+from .layout import BlockedLayout, plain
+
+
+class PropertyKind(enum.Enum):
+    """Constness property of a logical tensor.
+
+    ``CONSTANT`` marks tensors whose buffer never changes after the first
+    execution (weights, quantization params in static-quantization
+    inference).  The constant-weight preprocessing pass propagates this
+    property through the graph, exactly as described in the paper: "If a DNN
+    op's inputs are runtime constant or compile-time constant, the output
+    tensor is runtime constant as well."
+    """
+
+    VARIABLE = "variable"
+    CONSTANT = "constant"
+
+
+_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class LogicalTensor:
+    """Metadata describing one tensor value in a graph.
+
+    Attributes:
+        dtype: Element data type.
+        shape: Static shape (the paper optimizes for static shapes).
+        layout: Memory layout; defaults to plain row-major.
+        property: Constness property (see :class:`PropertyKind`).
+        name: Optional human-readable name used by the printer.
+    """
+
+    dtype: DType
+    shape: Tuple[int, ...]
+    layout: Optional[BlockedLayout] = None
+    prop: PropertyKind = PropertyKind.VARIABLE
+    name: str = ""
+    id: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(s) for s in self.shape)
+        for dim in self.shape:
+            if dim <= 0:
+                raise ShapeInferenceError(
+                    f"tensor {self.name or self.id} has non-positive dim "
+                    f"in shape {self.shape}"
+                )
+        if self.layout is None:
+            self.layout = plain(len(self.shape))
+        if self.layout.ndims != len(self.shape):
+            raise ShapeInferenceError(
+                f"layout rank {self.layout.ndims} does not match shape "
+                f"{self.shape}"
+            )
+        if not self.name:
+            self.name = f"t{self.id}"
+
+    @property
+    def ndims(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        result = 1
+        for dim in self.shape:
+            result *= dim
+        return result
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of the physical buffer (layout padding included)."""
+        return self.layout.num_elements(self.shape) * self.dtype.size
+
+    @property
+    def is_constant(self) -> bool:
+        return self.prop is PropertyKind.CONSTANT
+
+    def with_layout(self, layout: BlockedLayout) -> "LogicalTensor":
+        """A fresh logical tensor identical to this one but relaid-out."""
+        return LogicalTensor(
+            dtype=self.dtype,
+            shape=self.shape,
+            layout=layout,
+            prop=self.prop,
+            name=f"{self.name}_reord",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        const = " const" if self.is_constant else ""
+        return (
+            f"LogicalTensor({self.name}: {self.dtype.value}"
+            f"{list(self.shape)} {self.layout.tag()}{const})"
+        )

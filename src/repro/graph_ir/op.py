@@ -1,0 +1,72 @@
+"""Graph IR ops.
+
+An op has a *kind* (``"matmul"``, ``"relu"``, ...), a *category* and an
+attribute dictionary.  Categories follow the paper:
+
+* ``TUNABLE`` — compute-intensive ops lowered by instantiating an
+  expert-developed template with heuristic-chosen parameters (matmul).
+* ``FUSIBLE`` — ops that can be fused into a tunable op's anchors
+  (element-wise, broadcast, reduction, data movement).
+* ``COMPLEX`` — framework-level ops decomposed into basic ops before any
+  other optimization runs (softmax, gelu, quantize, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from .logical_tensor import LogicalTensor
+
+
+class OpCategory(enum.Enum):
+    TUNABLE = "tunable"
+    FUSIBLE = "fusible"
+    COMPLEX = "complex"
+    # Fused ops are produced by the fusion passes; they wrap a subgraph.
+    FUSED = "fused"
+
+
+_ids = itertools.count()
+
+
+@dataclass(eq=False)
+class Op:
+    """One node of the computation graph.
+
+    Attributes:
+        kind: Op kind name, resolved against the op registry.
+        inputs: Input logical tensors, in positional order.
+        outputs: Output logical tensors produced by this op.
+        attrs: Kind-specific attributes (e.g. ``axis`` for reductions,
+            ``scale``/``zero_point`` for quantize ops).
+        name: Optional label used by the printer.
+    """
+
+    kind: str
+    inputs: List[LogicalTensor] = field(default_factory=list)
+    outputs: List[LogicalTensor] = field(default_factory=list)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+    id: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{self.kind}_{self.id}"
+
+    @property
+    def output(self) -> LogicalTensor:
+        """The single output (raises if the op has several)."""
+        if len(self.outputs) != 1:
+            raise ValueError(f"op {self.name} has {len(self.outputs)} outputs")
+        return self.outputs[0]
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(t.name for t in self.inputs)
+        outs = ", ".join(t.name for t in self.outputs)
+        return f"Op({self.name}: ({ins}) -> ({outs}))"

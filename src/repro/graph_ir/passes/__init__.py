@@ -1,0 +1,21 @@
+"""Graph IR optimization passes.
+
+The pipeline (mirroring the paper's Figure 5 and the Graph IR optimization
+section):
+
+1. :mod:`low_precision` — rewrite dequantize/matmul/quantize islands into
+   int8 matmuls with weight compensation.
+2. :mod:`decompose` — break complex DNN ops (softmax, gelu, quantize, ...)
+   into basic Tunable/Fusible ops.
+3. :mod:`constant_fold`, :mod:`cse`, :mod:`dce` — classic cleanups.
+4. :mod:`layout_propagation` — per-matmul template parameter selection and
+   blocked-layout negotiation, inserting reorders at graph boundaries.
+5. :mod:`constant_weight` — runtime-constant marking and init-graph split.
+6. :mod:`fine_grain_fusion` — grow post-op regions onto tunable ops.
+7. :mod:`coarse_grain_fusion` — tag fused ops whose outer loops merge.
+"""
+
+from .pass_base import CompileContext, GraphPass
+from .pass_manager import PassManager, default_pipeline
+
+__all__ = ["CompileContext", "GraphPass", "PassManager", "default_pipeline"]

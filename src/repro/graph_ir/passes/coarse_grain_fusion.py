@@ -1,0 +1,89 @@
+"""Coarse-grain fusion: merge the outer parallel loops of fused ops.
+
+Consecutive fused matmuls whose outermost parallel decomposition matches are
+given a shared merge tag.  Lowering emits the tag on each one's outermost
+parallel loop; the Tensor IR loop-merge pass then mechanically inlines the
+functions and merges the loops — exactly the division of labor the paper
+describes ("Graph IR marks the two nested loops as mergeable ... Tensor IR
+merges two nested loops mechanically").
+
+Merging is legal when
+
+* batched ops share identical batch dims (each batch element's work is
+  independent, so concatenating per-batch bodies preserves order), or
+* un-batched ops share the same M, the same MPN split and a row-chunk
+  dependency (the consumer's A rows for iteration ``mpi`` are exactly the
+  producer's C rows for ``mpi``, which the merged body computes first).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..fused_op import FusedMatmul, FusionPlan, StandaloneOp
+from ..graph import Graph
+from .pass_base import CompileContext, GraphPass
+
+
+class CoarseGrainFusionPass(GraphPass):
+    name = "coarse_grain_fusion"
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        if not self.enabled or ctx.fusion_plan is None:
+            return graph
+        plan = ctx.fusion_plan
+        group_index = 0
+        current: List[FusedMatmul] = []
+
+        def close_group() -> None:
+            nonlocal group_index, current
+            if len(current) >= 2:
+                tag = f"cg{group_index}"
+                group_index += 1
+                for fused in current:
+                    fused.merge_tag = tag
+                ctx.note(
+                    f"coarse_fusion: merged "
+                    f"{[f.name for f in current]} under tag {tag}"
+                )
+            current = []
+
+        for item in plan.items:
+            if not isinstance(item, FusedMatmul):
+                close_group()
+                continue
+            if current and _mergeable(current[-1], item):
+                current.append(item)
+            else:
+                close_group()
+                current = [item]
+        close_group()
+        return graph
+
+
+def _mergeable(prev: FusedMatmul, cur: FusedMatmul) -> bool:
+    prev_batch = prev.matmul.outputs[0].shape[:-2]
+    cur_batch = cur.matmul.outputs[0].shape[:-2]
+    if prev.params.kind is not cur.params.kind:
+        return False
+    if prev.params.kind.value != "cache_resident":
+        return False
+    if prev_batch or cur_batch:
+        # Batched: merge iff batch grids are identical.
+        return prev_batch == cur_batch
+    # Un-batched: the merged loop is the mpi loop; the m split must agree.
+    if prev.params.mpn != cur.params.mpn:
+        return False
+    if prev.params.m != cur.params.m:
+        return False
+    # Dependency: either independent, or a row-chunk chain through A.
+    if cur.a.id == prev.output.id:
+        return True
+    cur_inputs = {t.id for t in cur.external_inputs()}
+    prev_values = {prev.output.id}
+    # Any other dependency pattern (e.g. through B or a post-op operand)
+    # would need the producer's full output before the consumer starts.
+    return not (prev_values & cur_inputs)

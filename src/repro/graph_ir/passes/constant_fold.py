@@ -1,0 +1,49 @@
+"""Compile-time constant folding.
+
+Ops whose inputs are all compile-time constants (data bound on the graph)
+are evaluated with the reference kernels and replaced by constant inputs.
+A size limit prevents folding from materializing huge tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..logical_tensor import PropertyKind
+from ..op_registry import get_schema
+from .pass_base import CompileContext, GraphPass
+
+#: Do not fold results larger than this many elements.
+MAX_FOLDED_ELEMENTS = 1 << 24
+
+
+class ConstantFoldPass(GraphPass):
+    name = "constant_fold"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        changed = True
+        while changed:
+            changed = False
+            for op in graph.topological_order():
+                if not all(t.id in graph.constants for t in op.inputs):
+                    continue
+                if any(
+                    out.num_elements > MAX_FOLDED_ELEMENTS
+                    for out in op.outputs
+                ):
+                    continue
+                schema = get_schema(op.kind)
+                args = [graph.constants[t.id] for t in op.inputs]
+                results = schema.reference(args, op.attrs)
+                graph.remove_op(op)
+                for out, value in zip(op.outputs, results):
+                    out.prop = PropertyKind.CONSTANT
+                    graph.add_input(out)
+                    graph.bind_constant(
+                        out, np.asarray(value, dtype=out.dtype.to_numpy())
+                    )
+                ctx.note(f"constant_fold: folded {op.name}")
+                changed = True
+                break
+        return graph

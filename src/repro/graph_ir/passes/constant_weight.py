@@ -1,0 +1,138 @@
+"""Constant-weight preprocessing.
+
+Weights (and quantization parameters) are *runtime constants* in the static
+quantization inference scenario: their buffers arrive at the first execution
+and never change.  This pass
+
+1. propagates the CONSTANT property: an op whose inputs are all constant
+   produces constant outputs, and
+2. splits the ops computing runtime constants into a separate *init graph*
+   that the compiled partition runs exactly once, caching the results —
+   weight reorders to blocked layouts and int8 weight compensation both land
+   here, matching the paper's ``const_weight_comp`` and pre-packed weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ...errors import GraphValidationError
+from ..graph import Graph
+from ..logical_tensor import PropertyKind
+from .pass_base import CompileContext, GraphPass
+
+
+class MarkRuntimeConstantsPass(GraphPass):
+    """Propagates the CONSTANT property through the graph."""
+
+    name = "mark_runtime_constants"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        for op in graph.topological_order():
+            if op.inputs and all(t.is_constant for t in op.inputs):
+                for out in op.outputs:
+                    out.prop = PropertyKind.CONSTANT
+        return graph
+
+
+class SplitInitGraphPass(GraphPass):
+    """Moves constant-producing ops into ``ctx.init_graph``.
+
+    The boundary tensors (constants consumed by non-constant ops or graph
+    outputs) become outputs of the init graph and constant inputs of the
+    main graph; the runtime caches their buffers after the first run.
+    """
+
+    name = "split_init_graph"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        MarkRuntimeConstantsPass().run(graph, ctx)
+        const_ops = [
+            op
+            for op in graph.ops
+            if op.inputs and all(t.is_constant for t in op.inputs)
+        ]
+        if not const_ops:
+            ctx.init_graph = None
+            return graph
+        const_op_ids = {op.id for op in const_ops}
+        # Boundary: constant tensors produced in the init set and consumed by
+        # main ops or graph outputs.
+        consumers = graph.consumer_map()
+        output_ids = {t.id for t in graph.outputs}
+        boundary = []
+        for op in const_ops:
+            for out in op.outputs:
+                escapes = out.id in output_ids or any(
+                    user.id not in const_op_ids
+                    for user in consumers.get(out.id, [])
+                )
+                if escapes:
+                    boundary.append(out)
+        if any(t.id in output_ids for t in boundary):
+            # A fully constant graph output would leave the main graph
+            # empty of its producer; keep such ops in the main graph.
+            kept = set()
+            for op in const_ops:
+                if any(out.id in output_ids for out in op.outputs):
+                    kept.add(op.id)
+            const_ops = [op for op in const_ops if op.id not in kept]
+            const_op_ids = {op.id for op in const_ops}
+            boundary = [
+                t
+                for t in boundary
+                if t.id not in output_ids
+                and any(
+                    user.id not in const_op_ids
+                    for user in consumers.get(t.id, [])
+                )
+            ]
+        if not const_ops:
+            ctx.init_graph = None
+            return graph
+
+        init = Graph(f"{graph.name}_init")
+        init.ops = list(const_ops)
+        # Init inputs: constant graph inputs used by init ops.
+        init_producer_ids = set()
+        for op in const_ops:
+            for out in op.outputs:
+                init_producer_ids.add(out.id)
+        needed: Set[int] = set()
+        for op in const_ops:
+            for t in op.inputs:
+                if t.id not in init_producer_ids:
+                    needed.add(t.id)
+        for tensor in graph.inputs:
+            if tensor.id in needed:
+                init.add_input(tensor)
+                if tensor.id in graph.constants:
+                    init.bind_constant(tensor, graph.constants[tensor.id])
+        for tensor in boundary:
+            init.mark_output(tensor)
+        init.validate()
+
+        # Main graph: drop init ops; boundary tensors become constant inputs.
+        graph.remove_ops(const_ops)
+        for tensor in boundary:
+            tensor.prop = PropertyKind.CONSTANT
+            graph.add_input(tensor)
+        # Constant inputs only used by init ops leave the main graph.
+        still_used: Set[int] = set()
+        for op in graph.ops:
+            still_used.update(t.id for t in op.inputs)
+        still_used.update(t.id for t in graph.outputs)
+        removed_inputs = [
+            t
+            for t in graph.inputs
+            if t.is_constant
+            and t.id not in still_used
+        ]
+        graph.inputs = [t for t in graph.inputs if t not in removed_inputs]
+        graph.validate()
+        ctx.init_graph = init
+        ctx.note(
+            f"constant_weight: moved {len(const_ops)} ops to init graph "
+            f"({len(boundary)} cached tensors)"
+        )
+        return graph

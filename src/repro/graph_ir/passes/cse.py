@@ -1,0 +1,43 @@
+"""Common subexpression elimination over Graph IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph import Graph
+from .pass_base import CompileContext, GraphPass
+
+
+def _attr_key(value) -> str:
+    if hasattr(value, "tag"):  # BlockedLayout
+        return value.tag()
+    return repr(value)
+
+
+def _op_key(op) -> Tuple:
+    attrs = tuple(sorted((k, _attr_key(v)) for k, v in op.attrs.items()))
+    return (op.kind, tuple(t.id for t in op.inputs), attrs)
+
+
+class CsePass(GraphPass):
+    """Deduplicates structurally identical ops with identical inputs."""
+
+    name = "cse"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        changed = True
+        while changed:
+            changed = False
+            seen: Dict[Tuple, object] = {}
+            for op in graph.topological_order():
+                key = _op_key(op)
+                if key in seen:
+                    survivor = seen[key]
+                    for old, new in zip(op.outputs, survivor.outputs):
+                        graph.replace_uses(old, new)
+                    graph.remove_op(op)
+                    ctx.note(f"cse: merged {op.name} into {survivor.name}")
+                    changed = True
+                    break
+                seen[key] = op
+        return graph

@@ -1,0 +1,40 @@
+"""Dead code elimination over Graph IR."""
+
+from __future__ import annotations
+
+from ..graph import Graph
+from .pass_base import CompileContext, GraphPass
+
+
+class DcePass(GraphPass):
+    """Removes ops none of whose outputs reach a graph output."""
+
+    name = "dce"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        changed = True
+        while changed:
+            changed = False
+            consumers = graph.consumer_map()
+            output_ids = {t.id for t in graph.outputs}
+            for op in list(graph.ops):
+                live = any(
+                    out.id in output_ids or consumers.get(out.id)
+                    for out in op.outputs
+                )
+                if not live:
+                    graph.remove_op(op)
+                    ctx.note(f"dce: removed {op.name}")
+                    changed = True
+        # Drop constant inputs (and their data) that nothing references.
+        used = set()
+        for op in graph.ops:
+            used.update(t.id for t in op.inputs)
+        used.update(t.id for t in graph.outputs)
+        graph.inputs = [
+            t for t in graph.inputs if not t.is_constant or t.id in used
+        ]
+        for tensor_id in list(graph.constants):
+            if tensor_id not in used:
+                del graph.constants[tensor_id]
+        return graph

@@ -1,0 +1,180 @@
+"""Complex-op decomposition.
+
+DL frameworks introduce complex ops (softmax, gelu, batchnorm, quantize,
+...) for programmability; the compiler decomposes them into *basic* DNN ops
+— element-wise, broadcast, reduction and data-movement Fusible OPs plus
+Tunable OPs — so later passes only deal with basic ops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ...dtypes import DType
+from ..builder import GraphBuilder
+from ..graph import Graph
+from ..logical_tensor import LogicalTensor, PropertyKind
+from ..op import Op
+from .pass_base import CompileContext, GraphPass
+
+
+class DecomposePass(GraphPass):
+    """Rewrites complex ops into subgraphs of basic ops.
+
+    ``only`` restricts decomposition to a subset of kinds — the baseline
+    primitives library uses this to decompose quantize/dequantize (so the
+    requant chains become fusible post-ops) while keeping softmax and gelu
+    as monolithic primitives, exactly as oneDNN does.
+    """
+
+    name = "decompose"
+
+    def __init__(self, only=None) -> None:
+        self.only = set(only) if only is not None else None
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(graph.ops):
+                if self.only is not None and op.kind not in self.only:
+                    continue
+                handler = _DECOMPOSERS.get(op.kind)
+                if handler is None:
+                    continue
+                _Rewriter(graph, op, handler).apply()
+                ctx.note(f"decompose: expanded {op.name} ({op.kind})")
+                changed = True
+        return graph
+
+
+class _Rewriter:
+    """Replaces one complex op with ops built through a mini-builder."""
+
+    def __init__(self, graph: Graph, op: Op, handler: Callable) -> None:
+        self.graph = graph
+        self.op = op
+        self.handler = handler
+        self.builder = GraphBuilder(graph.name)
+        # Route new ops/constants into the original graph.
+        self.builder.graph = graph
+
+    def apply(self) -> None:
+        graph, op = self.graph, self.op
+        position = graph.ops.index(op)
+        graph.ops.remove(op)
+        before = len(graph.ops)
+        result = self.handler(self.builder, op)
+        # Keep topological neighborhood: newly appended ops move to the
+        # original op's position so a later op-order scan stays in order.
+        new_ops = graph.ops[before:]
+        del graph.ops[before:]
+        graph.ops[position:position] = new_ops
+        graph.replace_uses(op.outputs[0], result)
+
+
+def _const_scalar(b: GraphBuilder, name: str, value: float) -> LogicalTensor:
+    return b.constant(
+        f"{name}_{len(b.graph.inputs)}",
+        np.full((1,), value, dtype=np.float32),
+    )
+
+
+def _softmax(b: GraphBuilder, op: Op) -> LogicalTensor:
+    (x,) = op.inputs
+    axis = op.attr("axis", -1)
+    m = b.reduce_max(x, axis=axis)
+    shifted = b.sub(x, m)
+    e = b.exp(shifted)
+    s = b.reduce_sum(e, axis=axis)
+    return b.div(e, s)
+
+
+def _gelu(b: GraphBuilder, op: Op) -> LogicalTensor:
+    (x,) = op.inputs
+    if op.attr("approximate", "erf") == "tanh":
+        # 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+        x3 = b.mul(b.mul(x, x), x)
+        inner = b.add(x, b.mul(x3, _const_scalar(b, "c0", 0.044715)))
+        t = b.tanh(b.mul(inner, _const_scalar(b, "c1", math.sqrt(2.0 / math.pi))))
+        one = _const_scalar(b, "one", 1.0)
+        return b.mul(b.mul(x, b.add(t, one)), _const_scalar(b, "half", 0.5))
+    scaled = b.div(x, _const_scalar(b, "sqrt2", math.sqrt(2.0)))
+    erf = b.op("erf", [scaled])
+    one = _const_scalar(b, "one", 1.0)
+    return b.mul(b.mul(x, b.add(erf, one)), _const_scalar(b, "half", 0.5))
+
+
+def _silu(b: GraphBuilder, op: Op) -> LogicalTensor:
+    (x,) = op.inputs
+    return b.mul(x, b.sigmoid(x))
+
+
+def _bias_add(b: GraphBuilder, op: Op) -> LogicalTensor:
+    x, bias = op.inputs
+    return b.add(x, bias)
+
+
+def _batchnorm(b: GraphBuilder, op: Op) -> LogicalTensor:
+    x, gamma, beta, mean, var = op.inputs
+    eps = _const_scalar(b, "eps", op.attr("epsilon", 1e-5))
+    inv = b.op("rsqrt", [b.add(var, eps)])
+    scale = b.mul(gamma, inv)
+    shift = b.sub(beta, b.mul(mean, scale))
+    return b.add(b.mul(x, scale), shift)
+
+
+def _layernorm(b: GraphBuilder, op: Op) -> LogicalTensor:
+    x, gamma, beta = op.inputs
+    eps = _const_scalar(b, "eps", op.attr("epsilon", 1e-5))
+    mean = b.op("reduce_mean", [x], {"axis": -1, "keepdims": True})
+    d = b.sub(x, mean)
+    var = b.op("reduce_mean", [b.mul(d, d)], {"axis": -1, "keepdims": True})
+    inv = b.op("rsqrt", [b.add(var, eps)])
+    return b.add(b.mul(b.mul(d, inv), gamma), beta)
+
+
+def _quantize(b: GraphBuilder, op: Op) -> LogicalTensor:
+    (x,) = op.inputs
+    dtype: DType = op.attr("dtype", DType.s8)
+    info = np.iinfo(dtype.to_numpy())
+    scaled = b.div(x, _const_scalar(b, "scale", op.attr("scale")))
+    # Round *before* adding the zero point: rint uses round-half-to-even,
+    # so rint(x) + zp and rint(x + zp) differ on ties.
+    rounded = b.op("round", [scaled])
+    zp = op.attr("zero_point", 0)
+    if zp:
+        rounded = b.add(rounded, _const_scalar(b, "zp", float(zp)))
+    clipped = b.clip(rounded, float(info.min), float(info.max))
+    return b.cast(clipped, dtype)
+
+
+def _dequantize(b: GraphBuilder, op: Op) -> LogicalTensor:
+    (x,) = op.inputs
+    f = b.cast(x, DType.f32)
+    zp = op.attr("zero_point", 0)
+    if zp:
+        f = b.sub(f, _const_scalar(b, "zp", float(zp)))
+    return b.mul(f, _const_scalar(b, "scale", op.attr("scale")))
+
+
+def _conv2d(b: GraphBuilder, op: Op) -> LogicalTensor:
+    from ..conv import decompose_conv2d
+
+    return decompose_conv2d(b, op)
+
+
+_DECOMPOSERS: Dict[str, Callable] = {
+    "conv2d": _conv2d,
+    "softmax": _softmax,
+    "gelu": _gelu,
+    "silu": _silu,
+    "bias_add": _bias_add,
+    "batchnorm_inference": _batchnorm,
+    "layernorm": _layernorm,
+    "quantize": _quantize,
+    "dequantize": _dequantize,
+}

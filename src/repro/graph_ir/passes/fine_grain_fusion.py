@@ -1,0 +1,371 @@
+"""Fine-grain fusion: grow post-op regions onto Tunable OPs.
+
+Starting from each matmul, the pass absorbs downstream Fusible OPs
+(element-wise and reductions) into a fused region while:
+
+* every absorbed op's inputs are available (region values, graph inputs,
+  or outputs of already-scheduled items);
+* no intermediate region value escapes the region;
+* limits hold (op count, reduction count, extra external memory), the
+  paper's guards against unprofitable growth;
+* reductions reduce along n with keepdims, the shape the anchor-based
+  row processing supports.
+
+Post-ops are ordered element-wise-group-first, then the reduction group —
+the paper's two-group split for anchor insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...errors import LoweringError
+from ...templates.anchors import Anchor
+from ...templates.heuristics import select_matmul_params
+from ..fused_op import FusedMatmul, FusionPlan, OperandMode, StandaloneOp
+from ..graph import Graph
+from ..op import Op, OpCategory
+from ..op_registry import get_schema
+from .pass_base import CompileContext, GraphPass
+from .layout_propagation import matmul_geometry
+
+#: Growth limits (the paper: "the heuristic simply sets a limit of
+#: operations" and "monitors the total additional memory being accessed").
+MAX_POST_OPS = 16
+MAX_REDUCTIONS = 2
+EXTRA_MEMORY_FACTOR = 2.0
+
+#: Fusible kinds post-op anchors support (data movement stays standalone).
+_FUSIBLE_KINDS_EXCLUDED = {"reorder", "transpose", "reshape", "broadcast"}
+
+
+class FineGrainFusionPass(GraphPass):
+    name = "fine_grain_fusion"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        plan = FusionPlan()
+        assigned: Set[int] = set()
+        available: Set[int] = {t.id for t in graph.inputs}
+        consumers = graph.consumer_map()
+        output_ids = {t.id for t in graph.outputs}
+
+        for op in _plan_order(graph):
+            if op.id in assigned:
+                continue
+            if op.kind == "matmul":
+                fused = self._build_fused(
+                    graph, op, consumers, available, output_ids, assigned, ctx
+                )
+                plan.items.append(fused)
+                for member in [fused.matmul] + fused.post_ops:
+                    assigned.add(member.id)
+                    for out in member.outputs:
+                        available.add(out.id)
+            else:
+                plan.items.append(StandaloneOp(name=op.name, op=op))
+                assigned.add(op.id)
+                for out in op.outputs:
+                    available.add(out.id)
+        ctx.fusion_plan = plan
+        ctx.note(
+            f"fusion: {len(plan.fused_matmuls)} fused ops, "
+            f"{len(plan.standalone_ops)} standalone ops"
+        )
+        return graph
+
+    # -- region construction ---------------------------------------------------
+
+    def _build_fused(
+        self,
+        graph: Graph,
+        matmul: Op,
+        consumers: Dict[int, list],
+        available: Set[int],
+        output_ids: Set[int],
+        assigned: Set[int],
+        ctx: CompileContext,
+    ) -> FusedMatmul:
+        params = ctx.matmul_params.get(matmul.id)
+        if params is None:
+            batch, m, n, k = matmul_geometry(matmul)
+            params = select_matmul_params(
+                m, n, k, matmul.inputs[0].dtype, ctx.machine, batch=batch
+            )
+            ctx.matmul_params[matmul.id] = params
+        region = self._grow_region(
+            graph, matmul, consumers, available, output_ids, assigned, params
+        )
+        group1, group2 = self._split_groups(matmul, region)
+        a_mode = ctx.a_modes.get(matmul.id, OperandMode.PACK_FULL)
+        b_mode = ctx.b_modes.get(matmul.id, OperandMode.PACK_FULL)
+        anchors = {}
+        anchors["pre_a"] = (
+            Anchor.PRE_4 if a_mode is OperandMode.PACK_SLICE else Anchor.PRE_1
+        )
+        anchors["pre_b"] = Anchor.PRE_1
+        if group1:
+            anchors["post_eltwise"] = Anchor.POST_1
+        if group2:
+            anchors["post_reduction"] = Anchor.POST_1
+        fused = FusedMatmul(
+            name=f"fused_{matmul.name}",
+            matmul=matmul,
+            post_ops=group1 + group2,
+            params=params,
+            a_mode=a_mode,
+            b_mode=b_mode,
+            anchors=anchors,
+        )
+        if group1 or group2:
+            ctx.note(
+                f"fusion: {matmul.name} absorbed "
+                f"{[op.name for op in group1 + group2]}"
+            )
+        return fused
+
+    def _grow_region(
+        self,
+        graph: Graph,
+        matmul: Op,
+        consumers: Dict[int, list],
+        available: Set[int],
+        output_ids: Set[int],
+        assigned: Set[int],
+        params,
+    ) -> List[Op]:
+        mm_out = matmul.outputs[0]
+        extra_budget = EXTRA_MEMORY_FACTOR * mm_out.num_elements * 4
+        region: List[Op] = []
+        region_ids: Set[int] = set()
+        values: Set[int] = {mm_out.id}
+        reductions = 0
+        extra_bytes = 0.0
+        #: Ops ejected by escape trimming; never re-absorbed (prevents the
+        #: grow/trim loop from oscillating).
+        banned: Set[int] = set()
+
+        changed = True
+        while changed and len(region) < MAX_POST_OPS:
+            changed = False
+            for value_id in list(values):
+                for user in consumers.get(value_id, []):
+                    if (
+                        user.id in region_ids
+                        or user.id in assigned
+                        or user.id in banned
+                    ):
+                        continue
+                    ok, is_red, cost = self._can_absorb(
+                        user, values, available, mm_out, params,
+                        reductions, extra_bytes, extra_budget,
+                    )
+                    if not ok:
+                        continue
+                    region.append(user)
+                    region_ids.add(user.id)
+                    values.update(out.id for out in user.outputs)
+                    reductions += int(is_red)
+                    extra_bytes += cost
+                    changed = True
+            # Trim ops whose intermediate values escape the region.
+            trimmed, region_ids, values, reductions = self._trim_escapes(
+                graph, matmul, region, consumers, output_ids
+            )
+            banned.update(
+                op.id for op in region if op.id not in region_ids
+            )
+            region = trimmed
+        return region
+
+    def _can_absorb(
+        self,
+        op: Op,
+        values: Set[int],
+        available: Set[int],
+        mm_out,
+        params,
+        reductions: int,
+        extra_bytes: float,
+        extra_budget: float,
+    ):
+        schema = get_schema(op.kind)
+        if schema.category is not OpCategory.FUSIBLE:
+            return False, False, 0.0
+        if op.kind in _FUSIBLE_KINDS_EXCLUDED:
+            return False, False, 0.0
+        for t in op.inputs:
+            if t.id not in values and t.id not in available:
+                return False, False, 0.0
+        cost = sum(
+            t.num_elements * t.dtype.size
+            for t in op.inputs
+            if t.id not in values
+        )
+        if extra_bytes + cost > extra_budget:
+            return False, False, 0.0
+        if schema.is_reduction:
+            if reductions >= MAX_REDUCTIONS:
+                return False, False, 0.0
+            if not op.attr("keepdims", True):
+                return False, False, 0.0
+            axis = op.attr("axis")
+            ndims = op.inputs[0].ndims
+            axes = (
+                tuple(range(ndims))
+                if axis is None
+                else ((axis,) if isinstance(axis, int) else tuple(axis))
+            )
+            if axes != (ndims - 1,) and axes != (-1 % ndims,):
+                if tuple(a % ndims for a in axes) != (ndims - 1,):
+                    return False, False, 0.0
+            # NPN == 1 processes the reduction at anchor #1; NPN > 1 at
+            # anchor #3 after the npi loop.  Both lower correctly.
+            return True, True, cost
+        if schema.is_elementwise:
+            if op.outputs[0].shape != mm_out.shape:
+                return False, False, 0.0
+            return True, False, cost
+        return False, False, 0.0
+
+    def _trim_escapes(self, graph, matmul, region, consumers, output_ids):
+        """Drop region ops whose non-final values are visible outside."""
+        while True:
+            region_ids = {op.id for op in region}
+            values = {matmul.outputs[0].id}
+            for op in region:
+                values.update(out.id for out in op.outputs)
+            consumed_inside = set()
+            for op in region:
+                consumed_inside.update(t.id for t in op.inputs)
+            sinks = [
+                v
+                for v in values
+                if v not in consumed_inside
+                or any(
+                    u.id not in region_ids for u in consumers.get(v, [])
+                )
+                or v in output_ids
+            ]
+            # Values visible outside: graph outputs or consumed externally.
+            escaping = set()
+            for op in region:
+                for out in op.outputs:
+                    ext = out.id in output_ids or any(
+                        u.id not in region_ids
+                        for u in consumers.get(out.id, [])
+                    )
+                    if ext:
+                        escaping.add(out.id)
+            mm_escapes = matmul.outputs[0].id in output_ids or any(
+                u.id not in region_ids
+                for u in consumers.get(matmul.outputs[0].id, [])
+            )
+            if region and mm_escapes:
+                # The raw matmul result is needed elsewhere; nothing fuses.
+                region = []
+                continue
+            # At most one escaping value, and it must be the unique sink.
+            finals = escaping
+            if len(finals) <= 1 and self._single_sink(matmul, region):
+                reductions = sum(
+                    1 for op in region if get_schema(op.kind).is_reduction
+                )
+                return region, region_ids, values, reductions
+            # Remove the last-added op and retry.
+            removed = region[-1]
+            region = region[:-1]
+            region = self._drop_dependents(region, removed)
+
+    def _single_sink(self, matmul, region) -> bool:
+        if not region:
+            return True
+        produced = {matmul.outputs[0].id}
+        for op in region:
+            produced.update(o.id for o in op.outputs)
+        consumed = set()
+        for op in region:
+            consumed.update(t.id for t in op.inputs)
+        sinks = [
+            op for op in region if op.outputs[0].id not in consumed
+        ]
+        return len(sinks) == 1
+
+    def _drop_dependents(self, region: List[Op], removed: Op) -> List[Op]:
+        dead_values = {o.id for o in removed.outputs}
+        result = []
+        for op in region:
+            if any(t.id in dead_values for t in op.inputs):
+                dead_values.update(o.id for o in op.outputs)
+            else:
+                result.append(op)
+        return result
+
+    def _split_groups(self, matmul: Op, region: List[Op]):
+        """Order post-ops: element-wise group, then reduction group."""
+        if not region:
+            return [], []
+        # Topological order within the region.
+        ordered = _topo_region(matmul, region)
+        tainted: Set[int] = set()
+        group1, group2 = [], []
+        for op in ordered:
+            is_red = get_schema(op.kind).is_reduction
+            uses_tainted = any(t.id in tainted for t in op.inputs)
+            if is_red or uses_tainted:
+                group2.append(op)
+                tainted.update(o.id for o in op.outputs)
+            else:
+                group1.append(op)
+        return group1, group2
+
+
+def _plan_order(graph: Graph) -> List[Op]:
+    """Topological order that schedules matmul-independent ops early.
+
+    Kahn's algorithm with a priority: ready non-matmul ops first.  Side
+    chains (e.g. the runtime compensation of an int8 activation operand)
+    are then placed *before* the matmul whose post-ops consume their
+    results, so the post-op region sees those values as available.
+    """
+    producers = graph.producer_map()
+    indegree: dict = {}
+    dependents: dict = {}
+    for op in graph.ops:
+        count = 0
+        for inp in op.inputs:
+            dep = producers.get(inp.id)
+            if dep is not None and dep.id != op.id:
+                count += 1
+                dependents.setdefault(dep.id, []).append(op)
+        indegree[op.id] = count
+    light = [op for op in graph.ops if indegree[op.id] == 0 and op.kind != "matmul"]
+    heavy = [op for op in graph.ops if indegree[op.id] == 0 and op.kind == "matmul"]
+    order: List[Op] = []
+    while light or heavy:
+        op = light.pop(0) if light else heavy.pop(0)
+        order.append(op)
+        for succ in dependents.get(op.id, []):
+            indegree[succ.id] -= 1
+            if indegree[succ.id] == 0:
+                (heavy if succ.kind == "matmul" else light).append(succ)
+    return order
+
+
+def _topo_region(matmul: Op, region: List[Op]) -> List[Op]:
+    produced = {o.id: op for op in region for o in op.outputs}
+    visited: Set[int] = set()
+    order: List[Op] = []
+
+    def visit(op: Op) -> None:
+        if op.id in visited:
+            return
+        visited.add(op.id)
+        for t in op.inputs:
+            dep = produced.get(t.id)
+            if dep is not None:
+                visit(dep)
+        order.append(op)
+
+    for op in region:
+        visit(op)
+    return order

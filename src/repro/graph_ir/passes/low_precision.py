@@ -1,0 +1,124 @@
+"""Low-precision conversion (the paper's Figure 5 rewrite).
+
+Framework quantization tools emit graphs where compute-intensive ops stay
+FP32 surrounded by (de)quantize ops::
+
+    C = Quantize(Dequantize(A_q, a_s, a_z) x_f32 Dequantize(B_q, b_s), ...)
+
+This pass rewrites the dequantize-matmul island into an Int8 matmul plus a
+compensation term, which is mathematically *exact*::
+
+    A = (A_q - a_z) * a_s          B = B_q * b_s
+    A x B = a_s * b_s * (A_q x_int8 B_q  -  a_z * colsum_k(B_q))
+
+The compensation ``colsum_k(B_q)`` depends only on B; when B is a constant
+weight, constant-weight preprocessing computes it once at first execution
+(the paper's ``const_weight_comp``).  The surrounding quantize op (if any)
+stays in the graph; decomposition turns it into fusible element-wise ops
+that post-op fusion absorbs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dtypes import DType
+from ..builder import GraphBuilder
+from ..graph import Graph
+from ..op import Op
+from .pass_base import CompileContext, GraphPass
+
+
+class LowPrecisionPass(GraphPass):
+    name = "low_precision"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        producers = graph.producer_map()
+        for op in list(graph.ops):
+            if op.kind != "matmul":
+                continue
+            deq_a = producers.get(op.inputs[0].id)
+            deq_b = producers.get(op.inputs[1].id)
+            if not (_is_dequantize(deq_a) and _is_dequantize(deq_b)):
+                continue
+            if deq_b.attr("zero_point", 0) != 0:
+                ctx.note(
+                    f"low_precision: skipped {op.name} (B zero point != 0)"
+                )
+                continue
+            self._rewrite(graph, op, deq_a, deq_b, ctx)
+        return graph
+
+    def _rewrite(
+        self,
+        graph: Graph,
+        matmul: Op,
+        deq_a: Op,
+        deq_b: Op,
+        ctx: CompileContext,
+    ) -> None:
+        b = GraphBuilder(graph.name)
+        b.graph = graph
+        a_q = deq_a.inputs[0]
+        b_q = deq_b.inputs[0]
+        a_scale = deq_a.attr("scale")
+        a_zp = deq_a.attr("zero_point", 0)
+        b_scale = deq_b.attr("scale")
+        transpose_a = matmul.attr("transpose_a", False)
+        transpose_b = matmul.attr("transpose_b", False)
+
+        position = graph.ops.index(matmul)
+        before = len(graph.ops)
+
+        mm_int = b.matmul(
+            a_q, b_q, transpose_a=transpose_a, transpose_b=transpose_b
+        )  # s32 accumulator
+        acc_f = b.cast(mm_int, DType.f32)
+        if a_zp:
+            # Compensation: colsum of B_q over the contraction axis.
+            k_axis = -1 if transpose_b else -2
+            # keepdims keeps the rank so the term broadcasts right-aligned
+            # against the matmul output ([1, n] against [m, n]).
+            comp = b.op(
+                "reduce_sum",
+                [b.cast(b_q, DType.s32)],
+                {"axis": k_axis, "keepdims": True},
+            )
+            if transpose_b:
+                # colsum of B^T lands as [..., n, 1]; transpose the matrix
+                # dims so it broadcasts as [..., 1, n].
+                ndims = len(b_q.shape)
+                perm = tuple(range(ndims - 2)) + (ndims - 1, ndims - 2)
+                comp = b.transpose(comp, perm)
+            comp_f = b.cast(comp, DType.f32)
+            comp_scaled = b.mul(
+                comp_f,
+                b.constant(
+                    f"a_zp_{matmul.id}",
+                    np.full((1,), float(a_zp), np.float32),
+                ),
+            )
+            acc_f = b.sub(acc_f, comp_scaled)
+        result = b.mul(
+            acc_f,
+            b.constant(
+                f"ab_scale_{matmul.id}",
+                np.full((1,), float(a_scale) * float(b_scale), np.float32),
+            ),
+        )
+
+        new_ops = graph.ops[before:]
+        del graph.ops[before:]
+        graph.ops[position:position] = new_ops
+        graph.replace_uses(matmul.outputs[0], result)
+        graph.remove_op(matmul)
+        # The dequantize ops become dead if nothing else uses them; DCE
+        # cleans them up.
+        ctx.note(
+            f"low_precision: rewrote {matmul.name} to int8 with "
+            f"{'compensation' if a_zp else 'no compensation'}"
+        )
+
+
+def _is_dequantize(op) -> bool:
+    return op is not None and op.kind == "dequantize"

@@ -1,0 +1,52 @@
+"""Pass infrastructure: the compile context and the pass interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ...microkernel.machine import MachineModel, XEON_8358
+from ..graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...templates.params import MatmulParams
+    from ..fused_op import FusionPlan, OperandMode
+
+
+@dataclass
+class CompileContext:
+    """Mutable state shared by passes during one compilation.
+
+    Passes communicate through this context: layout propagation records the
+    chosen template parameters and operand modes per matmul; the constant
+    weight pass deposits the init graph; fusion produces the fusion plan.
+    """
+
+    machine: MachineModel = XEON_8358
+    #: Compiler options (repro.core.options.CompilerOptions); typed loosely
+    #: to avoid an import cycle.
+    options: object = None
+    #: matmul op id -> selected template parameters.
+    matmul_params: Dict[int, "MatmulParams"] = field(default_factory=dict)
+    #: matmul op id -> OperandMode for the A / B operands.
+    a_modes: Dict[int, "OperandMode"] = field(default_factory=dict)
+    b_modes: Dict[int, "OperandMode"] = field(default_factory=dict)
+    #: The split-off constant preprocessing graph (run once at first
+    #: execution), or None when the graph has no runtime constants.
+    init_graph: Optional[Graph] = None
+    #: The fusion plan produced by fine/coarse grain fusion.
+    fusion_plan: Optional["FusionPlan"] = None
+    #: Log of pass activity, useful for tests and debugging.
+    log: List[str] = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.log.append(message)
+
+
+class GraphPass:
+    """Base class for graph-to-graph passes."""
+
+    name = "pass"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        raise NotImplementedError

@@ -1,0 +1,62 @@
+"""Pass manager: runs the Graph IR pipeline in order."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph import Graph
+from .pass_base import CompileContext, GraphPass
+from .coarse_grain_fusion import CoarseGrainFusionPass
+from .constant_fold import ConstantFoldPass
+from .constant_weight import MarkRuntimeConstantsPass, SplitInitGraphPass
+from .cse import CsePass
+from .dce import DcePass
+from .decompose import DecomposePass
+from .fine_grain_fusion import FineGrainFusionPass
+from .layout_propagation import LayoutPropagationPass
+from .low_precision import LowPrecisionPass
+from .reshape_sink import ReshapeSinkPass
+
+
+class PassManager:
+    """Runs a sequence of passes over a graph, validating in between."""
+
+    def __init__(self, passes: List[GraphPass], validate: bool = True):
+        self.passes = passes
+        self.validate = validate
+
+    def run(self, graph: Graph, ctx: Optional[CompileContext] = None):
+        ctx = ctx or CompileContext()
+        for p in self.passes:
+            graph = p.run(graph, ctx)
+            if self.validate:
+                graph.validate()
+        return graph, ctx
+
+
+def default_pipeline(
+    enable_low_precision: bool = True,
+    enable_coarse_grain_fusion: bool = True,
+) -> List[GraphPass]:
+    """The paper's Graph IR pipeline, in order."""
+    passes: List[GraphPass] = []
+    if enable_low_precision:
+        passes.append(LowPrecisionPass())
+    passes.extend(
+        [
+            DecomposePass(),
+            ReshapeSinkPass(),
+            ConstantFoldPass(),
+            CsePass(),
+            DcePass(),
+            # Mark runtime constants before layout propagation so weight
+            # chains (e.g. a conv kernel reshape) are recognized as
+            # prepackable constants.
+            MarkRuntimeConstantsPass(),
+            LayoutPropagationPass(),
+            SplitInitGraphPass(),
+            FineGrainFusionPass(),
+            CoarseGrainFusionPass(enabled=enable_coarse_grain_fusion),
+        ]
+    )
+    return passes

@@ -1,0 +1,97 @@
+"""Reshape sinking: move element-wise ops ahead of reshapes.
+
+``eltwise(reshape(x), operand)`` computes the same values as
+``reshape(eltwise(x, operand'))`` whenever the operand broadcasts along a
+dimension the reshape preserves (scalars always; per-channel vectors when
+the last dim is unchanged).  Sinking the reshape lets the element-wise op
+sit directly behind the producing matmul, where post-op fusion absorbs it
+— e.g. the conv2d epilogue (bias + activation after the NHWC reshape)
+fuses into the im2col matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph import Graph
+from ..logical_tensor import LogicalTensor
+from ..op import Op
+from ..op_registry import get_schema
+from .pass_base import CompileContext, GraphPass
+
+MAX_ITERATIONS = 100
+
+
+class ReshapeSinkPass(GraphPass):
+    name = "reshape_sink"
+
+    def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        for _ in range(MAX_ITERATIONS):
+            if not self._sink_one(graph, ctx):
+                break
+        return graph
+
+    def _sink_one(self, graph: Graph, ctx: CompileContext) -> bool:
+        producers = graph.producer_map()
+        consumers = graph.consumer_map()
+        for op in graph.topological_order():
+            schema = get_schema(op.kind)
+            if not schema.is_elementwise or not op.inputs:
+                continue
+            reshape = producers.get(op.inputs[0].id)
+            if reshape is None or reshape.kind != "reshape":
+                continue
+            if len(consumers.get(reshape.outputs[0].id, [])) != 1:
+                continue
+            pre = reshape.inputs[0]
+            post = reshape.outputs[0]
+            if not self._operands_compatible(op, pre.shape, post.shape):
+                continue
+            self._rewrite(graph, op, reshape, pre, ctx)
+            return True
+        return False
+
+    @staticmethod
+    def _operands_compatible(op: Op, pre_shape, post_shape) -> bool:
+        last_preserved = (
+            pre_shape and post_shape and pre_shape[-1] == post_shape[-1]
+        )
+        for operand in op.inputs[1:]:
+            if operand.num_elements == 1:
+                continue
+            if (
+                last_preserved
+                and operand.ndims == 1
+                and operand.shape[0] == post_shape[-1]
+            ):
+                continue
+            return False
+        return True
+
+    def _rewrite(
+        self,
+        graph: Graph,
+        op: Op,
+        reshape: Op,
+        pre: LogicalTensor,
+        ctx: CompileContext,
+    ) -> None:
+        """eltwise(reshape(x), ...) -> reshape(eltwise(x, ...))."""
+        old_out = op.outputs[0]
+        new_value = LogicalTensor(
+            dtype=old_out.dtype, shape=pre.shape, name=f"{old_out.name}_pre"
+        )
+        # The element-wise op now reads the pre-reshape value.
+        op.inputs[0] = pre
+        op.outputs[0] = new_value
+        # The reshape moves after it, producing the original tensor.
+        reshape.inputs[0] = new_value
+        reshape.outputs[0] = old_out
+        # Reorder: op must now precede reshape.
+        graph.remove_op(reshape)
+        index = graph.ops.index(op)
+        graph.ops.insert(index + 1, reshape)
+        ctx.note(
+            f"reshape_sink: moved {op.name} ({op.kind}) ahead of "
+            f"{reshape.name}"
+        )

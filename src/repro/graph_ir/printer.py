@@ -1,0 +1,43 @@
+"""Human-readable Graph IR dumps, used in tests and for debugging passes."""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .logical_tensor import LogicalTensor
+
+
+def _fmt_tensor(t: LogicalTensor) -> str:
+    const = "!" if t.is_constant else ""
+    layout = "" if t.layout.is_plain else f" @{t.layout.tag()}"
+    return f"{const}{t.name}:{t.dtype.value}{list(t.shape)}{layout}"
+
+
+def format_graph(graph: Graph) -> str:
+    """Render a graph as one op per line in topological order."""
+    lines = [f"graph {graph.name} {{"]
+    ins = ", ".join(_fmt_tensor(t) for t in graph.inputs)
+    lines.append(f"  inputs: {ins}")
+    for op in graph.topological_order():
+        outs = ", ".join(_fmt_tensor(t) for t in op.outputs)
+        args = ", ".join(t.name for t in op.inputs)
+        attrs = ""
+        if op.attrs:
+            parts = []
+            for key, value in sorted(op.attrs.items(), key=lambda kv: kv[0]):
+                parts.append(f"{key}={_fmt_attr(value)}")
+            attrs = " {" + ", ".join(parts) + "}"
+        lines.append(f"  {outs} = {op.kind}({args}){attrs}")
+    outs = ", ".join(t.name for t in graph.outputs)
+    lines.append(f"  outputs: {outs}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _fmt_attr(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if hasattr(value, "tag"):  # BlockedLayout
+        return value.tag()
+    if hasattr(value, "value"):  # enums such as DType
+        return str(value.value)
+    return str(value)

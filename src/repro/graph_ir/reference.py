@@ -1,0 +1,73 @@
+"""Op-by-op reference evaluator for Graph IR.
+
+This is the *oracle* for the whole project: it executes a graph with the
+registry's numpy reference kernels, one op at a time, with no optimization.
+Every compiled partition's output is tested against it (fp32 within
+tolerance; the int8 rewrite is exact integer math and matches bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .graph import Graph
+from .op_registry import get_schema
+
+
+def evaluate_graph(
+    graph: Graph,
+    inputs: Mapping[str, np.ndarray],
+    check_dtypes: bool = True,
+) -> Dict[str, np.ndarray]:
+    """Run ``graph`` on named ``inputs``; returns name -> output array.
+
+    Compile-time constants bound on the graph do not need to be supplied.
+    """
+    env: Dict[int, np.ndarray] = {}
+    for tensor in graph.inputs:
+        if tensor.id in graph.constants:
+            env[tensor.id] = graph.constants[tensor.id]
+            continue
+        if tensor.name not in inputs:
+            raise ExecutionError(f"missing input {tensor.name!r}")
+        data = np.asarray(inputs[tensor.name])
+        if tuple(data.shape) != tensor.shape:
+            raise ExecutionError(
+                f"input {tensor.name!r} has shape {data.shape}, expected "
+                f"{tensor.shape}"
+            )
+        if check_dtypes and data.dtype != tensor.dtype.to_numpy():
+            raise ExecutionError(
+                f"input {tensor.name!r} has dtype {data.dtype}, expected "
+                f"{tensor.dtype.to_numpy()}"
+            )
+        env[tensor.id] = data
+
+    for op in graph.topological_order():
+        schema = get_schema(op.kind)
+        args = []
+        for inp in op.inputs:
+            if inp.id not in env:
+                raise ExecutionError(
+                    f"op {op.name} reads tensor {inp.name} before it is "
+                    f"produced"
+                )
+            args.append(env[inp.id])
+        results = schema.reference(args, op.attrs)
+        if len(results) != len(op.outputs):
+            raise ExecutionError(
+                f"reference kernel for {op.kind} returned {len(results)} "
+                f"arrays for {len(op.outputs)} outputs"
+            )
+        for out, value in zip(op.outputs, results):
+            env[out.id] = np.asarray(value, dtype=out.dtype.to_numpy())
+
+    outputs: Dict[str, np.ndarray] = {}
+    for out in graph.outputs:
+        if out.id not in env:
+            raise ExecutionError(f"graph output {out.name} was never produced")
+        outputs[out.name] = env[out.id]
+    return outputs

@@ -1,0 +1,6 @@
+"""Lowering: Graph IR fusion plans to Tensor IR modules."""
+
+from .lower_fusible import lower_standalone_op
+from .lower_graph import LoweredPartition, lower_graph
+
+__all__ = ["lower_standalone_op", "LoweredPartition", "lower_graph"]

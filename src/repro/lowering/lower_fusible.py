@@ -1,0 +1,214 @@
+"""Lowering of standalone (unfused) ops to Tensor IR functions.
+
+Ops the fusion optimization could not attach to a Tunable OP — isolated
+element-wise ops, reductions, data movement (reorder / transpose / reshape /
+broadcast) — lower to a simple function: a whole-tensor compute statement,
+or Pack/Unpack pairs for layout reorders.  One parallel region per op, which
+is exactly what the performance model charges them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import LoweringError
+from ..graph_ir.layout import BlockedLayout
+from ..graph_ir.op import Op
+from ..graph_ir.op_registry import get_schema
+from ..tensor_ir.builder import TirBuilder
+from ..tensor_ir.function import TirFunction
+from ..tensor_ir.stmt import SliceRef, full_slice
+
+
+def lower_standalone_op(op: Op, name: str) -> TirFunction:
+    """Lower one op into a Tensor IR function.
+
+    Parameters are the op's inputs followed by its outputs; buffer shapes
+    are the physical shapes implied by each tensor's layout.
+    """
+    b = TirBuilder(name)
+    arg_names: Dict[int, str] = {}
+    for tensor in list(op.inputs) + list(op.outputs):
+        if tensor.id in arg_names:
+            continue
+        fresh = b.fresh(tensor.name)
+        b.param(fresh, tensor.dtype, tensor.layout.physical_shape(tensor.shape))
+        arg_names[tensor.id] = fresh
+
+    if op.kind == "reorder":
+        _lower_reorder(b, op, arg_names)
+    else:
+        _lower_compute(b, op, arg_names)
+    func = b.finish()
+    func.attrs["standalone_op"] = op.name
+    func.attrs["arg_order"] = [t.id for t in op.inputs] + [
+        t.id for t in op.outputs
+    ]
+    return func
+
+
+def _lower_compute(b: TirBuilder, op: Op, arg_names: Dict[int, str]) -> None:
+    schema = get_schema(op.kind)
+    out = op.outputs[0]
+    if not out.layout.is_plain or any(
+        not t.layout.is_plain for t in op.inputs
+    ):
+        raise LoweringError(
+            f"standalone op {op.name} ({op.kind}) requires plain layouts; "
+            f"insert reorders first"
+        )
+    dst = full_slice(arg_names[out.id], out.shape)
+    srcs = [full_slice(arg_names[t.id], t.shape) for t in op.inputs]
+    b.compute(op.kind, dst, srcs, attrs=op.attrs)
+
+
+def _lower_reorder(b: TirBuilder, op: Op, arg_names: Dict[int, str]) -> None:
+    """Layout conversion: plain <-> blocked on the trailing two dims.
+
+    Batched tensors reorder per batch element inside a parallel loop (the
+    pack statement operates on a 2-D region).
+    """
+    src_t = op.inputs[0]
+    dst_t = op.outputs[0]
+    src_layout = src_t.layout
+    dst_layout = dst_t.layout
+    src_name = arg_names[src_t.id]
+    dst_name = arg_names[dst_t.id]
+    src_phys = src_layout.physical_shape(src_t.shape)
+    dst_phys = dst_layout.physical_shape(dst_t.shape)
+    if src_layout.is_plain and dst_layout.is_plain:
+        b.copy(full_slice(dst_name, dst_phys), full_slice(src_name, src_phys))
+        return
+
+    batch_dims = src_t.shape[:-2]
+
+    def per_batch(emit) -> None:
+        if not batch_dims:
+            emit(())
+            return
+        total = 1
+        for d in batch_dims:
+            total *= d
+        with b.parallel_for("rbi", total) as bi:
+            idx = []
+            rem = bi
+            strides = []
+            s = 1
+            for d in reversed(batch_dims):
+                strides.append(s)
+                s *= d
+            strides.reverse()
+            for axis, d in enumerate(batch_dims):
+                if len(batch_dims) == 1:
+                    idx.append(bi)
+                else:
+                    idx.append(b.let(f"rb{axis}", (rem // strides[axis]) % d))
+            emit(tuple(idx))
+
+    def tail_slice(name, phys, pfx):
+        lead = len(pfx)
+        return SliceRef(
+            name,
+            pfx + tuple(0 for _ in phys[lead:]),
+            (1,) * lead + tuple(phys[lead:]),
+        )
+
+    if src_layout.is_plain and not dst_layout.is_plain:
+        spec = _blocked_spec(dst_layout, dst_t.shape)
+
+        def emit(pfx):
+            b.pack(
+                dst=tail_slice(dst_name, dst_phys, pfx),
+                src=tail_slice(src_name, src_phys, pfx),
+                block_sizes=spec["block_sizes"],
+                swap_inner=spec["swap_inner"],
+                transpose_src=spec["transpose_src"],
+            )
+
+        per_batch(emit)
+        return
+    if not src_layout.is_plain and dst_layout.is_plain:
+        spec = _blocked_spec(src_layout, src_t.shape)
+        if spec["transpose_src"]:
+            raise LoweringError(
+                f"reorder {op.name}: cannot unpack a transposed layout"
+            )
+
+        def emit(pfx):
+            b.unpack(
+                dst=tail_slice(dst_name, dst_phys, pfx),
+                src=tail_slice(src_name, src_phys, pfx),
+                block_sizes=spec["block_sizes"],
+                swap_inner=spec["swap_inner"],
+            )
+
+        per_batch(emit)
+        return
+    # Blocked to blocked: bounce through a plain temporary.
+    src_spec = _blocked_spec(src_layout, src_t.shape)
+    if src_spec["transpose_src"]:
+        raise LoweringError(
+            f"reorder {op.name}: cannot unpack a transposed layout"
+        )
+    dst_spec = _blocked_spec(dst_layout, dst_t.shape)
+    tmp = b.alloc("reord_tmp", src_t.dtype, src_t.shape)
+
+    def emit(pfx):
+        b.unpack(
+            dst=tail_slice(tmp, src_t.shape, pfx),
+            src=tail_slice(src_name, src_phys, pfx),
+            block_sizes=src_spec["block_sizes"],
+            swap_inner=src_spec["swap_inner"],
+        )
+        b.pack(
+            dst=tail_slice(dst_name, dst_phys, pfx),
+            src=tail_slice(tmp, src_t.shape, pfx),
+            block_sizes=dst_spec["block_sizes"],
+            swap_inner=dst_spec["swap_inner"],
+            transpose_src=dst_spec["transpose_src"],
+        )
+
+    per_batch(emit)
+    b.free(tmp)
+
+
+def _blocked_spec(layout: BlockedLayout, shape) -> Dict[str, object]:
+    """Interpret a 2-D-tail blocked layout as Pack/Unpack parameters.
+
+    Supported layouts block the last two logical axes once each:
+
+    * ``inner_blocks == ((r, RB), (c, CB))`` with outer order identity —
+      the A/C operand layout (``swap_inner=False``);
+    * ``inner_blocks == ((c, CB), (r, RB))`` — the B operand layout
+      (``swap_inner=True``);
+    * the same two with the trailing outer dims transposed — the
+      ``transpose_src`` weight layouts.
+    """
+    ndims = layout.ndims
+    r, c = ndims - 2, ndims - 1
+    inner = layout.inner_blocks
+    outer = layout.outer_order
+    identity = tuple(range(ndims))
+    tail_swapped = identity[:-2] + (c, r)
+    if len(inner) != 2 or {a for a, _ in inner} != {r, c}:
+        raise LoweringError(f"unsupported reorder layout {layout.tag()}")
+    if outer not in (identity, tail_swapped):
+        raise LoweringError(f"unsupported reorder outer order {layout.tag()}")
+    transpose_src = outer == tail_swapped
+    blocks = dict(inner)
+    if transpose_src:
+        # The source is logically transposed before packing: the packed
+        # rows come from the logical c axis and vice versa.
+        block_sizes = (blocks[c], blocks[r])
+        # Physical inner dims follow declaration order; they are swapped
+        # ([B2, B1]) when the first declared inner block is on the (new)
+        # column axis, which after the transpose is the logical r axis.
+        swap_inner = inner[0][0] == r
+    else:
+        block_sizes = (blocks[r], blocks[c])
+        swap_inner = inner[0][0] == c
+    return {
+        "block_sizes": block_sizes,
+        "swap_inner": swap_inner,
+        "transpose_src": transpose_src,
+    }

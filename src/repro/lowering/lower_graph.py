@@ -1,0 +1,218 @@
+"""Lowering a fused Graph IR into Tensor IR modules.
+
+Produces:
+
+* the **main module** — one function per fusion-plan item plus an entry
+  function that allocates the intermediate tensors and calls the item
+  functions in order (the paper: "The Tensor IR module has an entry function
+  that contains a sequence of calls to other functions lowered from Fused
+  OPs");
+* the **init module** — the constant-weight preprocessing graph (weight
+  reorders, int8 compensation), run once at first execution;
+* :class:`LoweredPartition` metadata binding graph tensors to buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LoweringError
+from ..graph_ir.fused_op import FusedMatmul, FusionPlan, StandaloneOp
+from ..graph_ir.graph import Graph
+from ..graph_ir.logical_tensor import LogicalTensor
+from ..graph_ir.passes.pass_base import CompileContext
+from ..templates.matmul import lower_fused_matmul
+from ..tensor_ir.builder import TirBuilder
+from ..tensor_ir.module import TirModule
+from .lower_fusible import lower_standalone_op
+
+
+@dataclass
+class LoweredPartition:
+    """Everything the runtime needs to execute a compiled graph."""
+
+    module: TirModule
+    init_module: Optional[TirModule]
+    graph: Graph
+    init_graph: Optional[Graph]
+    ctx: CompileContext
+    #: Non-constant graph inputs, in signature order.
+    input_tensors: List[LogicalTensor] = field(default_factory=list)
+    #: Runtime-constant inputs (weights) supplied at first execution.
+    weight_tensors: List[LogicalTensor] = field(default_factory=list)
+    #: Tensors the init module computes and the runtime caches.
+    cached_tensors: List[LogicalTensor] = field(default_factory=list)
+    #: Compile-time constant data by tensor id.
+    const_data: Dict[int, np.ndarray] = field(default_factory=dict)
+    output_tensors: List[LogicalTensor] = field(default_factory=list)
+    #: tensor id -> physical buffer shape.
+    buffer_shapes: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+
+def physical_shape(tensor: LogicalTensor) -> Tuple[int, ...]:
+    return tensor.layout.physical_shape(tensor.shape)
+
+
+def lower_graph(graph: Graph, ctx: CompileContext) -> LoweredPartition:
+    """Lower an optimized graph (with a fusion plan) to Tensor IR."""
+    plan = ctx.fusion_plan
+    if plan is None:
+        raise LoweringError("graph has no fusion plan; run the passes first")
+
+    module = TirModule(name=f"{graph.name}_module", entry="main")
+    item_funcs = []
+    for index, item in enumerate(plan.items):
+        if isinstance(item, FusedMatmul):
+            func = lower_fused_matmul(
+                item, ctx.machine, func_name=f"f{index}_{item.name}"
+            )
+        else:
+            func = lower_standalone_op(item.op, f"f{index}_{item.name}")
+        module.add(func)
+        item_funcs.append((item, func))
+
+    _build_entry(module, graph, plan, item_funcs)
+
+    init_module = None
+    if ctx.init_graph is not None:
+        init_module = _lower_init(ctx.init_graph)
+
+    lowered = LoweredPartition(
+        module=module,
+        init_module=init_module,
+        graph=graph,
+        init_graph=ctx.init_graph,
+        ctx=ctx,
+    )
+    _fill_metadata(lowered)
+    return lowered
+
+
+def _build_entry(module, graph, plan, item_funcs) -> None:
+    b = TirBuilder("main")
+    names: Dict[int, str] = {}
+
+    for tensor in graph.inputs:
+        name = b.fresh(tensor.name)
+        b.param(name, tensor.dtype, physical_shape(tensor))
+        names[tensor.id] = name
+    for tensor in graph.outputs:
+        if tensor.id in names:
+            continue
+        name = b.fresh(tensor.name)
+        b.param(name, tensor.dtype, physical_shape(tensor))
+        names[tensor.id] = name
+
+    # Last use per intermediate, for Free placement (buffer-reuse input).
+    produced_at: Dict[int, int] = {}
+    last_use: Dict[int, int] = {}
+    for index, (item, func) in enumerate(item_funcs):
+        for tensor_id in func.attrs["arg_order"]:
+            last_use[tensor_id] = index
+        out = _item_output(item)
+        produced_at[out.id] = index
+
+    all_tensors = {t.id: t for t in graph.all_tensors()}
+    for item, _ in item_funcs:
+        if isinstance(item, FusedMatmul):
+            for op in [item.matmul] + item.post_ops:
+                for t in list(op.inputs) + list(op.outputs):
+                    all_tensors.setdefault(t.id, t)
+
+    for index, (item, func) in enumerate(item_funcs):
+        # Allocate intermediates produced here.
+        out = _item_output(item)
+        if out.id not in names:
+            names[out.id] = b.alloc(out.name, out.dtype, physical_shape(out))
+        args = []
+        for tensor_id in func.attrs["arg_order"]:
+            if tensor_id not in names:
+                raise LoweringError(
+                    f"entry: function {func.name} needs buffer for tensor "
+                    f"{all_tensors.get(tensor_id)} which is not materialized"
+                )
+            args.append(names[tensor_id])
+        b.call(func.name, args)
+        # Free intermediates whose last use was this call.
+        for tensor_id, last in last_use.items():
+            if last != index:
+                continue
+            tensor = all_tensors.get(tensor_id)
+            if tensor is None or tensor.id not in produced_at:
+                continue
+            if any(t.id == tensor_id for t in graph.outputs):
+                continue
+            if any(t.id == tensor_id for t in graph.inputs):
+                continue
+            b.free(names[tensor_id])
+    module.add(b.finish())
+
+
+def _item_output(item) -> LogicalTensor:
+    if isinstance(item, FusedMatmul):
+        return item.output
+    return item.op.outputs[0]
+
+
+def _lower_init(init_graph: Graph) -> TirModule:
+    """Init graphs contain only standalone ops (reorders, compensation)."""
+    module = TirModule(name=f"{init_graph.name}_module", entry="main")
+    b = TirBuilder("main")
+    names: Dict[int, str] = {}
+    for tensor in init_graph.inputs:
+        name = b.fresh(tensor.name)
+        b.param(name, tensor.dtype, physical_shape(tensor))
+        names[tensor.id] = name
+    for tensor in init_graph.outputs:
+        if tensor.id in names:
+            continue
+        name = b.fresh(tensor.name)
+        b.param(name, tensor.dtype, physical_shape(tensor))
+        names[tensor.id] = name
+    output_ids = {t.id for t in init_graph.outputs}
+    for index, op in enumerate(init_graph.topological_order()):
+        func = lower_standalone_op(op, f"init{index}_{op.name}")
+        module.add(func)
+        for tensor in op.outputs:
+            if tensor.id not in names:
+                names[tensor.id] = b.alloc(
+                    tensor.name, tensor.dtype, physical_shape(tensor)
+                )
+        args = [names[tid] for tid in func.attrs["arg_order"]]
+        b.call(func.name, args)
+    module.add(b.finish())
+    return module
+
+
+def _fill_metadata(lowered: LoweredPartition) -> None:
+    graph = lowered.graph
+    init_graph = lowered.init_graph
+    cached_ids = set()
+    if init_graph is not None:
+        cached_ids = {t.id for t in init_graph.outputs}
+        lowered.cached_tensors = list(init_graph.outputs)
+        for tensor in init_graph.inputs:
+            if tensor.id in init_graph.constants:
+                lowered.const_data[tensor.id] = init_graph.constants[tensor.id]
+            else:
+                lowered.weight_tensors.append(tensor)
+    for tensor in graph.inputs:
+        if tensor.id in cached_ids:
+            continue
+        if tensor.id in graph.constants:
+            lowered.const_data[tensor.id] = graph.constants[tensor.id]
+        elif tensor.is_constant:
+            # Runtime-constant input used directly by the main graph.
+            if all(t.id != tensor.id for t in lowered.weight_tensors):
+                lowered.weight_tensors.append(tensor)
+        else:
+            lowered.input_tensors.append(tensor)
+    lowered.output_tensors = list(graph.outputs)
+    for tensor in graph.all_tensors():
+        lowered.buffer_shapes[tensor.id] = physical_shape(tensor)
+    if init_graph is not None:
+        for tensor in init_graph.all_tensors():
+            lowered.buffer_shapes[tensor.id] = physical_shape(tensor)

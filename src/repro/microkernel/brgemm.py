@@ -1,0 +1,95 @@
+"""The batch-reduce GEMM microkernel.
+
+Interface follows LIBXSMM / TPP and the paper's Figure 2:
+
+    C[0:MB, 0:NB] += sum over bs of A[bs] x B[bs]
+
+where A is a batch of ``[MB, KB]`` blocks and B a batch of ``[NB, KB]``
+blocks in the blocked-B layout (``b_transposed=True``) or ``[KB, NB]``
+blocks in plain layout.  Int8 inputs accumulate in int32 (VNNI semantics);
+floating inputs accumulate in float32.
+
+The compiler only chooses block sizes and batch; everything inside this call
+is the "expert-tuned" black box the hybrid approach relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+def batch_reduce_gemm(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    b_transposed: bool = True,
+    initialize: bool = False,
+) -> None:
+    """Accumulate a batch-reduce GEMM into ``c`` in place.
+
+    Args:
+        c: Accumulator block ``[MB, NB]`` (float32 or int32).
+        a: Batch of A blocks ``[BS, MB, KB]``.
+        b: Batch of B blocks — ``[BS, NB, KB]`` if ``b_transposed`` else
+            ``[BS, KB, NB]``.
+        b_transposed: Whether B blocks are in the swapped-inner blocked
+            layout (the layout the paper's templates produce).
+        initialize: Zero the accumulator first (``beta = 0`` GEMM).
+
+    Raises:
+        ExecutionError: on shape or dtype mismatches.
+    """
+    if a.ndim != 3 or b.ndim != 3:
+        raise ExecutionError(
+            f"brgemm operands must be 3-D batches, got a{a.shape} b{b.shape}"
+        )
+    if a.shape[0] != b.shape[0]:
+        raise ExecutionError(
+            f"brgemm batch mismatch: a has {a.shape[0]}, b has {b.shape[0]}"
+        )
+    mb, kb = a.shape[1], a.shape[2]
+    if b_transposed:
+        nb, kb_b = b.shape[1], b.shape[2]
+    else:
+        kb_b, nb = b.shape[1], b.shape[2]
+    if kb != kb_b:
+        raise ExecutionError(
+            f"brgemm K mismatch: a blocks [{mb},{kb}], b blocks "
+            f"{'[NB,KB]' if b_transposed else '[KB,NB]'}={list(b.shape[1:])}"
+        )
+    if c.shape != (mb, nb):
+        raise ExecutionError(
+            f"brgemm accumulator shape {c.shape} != ({mb}, {nb})"
+        )
+
+    if a.dtype in (np.int8, np.uint8):
+        if c.dtype != np.int32:
+            raise ExecutionError(
+                f"int8 brgemm needs an int32 accumulator, got {c.dtype}"
+            )
+        acc_a = a.astype(np.int32)
+        acc_b = b.astype(np.int32)
+    else:
+        if c.dtype != np.float32:
+            raise ExecutionError(
+                f"float brgemm needs a float32 accumulator, got {c.dtype}"
+            )
+        acc_a = a.astype(np.float32)
+        acc_b = b.astype(np.float32)
+
+    if b_transposed:
+        partial = np.einsum("bmk,bnk->mn", acc_a, acc_b)
+    else:
+        partial = np.einsum("bmk,bkn->mn", acc_a, acc_b)
+
+    if initialize:
+        c[...] = partial.astype(c.dtype)
+    else:
+        c += partial.astype(c.dtype)
+
+
+def brgemm_flops(mb: int, nb: int, kb: int, batch: int) -> int:
+    """Multiply-accumulate operation count of one microkernel invocation."""
+    return 2 * mb * nb * kb * batch

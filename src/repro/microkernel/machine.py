@@ -1,0 +1,117 @@
+"""CPU machine model.
+
+Describes the hardware facts the compiler's heuristics and the performance
+model need: core count, per-dtype compute throughput, the cache hierarchy
+and the overhead constants (parallel-region barrier, library call).  The
+default instance approximates the Intel Xeon Platinum 8358 (Ice Lake SP,
+32 cores, AVX-512 + VNNI) used in the paper's evaluation.
+
+The absolute numbers matter less than the ratios between them; the
+performance model reproduces the *shape* of the paper's results (who wins,
+by what factor) from these ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..dtypes import DType
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data cache hierarchy.
+
+    Attributes:
+        name: ``"L1"``, ``"L2"``, ``"L3"`` or ``"DRAM"``.
+        size_bytes: Capacity; per core for private levels, total for shared.
+        bandwidth_bytes_per_cycle: Sustained load bandwidth per core when
+            data resides at this level.
+        shared: Whether the level is shared among all cores.
+    """
+
+    name: str
+    size_bytes: int
+    bandwidth_bytes_per_cycle: float
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """The target CPU, as seen by heuristics and the performance model."""
+
+    name: str
+    num_cores: int
+    frequency_hz: float
+    #: Peak multiply-accumulate throughput per core per cycle, by dtype.
+    flops_per_cycle: Dict[DType, float]
+    #: Vector register width in bytes (AVX-512: 64).
+    vector_bytes: int
+    #: Number of architectural vector registers (zmm0-31).
+    num_vector_registers: int
+    #: Cache hierarchy ordered fastest-first, ending with DRAM.
+    caches: Tuple[CacheLevel, ...]
+    #: Cycles for one parallel-region launch/teardown across all cores
+    #: (fork-join barrier plus per-region cache and thread ramp).
+    barrier_cycles: float
+    #: Cycles of framework/library overhead per primitive API call
+    #: (argument checking, dispatch, scratchpad setup).
+    api_call_cycles: float
+
+    def cache(self, name: str) -> CacheLevel:
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise KeyError(f"machine {self.name} has no cache level {name!r}")
+
+    @property
+    def l1(self) -> CacheLevel:
+        return self.caches[0]
+
+    @property
+    def dram(self) -> CacheLevel:
+        return self.caches[-1]
+
+    def vector_lanes(self, dtype: DType) -> int:
+        """SIMD lanes per vector register for a dtype."""
+        return self.vector_bytes // dtype.size
+
+    def peak_flops(self, dtype: DType) -> float:
+        """Machine-wide peak multiply-accumulate ops per second."""
+        return (
+            self.flops_per_cycle[dtype] * self.num_cores * self.frequency_hz
+        )
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.frequency_hz
+
+
+#: Approximation of the Intel Xeon Platinum 8358 used in the paper.
+#:
+#: * 32 cores, 2.6 GHz nominal.
+#: * AVX-512 fp32: 2 FMA units x 16 lanes x 2 ops  = 64 flops/cycle/core.
+#: * VNNI int8: 4x the fp32 MAC rate               = 256 ops/cycle/core.
+#: * 48 KiB L1D and 1.25 MiB L2 per core, 48 MiB shared L3.
+#: * DRAM: 8-channel DDR4-3200, ~200 GB/s machine-wide; expressed per core.
+XEON_8358 = MachineModel(
+    name="xeon-8358",
+    num_cores=32,
+    frequency_hz=2.6e9,
+    flops_per_cycle={
+        DType.f32: 64.0,
+        DType.bf16: 128.0,
+        DType.s8: 256.0,
+        DType.u8: 256.0,
+    },
+    vector_bytes=64,
+    num_vector_registers=32,
+    caches=(
+        CacheLevel("L1", 48 * 1024, 128.0),
+        CacheLevel("L2", 1280 * 1024, 48.0),
+        CacheLevel("L3", 48 * 1024 * 1024, 16.0, shared=True),
+        CacheLevel("DRAM", 1 << 62, 2.4, shared=True),
+    ),
+    barrier_cycles=12000.0,
+    api_call_cycles=2500.0,
+)

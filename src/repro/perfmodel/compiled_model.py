@@ -1,0 +1,214 @@
+"""Kernel specs for compiled partitions.
+
+Walks the fusion plan the compiler produced and derives one
+:class:`KernelSpec` per fused op / standalone op, charging exactly the
+costs the compiled code structure implies:
+
+* padded matmul flops at the modeled microkernel efficiency;
+* operand traffic priced by cache residency (blocked weights are warm
+  after the first execution);
+* fused post-ops as in-cache element-wise work on tensor slices — no
+  intermediate tensor materialization;
+* one parallel-region launch per fused op, downgraded to a light subgroup
+  sync for members of a coarse-grain-merged group;
+* a single partition-level dispatch overhead instead of one per primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..dtypes import accumulator_dtype
+from ..graph_ir.fused_op import FusedMatmul, OperandMode, StandaloneOp
+from ..graph_ir.logical_tensor import LogicalTensor
+from ..graph_ir.op_registry import get_schema
+from ..microkernel.machine import MachineModel
+from ..templates.cost_model import (
+    load_balance_efficiency,
+    microkernel_efficiency,
+    unaligned_k_efficiency,
+)
+from .timing import KernelSpec, TensorAccess
+
+#: Element-wise op kinds priced at the transcendental rate.
+TRANSCENDENTAL_KINDS = {
+    "exp",
+    "tanh",
+    "erf",
+    "sigmoid",
+    "log",
+    "sqrt",
+    "rsqrt",
+    "div",
+}
+
+
+def _key(tensor: LogicalTensor) -> str:
+    return f"t{tensor.id}_{tensor.name}"
+
+
+def _physical_bytes(tensor: LogicalTensor) -> int:
+    return tensor.layout.num_elements(tensor.shape) * tensor.dtype.size
+
+
+def specs_for_partition(
+    partition, machine: MachineModel
+) -> Tuple[List[KernelSpec], List[Tuple[str, int]]]:
+    """(kernel specs, warm set) for one compiled partition execution.
+
+    The warm set lists (tensor key, bytes) for cached constants — blocked
+    weights and compensation the init function produced — which a
+    steady-state measurement should pre-load into the simulator.
+    """
+    lowered = partition.lowered
+    ctx = lowered.ctx
+    plan = ctx.fusion_plan
+    machine_specs: List[KernelSpec] = []
+
+    warm: List[Tuple[str, int]] = []
+    for tensor in lowered.cached_tensors + [
+        t
+        for t in lowered.graph.inputs
+        if t.is_constant and t.id in lowered.const_data
+    ]:
+        warm.append((_key(tensor), _physical_bytes(tensor)))
+
+    # Partition dispatch: one API-call overhead per execution (the paper:
+    # "the compiled code needs only to be called one time").
+    machine_specs.append(
+        KernelSpec(name="partition_dispatch", launches=0, api_calls=1)
+    )
+
+    previous_tag = object()
+    previous_item = None
+    previous_spec = None
+    for item in plan.items:
+        if isinstance(item, FusedMatmul):
+            spec = _fused_matmul_spec(item, machine)
+            if item.merge_tag is not None and item.merge_tag == previous_tag:
+                spec.launches = 0
+                spec.light_syncs = 1
+                _apply_merge_locality(previous_item, previous_spec, item, spec)
+            previous_tag = item.merge_tag
+        else:
+            spec = _standalone_spec(item)
+            previous_tag = object()
+        machine_specs.append(spec)
+        previous_item, previous_spec = item, spec
+    return machine_specs, warm
+
+
+def _apply_merge_locality(
+    prev_item, prev_spec: KernelSpec, item: FusedMatmul, spec: KernelSpec
+) -> None:
+    """Merged loops keep the chained intermediate in core-local cache.
+
+    When a merged member consumes the previous member's output, the value
+    never round-trips through shared cache or memory: the producing loop
+    body writes a slice and the consuming body reads it while hot.  Re-hint
+    both accesses to L2 ("permits the activation data to be in the fastest
+    cache for the next matmul op").
+    """
+    if not isinstance(prev_item, FusedMatmul):
+        return
+    key = _key(prev_item.output)
+    prev_spec.writes = [
+        TensorAccess(a.tensor, a.nbytes, "L1") if a.tensor == key else a
+        for a in prev_spec.writes
+    ]
+    spec.reads = [
+        TensorAccess(a.tensor, a.nbytes, "L1") if a.tensor == key else a
+        for a in spec.reads
+    ]
+
+
+def _fused_matmul_spec(fused: FusedMatmul, machine: MachineModel) -> KernelSpec:
+    p = fused.params
+    dtype = fused.a.dtype
+    a_shape = fused.a.shape
+    orig_k = a_shape[-2] if fused.transpose_a else a_shape[-1]
+    out = fused.output
+    m_logical, n_logical = fused.matmul.outputs[0].shape[-2:]
+
+    efficiency = microkernel_efficiency(
+        p.mb, p.nb, p.kb, p.bs, dtype, machine
+    ) * unaligned_k_efficiency(orig_k, dtype, expert_tail_handling=False)
+    spec = KernelSpec(
+        name=fused.name,
+        flops=2.0 * p.batch * p.m * p.n * p.k,
+        dtype=dtype,
+        efficiency=efficiency,
+        balance=load_balance_efficiency(p, machine),
+        parallel_tasks=p.num_cores_used * p.batch,
+    )
+    # Operand traffic.
+    spec.reads.append(TensorAccess(_key(fused.a), _physical_bytes(fused.a)))
+    if fused.a_mode is OperandMode.PACK_FULL:
+        # A separate packing pass: write + re-read the blocked copy.
+        blocked_bytes = p.batch * p.m * p.k * fused.a.dtype.size
+        spec.writes.append(TensorAccess(f"{_key(fused.a)}_blk", blocked_bytes))
+        spec.reads.append(TensorAccess(f"{_key(fused.a)}_blk", blocked_bytes))
+    if fused.a_mode is not OperandMode.BLOCKED:
+        # Packing work (shuffles) for the A reorder, full or slice-fused.
+        spec.eltwise_elems += float(p.batch * p.m * p.k)
+    # PACK_SLICE: the fused reorder works on L1-resident slices; the only
+    # traffic is the A read already charged.
+    spec.reads.append(TensorAccess(_key(fused.b), _physical_bytes(fused.b)))
+    if fused.b_mode is OperandMode.PACK_FULL:
+        blocked_bytes = p.k * p.n * fused.b.dtype.size
+        for d in fused.b.shape[:-2]:
+            blocked_bytes *= d
+        spec.writes.append(TensorAccess(f"{_key(fused.b)}_blk", blocked_bytes))
+        spec.reads.append(TensorAccess(f"{_key(fused.b)}_blk", blocked_bytes))
+
+    # Fused post-ops: element-wise work on cache-resident slices.
+    elements = float(p.batch * m_logical * n_logical)
+    for op in fused.post_ops:
+        schema = get_schema(op.kind)
+        if schema.is_reduction:
+            spec.eltwise_elems += elements
+        elif op.kind in TRANSCENDENTAL_KINDS:
+            spec.transcendental_elems += elements
+        else:
+            spec.eltwise_elems += elements
+        for operand in op.inputs:
+            if operand.id in fused.internal_tensor_ids():
+                continue
+            if operand.id in (fused.a.id, fused.b.id):
+                continue
+            if operand.id == fused.matmul.outputs[0].id:
+                continue
+            spec.reads.append(
+                TensorAccess(_key(operand), _physical_bytes(operand))
+            )
+    if fused.post_ops:
+        # The fused chain touches each slice once more through L1.
+        spec.reads.append(
+            TensorAccess(f"{fused.name}_slices", int(elements) * 4, hint="L1")
+        )
+    spec.writes.append(TensorAccess(_key(out), _physical_bytes(out)))
+
+    if p.kind.value == "k_sliced":
+        # Partial-result combine: one more parallel region and a pass over
+        # the KPN partial C planes.
+        spec.launches += 1
+        acc_bytes = p.kpn * p.m * p.n * accumulator_dtype(dtype).size
+        spec.reads.append(TensorAccess(f"{fused.name}_partials", acc_bytes))
+        spec.eltwise_elems += float(p.kpn * p.m * p.n)
+    return spec
+
+
+def _standalone_spec(item: StandaloneOp) -> KernelSpec:
+    op = item.op
+    schema = get_schema(op.kind)
+    out = op.outputs[0]
+    elements = float(out.num_elements)
+    spec = KernelSpec(name=item.name, dtype=out.dtype)
+    if op.kind in TRANSCENDENTAL_KINDS:
+        spec.transcendental_elems += elements
+    else:
+        spec.eltwise_elems += elements
+    for operand in op.inputs:
+        spec.reads.append(TensorAccess(_key(operand), _physical_bytes(operand)))
+    spec.writes.append(TensorAccess(_key(out), _physical_bytes(out)))
+    return spec

@@ -1,0 +1,48 @@
+"""Benchmark reporting helpers: paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_speedup_table(
+    title: str,
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+) -> str:
+    """Render rows of benchmark results as an aligned text table."""
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = [title, ""]
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[column])
+                for cell, column in zip(cells, columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional speedup aggregate."""
+    if not values:
+        return float("nan")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

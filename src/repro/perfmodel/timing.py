@@ -1,0 +1,229 @@
+"""Kernel specs and the machine timing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dtypes import DType
+from ..microkernel.machine import MachineModel
+
+#: Throughput of cheap element-wise ops, elements per cycle per core
+#: (one AVX-512 vector per cycle).
+_ELTWISE_LANES = 16.0
+#: Transcendental ops (exp, tanh, erf) cost roughly this many times more.
+TRANSCENDENTAL_FACTOR = 4.0
+#: A subgroup sync (merged-loop member boundary) costs this fraction of a
+#: full parallel-region launch barrier.
+LIGHT_SYNC_FRACTION = 0.125
+#: Fraction of a private cache level usefully retaining tensors across
+#: parallel regions (work decompositions shift between kernels).
+RESIDENCY_UTILIZATION = 0.5
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """One tensor's traffic within a kernel.
+
+    ``hint`` forces the charge to a cache level regardless of residency —
+    used for fused tensor-slice traffic that stays in L1/L2 by
+    construction (the anchor locality argument of the paper's Figure 3).
+    """
+
+    tensor: str
+    nbytes: int
+    hint: Optional[str] = None
+
+
+@dataclass
+class KernelSpec:
+    """Cost description of one kernel launch (or merged-group member)."""
+
+    name: str
+    flops: float = 0.0  # multiply-accumulate ops x2 (matmul work)
+    dtype: DType = DType.f32
+    #: Cheap element-wise element-operations (relu, add, ...).
+    eltwise_elems: float = 0.0
+    #: Transcendental element-operations (exp, tanh, erf, div counts here).
+    transcendental_elems: float = 0.0
+    efficiency: float = 1.0  # microkernel x alignment (applied to flops)
+    balance: float = 1.0  # load-balance efficiency of the decomposition
+    parallel_tasks: int = 1
+    reads: List[TensorAccess] = field(default_factory=list)
+    writes: List[TensorAccess] = field(default_factory=list)
+    launches: int = 1  # full parallel-region launches
+    light_syncs: int = 0  # subgroup syncs inside a merged region
+    api_calls: int = 0  # library dispatch overheads (baseline primitives)
+
+
+@dataclass
+class KernelTiming:
+    name: str
+    compute_cycles: float
+    memory_cycles: float
+    overhead_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        # Compute and cross-cache traffic are summed rather than
+        # overlapped: the microkernel efficiency already folds in the
+        # well-prefetched streaming of its own L1/L2 slices, so the memory
+        # term here is the residual traffic from farther levels, which
+        # stalls the cores largely serially.
+        return (
+            self.compute_cycles + self.memory_cycles + self.overhead_cycles
+        )
+
+
+@dataclass
+class ScheduleTiming:
+    kernels: List[KernelTiming]
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(k.total_cycles for k in self.kernels)
+
+    def seconds(self, machine: MachineModel) -> float:
+        return machine.cycles_to_seconds(self.total_cycles)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {k.name: k.total_cycles for k in self.kernels}
+
+
+class MachineSimulator:
+    """Prices kernel schedules with cache-residency tracking.
+
+    Residency levels are L2 (aggregate over private slices), L3 and DRAM;
+    L1 is too small to keep tensors across kernels but can be *hinted* for
+    fused slice traffic.  Tensors are tracked LRU per level; a kernel's
+    reads are charged at the level currently holding the tensor, after
+    which the tensor (and the kernel's writes) become resident at the
+    fastest level with room.
+    """
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+        self._levels = [c.name for c in machine.caches]
+        #: tensor -> (level index, bytes), plus LRU order per level.
+        self._resident: Dict[str, Tuple[int, int]] = {}
+        self._lru: Dict[int, List[str]] = {
+            i: [] for i in range(len(machine.caches))
+        }
+
+    # -- cache state -------------------------------------------------------------
+
+    def _capacity(self, level_index: int) -> int:
+        level = self.machine.caches[level_index]
+        if level.shared:
+            return level.size_bytes
+        # Private levels only half-retain tensors across parallel regions:
+        # successive kernels decompose work differently, so part of a
+        # "resident" tensor sits in the wrong core's slice.
+        return int(level.size_bytes * self.machine.num_cores * RESIDENCY_UTILIZATION)
+
+    def _level_of(self, tensor: str) -> int:
+        if tensor in self._resident:
+            return self._resident[tensor][0]
+        return len(self.machine.caches) - 1  # DRAM
+
+    def _touch(self, tensor: str, nbytes: int) -> None:
+        """Promote a tensor to the fastest level it fits (>= L2)."""
+        self._evict_entry(tensor)
+        # Start at L2 (index 1): L1 does not persist across kernels.
+        start = min(1, len(self.machine.caches) - 1)
+        for idx in range(start, len(self.machine.caches)):
+            if nbytes <= self._capacity(idx):
+                self._insert(tensor, nbytes, idx)
+                return
+        self._insert(tensor, nbytes, len(self.machine.caches) - 1)
+
+    def _insert(self, tensor: str, nbytes: int, idx: int) -> None:
+        self._resident[tensor] = (idx, nbytes)
+        self._lru[idx].append(tensor)
+        self._rebalance(idx)
+
+    def _rebalance(self, idx: int) -> None:
+        if idx >= len(self.machine.caches) - 1:
+            return
+        used = sum(
+            self._resident[t][1] for t in self._lru[idx]
+        )
+        while used > self._capacity(idx) and len(self._lru[idx]) > 1:
+            victim = self._lru[idx].pop(0)
+            _, nbytes = self._resident[victim]
+            used -= nbytes
+            self._resident[victim] = (idx + 1, nbytes)
+            self._lru[idx + 1].append(victim)
+            self._rebalance(idx + 1)
+
+    def _evict_entry(self, tensor: str) -> None:
+        if tensor in self._resident:
+            idx, _ = self._resident.pop(tensor)
+            if tensor in self._lru[idx]:
+                self._lru[idx].remove(tensor)
+
+    def warm(self, tensor: str, nbytes: int) -> None:
+        """Mark a tensor resident (e.g. cached weights in steady state)."""
+        self._touch(tensor, nbytes)
+
+    def level_name_of(self, tensor: str) -> str:
+        return self._levels[self._level_of(tensor)]
+
+    # -- pricing -------------------------------------------------------------------
+
+    def _bytes_cycles(self, access: TensorAccess) -> float:
+        if access.hint is not None:
+            level = self.machine.cache(access.hint)
+        else:
+            level = self.machine.caches[self._level_of(access.tensor)]
+        per_core_bw = level.bandwidth_bytes_per_cycle
+        return access.nbytes / (per_core_bw * self.machine.num_cores)
+
+    def run(self, spec: KernelSpec) -> KernelTiming:
+        machine = self.machine
+        cores = machine.num_cores
+        # Compute: matmul flops at modeled efficiency + element-wise work.
+        compute = 0.0
+        if spec.flops:
+            peak = machine.flops_per_cycle[spec.dtype] * cores
+            compute += spec.flops / (
+                peak * max(spec.efficiency, 1e-6) * max(spec.balance, 1e-6)
+            )
+        if spec.eltwise_elems:
+            compute += spec.eltwise_elems / (
+                _ELTWISE_LANES * cores * max(spec.balance, 1e-6)
+            )
+        if spec.transcendental_elems:
+            compute += (
+                spec.transcendental_elems
+                * TRANSCENDENTAL_FACTOR
+                / (_ELTWISE_LANES * cores * max(spec.balance, 1e-6))
+            )
+        # Memory: reads priced at current residency, then state updated.
+        memory = 0.0
+        for access in spec.reads:
+            memory += self._bytes_cycles(access)
+            if access.hint is None:
+                self._touch(access.tensor, access.nbytes)
+        for access in spec.writes:
+            memory += self._bytes_cycles(
+                TensorAccess(access.tensor, access.nbytes, access.hint or "L2")
+                if access.nbytes <= self._capacity(1)
+                else access
+            )
+            if access.hint is None:
+                self._touch(access.tensor, access.nbytes)
+        overhead = (
+            spec.launches * machine.barrier_cycles
+            + spec.light_syncs * machine.barrier_cycles * LIGHT_SYNC_FRACTION
+            + spec.api_calls * machine.api_call_cycles
+        )
+        return KernelTiming(
+            name=spec.name,
+            compute_cycles=compute,
+            memory_cycles=memory,
+            overhead_cycles=overhead,
+        )
+
+    def run_all(self, specs: List[KernelSpec]) -> ScheduleTiming:
+        return ScheduleTiming(kernels=[self.run(s) for s in specs])

@@ -1,0 +1,13 @@
+"""Runtime: Tensor IR interpreter, memory arena and compiled partitions.
+
+In the paper, Tensor IR is lowered to LLVM IR plus microkernel calls.  Here
+the same Tensor IR is executed by an interpreter: loops over block indices
+run in Python while slice-level statements and microkernel calls execute
+vectorized in numpy.  All compiler decisions (fusion, layout, blocking,
+buffer reuse) are taken *before* this stage, so interpreting the IR
+exercises exactly the code structure the paper generates.
+"""
+
+from .interpreter import ExecutionStats, Interpreter
+
+__all__ = ["ExecutionStats", "Interpreter"]

@@ -1,0 +1,461 @@
+"""Tensor IR interpreter.
+
+Executes a :class:`~repro.tensor_ir.module.TirModule` against numpy buffers.
+Parallel loops run serially (their decomposition is still faithful — each
+iteration only touches its own slices, which tests assert); the performance
+model separately charges their synchronization cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError, TensorIRError
+from ..graph_ir.op_registry import OP_REGISTRY
+from ..microkernel.brgemm import batch_reduce_gemm
+from ..tensor_ir.expr import evaluate
+from ..tensor_ir.function import TirFunction
+from ..tensor_ir.module import TirModule
+from ..tensor_ir.stmt import (
+    Alloc,
+    Assign,
+    Barrier,
+    BrgemmCall,
+    Call,
+    Compute,
+    Copy,
+    Fill,
+    For,
+    Free,
+    Pack,
+    Seq,
+    SliceRef,
+    Stmt,
+    Unpack,
+)
+
+
+@dataclass
+class ExecutionStats:
+    """Counters collected while interpreting a module."""
+
+    brgemm_calls: int = 0
+    compute_stmts: int = 0
+    pack_stmts: int = 0
+    barriers: int = 0
+    parallel_loops: int = 0
+    function_calls: int = 0
+    peak_temp_bytes: int = 0
+    _live_temp_bytes: int = 0
+
+    def note_alloc(self, nbytes: int) -> None:
+        self._live_temp_bytes += nbytes
+        self.peak_temp_bytes = max(self.peak_temp_bytes, self._live_temp_bytes)
+
+    def note_free(self, nbytes: int) -> None:
+        self._live_temp_bytes = max(0, self._live_temp_bytes - nbytes)
+
+
+class _Frame:
+    """Execution state of one function invocation."""
+
+    def __init__(self) -> None:
+        self.tensors: Dict[str, np.ndarray] = {}
+        self.scalars: Dict[str, int] = {}
+        self.alloc_bytes: Dict[str, int] = {}
+        #: Buffers flagged thread_local by their Alloc (per-iteration
+        #: scratch): parallel iterations get private copies.
+        self.thread_local_names: set = set()
+
+    def fork(self) -> "_Frame":
+        """Per-thread copy for one parallel-loop iteration.
+
+        Buffers are shared (iterations touch disjoint slices by template
+        construction); scalar bindings and allocation bookkeeping are
+        private so concurrent iterations don't clobber loop indices or
+        thread-local accumulators.
+        """
+        child = _Frame()
+        child.tensors = dict(self.tensors)
+        child.scalars = dict(self.scalars)
+        child.alloc_bytes = {}
+        child.thread_local_names = set(self.thread_local_names)
+        for name in self.thread_local_names:
+            if name in child.tensors:
+                child.tensors[name] = np.zeros_like(child.tensors[name])
+        return child
+
+
+class Interpreter:
+    """Executes Tensor IR functions.
+
+    With ``num_threads > 1``, outermost parallel loops run their iterations
+    on a thread pool — numpy kernels release the GIL, so the interpreter's
+    parallel loops genuinely use multiple cores, mirroring the parallel
+    regions the generated code expresses.  Execution remains deterministic:
+    iterations write disjoint slices by construction.
+    """
+
+    def __init__(
+        self,
+        module: TirModule,
+        arena_size: Optional[int] = None,
+        num_threads: int = 1,
+    ):
+        self.module = module
+        self.stats = ExecutionStats()
+        self.num_threads = max(1, int(num_threads))
+        self._stats_lock = threading.Lock()
+        self._parallel_depth = threading.local()
+        #: Shared arena backing temporaries placed by buffer-reuse planning.
+        self._arena = (
+            np.zeros(arena_size, dtype=np.uint8) if arena_size else None
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self,
+        buffers: Dict[str, np.ndarray],
+        func_name: Optional[str] = None,
+    ) -> None:
+        """Execute a function (default: the entry) in place on ``buffers``."""
+        name = func_name or self.module.entry
+        func = self.module.get(name)
+        frame = _Frame()
+        for param in func.params:
+            if param.name not in buffers:
+                raise ExecutionError(
+                    f"missing buffer {param.name!r} for function {name}"
+                )
+            array = buffers[param.name]
+            if tuple(array.shape) != param.shape:
+                raise ExecutionError(
+                    f"buffer {param.name!r} has shape {array.shape}, "
+                    f"function {name} expects {param.shape}"
+                )
+            frame.tensors[param.name] = array
+        self._exec(func.body, frame)
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def _exec(self, stmt: Stmt, frame: _Frame) -> None:
+        if isinstance(stmt, Seq):
+            for child in stmt.body:
+                self._exec(child, frame)
+        elif isinstance(stmt, For):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, Assign):
+            frame.scalars[stmt.var] = evaluate(stmt.value, frame.scalars)
+        elif isinstance(stmt, Alloc):
+            self._exec_alloc(stmt, frame)
+        elif isinstance(stmt, Free):
+            if stmt.tensor in frame.alloc_bytes:
+                with self._stats_lock:
+                    self.stats.note_free(frame.alloc_bytes.pop(stmt.tensor))
+            frame.tensors.pop(stmt.tensor, None)
+        elif isinstance(stmt, Fill):
+            self._view(stmt.dst, frame)[...] = stmt.value
+        elif isinstance(stmt, Compute):
+            self._exec_compute(stmt, frame)
+        elif isinstance(stmt, Copy):
+            dst = self._view(stmt.dst, frame)
+            src = self._view(stmt.src, frame)
+            if dst.size != src.size:
+                raise ExecutionError(
+                    f"copy size mismatch: {dst.shape} <- {src.shape}"
+                )
+            dst[...] = src.reshape(dst.shape)
+        elif isinstance(stmt, Pack):
+            self._exec_pack(stmt, frame)
+        elif isinstance(stmt, Unpack):
+            self._exec_unpack(stmt, frame)
+        elif isinstance(stmt, BrgemmCall):
+            self._exec_brgemm(stmt, frame)
+        elif isinstance(stmt, Call):
+            self._exec_call(stmt, frame)
+        elif isinstance(stmt, Barrier):
+            with self._stats_lock:
+                self.stats.barriers += 1
+        else:
+            raise TensorIRError(f"unknown statement {type(stmt).__name__}")
+
+    def _exec_for(self, stmt: For, frame: _Frame) -> None:
+        begin = evaluate(stmt.begin, frame.scalars)
+        end = evaluate(stmt.end, frame.scalars)
+        step = evaluate(stmt.step, frame.scalars)
+        if step <= 0:
+            raise TensorIRError(f"loop {stmt.var} has non-positive step")
+        if stmt.parallel:
+            with self._stats_lock:
+                self.stats.parallel_loops += 1
+            values = range(begin, end, step)
+            nested = getattr(self._parallel_depth, "value", 0) > 0
+            if self.num_threads > 1 and len(values) > 1 and not nested:
+                self._exec_parallel(stmt, frame, values)
+                return
+        for value in range(begin, end, step):
+            frame.scalars[stmt.var] = value
+            self._exec(stmt.body, frame)
+
+    def _exec_parallel(self, stmt: For, frame: _Frame, values) -> None:
+        """Run a parallel loop's iterations on a thread pool (joined at the
+        end — the loop is a barrier, as the performance model assumes)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        def body(value: int) -> None:
+            self._parallel_depth.value = 1
+            try:
+                child = frame.fork()
+                child.scalars[stmt.var] = value
+                self._exec(stmt.body, child)
+            finally:
+                self._parallel_depth.value = 0
+
+        workers = min(self.num_threads, len(values))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for result in pool.map(body, values):
+                pass  # propagate exceptions
+
+    def _exec_alloc(self, stmt: Alloc, frame: _Frame) -> None:
+        dtype = stmt.dtype.to_numpy()
+        count = 1
+        for s in stmt.shape:
+            count *= s
+        nbytes = count * dtype.itemsize
+        if stmt.arena_offset is not None and self._arena is not None:
+            end = stmt.arena_offset + nbytes
+            if end > self._arena.nbytes:
+                raise ExecutionError(
+                    f"arena overflow allocating {stmt.tensor}: needs "
+                    f"{end} bytes, arena has {self._arena.nbytes}"
+                )
+            view = self._arena[stmt.arena_offset : end].view(dtype)
+            frame.tensors[stmt.tensor] = view.reshape(stmt.shape)
+        else:
+            frame.tensors[stmt.tensor] = np.zeros(stmt.shape, dtype=dtype)
+        frame.alloc_bytes[stmt.tensor] = nbytes
+        if stmt.thread_local:
+            frame.thread_local_names.add(stmt.tensor)
+        with self._stats_lock:
+            self.stats.note_alloc(nbytes)
+
+    def _exec_compute(self, stmt: Compute, frame: _Frame) -> None:
+        with self._stats_lock:
+            self.stats.compute_stmts += 1
+        schema = OP_REGISTRY.get(stmt.op)
+        if schema is None:
+            raise TensorIRError(f"compute references unknown op {stmt.op!r}")
+        dst = self._view(stmt.dst, frame)
+        srcs = [
+            self._view(s, frame) if isinstance(s, SliceRef) else np.float32(s)
+            for s in stmt.srcs
+        ]
+        attrs = {k: v for k, v in stmt.attrs.items() if k != "accumulate"}
+        # Padded rows/columns may hold garbage that post-ops map to inf/nan;
+        # those lanes are cropped before results become visible, so numeric
+        # warnings from them are suppressed (hardware is silent about them
+        # too).
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            return self._run_compute(stmt, schema, dst, srcs, attrs)
+
+    def _run_compute(self, stmt, schema, dst, srcs, attrs) -> None:
+        if schema.is_reduction:
+            # Reduction over slice axes; the source keeps its slice shape.
+            result = schema.reference([srcs[0]], attrs)[0]
+        elif not schema.is_elementwise:
+            # Data movement / complex kernels (reshape, transpose, im2col,
+            # softmax, ...): run on the raw slices, then pour the result
+            # into the destination shape.
+            result = np.asarray(
+                schema.reference([np.asarray(s) for s in srcs], attrs)[0]
+            )
+            if result.size != dst.size:
+                raise ExecutionError(
+                    f"compute {stmt.op}: result has {result.size} elements "
+                    f"for a destination of {dst.size}"
+                )
+            dst[...] = result.reshape(dst.shape).astype(dst.dtype)
+            return
+        else:
+            # Element-wise: squeeze sources against the dst shape via numpy
+            # broadcasting.
+            arrays = [np.asarray(s) for s in srcs]
+            shaped = []
+            for arr in arrays:
+                if arr.ndim > dst.ndim:
+                    # Drop leading length-1 dims (slice [i:1, ...] semantics).
+                    lead = arr.ndim - dst.ndim
+                    if any(d != 1 for d in arr.shape[:lead]):
+                        raise ExecutionError(
+                            f"compute {stmt.op}: cannot align source shape "
+                            f"{arr.shape} to destination {dst.shape}"
+                        )
+                    arr = arr.reshape(arr.shape[lead:])
+                shaped.append(arr)
+            result = schema.reference(shaped, attrs)[0]
+        result = np.asarray(result)
+        if result.ndim > dst.ndim and all(
+            d == 1 for d in result.shape[: result.ndim - dst.ndim]
+        ):
+            result = result.reshape(result.shape[result.ndim - dst.ndim :])
+        if stmt.attrs.get("accumulate"):
+            acc_op = stmt.attrs.get("accumulate")
+            if acc_op in (True, "add"):
+                dst[...] = dst + result.astype(dst.dtype)
+            elif acc_op == "max":
+                np.maximum(dst, result.astype(dst.dtype), out=dst)
+            else:
+                raise TensorIRError(f"unknown accumulate mode {acc_op!r}")
+        else:
+            dst[...] = np.broadcast_to(result, dst.shape).astype(dst.dtype)
+
+    def _exec_pack(self, stmt: Pack, frame: _Frame) -> None:
+        with self._stats_lock:
+            self.stats.pack_stmts += 1
+        src = self._squeeze_to(self._view(stmt.src, frame), 2, "pack source")
+        if stmt.transpose_src:
+            src = src.T
+        dst = self._view(stmt.dst, frame)
+        b1, b2 = stmt.block_sizes
+        rows, cols = src.shape
+        # Block counts come from the destination: grid padding can make the
+        # blocked buffer larger than ceil(src / block).
+        dst4 = self._squeeze_to(dst, 4, "pack destination")
+        rb, cb = dst4.shape[0], dst4.shape[1]
+        if stmt.outer_transposed:
+            rb, cb = cb, rb
+        if rb * b1 < rows or cb * b2 < cols:
+            raise ExecutionError(
+                f"pack destination {stmt.dst!r} too small for source "
+                f"({rows}x{cols} into {rb}x{b1} x {cb}x{b2})"
+            )
+        if rows != rb * b1 or cols != cb * b2:
+            padded = np.zeros((rb * b1, cb * b2), dtype=src.dtype)
+            padded[:rows, :cols] = src
+            src = padded
+        blocks = src.reshape(rb, b1, cb, b2)
+        if stmt.swap_inner:
+            blocks = blocks.transpose(0, 2, 3, 1)  # [rb, cb, b2, b1]
+        else:
+            blocks = blocks.transpose(0, 2, 1, 3)  # [rb, cb, b1, b2]
+        if stmt.outer_transposed:
+            blocks = blocks.transpose(1, 0, 2, 3)  # [cb, rb, ...]
+        if dst.size != blocks.size:
+            raise ExecutionError(
+                f"pack destination {stmt.dst!r} has {dst.size} elements, "
+                f"blocks have {blocks.size}"
+            )
+        dst[...] = blocks.reshape(dst.shape).astype(dst.dtype)
+
+    def _exec_unpack(self, stmt: Unpack, frame: _Frame) -> None:
+        with self._stats_lock:
+            self.stats.pack_stmts += 1
+        src = self._view(stmt.src, frame)
+        dst = self._squeeze_to(
+            self._view(stmt.dst, frame), 2, "unpack destination"
+        )
+        b1, b2 = stmt.block_sizes
+        rows, cols = dst.shape
+        # Block counts come from the (blocked) source so padded buffers
+        # unpack correctly; the result is cropped to the destination.
+        total_blocks = src.size // (b1 * b2)
+        rb = max(1, -(-rows // b1))
+        cb = total_blocks // rb
+        if rb * cb != total_blocks or cb * b2 < cols:
+            raise ExecutionError(
+                f"unpack geometry mismatch: {src.size} elements as "
+                f"{rb}x{cb} blocks of {b1}x{b2} for output {rows}x{cols}"
+            )
+        if stmt.swap_inner:
+            blocks = src.reshape(rb, cb, b2, b1).transpose(0, 3, 1, 2)
+        else:
+            blocks = src.reshape(rb, cb, b1, b2).transpose(0, 2, 1, 3)
+        plain = blocks.reshape(rb * b1, cb * b2)
+        dst[...] = plain[:rows, :cols].astype(dst.dtype)
+
+    def _exec_brgemm(self, stmt: BrgemmCall, frame: _Frame) -> None:
+        with self._stats_lock:
+            self.stats.brgemm_calls += 1
+        a = self._squeeze_to(self._view(stmt.a, frame), 3, "brgemm A")
+        b = self._squeeze_to(self._view(stmt.b, frame), 3, "brgemm B")
+        c = self._squeeze_to(self._view(stmt.c, frame), 2, "brgemm C")
+        if a.shape[0] != stmt.batch:
+            raise ExecutionError(
+                f"brgemm batch {stmt.batch} but A batch dim is {a.shape[0]}"
+            )
+        batch_reduce_gemm(
+            c,
+            np.ascontiguousarray(a),
+            np.ascontiguousarray(b),
+            b_transposed=stmt.b_transposed,
+            initialize=stmt.initialize,
+        )
+
+    def _exec_call(self, stmt: Call, frame: _Frame) -> None:
+        with self._stats_lock:
+            self.stats.function_calls += 1
+        func = self.module.get(stmt.func)
+        if len(stmt.args) != len(func.params):
+            raise ExecutionError(
+                f"call to {stmt.func} passes {len(stmt.args)} args, function "
+                f"takes {len(func.params)}"
+            )
+        buffers = {}
+        for arg, param in zip(stmt.args, func.params):
+            if arg not in frame.tensors:
+                raise ExecutionError(
+                    f"call to {stmt.func}: unknown buffer {arg!r}"
+                )
+            buffers[param.name] = frame.tensors[arg]
+        self.run(buffers, func_name=stmt.func)
+
+    # -- slice resolution -----------------------------------------------------------
+
+    def _view(self, ref: SliceRef, frame: _Frame) -> np.ndarray:
+        if ref.tensor not in frame.tensors:
+            raise ExecutionError(f"unknown tensor {ref.tensor!r} in slice")
+        array = frame.tensors[ref.tensor]
+        if len(ref.offsets) != array.ndim:
+            raise ExecutionError(
+                f"slice {ref!r} has {len(ref.offsets)} dims, tensor "
+                f"{ref.tensor} has {array.ndim}"
+            )
+        index = []
+        for off_expr, size, extent in zip(ref.offsets, ref.sizes, array.shape):
+            off = evaluate(off_expr, frame.scalars)
+            if off < 0 or off + size > extent:
+                raise ExecutionError(
+                    f"slice {ref!r} out of bounds: [{off}, {off + size}) "
+                    f"not within [0, {extent})"
+                )
+            index.append(slice(off, off + size))
+        return array[tuple(index)]
+
+    @staticmethod
+    def _squeeze_to(array: np.ndarray, ndim: int, what: str) -> np.ndarray:
+        """Drop length-1 dims (leftmost first) until ``ndim`` dims remain.
+
+        Slices like ``B'[ksi:BS, npsi:1, 0:NB, 0:KB]`` resolve to views with
+        interior length-1 dims; squeezing them recovers the dense
+        ``[BS, NB, KB]`` batch the microkernel consumes.
+        """
+        while array.ndim > ndim:
+            for axis, extent in enumerate(array.shape):
+                if extent == 1:
+                    array = np.squeeze(array, axis=axis)
+                    break
+            else:
+                raise ExecutionError(
+                    f"{what} has shape {array.shape}; cannot squeeze to "
+                    f"{ndim} dims"
+                )
+        if array.ndim != ndim:
+            raise ExecutionError(
+                f"{what} has shape {array.shape}; expected {ndim} dims"
+            )
+        return array

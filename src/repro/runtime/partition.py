@@ -1,0 +1,161 @@
+"""Compiled partitions: the executable artifact the compiler produces.
+
+A partition owns the main Tensor IR module, the optional init module for
+constant-weight preprocessing, and the constant cache.  The first
+execution runs the init module on the runtime-constant inputs (weights,
+quantization params) and caches the preprocessed buffers — pre-packed
+blocked weights, int8 compensation — exactly once; later executions reuse
+them, as the paper's constant weight optimization requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..lowering.lower_graph import LoweredPartition
+from .interpreter import ExecutionStats, Interpreter
+
+
+class CompiledPartition:
+    """Executable compiled DNN subgraph.
+
+    ``num_threads > 1`` executes the generated parallel loops on a thread
+    pool (numpy kernels release the GIL, so this uses real cores).
+    """
+
+    def __init__(
+        self, lowered: LoweredPartition, num_threads: int = 1
+    ) -> None:
+        self.lowered = lowered
+        self.num_threads = num_threads
+        self._cache: Optional[Dict[int, np.ndarray]] = None
+        self.last_stats: Optional[ExecutionStats] = None
+        self.init_stats: Optional[ExecutionStats] = None
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def input_names(self) -> List[str]:
+        """Activation inputs required on every call."""
+        return [t.name for t in self.lowered.input_tensors]
+
+    @property
+    def weight_names(self) -> List[str]:
+        """Runtime-constant inputs; required until the first execution."""
+        return [t.name for t in self.lowered.weight_tensors]
+
+    @property
+    def output_names(self) -> List[str]:
+        return [t.name for t in self.lowered.output_tensors]
+
+    @property
+    def is_initialized(self) -> bool:
+        return self._cache is not None or self.lowered.init_module is None
+
+    @property
+    def arena_size(self) -> int:
+        return int(
+            self.lowered.module.entry_function.attrs.get("arena_size", 0)
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self, inputs: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Run the partition; returns output name -> array.
+
+        Weights must be present in ``inputs`` for the first call (they are
+        cached); activation inputs are required on every call.
+        """
+        if self._cache is None:
+            self._cache = self._run_init(inputs)
+        lowered = self.lowered
+        buffers: Dict[str, np.ndarray] = {}
+        entry = lowered.module.entry_function
+        ordered_tensors = list(lowered.graph.inputs) + [
+            t
+            for t in lowered.graph.outputs
+            if all(t.id != i.id for i in lowered.graph.inputs)
+        ]
+        if len(ordered_tensors) != len(entry.params):
+            raise ExecutionError(
+                "entry signature mismatch: "
+                f"{len(ordered_tensors)} tensors vs {len(entry.params)} params"
+            )
+        outputs: Dict[str, np.ndarray] = {}
+        for tensor, param in zip(ordered_tensors, entry.params):
+            if any(tensor.id == o.id for o in lowered.graph.outputs):
+                array = np.zeros(param.shape, tensor.dtype.to_numpy())
+                outputs[tensor.name] = array
+            elif tensor.id in self._cache:
+                array = self._cache[tensor.id]
+            elif tensor.id in lowered.const_data:
+                array = lowered.const_data[tensor.id]
+            else:
+                array = self._fetch(inputs, tensor)
+            buffers[param.name] = array
+        interp = Interpreter(
+            lowered.module,
+            arena_size=self.arena_size or None,
+            num_threads=self.num_threads,
+        )
+        interp.run(buffers)
+        self.last_stats = interp.stats
+        return outputs
+
+    def _run_init(self, inputs: Mapping[str, np.ndarray]) -> Dict[int, np.ndarray]:
+        lowered = self.lowered
+        cache: Dict[int, np.ndarray] = {}
+        # Weights consumed directly by the main graph are cached as-is.
+        for tensor in lowered.weight_tensors:
+            cache[tensor.id] = np.array(
+                self._fetch(inputs, tensor), copy=True
+            )
+        if lowered.init_module is None:
+            return cache
+        init_graph = lowered.init_graph
+        entry = lowered.init_module.entry_function
+        ordered = list(init_graph.inputs) + [
+            t
+            for t in init_graph.outputs
+            if all(t.id != i.id for i in init_graph.inputs)
+        ]
+        buffers: Dict[str, np.ndarray] = {}
+        for tensor, param in zip(ordered, entry.params):
+            if any(tensor.id == o.id for o in init_graph.outputs):
+                array = np.zeros(param.shape, tensor.dtype.to_numpy())
+                cache[tensor.id] = array
+            elif tensor.id in lowered.const_data:
+                array = lowered.const_data[tensor.id]
+            elif tensor.id in cache:
+                array = cache[tensor.id]
+            else:
+                array = self._fetch(inputs, tensor)
+            buffers[param.name] = array
+        interp = Interpreter(lowered.init_module)
+        interp.run(buffers)
+        self.init_stats = interp.stats
+        return cache
+
+    def _fetch(self, inputs: Mapping[str, np.ndarray], tensor) -> np.ndarray:
+        if tensor.name not in inputs:
+            raise ExecutionError(
+                f"missing input {tensor.name!r} "
+                f"(required: {self.input_names + self.weight_names})"
+            )
+        array = np.ascontiguousarray(inputs[tensor.name])
+        if tuple(array.shape) != tensor.shape:
+            raise ExecutionError(
+                f"input {tensor.name!r} has shape {array.shape}, expected "
+                f"{tensor.shape}"
+            )
+        if array.dtype != tensor.dtype.to_numpy():
+            raise ExecutionError(
+                f"input {tensor.name!r} has dtype {array.dtype}, expected "
+                f"{tensor.dtype.to_numpy()}"
+            )
+        return array

@@ -1,0 +1,36 @@
+"""Microkernel-based templates for Tunable OP lowering.
+
+A Tunable OP (matmul) is lowered by instantiating an expert-developed code
+template with parameters chosen by a heuristic (paper Figures 2 and 3):
+
+* :mod:`params` — the parameter set ``[MPN, NPN, MB, NB, KB, BS]`` and all
+  quantities derived from it (MSN, NSN, KSN, ...).
+* :mod:`anchors` — pre-op/post-op anchor points with the working-set and
+  access-count formulas of Figure 3's cost table.
+* :mod:`cost_model` — microkernel efficiency, load balance and anchor
+  memory cost estimates.
+* :mod:`heuristics` — the iterative search that picks the best parameters
+  for a given problem size and machine.
+"""
+
+from .params import MatmulParams, TemplateKind
+from .anchors import Anchor, anchor_access_times, anchor_total_accesses, anchor_working_set
+from .cost_model import (
+    estimate_matmul_cost,
+    load_balance_efficiency,
+    microkernel_efficiency,
+)
+from .heuristics import select_matmul_params
+
+__all__ = [
+    "MatmulParams",
+    "TemplateKind",
+    "Anchor",
+    "anchor_access_times",
+    "anchor_total_accesses",
+    "anchor_working_set",
+    "estimate_matmul_cost",
+    "load_balance_efficiency",
+    "microkernel_efficiency",
+    "select_matmul_params",
+]

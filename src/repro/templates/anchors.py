@@ -1,0 +1,181 @@
+"""Anchor points of the fused-op template and their cost table (Figure 3).
+
+The template carries placeholders ("anchors") at the beginning and end of
+each loop level.  Pre-op anchors work on input tensor slices, post-op
+anchors on output tensor slices.  For each anchor the paper's Figure 3
+tabulates, per core:
+
+* the tensor slice *working set* the fused op touches per visit,
+* how many times the anchor is *visited* by a single-core kernel, and
+* the resulting *total* element accesses.
+
+These formulas — implemented verbatim here — feed the fusion optimization's
+anchor-selection heuristic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import LoweringError
+from .params import MatmulParams
+
+
+class Anchor(enum.Enum):
+    """Anchor identifiers, numbered as in the paper's Figure 3."""
+
+    PRE_1 = "pre_op_anchor#1"  # before the npi parallel loop
+    PRE_2 = "pre_op_anchor#2"  # inside npi, before msi
+    PRE_3 = "pre_op_anchor#3"  # inside msi, before ksi
+    PRE_4 = "pre_op_anchor#4"  # inside ksi, before nsi
+    PRE_5 = "pre_op_anchor#5"  # inside nsi, before the microkernel
+    POST_1 = "post_op_anchor#1"  # after the msi body (per [1, NSN] C row)
+    POST_2 = "post_op_anchor#2"  # after msi loop (per-core C slice)
+    POST_3 = "post_op_anchor#3"  # after npi loop (full-N C slice)
+
+    @property
+    def is_pre(self) -> bool:
+        return self.name.startswith("PRE")
+
+    @property
+    def is_post(self) -> bool:
+        return self.name.startswith("POST")
+
+
+PRE_ANCHORS = (Anchor.PRE_1, Anchor.PRE_2, Anchor.PRE_3, Anchor.PRE_4, Anchor.PRE_5)
+POST_ANCHORS = (Anchor.POST_1, Anchor.POST_2, Anchor.POST_3)
+
+
+def anchor_working_set(
+    anchor: Anchor, params: MatmulParams, operand: str
+) -> int:
+    """Elements of the tensor slice associated with an anchor, per core.
+
+    ``operand`` is ``"a"`` or ``"b"`` for pre-op anchors and ``"c"`` for
+    post-op anchors (matching Figure 3's table rows).
+    """
+    p = params
+    if anchor.is_pre:
+        if operand == "a":
+            return {
+                Anchor.PRE_1: p.msn * p.ksn * p.mb * p.kb,
+                Anchor.PRE_2: p.msn * p.ksn * p.mb * p.kb,
+                Anchor.PRE_3: p.ksn * p.mb * p.kb,
+                Anchor.PRE_4: p.bs * p.mb * p.kb,
+                Anchor.PRE_5: p.bs * p.mb * p.kb,
+            }[anchor]
+        if operand == "b":
+            return {
+                Anchor.PRE_1: p.ksn * p.npsn * p.nb * p.kb,
+                Anchor.PRE_2: p.ksn * p.nsn * p.nb * p.kb,
+                Anchor.PRE_3: p.ksn * p.nsn * p.nb * p.kb,
+                Anchor.PRE_4: p.bs * p.nsn * p.nb * p.kb,
+                Anchor.PRE_5: p.bs * p.nb * p.kb,
+            }[anchor]
+        raise LoweringError(
+            f"pre-op anchor working set needs operand 'a' or 'b', got "
+            f"{operand!r}"
+        )
+    if operand != "c":
+        raise LoweringError(
+            f"post-op anchor working set is for operand 'c', got {operand!r}"
+        )
+    return {
+        Anchor.POST_1: p.mb * p.nsbn,
+        Anchor.POST_2: p.msbn * p.nsbn,
+        Anchor.POST_3: p.msbn * p.n,
+    }[anchor]
+
+
+def anchor_access_times(anchor: Anchor, params: MatmulParams) -> int:
+    """How many times a single-core kernel visits an anchor (Figure 3)."""
+    p = params
+    return {
+        Anchor.PRE_1: 1,
+        Anchor.PRE_2: 1,
+        Anchor.PRE_3: p.msn,
+        Anchor.PRE_4: p.msn * (p.ksn // p.bs),
+        Anchor.PRE_5: p.msn * p.nsn * (p.ksn // p.bs),
+        Anchor.POST_1: p.msn,
+        Anchor.POST_2: 1,
+        Anchor.POST_3: 1,
+    }[anchor]
+
+
+def anchor_total_accesses(
+    anchor: Anchor, params: MatmulParams, operand: str
+) -> int:
+    """Total element accesses per core for a fused op at an anchor.
+
+    This is Figure 3's right-most column.  Note it is *not* always
+    ``working_set x access_times``: anchors below the loop that varies an
+    operand's slice do not re-visit the same elements (e.g. A at anchors
+    #3/#4 touches each element once in total), while anchors inside an
+    orthogonal loop repeat accesses (A at anchor #5 is swept NSN times).
+    """
+    p = params
+    if anchor.is_pre:
+        if operand == "a":
+            return {
+                Anchor.PRE_1: p.msn * p.mb * p.ksn * p.kb,
+                Anchor.PRE_2: p.msn * p.mb * p.ksn * p.kb,
+                Anchor.PRE_3: p.msn * p.mb * p.ksn * p.kb,
+                Anchor.PRE_4: p.msn * p.mb * p.ksn * p.kb,
+                Anchor.PRE_5: p.msn * p.mb * p.ksn * p.kb * p.nsn,
+            }[anchor]
+        if operand == "b":
+            return {
+                Anchor.PRE_1: p.npsn * p.nb * p.ksn * p.kb,
+                Anchor.PRE_2: p.nsn * p.nb * p.ksn * p.kb,
+                Anchor.PRE_3: p.msn * p.nsn * p.nb * p.ksn * p.kb,
+                Anchor.PRE_4: p.msn * p.nsn * p.nb * p.ksn * p.kb,
+                Anchor.PRE_5: p.msn * p.nsn * p.nb * p.ksn * p.kb,
+            }[anchor]
+        raise LoweringError(f"unknown pre-op operand {operand!r}")
+    return {
+        Anchor.POST_1: p.msbn * p.nsbn,
+        Anchor.POST_2: p.msbn * p.nsbn,
+        Anchor.POST_3: p.msbn * p.n,
+    }[anchor]
+
+
+@dataclass(frozen=True)
+class AnchorCostRow:
+    """One instantiated row of Figure 3's cost table."""
+
+    anchor: Anchor
+    operand: str
+    working_set: int
+    access_times: int
+    total_accesses: int
+
+
+def cost_table(params: MatmulParams) -> Tuple[AnchorCostRow, ...]:
+    """The fully instantiated Figure 3 table for a parameter assignment."""
+    rows = []
+    for anchor in PRE_ANCHORS:
+        for operand in ("a", "b"):
+            rows.append(
+                AnchorCostRow(
+                    anchor=anchor,
+                    operand=operand,
+                    working_set=anchor_working_set(anchor, params, operand),
+                    access_times=anchor_access_times(anchor, params),
+                    total_accesses=anchor_total_accesses(
+                        anchor, params, operand
+                    ),
+                )
+            )
+    for anchor in POST_ANCHORS:
+        rows.append(
+            AnchorCostRow(
+                anchor=anchor,
+                operand="c",
+                working_set=anchor_working_set(anchor, params, "c"),
+                access_times=anchor_access_times(anchor, params),
+                total_accesses=anchor_total_accesses(anchor, params, "c"),
+            )
+        )
+    return tuple(rows)

@@ -1,0 +1,296 @@
+"""Expert-tuned parameter selection for the matmul template.
+
+Implements the paper's two-stage search: propose single-core decompositions
+``[MPN, NPN]`` that use all cores with good load balance, propose
+microkernel blockings ``[MB, NB, KB, BS]`` that ensure good microkernel
+performance, then iteratively pick the pair with the best estimated
+whole-machine cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..dtypes import DType, accumulator_dtype
+from ..errors import HeuristicError
+from ..microkernel.machine import MachineModel
+from .cost_model import estimate_matmul_cost, microkernel_efficiency
+from .params import MatmulParams, TemplateKind, pad_to_grid
+
+
+@dataclass(frozen=True)
+class HeuristicConstraints:
+    """Constraints other optimizations impose on the parameter search.
+
+    * ``require_npn`` — fusing a reduction along n wants the whole row on
+      one core (the fusion pass sets 1).
+    * ``require_outer`` — coarse-grain fusion aligns the outer blocking of
+      neighboring fused ops; when set, only this (MPN, NPN) is considered.
+    * ``require_mb`` / ``require_nb`` / ``require_kb`` — layout propagation
+      pins block sizes so a consumer accepts its producer's blocked layout.
+    * ``allow_k_slicing`` — permit the K_SLICED template variant.
+    """
+
+    require_npn: Optional[int] = None
+    require_mpn: Optional[int] = None
+    require_outer: Optional[Tuple[int, int]] = None
+    require_mb: Optional[int] = None
+    require_nb: Optional[int] = None
+    require_kb: Optional[int] = None
+    allow_k_slicing: bool = True
+
+
+def _divisors(value: int, limit: int) -> List[int]:
+    return [d for d in range(1, min(value, limit) + 1) if value % d == 0]
+
+
+def _block_candidates(
+    m: int,
+    n: int,
+    k: int,
+    dtype: DType,
+    machine: MachineModel,
+    constraints: "HeuristicConstraints",
+) -> Iterable[Tuple[int, int, int]]:
+    """Propose (MB, NB, KB) options respecting hardware granularities."""
+    lanes = machine.vector_lanes(accumulator_dtype(dtype))
+    mb_options = [mb for mb in (16, 32, 48, 64) if mb <= max(16, 2 * m)]
+    nb_options = [nb for nb in (lanes, 2 * lanes, 4 * lanes) if nb <= max(lanes, 2 * n)]
+    # Int8 kernels pack K in groups of 4 (VNNI); all options satisfy that.
+    kb_options = [kb for kb in (16, 32, 64) if kb <= max(16, 2 * k)]
+    if constraints.require_mb is not None:
+        mb_options = [constraints.require_mb]
+    if constraints.require_nb is not None:
+        nb_options = [constraints.require_nb]
+    if constraints.require_kb is not None:
+        kb_options = [constraints.require_kb]
+    for mb in mb_options:
+        for nb in nb_options:
+            for kb in kb_options:
+                yield mb, nb, kb
+
+
+def _parallel_candidates(
+    m: int,
+    n: int,
+    mb: int,
+    nb: int,
+    batch: int,
+    machine: MachineModel,
+    constraints: HeuristicConstraints,
+) -> Iterable[Tuple[int, int]]:
+    """Propose (MPN, NPN) decompositions with good core coverage."""
+    if constraints.require_outer is not None:
+        yield constraints.require_outer
+        return
+    max_mpn = max(1, math.ceil(m / mb))
+    max_npn = max(1, math.ceil(n / nb))
+    npn_options = (
+        [constraints.require_npn]
+        if constraints.require_npn is not None
+        else [p for p in (1, 2, 4, 8, 16, 32) if p <= max_npn]
+    )
+    mpn_options = (
+        [constraints.require_mpn]
+        if constraints.require_mpn is not None
+        else [p for p in (1, 2, 4, 8, 16, 32) if p <= max_mpn]
+    )
+    for mpn in mpn_options:
+        for npn in npn_options:
+            # Skip decompositions that badly oversubscribe: more than 4
+            # waves of work per core is never chosen by the expert rule.
+            if mpn * npn * batch > 4 * machine.num_cores:
+                if mpn * npn > machine.num_cores:
+                    continue
+            yield mpn, npn
+
+
+def _batch_candidates(
+    ksn: int, mb: int, nb: int, kb: int, dtype: DType, machine: MachineModel
+) -> List[int]:
+    """Propose BS values: divisors of KSN whose working set fits L1."""
+    acc_size = accumulator_dtype(dtype).size
+    feasible = []
+    for bs in _divisors(ksn, 32):
+        ws = bs * (mb * kb + nb * kb) * dtype.size + mb * nb * acc_size
+        if ws <= machine.l1.size_bytes:
+            feasible.append(bs)
+    if not feasible:
+        feasible = [1]
+    # Keep the largest few: long reduce chains amortize best.
+    return sorted(feasible)[-4:]
+
+
+def select_matmul_params(
+    m: int,
+    n: int,
+    k: int,
+    dtype: DType,
+    machine: MachineModel,
+    batch: int = 1,
+    constraints: Optional[HeuristicConstraints] = None,
+    expert_tail_handling: bool = False,
+) -> MatmulParams:
+    """Choose template parameters for a matmul of (batch, m, k) x (k, n).
+
+    Returns the lowest-estimated-cost :class:`MatmulParams`; raises
+    :class:`HeuristicError` only for degenerate inputs.
+    """
+    if m <= 0 or n <= 0 or k <= 0 or batch <= 0:
+        raise HeuristicError(
+            f"degenerate matmul sizes batch={batch} m={m} n={n} k={k}"
+        )
+    constraints = constraints or HeuristicConstraints()
+    best: Optional[MatmulParams] = None
+    best_cost = float("inf")
+
+    forced_blocks = (
+        constraints.require_mb is not None
+        or constraints.require_nb is not None
+        or constraints.require_kb is not None
+    )
+    for mb, nb, kb in _block_candidates(m, n, k, dtype, machine, constraints):
+        # Quick reject: blockings whose microkernel efficiency is hopeless
+        # (unless the caller pinned them for layout compatibility).
+        if not forced_blocks and (
+            microkernel_efficiency(mb, nb, kb, 1, dtype, machine) < 0.25
+        ):
+            continue
+        for mpn, npn in _parallel_candidates(
+            m, n, mb, nb, batch, machine, constraints
+        ):
+            padded_m = pad_to_grid(m, mb, mpn)
+            padded_n = pad_to_grid(n, nb, npn)
+            padded_k = pad_to_grid(k, kb)
+            ksn = padded_k // kb
+            for bs in _batch_candidates(ksn, mb, nb, kb, dtype, machine):
+                params = MatmulParams(
+                    m=padded_m,
+                    n=padded_n,
+                    k=padded_k,
+                    mb=mb,
+                    nb=nb,
+                    kb=kb,
+                    bs=bs,
+                    mpn=mpn,
+                    npn=npn,
+                    batch=batch,
+                )
+                cost = estimate_matmul_cost(
+                    params,
+                    dtype,
+                    machine,
+                    original_sizes=(m, n, k),
+                    expert_tail_handling=expert_tail_handling,
+                ).total_cycles
+                if cost < best_cost:
+                    best, best_cost = params, cost
+
+    if best is None:
+        raise HeuristicError(
+            f"no feasible template parameters for m={m} n={n} k={k}"
+        )
+    best = _maybe_k_slice(best, m, n, k, dtype, machine, constraints, best_cost)
+    best = _maybe_l2_block(best, dtype, machine)
+    return best
+
+
+def _maybe_l2_block(
+    best: MatmulParams, dtype: DType, machine: MachineModel
+) -> MatmulParams:
+    """Switch to the L2_BLOCKED template for training-size activations.
+
+    When a single core's A slice exceeds L2, the paper adds "an additional
+    loop level to block the data for the L2 cache"; the chunk is the
+    largest divisor of MSN whose A rows fit half of L2.
+    """
+    if best.kind is not TemplateKind.CACHE_RESIDENT:
+        return best
+    a_slice = best.msbn * best.ksbn * dtype.size
+    l2 = machine.cache("L2").size_bytes
+    if a_slice <= l2:
+        return best
+    row_bytes = best.mb * best.ksbn * dtype.size
+    target_rows = max(1, (l2 // 2) // max(row_bytes, 1))
+    chunk = 1
+    for candidate in range(1, best.msn + 1):
+        if best.msn % candidate == 0 and candidate <= target_rows:
+            chunk = candidate
+    if chunk >= best.msn:
+        return best
+    return MatmulParams(
+        m=best.m,
+        n=best.n,
+        k=best.k,
+        mb=best.mb,
+        nb=best.nb,
+        kb=best.kb,
+        bs=best.bs,
+        mpn=best.mpn,
+        npn=best.npn,
+        kpn=best.kpn,
+        batch=best.batch,
+        loop_order=best.loop_order,
+        kind=TemplateKind.L2_BLOCKED,
+        l2_chunk=chunk,
+    )
+
+
+def _maybe_k_slice(
+    best: MatmulParams,
+    m: int,
+    n: int,
+    k: int,
+    dtype: DType,
+    machine: MachineModel,
+    constraints: HeuristicConstraints,
+    best_cost: float,
+) -> MatmulParams:
+    """Try the K_SLICED variant when m x n parallelism starves the cores.
+
+    K-slicing splits the reduction across KPN cores, each producing a
+    partial C that a combine step sums — worthwhile only when the plain
+    decomposition leaves most cores idle (e.g. single-sample inference).
+    """
+    if not constraints.allow_k_slicing:
+        return best
+    tasks = best.mpn * best.npn * best.batch
+    if tasks * 2 > machine.num_cores:
+        return best
+    for kpn in (2, 4, 8):
+        if tasks * kpn > machine.num_cores:
+            break
+        padded_k = pad_to_grid(k, best.kb, kpn)
+        ksn = padded_k // (best.kb * kpn)
+        if ksn == 0 or ksn % best.bs:
+            continue
+        candidate = MatmulParams(
+            m=best.m,
+            n=best.n,
+            k=padded_k,
+            mb=best.mb,
+            nb=best.nb,
+            kb=best.kb,
+            bs=best.bs,
+            mpn=best.mpn,
+            npn=best.npn,
+            kpn=kpn,
+            batch=best.batch,
+            kind=TemplateKind.K_SLICED,
+        )
+        cost = estimate_matmul_cost(
+            candidate, dtype, machine, original_sizes=(m, n, k)
+        ).total_cycles
+        # Combining partial results costs an extra pass over C per slice
+        # plus a second parallel region (the combine barrier).
+        cost += candidate.m * candidate.n * 4.0 * kpn / (
+            machine.cache("L2").bandwidth_bytes_per_cycle * machine.num_cores
+        )
+        cost += machine.barrier_cycles
+        # Only slice the reduction when it wins decisively; the partial-sum
+        # traffic and synchronization are easy to underestimate.
+        if cost < 0.8 * best_cost:
+            best, best_cost = candidate, cost
+    return best

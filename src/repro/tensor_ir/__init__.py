@@ -1,0 +1,60 @@
+"""Tensor IR: the lower, C-like intermediate representation.
+
+Tensor IR has no DNN op semantics.  It operates on multi-dimensional arrays
+(tensor buffers), scalar variables and loops; compute happens in slice-level
+statements (element-wise maps, reductions, packs) and in intrinsic calls to
+the batch-reduce GEMM microkernel.  Fused ops lower to Tensor IR functions;
+an entry function calls them in order.
+"""
+
+from .expr import BinaryOp, Binary, Const, Expr, Var
+from .stmt import (
+    Alloc,
+    Assign,
+    Barrier,
+    BrgemmCall,
+    Call,
+    Compute,
+    Copy,
+    Fill,
+    For,
+    Free,
+    Pack,
+    Seq,
+    SliceRef,
+    Stmt,
+    Unpack,
+)
+from .function import TensorDecl, TirFunction
+from .module import TirModule
+from .builder import TirBuilder
+from .printer import format_function, format_module
+
+__all__ = [
+    "BinaryOp",
+    "Binary",
+    "Const",
+    "Expr",
+    "Var",
+    "Alloc",
+    "Assign",
+    "Barrier",
+    "BrgemmCall",
+    "Call",
+    "Compute",
+    "Copy",
+    "Fill",
+    "For",
+    "Free",
+    "Pack",
+    "Seq",
+    "SliceRef",
+    "Stmt",
+    "Unpack",
+    "TensorDecl",
+    "TirFunction",
+    "TirModule",
+    "TirBuilder",
+    "format_function",
+    "format_module",
+]

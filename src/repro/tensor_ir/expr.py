@@ -1,0 +1,173 @@
+"""Scalar expressions of the Tensor IR.
+
+Expressions represent loop indices, tensor extents and address arithmetic —
+the scalar data the paper's Tensor IR manipulates with constants and
+variables.  They form small integer-arithmetic trees, evaluated by the
+interpreter and partially folded by the simplify pass.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from ..errors import TensorIRError
+
+
+class BinaryOp(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    FLOORDIV = "//"
+    MOD = "%"
+    MIN = "min"
+    MAX = "max"
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.ADD, self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.ADD, as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.SUB, self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.SUB, as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.MUL, self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.MUL, as_expr(other), self)
+
+    def __floordiv__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.FLOORDIV, self, as_expr(other))
+
+    def __mod__(self, other: "ExprLike") -> "Expr":
+        return Binary(BinaryOp.MOD, self, as_expr(other))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer constant."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar integer variable (loop index, extent, offset)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary arithmetic over scalar expressions."""
+
+    op: BinaryOp
+    lhs: Expr
+    rhs: Expr
+
+    def __repr__(self) -> str:
+        if self.op in (BinaryOp.MIN, BinaryOp.MAX):
+            return f"{self.op.value}({self.lhs!r}, {self.rhs!r})"
+        return f"({self.lhs!r} {self.op.value} {self.rhs!r})"
+
+
+ExprLike = Union[Expr, int]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python int to a :class:`Const` (idempotent on Exprs)."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int,)):
+        return Const(int(value))
+    raise TensorIRError(f"cannot convert {value!r} to a Tensor IR expression")
+
+
+def evaluate(expr: Expr, env: Dict[str, int]) -> int:
+    """Evaluate a scalar expression under a variable environment."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise TensorIRError(f"unbound variable {expr.name!r}")
+    if isinstance(expr, Binary):
+        lhs = evaluate(expr.lhs, env)
+        rhs = evaluate(expr.rhs, env)
+        op = expr.op
+        if op is BinaryOp.ADD:
+            return lhs + rhs
+        if op is BinaryOp.SUB:
+            return lhs - rhs
+        if op is BinaryOp.MUL:
+            return lhs * rhs
+        if op is BinaryOp.FLOORDIV:
+            if rhs == 0:
+                raise TensorIRError("division by zero in index expression")
+            return lhs // rhs
+        if op is BinaryOp.MOD:
+            if rhs == 0:
+                raise TensorIRError("modulo by zero in index expression")
+            return lhs % rhs
+        if op is BinaryOp.MIN:
+            return min(lhs, rhs)
+        if op is BinaryOp.MAX:
+            return max(lhs, rhs)
+    raise TensorIRError(f"cannot evaluate expression {expr!r}")
+
+
+def fold(expr: Expr) -> Expr:
+    """Constant-fold an expression tree (used by the simplify pass)."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Binary):
+        lhs, rhs = fold(expr.lhs), fold(expr.rhs)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            return Const(evaluate(Binary(expr.op, lhs, rhs), {}))
+        # Algebraic identities.
+        if expr.op is BinaryOp.ADD:
+            if isinstance(lhs, Const) and lhs.value == 0:
+                return rhs
+            if isinstance(rhs, Const) and rhs.value == 0:
+                return lhs
+        if expr.op is BinaryOp.MUL:
+            if isinstance(lhs, Const) and lhs.value == 1:
+                return rhs
+            if isinstance(rhs, Const) and rhs.value == 1:
+                return lhs
+            if (isinstance(lhs, Const) and lhs.value == 0) or (
+                isinstance(rhs, Const) and rhs.value == 0
+            ):
+                return Const(0)
+        if expr.op is BinaryOp.SUB and isinstance(rhs, Const) and rhs.value == 0:
+            return lhs
+        if expr.op is BinaryOp.FLOORDIV and isinstance(rhs, Const) and rhs.value == 1:
+            return lhs
+        return Binary(expr.op, lhs, rhs)
+    return expr
+
+
+def free_vars(expr: Expr) -> set:
+    """Names of all variables appearing in an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Binary):
+        return free_vars(expr.lhs) | free_vars(expr.rhs)
+    return set()

@@ -1,0 +1,92 @@
+"""Tensor IR functions and tensor declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dtypes import DType
+from ..errors import TensorIRError
+from .stmt import Alloc, Seq, Stmt
+
+
+@dataclass
+class TensorDecl:
+    """Declaration of a tensor buffer visible to a function.
+
+    Parameters are passed by the caller; temporaries are created by Alloc
+    statements in the body.  ``shape`` is the *physical* buffer shape
+    (blocked tensors are declared with their blocked shape, as in the
+    paper's Figure 6: ``Tensor FP32[M/MB, K/KB, MB, KB] A'``).
+    """
+
+    name: str
+    dtype: DType
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(s) for s in self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        result = 1
+        for s in self.shape:
+            result *= s
+        return result
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.dtype.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor {self.dtype.value}{list(self.shape)} {self.name}"
+
+
+@dataclass
+class TirFunction:
+    """A Tensor IR function: parameters plus a statement body.
+
+    One function is lowered per Fused OP; the module's entry function calls
+    them in sequence.
+    """
+
+    name: str
+    params: List[TensorDecl] = field(default_factory=list)
+    body: Seq = field(default_factory=Seq)
+    #: Extra metadata attached by lowering (fused op name, kernel spec, ...).
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def param(self, name: str) -> TensorDecl:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise TensorIRError(f"function {self.name} has no parameter {name!r}")
+
+    def has_param(self, name: str) -> bool:
+        return any(p.name == name for p in self.params)
+
+    def local_decls(self) -> Dict[str, Alloc]:
+        """All Alloc statements in the body, keyed by buffer name."""
+        found: Dict[str, Alloc] = {}
+
+        def walk(stmt: Stmt) -> None:
+            from .stmt import For, Seq as SeqStmt
+
+            if isinstance(stmt, Alloc):
+                if stmt.tensor in found:
+                    raise TensorIRError(
+                        f"buffer {stmt.tensor!r} allocated twice in "
+                        f"{self.name}"
+                    )
+                found[stmt.tensor] = stmt
+            elif isinstance(stmt, SeqStmt):
+                for child in stmt.body:
+                    walk(child)
+            elif isinstance(stmt, For):
+                walk(stmt.body)
+
+        walk(self.body)
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TirFunction({self.name}, {len(self.params)} params)"

@@ -1,0 +1,45 @@
+"""Tensor IR modules.
+
+A module is the unit of compilation: one function per Fused OP, an optional
+``__init__`` function that preprocesses runtime constants on first execution
+(constant-weight preprocessing), and an entry function that calls the fused
+op functions in sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TensorIRError
+from .function import TirFunction
+
+
+@dataclass
+class TirModule:
+    """A collection of Tensor IR functions with a designated entry."""
+
+    name: str = "module"
+    functions: Dict[str, TirFunction] = field(default_factory=dict)
+    entry: str = "main"
+    #: Name of the one-time constant-preprocessing function, if any.
+    init_func: Optional[str] = None
+
+    def add(self, func: TirFunction) -> TirFunction:
+        if func.name in self.functions:
+            raise TensorIRError(f"function {func.name!r} defined twice")
+        self.functions[func.name] = func
+        return func
+
+    def get(self, name: str) -> TirFunction:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise TensorIRError(f"module has no function {name!r}")
+
+    @property
+    def entry_function(self) -> TirFunction:
+        return self.get(self.entry)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TirModule({self.name}, {len(self.functions)} functions)"

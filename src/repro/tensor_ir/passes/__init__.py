@@ -1,0 +1,23 @@
+"""Tensor IR optimization passes.
+
+* :mod:`simplify` — constant-fold index expressions.
+* :mod:`loop_merge` — inline same-tag fused-op functions and merge their
+  outer parallel loops (the mechanical half of coarse-grain fusion).
+* :mod:`tensor_shrink` — reduce full-size temporaries to the slice their
+  accesses cover (the paper's tensor size optimization).
+* :mod:`buffer_reuse` — lifespan-based arena planning for intermediate
+  buffers (the paper's memory buffer optimization).
+"""
+
+from .simplify import SimplifyPass
+from .loop_merge import LoopMergePass
+from .tensor_shrink import TensorShrinkPass
+from .buffer_reuse import BufferReusePass, BufferPlan
+
+__all__ = [
+    "SimplifyPass",
+    "LoopMergePass",
+    "TensorShrinkPass",
+    "BufferReusePass",
+    "BufferPlan",
+]

@@ -1,0 +1,133 @@
+"""Memory buffer optimization (the paper's Tensor IR optimization #2).
+
+Plans the intermediate buffers of the entry function into one arena using
+lifespan analysis: a buffer is live from its Alloc to its Free; at each
+allocation the planner reuses a free arena interval, preferring the most
+recently freed one (its cache lines are likely still hot), and falls back
+to growing the arena.  Alloc statements receive their ``arena_offset`` and
+the function records the total ``arena_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import TensorIRError
+from ..function import TirFunction
+from ..module import TirModule
+from ..stmt import Alloc, Free, Seq
+
+ALIGNMENT = 64
+
+
+def _align(value: int) -> int:
+    return (value + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass
+class BufferPlan:
+    """Result of arena planning for one function."""
+
+    arena_size: int = 0
+    #: buffer name -> (offset, size)
+    placements: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Total bytes that would have been allocated without reuse.
+    naive_total: int = 0
+
+    @property
+    def reuse_ratio(self) -> float:
+        """How much smaller the arena is than naive allocation."""
+        if self.arena_size == 0:
+            return 1.0
+        return self.naive_total / self.arena_size
+
+
+class _Arena:
+    """Free-interval arena with most-recently-freed preference."""
+
+    def __init__(self) -> None:
+        self.size = 0
+        #: Free intervals as (offset, size), most recently freed last.
+        self.free: List[Tuple[int, int]] = []
+
+    def allocate(self, size: int) -> int:
+        size = _align(size)
+        # Prefer the most recently freed block that fits (hot in cache).
+        for index in range(len(self.free) - 1, -1, -1):
+            offset, block = self.free[index]
+            if block >= size:
+                del self.free[index]
+                if block > size:
+                    # Return the tail to the free list (cold end).
+                    self.free.insert(0, (offset + size, block - size))
+                return offset
+        offset = self.size
+        self.size += size
+        return offset
+
+    def release(self, offset: int, size: int) -> None:
+        size = _align(size)
+        # Coalesce with any adjacent free interval.
+        merged = (offset, size)
+        changed = True
+        while changed:
+            changed = False
+            for index, (o, s) in enumerate(self.free):
+                if o + s == merged[0]:
+                    merged = (o, s + merged[1])
+                    del self.free[index]
+                    changed = True
+                    break
+                if merged[0] + merged[1] == o:
+                    merged = (merged[0], merged[1] + s)
+                    del self.free[index]
+                    changed = True
+                    break
+        self.free.append(merged)
+
+
+class BufferReusePass:
+    """Plans entry-function (top-level) temporaries into a shared arena."""
+
+    name = "buffer_reuse"
+
+    def __init__(self) -> None:
+        self.plans: Dict[str, BufferPlan] = {}
+
+    def run(self, module: TirModule) -> TirModule:
+        entry = module.entry_function
+        plan = self._plan_function(entry)
+        self.plans[entry.name] = plan
+        entry.attrs["arena_size"] = plan.arena_size
+        return module
+
+    def _plan_function(self, func: TirFunction) -> BufferPlan:
+        if not isinstance(func.body, Seq):
+            raise TensorIRError("entry body must be a statement sequence")
+        arena = _Arena()
+        plan = BufferPlan()
+        live: Dict[str, Tuple[int, int]] = {}
+        allocs: Dict[str, Alloc] = {}
+        for stmt in func.body.body:
+            if isinstance(stmt, Alloc):
+                size = stmt.shape and _bytes(stmt)
+                offset = arena.allocate(size)
+                stmt.arena_offset = offset
+                live[stmt.tensor] = (offset, size)
+                allocs[stmt.tensor] = stmt
+                plan.placements[stmt.tensor] = (offset, size)
+                plan.naive_total += _align(size)
+            elif isinstance(stmt, Free):
+                if stmt.tensor in live:
+                    offset, size = live.pop(stmt.tensor)
+                    arena.release(offset, size)
+        plan.arena_size = arena.size
+        return plan
+
+
+def _bytes(stmt: Alloc) -> int:
+    count = 1
+    for s in stmt.shape:
+        count *= s
+    return count * stmt.dtype.to_numpy().itemsize

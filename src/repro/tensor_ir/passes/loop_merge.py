@@ -1,0 +1,187 @@
+"""Coarse-grain fusion, Tensor IR side: inline and merge tagged functions.
+
+Graph IR decided *what* to merge (fused ops carrying the same merge tag);
+this pass does the mechanical half: consecutive entry-function calls to
+same-tag functions are inlined into one merged function, and their
+outermost parallel loops — which carry the tag — are merged into a single
+parallel loop.  The merged group then launches one parallel region instead
+of N, and its intermediate tensors stay hot for the next loop body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import TensorIRError
+from ..expr import Var, evaluate, fold
+from ..function import TensorDecl, TirFunction
+from ..module import TirModule
+from ..stmt import Alloc, Barrier, Call, For, Free, Seq, Stmt
+from ..substitute import collect_local_names, rewrite_stmt
+
+
+class LoopMergePass:
+    name = "loop_merge"
+
+    def __init__(self) -> None:
+        self.merged_groups: List[List[str]] = []
+
+    def run(self, module: TirModule) -> TirModule:
+        entry = module.entry_function
+        runs = _find_tagged_runs(module, entry)
+        for run in runs:
+            self._merge_run(module, entry, run)
+        return module
+
+    # -- merging one run of same-tag calls --------------------------------------
+
+    def _merge_run(
+        self, module: TirModule, entry: TirFunction, run: List[int]
+    ) -> None:
+        body = entry.body.body
+        calls = [body[i] for i in run]
+        funcs = [module.get(c.func) for c in calls]
+        merged_name = "merged_" + "_".join(f.name for f in funcs)
+        if len(merged_name) > 80:
+            merged_name = f"merged_{funcs[0].name}_x{len(funcs)}"
+
+        # Unify parameters: entry buffers passed to several member params
+        # become one merged parameter.
+        merged = TirFunction(name=merged_name)
+        buffer_to_param: Dict[str, str] = {}
+        taken = set()
+        member_bodies: List[Stmt] = []
+        for index, (call, func) in enumerate(zip(calls, funcs)):
+            tensor_map: Dict[str, str] = {}
+            for arg, param in zip(call.args, func.params):
+                if arg not in buffer_to_param:
+                    name = param.name
+                    while name in taken:
+                        name = f"{name}_u"
+                    taken.add(name)
+                    buffer_to_param[arg] = name
+                    merged.params.append(
+                        TensorDecl(name=name, dtype=param.dtype, shape=param.shape)
+                    )
+                tensor_map[param.name] = buffer_to_param[arg]
+            # Uniquify member-local names (loop vars, lets, allocs).
+            var_map = {}
+            for local in collect_local_names(func.body):
+                if local in tensor_map:
+                    continue
+                var_map[local] = Var(f"m{index}_{local}")
+                tensor_map.setdefault(local, f"m{index}_{local}")
+            member_bodies.append(
+                rewrite_stmt(func.body, var_map, tensor_map)
+            )
+
+        merged.body = _merge_bodies(member_bodies)
+        merged.attrs["merged_from"] = [f.name for f in funcs]
+        merged.attrs["merge_members"] = [
+            dict(f.attrs) for f in funcs
+        ]
+        module.add(merged)
+        for func in funcs:
+            del module.functions[func.name]
+
+        # Rewrite the entry: hoist the run's Alloc/Free statements around a
+        # single call.
+        first, last = run[0], run[-1]
+        segment = body[first : last + 1]
+        allocs = [s for s in segment if isinstance(s, Alloc)]
+        frees = [s for s in segment if isinstance(s, Free)]
+        new_call = Call(func=merged_name, args=list(buffer_to_param.keys()))
+        body[first : last + 1] = allocs + [new_call] + frees
+        self.merged_groups.append([f.name for f in funcs])
+
+
+def _find_tagged_runs(
+    module: TirModule, entry: TirFunction
+) -> List[List[int]]:
+    """Indices of consecutive Call stmts whose callees share a merge tag.
+
+    Statements between the calls must be Allocs/Frees (hoistable).
+    Returns runs in reverse order so earlier indices stay valid while
+    rewriting.
+    """
+    body = entry.body.body
+    tags: List[Optional[str]] = []
+    for stmt in body:
+        if isinstance(stmt, Call):
+            tags.append(_outer_tag(module.get(stmt.func)))
+        elif isinstance(stmt, (Alloc, Free)):
+            tags.append("_hoistable")
+        else:
+            tags.append(None)
+    runs: List[List[int]] = []
+    index = 0
+    while index < len(body):
+        if not isinstance(body[index], Call) or tags[index] in (None, "_hoistable"):
+            index += 1
+            continue
+        tag = tags[index]
+        run = [index]
+        scan = index + 1
+        while scan < len(body):
+            if tags[scan] == "_hoistable":
+                scan += 1
+                continue
+            if isinstance(body[scan], Call) and tags[scan] == tag:
+                run.append(scan)
+                scan += 1
+                continue
+            break
+        if len(run) >= 2:
+            runs.append(run)
+        index = run[-1] + 1
+    return list(reversed(runs))
+
+
+def _outer_tag(func: TirFunction) -> Optional[str]:
+    """The merge tag of the function's outermost tagged parallel loop."""
+    for stmt in func.body.body:
+        if isinstance(stmt, For) and stmt.parallel and stmt.merge_tag:
+            return stmt.merge_tag
+    return None
+
+
+def _merge_bodies(bodies: List[Stmt]) -> Seq:
+    """Concatenate bodies, merging adjacent tagged loops with equal ranges."""
+    statements: List[Stmt] = []
+    for body in bodies:
+        statements.extend(body.body if isinstance(body, Seq) else [body])
+    merged: List[Stmt] = []
+    for stmt in statements:
+        prev = merged[-1] if merged else None
+        if (
+            isinstance(stmt, For)
+            and isinstance(prev, For)
+            and prev.parallel
+            and stmt.parallel
+            and prev.merge_tag is not None
+            and prev.merge_tag == stmt.merge_tag
+            and _same_range(prev, stmt)
+        ):
+            # Substitute the second loop's var by the first's and splice.
+            inner = rewrite_stmt(
+                stmt.body, {stmt.var: Var(prev.var)}, {}
+            )
+            prev_body = (
+                prev.body.body if isinstance(prev.body, Seq) else [prev.body]
+            )
+            inner_body = inner.body if isinstance(inner, Seq) else [inner]
+            prev.body = Seq(body=list(prev_body) + list(inner_body))
+        else:
+            merged.append(stmt)
+    return Seq(body=merged)
+
+
+def _same_range(a: For, b: For) -> bool:
+    try:
+        return (
+            evaluate(fold(a.begin), {}) == evaluate(fold(b.begin), {})
+            and evaluate(fold(a.end), {}) == evaluate(fold(b.end), {})
+            and evaluate(fold(a.step), {}) == evaluate(fold(b.step), {})
+        )
+    except Exception:
+        return False

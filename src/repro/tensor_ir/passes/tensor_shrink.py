@@ -1,0 +1,143 @@
+"""Tensor size optimization (the paper's Tensor IR optimization #1).
+
+Lowering introduces *full-size* temporaries for fused post-op chain values
+(``C''``, ``C'''`` in the paper's Figure 4/6) and for slice-packed operands
+(``A'``).  This pass shrinks each local buffer along every dimension in
+which all its slice accesses use one and the same offset expression: the
+offset merely selects "the current iteration's slot", so a single slot
+suffices.
+
+Example: ``A'[M/MB, K/KB, MB, KB]`` accessed only at ``[mpsi, ksi, 0, 0]``
+with sizes ``[1, BS, MB, KB]`` shrinks to ``A'[1, BS, MB, KB]`` — exactly
+the reduction the paper describes.
+
+Soundness: rebasing dimension ``d`` to a single slot is correct when, for
+any fixed values of the other offsets, each (write, read) pair on the
+buffer happens under the same value of offset ``d`` — true by construction
+for anchor temporaries, and guarded here by requiring the first access in
+program order to be a write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..expr import Const, Expr, fold
+from ..function import TirFunction
+from ..module import TirModule
+from ..stmt import Alloc, SliceRef, Stmt
+from ..visitor import reads_of, walk, writes_of
+
+
+class TensorShrinkPass:
+    name = "tensor_shrink"
+
+    def __init__(self) -> None:
+        #: buffer name -> (old elements, new elements); for tests/reporting.
+        self.report: Dict[str, Tuple[int, int]] = {}
+
+    def run(self, module: TirModule) -> TirModule:
+        for func in module.functions.values():
+            self._run_function(func)
+        return module
+
+    def _run_function(self, func: TirFunction) -> None:
+        allocs = func.local_decls()
+        accesses = _collect_accesses(func.body)
+        for name, alloc in allocs.items():
+            refs = accesses.get(name)
+            if not refs:
+                continue
+            first_kind, slices = refs
+            if first_kind != "write":
+                continue
+            plan = _shrink_plan(alloc, slices)
+            if plan is None:
+                continue
+            new_shape, keep = plan
+            old_elems = alloc_elements(alloc.shape)
+            new_elems = alloc_elements(new_shape)
+            if new_elems >= old_elems:
+                continue
+            alloc.shape = new_shape
+            # A shrunk buffer is per-iteration scratch: its slots are
+            # reused across the loop iterations whose variables the old
+            # offsets carried, so concurrent iterations need private
+            # copies (the threaded interpreter honors this flag).
+            alloc.thread_local = True
+            _rebase_slices(func.body, name, keep)
+            self.report[name] = (old_elems, new_elems)
+
+
+def alloc_elements(shape) -> int:
+    total = 1
+    for s in shape:
+        total *= s
+    return total
+
+
+def _collect_accesses(body: Stmt):
+    """name -> ("write"/"read" of first access, list of slices)."""
+    result: Dict[str, Tuple[str, List[SliceRef]]] = {}
+    for stmt in walk(body):
+        for ref in writes_of(stmt):
+            if ref.tensor not in result:
+                result[ref.tensor] = ("write", [])
+            result[ref.tensor][1].append(ref)
+        for ref in reads_of(stmt):
+            if ref.tensor not in result:
+                result[ref.tensor] = ("read", [])
+            result[ref.tensor][1].append(ref)
+    return result
+
+
+def _shrink_plan(
+    alloc: Alloc, slices: List[SliceRef]
+) -> Optional[Tuple[Tuple[int, ...], List[bool]]]:
+    """New shape and per-dim keep-mask, or None if nothing shrinks."""
+    ndims = len(alloc.shape)
+    if any(len(ref.offsets) != ndims for ref in slices):
+        return None
+    new_shape: List[int] = []
+    keep: List[bool] = []
+    shrunk = False
+    for dim in range(ndims):
+        offsets = {repr(fold(ref.offsets[dim])) for ref in slices}
+        max_size = max(ref.sizes[dim] for ref in slices)
+        if len(offsets) == 1 and not _is_zero_full(
+            slices, dim, alloc.shape[dim]
+        ):
+            # Single offset expression: one slot of max_size suffices.
+            new_shape.append(max_size)
+            keep.append(False)
+            if max_size < alloc.shape[dim]:
+                shrunk = True
+        else:
+            new_shape.append(alloc.shape[dim])
+            keep.append(True)
+    if not shrunk:
+        return None
+    return tuple(new_shape), keep
+
+
+def _is_zero_full(slices: List[SliceRef], dim: int, extent: int) -> bool:
+    """True when the dim is already accessed in full from offset zero."""
+    return all(
+        repr(fold(ref.offsets[dim])) == "0" and ref.sizes[dim] == extent
+        for ref in slices
+    )
+
+
+def _rebase_slices(body: Stmt, name: str, keep: List[bool]) -> None:
+    """Zero the offsets of shrunk dims for every slice of ``name``."""
+    from ..visitor import slices_of
+
+    for stmt in walk(body):
+        for ref in slices_of(stmt):
+            if ref.tensor != name:
+                continue
+            new_offsets = tuple(
+                off if keep[d] else Const(0)
+                for d, off in enumerate(ref.offsets)
+            )
+            object.__setattr__(ref, "offsets", new_offsets)

@@ -1,0 +1,103 @@
+"""C-like pretty printer for Tensor IR, used in tests and debugging."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .function import TirFunction
+from .module import TirModule
+from .stmt import (
+    Alloc,
+    Assign,
+    Barrier,
+    BrgemmCall,
+    Call,
+    Compute,
+    Copy,
+    Fill,
+    For,
+    Free,
+    Pack,
+    Seq,
+    Stmt,
+    Unpack,
+)
+
+
+def format_module(module: TirModule) -> str:
+    parts = [f"module {module.name} (entry={module.entry})"]
+    for func in module.functions.values():
+        parts.append(format_function(func))
+    return "\n\n".join(parts)
+
+
+def format_function(func: TirFunction) -> str:
+    params = ", ".join(
+        f"{p.dtype.value}{list(p.shape)} {p.name}" for p in func.params
+    )
+    lines = [f"func {func.name}({params}) {{"]
+    _fmt_stmt(func.body, lines, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _fmt_stmt(stmt: Stmt, lines: List[str], depth: int) -> None:
+    pad = "  " * depth
+    if isinstance(stmt, Seq):
+        for child in stmt.body:
+            _fmt_stmt(child, lines, depth)
+    elif isinstance(stmt, For):
+        kind = "parallel loop" if stmt.parallel else "loop"
+        tag = f"  // merge:{stmt.merge_tag}" if stmt.merge_tag else ""
+        lines.append(
+            f"{pad}{kind} {stmt.var} = {stmt.begin!r}, {stmt.end!r}, "
+            f"{stmt.step!r} {{{tag}"
+        )
+        _fmt_stmt(stmt.body, lines, depth + 1)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, Assign):
+        lines.append(f"{pad}{stmt.var} = {stmt.value!r};")
+    elif isinstance(stmt, Alloc):
+        local = " thread_local" if stmt.thread_local else ""
+        offset = (
+            f" @arena+{stmt.arena_offset}" if stmt.arena_offset is not None else ""
+        )
+        lines.append(
+            f"{pad}alloc{local} {stmt.dtype.value}{list(stmt.shape)} "
+            f"{stmt.tensor};{offset}"
+        )
+    elif isinstance(stmt, Free):
+        lines.append(f"{pad}free {stmt.tensor};")
+    elif isinstance(stmt, Fill):
+        lines.append(f"{pad}{stmt.dst!r} = {stmt.value};")
+    elif isinstance(stmt, Compute):
+        srcs = ", ".join(repr(s) for s in stmt.srcs)
+        attrs = f" {stmt.attrs}" if stmt.attrs else ""
+        lines.append(f"{pad}{stmt.dst!r} = {stmt.op}({srcs});{attrs}")
+    elif isinstance(stmt, Copy):
+        lines.append(f"{pad}{stmt.dst!r} = {stmt.src!r};")
+    elif isinstance(stmt, Pack):
+        swap = ", swap" if stmt.swap_inner else ""
+        lines.append(
+            f"{pad}{stmt.dst!r} = pack({stmt.src!r}, {list(stmt.block_sizes)}"
+            f"{swap});"
+        )
+    elif isinstance(stmt, Unpack):
+        swap = ", swap" if stmt.swap_inner else ""
+        lines.append(
+            f"{pad}{stmt.dst!r} = unpack({stmt.src!r}, "
+            f"{list(stmt.block_sizes)}{swap});"
+        )
+    elif isinstance(stmt, BrgemmCall):
+        op = "=" if stmt.initialize else "+="
+        lines.append(
+            f"{pad}{stmt.c!r} {op} batch_reduce_gemm({stmt.a!r}, {stmt.b!r}, "
+            f"batch={stmt.batch});"
+        )
+    elif isinstance(stmt, Call):
+        lines.append(f"{pad}{stmt.func}({', '.join(stmt.args)});")
+    elif isinstance(stmt, Barrier):
+        note = f" // {stmt.note}" if stmt.note else ""
+        lines.append(f"{pad}barrier;{note}")
+    else:  # pragma: no cover - future statement kinds
+        lines.append(f"{pad}<unknown {type(stmt).__name__}>")

@@ -1,0 +1,115 @@
+"""Generic traversal and transformation over Tensor IR statements."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from .stmt import (
+    Alloc,
+    Assign,
+    Barrier,
+    BrgemmCall,
+    Call,
+    Compute,
+    Copy,
+    Fill,
+    For,
+    Free,
+    Pack,
+    Seq,
+    SliceRef,
+    Stmt,
+    Unpack,
+)
+
+
+def walk(stmt: Stmt) -> Iterator[Stmt]:
+    """Yield ``stmt`` and every nested statement, pre-order."""
+    yield stmt
+    if isinstance(stmt, Seq):
+        for child in stmt.body:
+            yield from walk(child)
+    elif isinstance(stmt, For):
+        yield from walk(stmt.body)
+
+
+def transform(stmt: Stmt, fn: Callable[[Stmt], Optional[Stmt]]) -> Stmt:
+    """Rebuild a statement tree bottom-up.
+
+    ``fn`` is applied to each node after its children were rebuilt; it may
+    return a replacement statement, or None to keep the node.  Returning a
+    :class:`Seq` for a non-Seq node splices its body into the parent Seq.
+    """
+    if isinstance(stmt, Seq):
+        new_body: List[Stmt] = []
+        for child in stmt.body:
+            rebuilt = transform(child, fn)
+            if isinstance(rebuilt, Seq) and not isinstance(child, Seq):
+                new_body.extend(rebuilt.body)
+            elif rebuilt is not None:
+                new_body.append(rebuilt)
+        stmt = Seq(body=new_body)
+    elif isinstance(stmt, For):
+        stmt = For(
+            var=stmt.var,
+            begin=stmt.begin,
+            end=stmt.end,
+            step=stmt.step,
+            body=transform(stmt.body, fn),
+            parallel=stmt.parallel,
+            merge_tag=stmt.merge_tag,
+        )
+    result = fn(stmt)
+    return stmt if result is None else result
+
+
+def slices_of(stmt: Stmt) -> List[SliceRef]:
+    """All slice references appearing directly in one statement."""
+    if isinstance(stmt, Fill):
+        return [stmt.dst]
+    if isinstance(stmt, Compute):
+        return [stmt.dst] + [s for s in stmt.srcs if isinstance(s, SliceRef)]
+    if isinstance(stmt, (Copy, Pack, Unpack)):
+        return [stmt.dst, stmt.src]
+    if isinstance(stmt, BrgemmCall):
+        return [stmt.c, stmt.a, stmt.b]
+    return []
+
+
+def reads_of(stmt: Stmt) -> List[SliceRef]:
+    """Slices read by one statement."""
+    if isinstance(stmt, Compute):
+        reads = [s for s in stmt.srcs if isinstance(s, SliceRef)]
+        if stmt.attrs.get("accumulate"):
+            reads.append(stmt.dst)
+        return reads
+    if isinstance(stmt, (Copy, Pack, Unpack)):
+        return [stmt.src]
+    if isinstance(stmt, BrgemmCall):
+        reads = [stmt.a, stmt.b]
+        if not stmt.initialize:
+            reads.append(stmt.c)
+        return reads
+    return []
+
+
+def writes_of(stmt: Stmt) -> List[SliceRef]:
+    """Slices written by one statement."""
+    if isinstance(stmt, (Fill, Compute)):
+        return [stmt.dst]
+    if isinstance(stmt, (Copy, Pack, Unpack)):
+        return [stmt.dst]
+    if isinstance(stmt, BrgemmCall):
+        return [stmt.c]
+    return []
+
+
+def tensors_used(stmt: Stmt) -> set:
+    """Names of all buffers referenced anywhere under ``stmt``."""
+    names = set()
+    for node in walk(stmt):
+        for ref in slices_of(node):
+            names.add(ref.tensor)
+        if isinstance(node, Call):
+            names.update(node.args)
+    return names

@@ -1,0 +1,1 @@
+"""Command-line tools: compile-and-dump inspection utilities."""

@@ -1,0 +1,200 @@
+"""Run the paper's experiments from the command line (without pytest).
+
+Usage::
+
+    python -m repro.tools.bench fig7 [--dtype f32]
+    python -m repro.tools.bench fig8-mlp [--workload MLP_1] [--dtype int8]
+    python -m repro.tools.bench fig8-mha [--dtype f32] [--batches 32,64]
+
+Prints the same tables the pytest benchmarks produce; handy for quick
+sweeps and for regenerating EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .. import CompilerOptions, DType, XEON_8358, compile_graph
+from ..baseline import BaselineExecutor
+from ..perfmodel import MachineSimulator, specs_for_partition
+from ..perfmodel.report import format_speedup_table, geomean
+from ..workloads import (
+    MHA_BATCH_SIZES,
+    MHA_CONFIGS,
+    MLP_BATCH_SIZES,
+    build_mha_graph,
+    build_mlp_graph,
+    individual_matmul_shapes,
+)
+
+_DTYPES = {"f32": DType.f32, "fp32": DType.f32, "int8": DType.s8, "s8": DType.s8}
+
+
+def _model_compiled(graph, options: Optional[CompilerOptions] = None) -> float:
+    partition = compile_graph(graph, options=options)
+    specs, warm = specs_for_partition(partition, XEON_8358)
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)
+    return sim.run_all(specs).total_cycles
+
+
+def _model_baseline(graph) -> float:
+    executor = BaselineExecutor(graph, XEON_8358)
+    specs, warm = executor.specs()
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)
+    return sim.run_all(specs).total_cycles
+
+
+def _single_matmul(m, k, n, dtype):
+    from ..graph_ir import GraphBuilder
+
+    b = GraphBuilder(f"mm_{m}x{k}x{n}")
+    if dtype == DType.f32:
+        x = b.input("x", DType.f32, (m, k))
+        w = b.constant("w", dtype=DType.f32, shape=(k, n))
+        b.output(b.matmul(x, w))
+    else:
+        xq = b.input("x", DType.u8, (m, k))
+        wq = b.constant("w", dtype=DType.s8, shape=(k, n))
+        b.output(
+            b.matmul(
+                b.dequantize(xq, scale=0.05, zero_point=8),
+                b.dequantize(wq, scale=0.05),
+            )
+        )
+    return b.finish()
+
+
+def run_fig7(dtype: DType) -> None:
+    rows = []
+    ratios = []
+    for shape in individual_matmul_shapes():
+        compiled = _model_compiled(
+            _single_matmul(shape.m, shape.k, shape.n, dtype)
+        )
+        baseline = _model_baseline(
+            _single_matmul(shape.m, shape.k, shape.n, dtype)
+        )
+        ratios.append(baseline / compiled)
+        rows.append(
+            {
+                "shape": shape.name,
+                "baseline": round(baseline),
+                "compiled": round(compiled),
+                "speedup": baseline / compiled,
+            }
+        )
+    print(
+        format_speedup_table(
+            f"Figure 7 — individual matmul, {dtype.value}",
+            rows,
+            ["shape", "baseline", "compiled", "speedup"],
+        )
+    )
+    print(f"\ngeomean: {geomean(ratios):.3f} (paper ~1.06)")
+
+
+def run_fig8_mlp(workload: str, dtype: DType, batches) -> None:
+    rows = []
+    speedups = []
+    for batch in batches:
+        baseline = _model_baseline(build_mlp_graph(workload, batch, dtype))
+        no_coarse = _model_compiled(
+            build_mlp_graph(workload, batch, dtype),
+            CompilerOptions.no_coarse_fusion(),
+        )
+        full = _model_compiled(build_mlp_graph(workload, batch, dtype))
+        speedups.append(baseline / full)
+        rows.append(
+            {
+                "test": f"{workload} b{batch} {dtype.value}",
+                "baseline": round(baseline),
+                "no-coarse": round(no_coarse),
+                "full": round(full),
+                "speedup": baseline / full,
+            }
+        )
+    print(
+        format_speedup_table(
+            f"Figure 8 (MLP) — {workload} {dtype.value}",
+            rows,
+            ["test", "baseline", "no-coarse", "full", "speedup"],
+        )
+    )
+    print(f"\ngeomean speedup: {geomean(speedups):.2f}")
+
+
+def run_fig8_mha(dtype: DType, batches) -> None:
+    rows = []
+    speedups = []
+    for name in MHA_CONFIGS:
+        for batch in batches:
+            baseline = _model_baseline(build_mha_graph(name, batch, dtype))
+            no_coarse = _model_compiled(
+                build_mha_graph(name, batch, dtype),
+                CompilerOptions.no_coarse_fusion(),
+            )
+            full = _model_compiled(build_mha_graph(name, batch, dtype))
+            speedups.append(baseline / full)
+            rows.append(
+                {
+                    "test": f"{name} b{batch} {dtype.value}",
+                    "baseline": round(baseline),
+                    "no-coarse": round(no_coarse),
+                    "full": round(full),
+                    "speedup": baseline / full,
+                }
+            )
+    print(
+        format_speedup_table(
+            f"Figure 8 (MHA) — {dtype.value}",
+            rows,
+            ["test", "baseline", "no-coarse", "full", "speedup"],
+        )
+    )
+    print(f"\ngeomean speedup: {geomean(speedups):.2f}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench", description=__doc__
+    )
+    parser.add_argument(
+        "figure", choices=["fig7", "fig8-mlp", "fig8-mha"]
+    )
+    parser.add_argument("--dtype", choices=sorted(_DTYPES), default="f32")
+    parser.add_argument("--workload", default="MLP_1")
+    parser.add_argument(
+        "--batches",
+        help="comma-separated batch sizes (defaults to the paper's)",
+    )
+    args = parser.parse_args(argv)
+    dtype = _DTYPES[args.dtype]
+    if args.figure == "fig7":
+        run_fig7(dtype)
+    elif args.figure == "fig8-mlp":
+        batches = (
+            [int(v) for v in args.batches.split(",")]
+            if args.batches
+            else list(MLP_BATCH_SIZES)
+        )
+        run_fig8_mlp(args.workload, dtype, batches)
+    else:
+        batches = (
+            [int(v) for v in args.batches.split(",")]
+            if args.batches
+            else list(MHA_BATCH_SIZES)
+        )
+        run_fig8_mha(dtype, batches)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

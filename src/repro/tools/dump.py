@@ -1,0 +1,136 @@
+"""Compile a workload and dump what the compiler did.
+
+Usage::
+
+    python -m repro.tools.dump --workload MLP_1 --batch 64 --dtype int8
+    python -m repro.tools.dump --matmul 256x512x256 --tir
+    python -m repro.tools.dump --workload MHA_2 --batch 32 --perf
+
+Prints the optimized Graph IR, the pass log (fusion decisions, layout
+choices), optionally the generated Tensor IR (``--tir``) and the modeled
+performance against the primitives baseline (``--perf``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .. import CompilerOptions, DType, GraphBuilder, XEON_8358, compile_graph
+from ..baseline import BaselineExecutor
+from ..graph_ir import format_graph
+from ..perfmodel import MachineSimulator, specs_for_partition
+from ..tensor_ir import format_module
+from ..workloads import build_mha_graph, build_mlp_graph
+
+_DTYPES = {"f32": DType.f32, "fp32": DType.f32, "int8": DType.s8, "s8": DType.s8}
+
+
+def _build_graph(args):
+    dtype = _DTYPES[args.dtype]
+    if args.matmul:
+        try:
+            m, k, n = (int(v) for v in args.matmul.lower().split("x"))
+        except ValueError:
+            raise SystemExit(f"--matmul wants MxKxN, got {args.matmul!r}")
+        b = GraphBuilder(f"matmul_{m}x{k}x{n}")
+        x = b.input("x", dtype if dtype == DType.f32 else DType.u8, (m, k))
+        w = b.constant(
+            "w",
+            dtype=dtype if dtype == DType.f32 else DType.s8,
+            shape=(k, n),
+        )
+        if dtype == DType.f32:
+            b.output(b.matmul(x, w))
+        else:
+            xf = b.dequantize(x, scale=0.05, zero_point=8)
+            wf = b.dequantize(w, scale=0.05)
+            b.output(b.matmul(xf, wf))
+        return b.finish()
+    if args.workload.startswith("MLP"):
+        return build_mlp_graph(args.workload, args.batch, dtype)
+    if args.workload.startswith("MHA"):
+        return build_mha_graph(args.workload, args.batch, dtype)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _rebuild(args):
+    # compile_graph consumes its graph, so rebuild for each use.
+    return _build_graph(args)
+
+
+def _model(partition) -> float:
+    specs, warm = specs_for_partition(partition, XEON_8358)
+    sim = MachineSimulator(XEON_8358)
+    for tensor, nbytes in warm:
+        sim.warm(tensor, nbytes)
+    sim.run_all(specs)
+    return sim.run_all(specs).total_cycles
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.dump", description=__doc__
+    )
+    parser.add_argument(
+        "--workload",
+        default="MLP_1",
+        help="MLP_1, MLP_2, MHA_1..MHA_4 (default MLP_1)",
+    )
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument(
+        "--dtype", choices=sorted(_DTYPES), default="f32"
+    )
+    parser.add_argument(
+        "--matmul", help="dump a single matmul of shape MxKxN instead"
+    )
+    parser.add_argument(
+        "--no-coarse", action="store_true", help="disable coarse-grain fusion"
+    )
+    parser.add_argument(
+        "--tir", action="store_true", help="print the generated Tensor IR"
+    )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="print modeled cycles vs the primitives baseline",
+    )
+    args = parser.parse_args(argv)
+
+    options = (
+        CompilerOptions.no_coarse_fusion() if args.no_coarse else None
+    )
+    partition = compile_graph(_build_graph(args), options=options)
+
+    print("== optimized Graph IR (main) ==")
+    print(format_graph(partition.lowered.graph))
+    if partition.lowered.init_graph is not None:
+        print("\n== init graph (constant preprocessing, runs once) ==")
+        print(format_graph(partition.lowered.init_graph))
+
+    print("\n== pass log ==")
+    for message in partition.lowered.ctx.log:
+        print(" ", message)
+
+    if args.tir:
+        print("\n== Tensor IR ==")
+        print(format_module(partition.lowered.module))
+
+    if args.perf:
+        compiled_cycles = _model(partition)
+        baseline = BaselineExecutor(_rebuild(args), XEON_8358)
+        specs, warm = baseline.specs()
+        sim = MachineSimulator(XEON_8358)
+        for tensor, nbytes in warm:
+            sim.warm(tensor, nbytes)
+        sim.run_all(specs)
+        baseline_cycles = sim.run_all(specs).total_cycles
+        print("\n== modeled performance (steady state, Xeon-8358) ==")
+        print(f"  baseline primitives: {baseline_cycles:12,.0f} cycles")
+        print(f"  compiled partition:  {compiled_cycles:12,.0f} cycles")
+        print(f"  speedup:             {baseline_cycles / compiled_cycles:12.2f}x")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

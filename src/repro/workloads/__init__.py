@@ -1,0 +1,37 @@
+"""Workload generators reproducing the paper's Table 1.
+
+| Workload | dtypes     | batch sizes          | seq | hidden                  | heads |
+|----------|------------|----------------------|-----|-------------------------|-------|
+| MLP_1    | Int8, FP32 | 32,64,128,256,512    |  -  | 13x512x256x128          |   -   |
+| MLP_2    | Int8, FP32 | 32,64,128,256,512    |  -  | 479x1024x1024x512x256x1 |   -   |
+| MHA_1    | Int8, FP32 | 32,64,128            | 128 | 768                     |   8   |
+| MHA_2    | Int8, FP32 | 32,64,128            | 128 | 768                     |  12   |
+| MHA_3    | Int8, FP32 | 32,64,128            | 384 | 1024                    |   8   |
+| MHA_4    | Int8, FP32 | 32,64,128            | 512 | 1024                    |  16   |
+"""
+
+from .mlp import (
+    MLP_BATCH_SIZES,
+    MLP_CONFIGS,
+    build_mlp_graph,
+    make_mlp_inputs,
+)
+from .mha import (
+    MHA_BATCH_SIZES,
+    MHA_CONFIGS,
+    build_mha_graph,
+    make_mha_inputs,
+)
+from .matmul_shapes import individual_matmul_shapes
+
+__all__ = [
+    "MLP_BATCH_SIZES",
+    "MLP_CONFIGS",
+    "build_mlp_graph",
+    "make_mlp_inputs",
+    "MHA_BATCH_SIZES",
+    "MHA_CONFIGS",
+    "build_mha_graph",
+    "make_mha_inputs",
+    "individual_matmul_shapes",
+]

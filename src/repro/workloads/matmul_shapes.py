@@ -1,0 +1,51 @@
+"""Individual matmul problem set for Figure 7.
+
+The paper evaluates single-layer performance "for all the problem sizes
+used in the MLP tests": every (batch x layer) combination of MLP_1 and
+MLP_2, both data types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..dtypes import DType
+from .mlp import MLP_BATCH_SIZES, MLP_CONFIGS
+
+
+@dataclass(frozen=True)
+class MatmulShape:
+    workload: str
+    layer: int
+    m: int
+    k: int
+    n: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}.L{self.layer} m{self.m} k{self.k} n{self.n}"
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+def individual_matmul_shapes(
+    batch_sizes=MLP_BATCH_SIZES,
+) -> List[MatmulShape]:
+    """All Figure 7 problem shapes, in workload/layer/batch order."""
+    shapes: List[MatmulShape] = []
+    for workload, dims in MLP_CONFIGS.items():
+        for layer in range(len(dims) - 1):
+            for batch in batch_sizes:
+                shapes.append(
+                    MatmulShape(
+                        workload=workload,
+                        layer=layer,
+                        m=batch,
+                        k=dims[layer],
+                        n=dims[layer + 1],
+                    )
+                )
+    return shapes

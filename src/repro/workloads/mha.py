@@ -1,0 +1,126 @@
+"""MHA workloads (Table 1: MHA_1..MHA_4).
+
+The workload is the scaled dot-product attention core of BERT-style
+models: ``softmax(Q K^T / sqrt(d) + mask) V`` — two batch matmuls with a
+softmax and binary ops between them, which is exactly the subgraph whose
+fine-grain (softmax) fusion the baseline primitives cannot perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..dtypes import DType
+from ..graph_ir.builder import GraphBuilder
+from ..graph_ir.graph import Graph
+
+
+@dataclass(frozen=True)
+class MhaConfig:
+    name: str
+    seq_len: int
+    hidden: int
+    heads: int
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+
+#: Table 1's four MHA shapes.
+MHA_CONFIGS: Dict[str, MhaConfig] = {
+    "MHA_1": MhaConfig("MHA_1", 128, 768, 8),
+    "MHA_2": MhaConfig("MHA_2", 128, 768, 12),
+    "MHA_3": MhaConfig("MHA_3", 384, 1024, 8),
+    "MHA_4": MhaConfig("MHA_4", 512, 1024, 16),
+}
+
+MHA_BATCH_SIZES: Tuple[int, ...] = (32, 64, 128)
+
+ACT_SCALE = 0.08
+P_SCALE = 1.0 / 127.0  # attention probabilities lie in [0, 1]
+
+
+def build_mha_graph(
+    name: str, batch: int, dtype: DType = DType.f32
+) -> Graph:
+    cfg = MHA_CONFIGS[name]
+    if dtype == DType.f32:
+        return _fp32_mha(cfg, batch)
+    if dtype in (DType.s8, DType.u8):
+        return _int8_mha(cfg, batch)
+    raise ValueError(f"unsupported MHA dtype {dtype}")
+
+
+def _attention(b: GraphBuilder, q, k, v, mask, head_dim: int):
+    s = b.matmul(q, k, transpose_b=True)
+    s = b.div(s, b.scalar("scale", float(np.sqrt(head_dim))))
+    s = b.add(s, mask)
+    p = b.softmax(s)
+    return b.matmul(p, v)
+
+
+def _fp32_mha(cfg: MhaConfig, batch: int) -> Graph:
+    b = GraphBuilder(f"{cfg.name.lower()}_b{batch}_f32")
+    shape = (batch, cfg.heads, cfg.seq_len, cfg.head_dim)
+    q = b.input("q", DType.f32, shape)
+    k = b.input("k", DType.f32, shape)
+    v = b.input("v", DType.f32, shape)
+    mask = b.input("mask", DType.f32, (batch, 1, 1, cfg.seq_len))
+    b.output(_attention(b, q, k, v, mask, cfg.head_dim))
+    return b.finish()
+
+
+def _int8_mha(cfg: MhaConfig, batch: int) -> Graph:
+    """Quantized attention: symmetric s8 activations throughout.
+
+    Attention inputs are conventionally quantized symmetrically (zero
+    point 0) so the low-precision rewrite needs no compensation terms; the
+    attention probabilities requantize to u8 before the PV matmul, as
+    production int8 BERT kernels do.
+    """
+    b = GraphBuilder(f"{cfg.name.lower()}_b{batch}_int8")
+    shape = (batch, cfg.heads, cfg.seq_len, cfg.head_dim)
+    qq = b.input("q", DType.s8, shape)
+    kq = b.input("k", DType.s8, shape)
+    vq = b.input("v", DType.s8, shape)
+    mask = b.input("mask", DType.f32, (batch, 1, 1, cfg.seq_len))
+    q = b.dequantize(qq, scale=ACT_SCALE)
+    k = b.dequantize(kq, scale=ACT_SCALE)
+    s = b.matmul(q, k, transpose_b=True)
+    s = b.div(s, b.scalar("scale", float(np.sqrt(cfg.head_dim))))
+    s = b.add(s, mask)
+    p = b.softmax(s)
+    pq = b.quantize(p, scale=P_SCALE, dtype=DType.u8)
+    p = b.dequantize(pq, scale=P_SCALE)
+    v = b.dequantize(vq, scale=ACT_SCALE)
+    b.output(b.matmul(p, v))
+    return b.finish()
+
+
+def make_mha_inputs(
+    name: str, batch: int, dtype: DType = DType.f32, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    cfg = MHA_CONFIGS[name]
+    rng = np.random.RandomState(seed)
+    shape = (batch, cfg.heads, cfg.seq_len, cfg.head_dim)
+    # A causal-ish random padding mask: a few positions masked out.
+    mask = np.where(
+        rng.rand(batch, 1, 1, cfg.seq_len) < 0.1, -1e9, 0.0
+    ).astype(np.float32)
+    if dtype == DType.f32:
+        return {
+            "q": rng.randn(*shape).astype(np.float32),
+            "k": rng.randn(*shape).astype(np.float32),
+            "v": rng.randn(*shape).astype(np.float32),
+            "mask": mask,
+        }
+    return {
+        "q": rng.randint(-127, 128, shape).astype(np.int8),
+        "k": rng.randint(-127, 128, shape).astype(np.int8),
+        "v": rng.randint(-127, 128, shape).astype(np.int8),
+        "mask": mask,
+    }

@@ -1,0 +1,108 @@
+"""MLP workloads (Table 1: MLP_1, MLP_2).
+
+MLP_1's hidden sizes come from the MLPerf DLRM bottom MLP
+(13x512x256x128); MLP_2's from the DLRM top MLP (479x1024x1024x512x256x1).
+Each layer is matmul + ReLU; the Int8 variant wraps the compute in the
+standard static-quantization pattern (asymmetric u8 activations, symmetric
+s8 weights) that the low-precision conversion pass rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..dtypes import DType
+from ..graph_ir.builder import GraphBuilder
+from ..graph_ir.graph import Graph
+
+#: Hidden-layer size chains, exactly as Table 1 lists them.
+MLP_CONFIGS: Dict[str, Tuple[int, ...]] = {
+    "MLP_1": (13, 512, 256, 128),
+    "MLP_2": (479, 1024, 1024, 512, 256, 1),
+}
+
+MLP_BATCH_SIZES: Tuple[int, ...] = (32, 64, 128, 256, 512)
+
+#: Quantization parameters for the Int8 variants.
+ACT_SCALE = 0.05
+ACT_ZERO_POINT = 16
+WEIGHT_SCALE = 0.02
+REQUANT_SCALE = 0.1
+REQUANT_ZERO_POINT = 8
+
+
+def build_mlp_graph(
+    name: str, batch: int, dtype: DType = DType.f32
+) -> Graph:
+    """Build an MLP graph for a Table 1 config (``MLP_1`` or ``MLP_2``)."""
+    dims = MLP_CONFIGS[name]
+    if dtype == DType.f32:
+        return _fp32_mlp(name, batch, dims)
+    if dtype in (DType.s8, DType.u8):
+        return _int8_mlp(name, batch, dims)
+    raise ValueError(f"unsupported MLP dtype {dtype}")
+
+
+def _fp32_mlp(name: str, batch: int, dims: Tuple[int, ...]) -> Graph:
+    b = GraphBuilder(f"{name.lower()}_b{batch}_f32")
+    t = b.input("x", DType.f32, (batch, dims[0]))
+    for i in range(len(dims) - 1):
+        w = b.constant(f"w{i}", dtype=DType.f32, shape=(dims[i], dims[i + 1]))
+        t = b.relu(b.matmul(t, w))
+    b.output(t)
+    return b.finish()
+
+
+def _int8_mlp(name: str, batch: int, dims: Tuple[int, ...]) -> Graph:
+    """The framework-quantized form: fp32 matmuls wrapped in (de)quantize."""
+    b = GraphBuilder(f"{name.lower()}_b{batch}_int8")
+    xq = b.input("x", DType.u8, (batch, dims[0]))
+    t = b.dequantize(xq, scale=ACT_SCALE, zero_point=ACT_ZERO_POINT)
+    for i in range(len(dims) - 1):
+        wq = b.constant(f"w{i}", dtype=DType.s8, shape=(dims[i], dims[i + 1]))
+        w = b.dequantize(wq, scale=WEIGHT_SCALE)
+        t = b.relu(b.matmul(t, w))
+        if i < len(dims) - 2:
+            q = b.quantize(
+                t,
+                scale=REQUANT_SCALE,
+                zero_point=REQUANT_ZERO_POINT,
+                dtype=DType.u8,
+            )
+            t = b.dequantize(
+                q, scale=REQUANT_SCALE, zero_point=REQUANT_ZERO_POINT
+            )
+    b.output(t)
+    return b.finish()
+
+
+def make_mlp_inputs(
+    name: str, batch: int, dtype: DType = DType.f32, seed: int = 0
+) -> Dict[str, np.ndarray]:
+    """Random activation and weight arrays for an MLP workload."""
+    dims = MLP_CONFIGS[name]
+    rng = np.random.RandomState(seed)
+    inputs: Dict[str, np.ndarray] = {}
+    if dtype == DType.f32:
+        inputs["x"] = rng.randn(batch, dims[0]).astype(np.float32)
+        for i in range(len(dims) - 1):
+            inputs[f"w{i}"] = (
+                rng.randn(dims[i], dims[i + 1]) * (1.0 / np.sqrt(dims[i]))
+            ).astype(np.float32)
+    else:
+        inputs["x"] = rng.randint(0, 256, (batch, dims[0])).astype(np.uint8)
+        for i in range(len(dims) - 1):
+            inputs[f"w{i}"] = rng.randint(
+                -127, 128, (dims[i], dims[i + 1])
+            ).astype(np.int8)
+    return inputs
+
+
+def mlp_layer_shapes(name: str, batch: int) -> List[Tuple[int, int, int]]:
+    """(m, k, n) of each layer — the Figure 7 individual-matmul problems."""
+    dims = MLP_CONFIGS[name]
+    return [
+        (batch, dims[i], dims[i + 1]) for i in range(len(dims) - 1)
+    ]

@@ -1,0 +1,177 @@
+"""Tests for the FusedMatmul structure (fused_op.py)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import LoweringError
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.fused_op import (
+    FusedMatmul,
+    FusionPlan,
+    OperandMode,
+    StandaloneOp,
+)
+from repro.templates.params import MatmulParams
+
+
+def params():
+    return MatmulParams(
+        m=64, n=64, k=64, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=2
+    )
+
+
+def softmax_fused():
+    b = GraphBuilder()
+    x = b.input("x", DType.f32, (64, 64))
+    w = b.input("w", DType.f32, (64, 64))
+    y = b.matmul(x, w)
+    m = b.reduce_max(y, axis=-1)
+    e = b.exp(b.sub(y, m))
+    s = b.reduce_sum(e, axis=-1)
+    out = b.div(e, s)
+    b.output(out)
+    graph = b.finish()
+    return graph, FusedMatmul(
+        name="f",
+        matmul=graph.ops[0],
+        post_ops=graph.ops[1:],
+        params=MatmulParams(
+            m=64, n=64, k=64, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=1
+        ),
+    )
+
+
+class TestStructure:
+    def test_output_is_last_post_op(self):
+        graph, fused = softmax_fused()
+        assert fused.output.id == graph.ops[-1].outputs[0].id
+
+    def test_output_without_post_ops(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        y = b.matmul(x, w)
+        b.output(y)
+        graph = b.finish()
+        fused = FusedMatmul(name="f", matmul=graph.ops[0], params=params())
+        assert fused.output.id == y.id
+
+    def test_external_inputs_order_and_dedup(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        bias = b.input("bias", DType.f32, (64,))
+        y = b.matmul(x, w)
+        y = b.add(y, bias)
+        y = b.add(y, bias)  # bias used twice: deduped
+        b.output(y)
+        graph = b.finish()
+        fused = FusedMatmul(
+            name="f",
+            matmul=graph.ops[0],
+            post_ops=graph.ops[1:],
+            params=params(),
+        )
+        ext = fused.external_inputs()
+        assert [t.id for t in ext] == [x.id, w.id, bias.id]
+
+    def test_has_n_reduction(self):
+        _, fused = softmax_fused()
+        assert fused.has_n_reduction
+        assert fused.reduction_ops
+
+    def test_reduction_split_index(self):
+        _, fused = softmax_fused()
+        # reduce_max is the first post-op, so the whole chain is group 2.
+        assert fused.reduction_split_index() == 0
+
+    def test_reduction_split_index_with_eltwise_prefix(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        y = b.matmul(x, w)
+        y = b.relu(y)  # group 1
+        m = b.reduce_max(y, axis=-1)  # group 2 starts here
+        out = b.sub(y, m)
+        b.output(out)
+        graph = b.finish()
+        fused = FusedMatmul(
+            name="f",
+            matmul=graph.ops[0],
+            post_ops=graph.ops[1:],
+            params=MatmulParams(
+                m=64, n=64, k=64, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=1
+            ),
+        )
+        assert fused.reduction_split_index() == 1
+
+    def test_split_index_no_reduction(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        y = b.relu(b.matmul(x, w))
+        b.output(y)
+        graph = b.finish()
+        fused = FusedMatmul(
+            name="f",
+            matmul=graph.ops[0],
+            post_ops=[graph.ops[1]],
+            params=params(),
+        )
+        assert fused.reduction_split_index() == 1
+        assert not fused.has_n_reduction
+
+    def test_interleaved_groups_rejected(self):
+        """An eltwise op scheduled after the reduction but independent of
+        it violates the contiguous two-group invariant."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        y = b.matmul(x, w)
+        m = b.reduce_max(y, axis=-1)
+        r = b.relu(y)  # independent of the reduction, but listed after it
+        out = b.sub(r, m)
+        b.output(out)
+        graph = b.finish()
+        fused = FusedMatmul(
+            name="f",
+            matmul=graph.ops[0],
+            post_ops=[graph.ops[1], graph.ops[2], graph.ops[3]],
+            params=params(),
+        )
+        with pytest.raises(LoweringError, match="ordered after"):
+            fused.reduction_split_index()
+
+    def test_evaluate_reference(self):
+        graph, fused = softmax_fused()
+        x = np.random.randn(64, 64).astype(np.float32)
+        w = np.random.randn(64, 64).astype(np.float32) * 0.1
+        result = fused.evaluate_reference(
+            {fused.a.id: x, fused.b.id: w}
+        )
+        logits = x @ w
+        expected = np.exp(logits - logits.max(-1, keepdims=True))
+        expected /= expected.sum(-1, keepdims=True)
+        np.testing.assert_allclose(result, expected, rtol=1e-5, atol=1e-7)
+
+    def test_evaluate_reference_missing_input(self):
+        _, fused = softmax_fused()
+        with pytest.raises(LoweringError, match="missing input"):
+            fused.evaluate_reference({})
+
+
+class TestFusionPlan:
+    def test_partition_by_kind(self):
+        graph, fused = softmax_fused()
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        op = b.graph.ops
+        relu = b.relu(x)
+        b.output(relu)
+        sgraph = b.finish()
+        plan = FusionPlan(
+            items=[fused, StandaloneOp(name="s", op=sgraph.ops[0])]
+        )
+        assert len(plan.fused_matmuls) == 1
+        assert len(plan.standalone_ops) == 1

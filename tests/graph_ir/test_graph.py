@@ -1,0 +1,192 @@
+"""Unit tests for Graph IR construction, validation and queries."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import (
+    DataTypeError,
+    GraphValidationError,
+    ShapeInferenceError,
+)
+from repro.graph_ir import Graph, GraphBuilder, LogicalTensor, Op, format_graph
+from repro.graph_ir.logical_tensor import PropertyKind
+
+
+def small_mlp():
+    b = GraphBuilder("mlp")
+    x = b.input("x", DType.f32, (8, 16))
+    w = b.constant("w", np.ones((16, 4), dtype=np.float32))
+    y = b.matmul(x, w)
+    y = b.relu(y)
+    b.output(y)
+    return b, b.finish()
+
+
+class TestBuilder:
+    def test_build_and_validate(self):
+        _, graph = small_mlp()
+        assert len(graph.ops) == 2
+        assert graph.ops[0].kind == "matmul"
+        assert graph.outputs[0].shape == (8, 4)
+
+    def test_matmul_shape_inference(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (2, 3, 4))
+        w = b.input("w", DType.f32, (4, 5))
+        y = b.matmul(x, w)
+        assert y.shape == (2, 3, 5)
+        assert y.dtype == DType.f32
+
+    def test_matmul_transpose_b(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (8, 16))
+        w = b.input("w", DType.f32, (4, 16))
+        y = b.matmul(x, w, transpose_b=True)
+        assert y.shape == (8, 4)
+
+    def test_matmul_contraction_mismatch(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (8, 16))
+        w = b.input("w", DType.f32, (17, 4))
+        with pytest.raises(ShapeInferenceError):
+            b.matmul(x, w)
+
+    def test_int8_matmul_outputs_s32(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.u8, (8, 16))
+        w = b.input("w", DType.s8, (16, 4))
+        y = b.matmul(x, w)
+        assert y.dtype == DType.s32
+
+    def test_mixed_int_float_matmul_rejected(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.u8, (8, 16))
+        w = b.input("w", DType.f32, (16, 4))
+        with pytest.raises(DataTypeError):
+            b.matmul(x, w)
+
+    def test_binary_broadcast(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (8, 16))
+        bias = b.input("bias", DType.f32, (16,))
+        y = b.add(x, bias)
+        assert y.shape == (8, 16)
+
+    def test_binary_dtype_mismatch(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        y = b.input("y", DType.s32, (4,))
+        with pytest.raises(DataTypeError):
+            b.add(x, y)
+
+    def test_reduce_keepdims(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (8, 16))
+        s = b.reduce_sum(x, axis=-1)
+        assert s.shape == (8, 1)
+        s2 = b.reduce_sum(x, axis=-1, keepdims=False)
+        assert s2.shape == (8,)
+
+    def test_constant_binding_shape_checked(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphValidationError):
+            tensor = LogicalTensor(dtype=DType.f32, shape=(2, 2), name="c")
+            b.graph.add_constant(tensor, np.zeros((3, 3), dtype=np.float32))
+
+
+class TestGraphQueries:
+    def test_producer_consumer(self):
+        _, graph = small_mlp()
+        matmul, relu = graph.ops
+        mm_out = matmul.outputs[0]
+        assert graph.producer(mm_out) is matmul
+        assert graph.consumers(mm_out) == [relu]
+        assert graph.producer(graph.inputs[0]) is None
+
+    def test_topological_order(self):
+        _, graph = small_mlp()
+        order = graph.topological_order()
+        assert [op.kind for op in order] == ["matmul", "relu"]
+
+    def test_replace_uses(self):
+        b, graph = small_mlp()
+        matmul, relu = graph.ops
+        replacement = LogicalTensor(dtype=DType.f32, shape=(8, 4), name="r")
+        graph.replace_uses(matmul.outputs[0], replacement)
+        assert relu.inputs[0] is replacement
+
+    def test_all_tensors(self):
+        _, graph = small_mlp()
+        names = {t.name for t in graph.all_tensors()}
+        assert "x" in names and "w" in names
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        graph = Graph("cyclic")
+        t1 = LogicalTensor(dtype=DType.f32, shape=(4,), name="t1")
+        t2 = LogicalTensor(dtype=DType.f32, shape=(4,), name="t2")
+        graph.add_op(Op(kind="relu", inputs=[t2], outputs=[t1]))
+        graph.add_op(Op(kind="relu", inputs=[t1], outputs=[t2]))
+        with pytest.raises(GraphValidationError, match="cycle"):
+            graph.topological_order()
+
+    def test_dangling_tensor_detected(self):
+        graph = Graph("dangling")
+        ghost = LogicalTensor(dtype=DType.f32, shape=(4,), name="ghost")
+        out = LogicalTensor(dtype=DType.f32, shape=(4,), name="out")
+        graph.add_op(Op(kind="relu", inputs=[ghost], outputs=[out]))
+        with pytest.raises(GraphValidationError, match="dangling"):
+            graph.validate()
+
+    def test_double_producer_detected(self):
+        graph = Graph("dup")
+        x = LogicalTensor(dtype=DType.f32, shape=(4,), name="x")
+        out = LogicalTensor(dtype=DType.f32, shape=(4,), name="out")
+        graph.add_input(x)
+        graph.add_op(Op(kind="relu", inputs=[x], outputs=[out]))
+        graph.add_op(Op(kind="neg", inputs=[x], outputs=[out]))
+        with pytest.raises(GraphValidationError, match="produced by both"):
+            graph.validate()
+
+    def test_arity_checked(self):
+        graph = Graph("arity")
+        x = LogicalTensor(dtype=DType.f32, shape=(4,), name="x")
+        out = LogicalTensor(dtype=DType.f32, shape=(4,), name="out")
+        graph.add_input(x)
+        graph.add_op(Op(kind="add", inputs=[x], outputs=[out]))
+        with pytest.raises(GraphValidationError, match="inputs"):
+            graph.validate()
+
+    def test_unproduced_output_detected(self):
+        graph = Graph("noout")
+        ghost = LogicalTensor(dtype=DType.f32, shape=(4,), name="ghost")
+        graph.mark_output(ghost)
+        with pytest.raises(GraphValidationError, match="produced by no op"):
+            graph.validate()
+
+    def test_infer_shapes_detects_drift(self):
+        _, graph = small_mlp()
+        graph.ops[1].outputs[0].shape = (8, 5)  # corrupt
+        with pytest.raises(GraphValidationError):
+            graph.infer_shapes()
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ShapeInferenceError):
+            LogicalTensor(dtype=DType.f32, shape=(0, 4))
+
+
+class TestPrinter:
+    def test_format_contains_ops(self):
+        _, graph = small_mlp()
+        text = format_graph(graph)
+        assert "matmul" in text
+        assert "relu" in text
+        assert "!w" in text  # constant marker
+
+    def test_constant_property(self):
+        _, graph = small_mlp()
+        w = next(t for t in graph.inputs if t.name == "w")
+        assert w.prop is PropertyKind.CONSTANT
+        assert w.is_constant

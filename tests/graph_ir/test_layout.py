@@ -1,0 +1,149 @@
+"""Unit and property tests for blocked memory layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.graph_ir.layout import BlockedLayout, blocked_2d, plain
+
+
+class TestPlain:
+    def test_plain_is_identity(self):
+        layout = plain(2)
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        np.testing.assert_array_equal(layout.to_physical(x), x)
+        assert layout.is_plain
+        assert layout.physical_shape((3, 4)) == (3, 4)
+        assert layout.tag() == "AB"
+
+    def test_permuted_plain(self):
+        layout = BlockedLayout(ndims=2, outer_order=(1, 0))
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        np.testing.assert_array_equal(layout.to_physical(x), x.T)
+        assert not layout.is_plain
+        assert layout.is_permuted_plain
+        assert layout.tag() == "BA"
+
+
+class TestBlocked2D:
+    def test_a_operand_layout(self):
+        """A[M,K] -> A'[M/MB, K/KB, MB, KB] as in the paper."""
+        layout = blocked_2d(2, 3)
+        assert layout.physical_shape((4, 6)) == (2, 2, 2, 3)
+        x = np.arange(24, dtype=np.float32).reshape(4, 6)
+        physical = layout.to_physical(x)
+        # Block (0, 0) holds rows 0-1, cols 0-2.
+        np.testing.assert_array_equal(physical[0, 0], x[0:2, 0:3])
+        np.testing.assert_array_equal(physical[1, 1], x[2:4, 3:6])
+
+    def test_b_operand_layout_swapped_inner(self):
+        """B[K,N] -> B'[K/KB, N/NB, NB, KB]: inner dims swapped."""
+        layout = blocked_2d(2, 3, swap_inner=True)
+        assert layout.physical_shape((4, 6)) == (2, 2, 3, 2)
+        x = np.arange(24, dtype=np.float32).reshape(4, 6)
+        physical = layout.to_physical(x)
+        np.testing.assert_array_equal(physical[0, 0], x[0:2, 0:3].T)
+
+    def test_padding(self):
+        layout = blocked_2d(4, 4)
+        assert layout.padded_shape((5, 6)) == (8, 8)
+        assert layout.physical_shape((5, 6)) == (2, 2, 4, 4)
+        x = np.ones((5, 6), dtype=np.float32)
+        physical = layout.to_physical(x)
+        assert physical.shape == (2, 2, 4, 4)
+        # Padded region is zero.
+        assert physical[1, 1, 3, 3] == 0.0
+        np.testing.assert_array_equal(layout.from_physical(physical, (5, 6)), x)
+
+    def test_num_elements_counts_padding(self):
+        layout = blocked_2d(4, 4)
+        assert layout.num_elements((5, 6)) == 64
+
+    def test_requires_two_dims(self):
+        with pytest.raises(LayoutError):
+            blocked_2d(2, 2, ndims=1)
+
+    def test_batch_dims(self):
+        layout = blocked_2d(2, 2, ndims=3)
+        assert layout.physical_shape((5, 4, 4)) == (5, 2, 2, 2, 2)
+
+
+class TestValidation:
+    def test_bad_outer_order(self):
+        with pytest.raises(LayoutError):
+            BlockedLayout(ndims=2, outer_order=(0, 0))
+
+    def test_bad_axis(self):
+        with pytest.raises(LayoutError):
+            BlockedLayout(ndims=2, inner_blocks=((5, 4),))
+
+    def test_bad_block_size(self):
+        with pytest.raises(LayoutError):
+            BlockedLayout(ndims=2, inner_blocks=((0, 0),))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(LayoutError):
+            plain(2).physical_shape((1, 2, 3))
+
+    def test_from_physical_shape_mismatch(self):
+        layout = blocked_2d(2, 2)
+        with pytest.raises(LayoutError):
+            layout.from_physical(np.zeros((3, 3)), (4, 4))
+
+
+class TestNestedBlocks:
+    def test_vnni_style_double_blocking(self):
+        """A VNNI-ish layout blocks the K axis twice: ...KB then 4."""
+        layout = BlockedLayout(
+            ndims=2, inner_blocks=((0, 8), (1, 16), (0, 4))
+        )
+        # K axis (0) has total block 32.
+        assert layout.total_block(0) == 32
+        assert layout.physical_shape((64, 32)) == (2, 2, 8, 16, 4)
+        x = np.random.rand(64, 32).astype(np.float32)
+        physical = layout.to_physical(x)
+        np.testing.assert_array_equal(layout.from_physical(physical, x.shape), x)
+
+    def test_tag(self):
+        layout = BlockedLayout(ndims=2, inner_blocks=((0, 32), (1, 64)))
+        assert layout.tag() == "AB32a64b"
+
+
+@st.composite
+def layout_and_shape(draw):
+    ndims = draw(st.integers(min_value=1, max_value=3))
+    axes = list(range(ndims))
+    order = tuple(draw(st.permutations(axes)))
+    n_blocks = draw(st.integers(min_value=0, max_value=2))
+    blocks = tuple(
+        (
+            draw(st.sampled_from(axes)),
+            draw(st.sampled_from([2, 3, 4])),
+        )
+        for _ in range(n_blocks)
+    )
+    layout = BlockedLayout(ndims=ndims, outer_order=order, inner_blocks=blocks)
+    shape = tuple(draw(st.integers(min_value=1, max_value=9)) for _ in axes)
+    return layout, shape
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(layout_and_shape())
+    def test_to_physical_roundtrips(self, case):
+        """from_physical(to_physical(x)) == x for any layout and shape."""
+        layout, shape = case
+        x = np.arange(np.prod(shape), dtype=np.float32).reshape(shape)
+        physical = layout.to_physical(x)
+        assert physical.shape == layout.physical_shape(shape)
+        np.testing.assert_array_equal(layout.from_physical(physical, shape), x)
+
+    @settings(max_examples=100, deadline=None)
+    @given(layout_and_shape())
+    def test_physical_preserves_total_data(self, case):
+        """Sum of elements is preserved (padding adds zeros)."""
+        layout, shape = case
+        x = np.random.rand(*shape).astype(np.float64)
+        physical = layout.to_physical(x)
+        np.testing.assert_allclose(physical.sum(), x.sum(), rtol=1e-9)

@@ -1,0 +1,121 @@
+"""Tests for the op-by-op reference evaluator (the project oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import ExecutionError
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.reference import evaluate_graph
+
+
+class TestReferenceEvaluator:
+    def test_matmul_relu(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (2, 3))
+        w = b.constant("w", np.array([[1, -1], [2, -2], [3, -3]], np.float32))
+        y = b.relu(b.matmul(x, w))
+        b.output(y)
+        graph = b.finish()
+        data = np.array([[1, 0, 0], [0, 1, 1]], dtype=np.float32)
+        out = evaluate_graph(graph, {"x": data})[y.name]
+        np.testing.assert_array_equal(out, [[1, 0], [5, 0]])
+
+    def test_softmax_rows_sum_to_one(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 8))
+        y = b.softmax(x)
+        b.output(y)
+        graph = b.finish()
+        out = evaluate_graph(
+            graph, {"x": np.random.randn(4, 8).astype(np.float32)}
+        )[y.name]
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_gelu_matches_formula(self):
+        from scipy.special import erf
+
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (16,))
+        y = b.gelu(x)
+        b.output(y)
+        graph = b.finish()
+        data = np.linspace(-3, 3, 16).astype(np.float32)
+        out = evaluate_graph(graph, {"x": data})[y.name]
+        expected = 0.5 * data * (1 + erf(data / np.sqrt(2)))
+        np.testing.assert_allclose(out, expected, atol=1e-6)
+
+    def test_quantize_dequantize_chain(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (8,))
+        q = b.quantize(x, scale=0.1, zero_point=3, dtype=DType.u8)
+        d = b.dequantize(q, scale=0.1, zero_point=3)
+        b.output(d)
+        graph = b.finish()
+        data = np.array([0, 0.1, 0.2, 0.35, 1, 2, 3, 4], dtype=np.float32)
+        out = evaluate_graph(graph, {"x": data})[d.name]
+        assert np.all(np.abs(out - data) <= 0.05 + 1e-6)
+
+    def test_int8_matmul_exact(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.u8, (4, 8))
+        w = b.input("w", DType.s8, (8, 4))
+        y = b.matmul(x, w)
+        b.output(y)
+        graph = b.finish()
+        a = np.random.randint(0, 255, (4, 8)).astype(np.uint8)
+        wt = np.random.randint(-128, 127, (8, 4)).astype(np.int8)
+        out = evaluate_graph(graph, {"x": a, "w": wt})[y.name]
+        assert out.dtype == np.int32
+        np.testing.assert_array_equal(
+            out, a.astype(np.int32) @ wt.astype(np.int32)
+        )
+
+    def test_missing_input_raises(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        b.output(b.relu(x))
+        graph = b.finish()
+        with pytest.raises(ExecutionError, match="missing input"):
+            evaluate_graph(graph, {})
+
+    def test_wrong_shape_raises(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        b.output(b.relu(x))
+        graph = b.finish()
+        with pytest.raises(ExecutionError, match="shape"):
+            evaluate_graph(graph, {"x": np.zeros((5,), dtype=np.float32)})
+
+    def test_wrong_dtype_raises(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        b.output(b.relu(x))
+        graph = b.finish()
+        with pytest.raises(ExecutionError, match="dtype"):
+            evaluate_graph(graph, {"x": np.zeros(4, dtype=np.int32)})
+
+    def test_layernorm(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 16))
+        gamma = b.constant("gamma", np.ones(16, dtype=np.float32))
+        beta = b.constant("beta", np.zeros(16, dtype=np.float32))
+        y = b.layernorm(x, gamma, beta)
+        b.output(y)
+        graph = b.finish()
+        out = evaluate_graph(
+            graph, {"x": np.random.randn(4, 16).astype(np.float32)}
+        )[y.name]
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_transpose_and_reshape(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (2, 3, 4))
+        t = b.transpose(x, (0, 2, 1))
+        r = b.reshape(t, (8, 3))
+        b.output(r)
+        graph = b.finish()
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        out = evaluate_graph(graph, {"x": data})[r.name]
+        np.testing.assert_array_equal(out, data.transpose(0, 2, 1).reshape(8, 3))

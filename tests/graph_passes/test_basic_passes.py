@@ -1,0 +1,233 @@
+"""Tests for decompose, constant folding, CSE and DCE."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.passes.constant_fold import ConstantFoldPass
+from repro.graph_ir.passes.cse import CsePass
+from repro.graph_ir.passes.dce import DcePass
+from repro.graph_ir.passes.decompose import DecomposePass
+from repro.graph_ir.passes.pass_base import CompileContext
+from repro.graph_ir.reference import evaluate_graph
+
+
+def run_pass(p, graph):
+    ctx = CompileContext()
+    graph = p.run(graph, ctx)
+    graph.validate()
+    return graph, ctx
+
+
+class TestDecompose:
+    def _check_equivalent(self, make_graph, inputs, rtol=1e-5, atol=1e-6):
+        """Decomposition must preserve reference semantics."""
+        graph1 = make_graph()
+        expected = evaluate_graph(graph1, inputs)
+        graph2 = make_graph()
+        graph2, _ = run_pass(DecomposePass(), graph2)
+        actual = evaluate_graph(graph2, inputs)
+        # Rewrites rename output tensors; compare positionally.
+        for exp, act in zip(expected.values(), actual.values()):
+            np.testing.assert_allclose(act, exp, rtol=rtol, atol=atol)
+
+    def test_softmax(self):
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (4, 16))
+            b.output(b.softmax(x))
+            return b.finish()
+
+        self._check_equivalent(
+            make, {"x": np.random.randn(4, 16).astype(np.float32)}
+        )
+
+    def test_softmax_ops_are_basic(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 16))
+        b.output(b.softmax(x))
+        graph, _ = run_pass(DecomposePass(), b.finish())
+        kinds = sorted(op.kind for op in graph.ops)
+        assert kinds == ["div", "exp", "reduce_max", "reduce_sum", "sub"]
+
+    def test_gelu_erf(self):
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (32,))
+            b.output(b.gelu(x))
+            return b.finish()
+
+        self._check_equivalent(
+            make, {"x": np.linspace(-4, 4, 32).astype(np.float32)}
+        )
+
+    def test_gelu_tanh(self):
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (32,))
+            b.output(b.gelu(x, approximate="tanh"))
+            return b.finish()
+
+        self._check_equivalent(
+            make, {"x": np.linspace(-4, 4, 32).astype(np.float32)}
+        )
+
+    def test_silu(self):
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (16,))
+            b.output(b.silu(x))
+            return b.finish()
+
+        self._check_equivalent(
+            make, {"x": np.random.randn(16).astype(np.float32)}
+        )
+
+    def test_layernorm(self):
+        np.random.seed(0)
+        gamma = np.random.rand(32).astype(np.float32) + 0.5
+        beta = np.random.randn(32).astype(np.float32)
+
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (8, 32))
+            g = b.constant("g", gamma)
+            bb = b.constant("bb", beta)
+            b.output(b.layernorm(x, g, bb))
+            return b.finish()
+
+        self._check_equivalent(
+            make,
+            {"x": np.random.randn(8, 32).astype(np.float32)},
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_batchnorm(self):
+        np.random.seed(1)
+        g = np.random.rand(16).astype(np.float32) + 0.5
+        beta = np.random.randn(16).astype(np.float32)
+        mean = np.random.randn(16).astype(np.float32)
+        var = np.random.rand(16).astype(np.float32) + 0.1
+
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (8, 16))
+            b.output(
+                b.batchnorm(
+                    x,
+                    b.constant("g", g),
+                    b.constant("be", beta),
+                    b.constant("m", mean),
+                    b.constant("v", var),
+                )
+            )
+            return b.finish()
+
+        self._check_equivalent(
+            make,
+            {"x": np.random.randn(8, 16).astype(np.float32)},
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_quantize_dequantize_exact(self):
+        def make():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (64,))
+            q = b.quantize(x, scale=0.05, zero_point=3, dtype=DType.u8)
+            b.output(b.dequantize(q, scale=0.05, zero_point=3))
+            return b.finish()
+
+        graph1 = make()
+        inputs = {"x": (np.random.rand(64) * 10 - 5).astype(np.float32)}
+        expected = evaluate_graph(graph1, inputs)
+        graph2, _ = run_pass(DecomposePass(), make())
+        actual = evaluate_graph(graph2, inputs)
+        for exp, act in zip(expected.values(), actual.values()):
+            np.testing.assert_array_equal(act, exp)
+
+    def test_bias_add_becomes_add(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 8))
+        bias = b.input("bias", DType.f32, (8,))
+        b.output(b.bias_add(x, bias))
+        graph, _ = run_pass(DecomposePass(), b.finish())
+        assert [op.kind for op in graph.ops] == ["add"]
+
+
+class TestConstantFold:
+    def test_folds_constant_chain(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        c1 = b.constant("c1", np.ones(4, dtype=np.float32))
+        c2 = b.constant("c2", np.full(4, 2.0, dtype=np.float32))
+        s = b.add(c1, c2)  # foldable
+        b.output(b.add(x, s))
+        graph, ctx = run_pass(ConstantFoldPass(), b.finish())
+        assert len(graph.ops) == 1
+        assert any("folded" in m for m in ctx.log)
+        out = evaluate_graph(graph, {"x": np.zeros(4, dtype=np.float32)})
+        np.testing.assert_array_equal(list(out.values())[0], np.full(4, 3.0))
+
+    def test_does_not_fold_runtime_constant(self):
+        """Constants without bound data (runtime weights) cannot fold."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        w = b.constant("w", dtype=DType.f32, shape=(4,))  # no data
+        s = b.add(w, w)
+        b.output(b.add(x, s))
+        graph, _ = run_pass(ConstantFoldPass(), b.finish())
+        assert len(graph.ops) == 2
+
+
+class TestCse:
+    def test_merges_identical_ops(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        r1 = b.relu(x)
+        r2 = b.relu(x)
+        b.output(b.add(r1, r2))
+        graph, _ = run_pass(CsePass(), b.finish())
+        assert sum(1 for op in graph.ops if op.kind == "relu") == 1
+
+    def test_respects_attrs(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 4))
+        s1 = b.reduce_sum(x, axis=0)
+        s2 = b.reduce_sum(x, axis=1)
+        b.output(b.add(s1, b.transpose(s2, (1, 0))))
+        graph, _ = run_pass(CsePass(), b.finish())
+        assert sum(1 for op in graph.ops if op.kind == "reduce_sum") == 2
+
+
+class TestDce:
+    def test_removes_dead_ops(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        live = b.relu(x)
+        b.exp(x)  # dead
+        b.output(live)
+        graph, _ = run_pass(DcePass(), b.finish())
+        assert [op.kind for op in graph.ops] == ["relu"]
+
+    def test_removes_transitively_dead(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        live = b.relu(x)
+        d1 = b.exp(x)
+        b.tanh(d1)  # dead chain
+        b.output(live)
+        graph, _ = run_pass(DcePass(), b.finish())
+        assert [op.kind for op in graph.ops] == ["relu"]
+
+    def test_drops_unused_constants(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        c = b.constant("c", np.ones(4, dtype=np.float32))
+        b.exp(c)  # dead use of constant
+        b.output(b.relu(x))
+        graph, _ = run_pass(DcePass(), b.finish())
+        assert not graph.constants
+        assert all(t.name != "c" for t in graph.inputs)

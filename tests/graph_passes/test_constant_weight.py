@@ -1,0 +1,118 @@
+"""Tests for constant-weight preprocessing (init-graph split)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.passes.constant_weight import (
+    MarkRuntimeConstantsPass,
+    SplitInitGraphPass,
+)
+from repro.graph_ir.passes.pass_base import CompileContext
+from repro.graph_ir.reference import evaluate_graph
+
+
+class TestMarkConstants:
+    def test_propagates_through_ops(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        w = b.constant("w", dtype=DType.f32, shape=(4,))
+        doubled = b.mul(w, w)  # constant
+        mixed = b.add(x, doubled)  # not constant
+        b.output(mixed)
+        graph = b.finish()
+        MarkRuntimeConstantsPass().run(graph, CompileContext())
+        assert doubled.is_constant
+        assert not mixed.is_constant
+
+
+class TestSplit:
+    def _graph(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 8))
+        w = b.constant("w", dtype=DType.f32, shape=(8, 4))
+        scale = b.constant("s", np.full((1,), 2.0, np.float32))
+        w2 = b.mul(w, scale)  # runtime-constant preprocessing
+        y = b.matmul(x, w2)
+        b.output(y)
+        return b.finish(), x, w, w2
+
+    def test_init_graph_extracted(self):
+        graph, x, w, w2 = self._graph()
+        ctx = CompileContext()
+        graph = SplitInitGraphPass().run(graph, ctx)
+        assert ctx.init_graph is not None
+        assert [op.kind for op in ctx.init_graph.ops] == ["mul"]
+        assert [t.id for t in ctx.init_graph.outputs] == [w2.id]
+        # Main graph: only the matmul, consuming the boundary constant.
+        assert [op.kind for op in graph.ops] == ["matmul"]
+        assert any(t.id == w2.id for t in graph.inputs)
+        assert w2.is_constant
+
+    def test_weight_input_moved_out_of_main(self):
+        graph, x, w, w2 = self._graph()
+        ctx = CompileContext()
+        graph = SplitInitGraphPass().run(graph, ctx)
+        assert all(t.id != w.id for t in graph.inputs)
+        assert any(t.id == w.id for t in ctx.init_graph.inputs)
+
+    def test_init_and_main_compose_to_original(self):
+        graph, x, w, w2 = self._graph()
+        rng = np.random.RandomState(0)
+        xd = rng.randn(4, 8).astype(np.float32)
+        wd = rng.randn(8, 4).astype(np.float32)
+        reference_graph, *_ = self._graph()
+        expected = list(
+            evaluate_graph(reference_graph, {"x": xd, "w": wd}).values()
+        )[0]
+        ctx = CompileContext()
+        graph = SplitInitGraphPass().run(graph, ctx)
+        init_out = evaluate_graph(ctx.init_graph, {"w": wd})
+        cache = {
+            t.name: init_out[t.name] for t in ctx.init_graph.outputs
+        }
+        actual = list(
+            evaluate_graph(graph, {"x": xd, **cache}).values()
+        )[0]
+        np.testing.assert_allclose(actual, expected, rtol=1e-6)
+
+    def test_no_constants_no_init(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        b.output(b.relu(x))
+        graph = b.finish()
+        ctx = CompileContext()
+        SplitInitGraphPass().run(graph, ctx)
+        assert ctx.init_graph is None
+
+    def test_constant_output_kept_in_main(self):
+        """A fully constant graph output must stay executable."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        w = b.constant("w", dtype=DType.f32, shape=(4,))
+        const_out = b.mul(w, w)
+        b.output(b.add(x, w))
+        b.output(const_out)
+        graph = b.finish()
+        ctx = CompileContext()
+        graph = SplitInitGraphPass().run(graph, ctx)
+        # The const-producing op stays in the main graph (or init is None).
+        producing = [op.kind for op in graph.ops]
+        assert "mul" in producing
+
+    def test_shared_weight_stays_in_main_too(self):
+        """A weight used both raw and preprocessed remains a main input."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 8))
+        w = b.constant("w", dtype=DType.f32, shape=(8, 4))
+        scale = b.constant("s", np.full((1,), 2.0, np.float32))
+        w2 = b.mul(w, scale)
+        y1 = b.matmul(x, w2)
+        y2 = b.matmul(x, w)  # raw use
+        b.output(b.add(y1, y2))
+        graph = b.finish()
+        ctx = CompileContext()
+        graph = SplitInitGraphPass().run(graph, ctx)
+        assert any(t.id == w.id for t in graph.inputs)
+        assert any(t.id == w.id for t in ctx.init_graph.inputs)

@@ -1,0 +1,205 @@
+"""Tests for fine-grain and coarse-grain fusion passes."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.fused_op import FusedMatmul, OperandMode, StandaloneOp
+from repro.graph_ir.passes.coarse_grain_fusion import CoarseGrainFusionPass
+from repro.graph_ir.passes.decompose import DecomposePass
+from repro.graph_ir.passes.fine_grain_fusion import FineGrainFusionPass
+from repro.graph_ir.passes.layout_propagation import LayoutPropagationPass
+from repro.graph_ir.passes.pass_base import CompileContext
+
+
+def run_fusion(graph, decompose=True, coarse=True):
+    from repro.graph_ir.passes.constant_weight import SplitInitGraphPass
+
+    ctx = CompileContext()
+    if decompose:
+        graph = DecomposePass().run(graph, ctx)
+    graph = LayoutPropagationPass().run(graph, ctx)
+    graph = SplitInitGraphPass().run(graph, ctx)  # weight reorders -> init
+    graph = FineGrainFusionPass().run(graph, ctx)
+    if coarse:
+        graph = CoarseGrainFusionPass().run(graph, ctx)
+    return graph, ctx
+
+
+class TestFineGrain:
+    def test_absorbs_eltwise_chain(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.constant("w", dtype=DType.f32, shape=(64, 64))
+        y = b.relu(b.matmul(x, w))
+        y = b.tanh(y)
+        b.output(y)
+        graph, ctx = run_fusion(b.finish())
+        plan = ctx.fusion_plan
+        assert len(plan.fused_matmuls) == 1
+        fused = plan.fused_matmuls[0]
+        assert [op.kind for op in fused.post_ops] == ["relu", "tanh"]
+        assert not plan.standalone_ops
+
+    def test_multi_consumer_value_not_absorbed(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.constant("w", dtype=DType.f32, shape=(64, 64))
+        y = b.matmul(x, w)
+        r = b.relu(y)
+        t = b.tanh(y)  # second consumer of the matmul output
+        b.output(b.add(r, t))
+        graph, ctx = run_fusion(b.finish())
+        fused = ctx.fusion_plan.fused_matmuls[0]
+        # The region can absorb the DAG (relu, tanh, add all land inside),
+        # OR reject it; either way the final output must be singular.
+        if fused.post_ops:
+            kinds = sorted(op.kind for op in fused.post_ops)
+            assert kinds == ["add", "relu", "tanh"]
+        else:
+            assert len(ctx.fusion_plan.standalone_ops) == 3
+
+    def test_graph_output_mid_chain_blocks_fusion(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.constant("w", dtype=DType.f32, shape=(64, 64))
+        y = b.matmul(x, w)
+        r = b.relu(y)
+        b.output(r)
+        b.output(b.tanh(r))  # r escapes as a graph output
+        graph, ctx = run_fusion(b.finish())
+        fused = ctx.fusion_plan.fused_matmuls[0]
+        # tanh cannot be in the region because r must materialize.
+        assert all(op.kind != "tanh" for op in fused.post_ops)
+
+    def test_softmax_fuses_with_group_split(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        y = b.matmul(x, w)
+        y = b.relu(y)
+        b.output(b.softmax(y))
+        graph, ctx = run_fusion(b.finish())
+        fused = ctx.fusion_plan.fused_matmuls[0]
+        kinds = [op.kind for op in fused.post_ops]
+        assert "reduce_max" in kinds and "reduce_sum" in kinds
+        split = fused.reduction_split_index()
+        assert kinds[:split] == ["relu"]
+
+    def test_reduction_requires_npn_one(self):
+        """If the params say NPN>1 the reduction must not be absorbed."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 512))
+        w = b.input("w", DType.f32, (512, 512))
+        y = b.matmul(x, w)
+        b.output(b.softmax(y))
+        graph = b.finish()
+        ctx = CompileContext()
+        graph = DecomposePass().run(graph, ctx)
+        graph = LayoutPropagationPass().run(graph, ctx)
+        matmul = next(op for op in graph.ops if op.kind == "matmul")
+        params = ctx.matmul_params[matmul.id]
+        if params.npn == 1:
+            pytest.skip("heuristic already picked NPN=1")
+        graph = FineGrainFusionPass().run(graph, ctx)
+        fused = ctx.fusion_plan.fused_matmuls[0]
+        assert not fused.reduction_ops
+
+    def test_non_matmul_graph_all_standalone(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64,))
+        b.output(b.tanh(b.relu(x)))
+        graph, ctx = run_fusion(b.finish())
+        assert len(ctx.fusion_plan.standalone_ops) == 2
+        assert not ctx.fusion_plan.fused_matmuls
+
+    def test_side_chain_scheduled_before_consumer(self):
+        """Independent producers of post-op operands come first in the plan
+        so the post-op can fuse (the int8 activation-compensation case)."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        z = b.input("z", DType.f32, (64, 64))
+        side = b.exp(z)  # independent side computation
+        y = b.matmul(x, w)
+        b.output(b.add(y, side))
+        graph, ctx = run_fusion(b.finish())
+        plan = ctx.fusion_plan
+        kinds = [
+            "fused" if isinstance(i, FusedMatmul) else i.op.kind
+            for i in plan.items
+        ]
+        assert kinds.index("exp") < kinds.index("fused")
+        fused = plan.fused_matmuls[0]
+        assert [op.kind for op in fused.post_ops] == ["add"]
+
+
+class TestCoarseGrain:
+    def _mlp(self, batch, dims):
+        b = GraphBuilder()
+        t = b.input("x", DType.f32, (batch, dims[0]))
+        for i in range(len(dims) - 1):
+            w = b.constant(
+                f"w{i}", dtype=DType.f32, shape=(dims[i], dims[i + 1])
+            )
+            t = b.relu(b.matmul(t, w))
+        b.output(t)
+        return b.finish()
+
+    def test_chain_gets_merge_tags(self):
+        graph, ctx = run_fusion(self._mlp(128, [128, 128, 128]))
+        fused = ctx.fusion_plan.fused_matmuls
+        tags = {f.merge_tag for f in fused}
+        assert len(fused) == 2
+        assert tags != {None}
+        assert fused[0].merge_tag == fused[1].merge_tag
+
+    def test_batched_mha_merges(self):
+        b = GraphBuilder()
+        q = b.input("q", DType.f32, (4, 2, 32, 16))
+        k = b.input("k", DType.f32, (4, 2, 32, 16))
+        v = b.input("v", DType.f32, (4, 2, 32, 16))
+        p = b.softmax(b.matmul(q, k, transpose_b=True))
+        b.output(b.matmul(p, v))
+        graph, ctx = run_fusion(b.finish())
+        fused = ctx.fusion_plan.fused_matmuls
+        assert len(fused) == 2
+        assert fused[0].merge_tag is not None
+        assert fused[0].merge_tag == fused[1].merge_tag
+
+    def test_disabled_pass_sets_no_tags(self):
+        graph, ctx = run_fusion(
+            self._mlp(128, [128, 128, 128]), coarse=False
+        )
+        assert all(
+            f.merge_tag is None for f in ctx.fusion_plan.fused_matmuls
+        )
+
+    def test_standalone_op_breaks_group(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (128, 128))
+        w0 = b.constant("w0", dtype=DType.f32, shape=(128, 128))
+        w1 = b.constant("w1", dtype=DType.f32, shape=(128, 128))
+        t = b.matmul(x, w0)
+        t = b.transpose(t, (1, 0))  # data movement: standalone
+        b.output(b.matmul(t, w1))
+        graph, ctx = run_fusion(b.finish())
+        fused = ctx.fusion_plan.fused_matmuls
+        assert all(f.merge_tag is None for f in fused)
+
+    def test_mismatched_batch_dims_not_merged(self):
+        b = GraphBuilder()
+        q = b.input("q", DType.f32, (4, 32, 16))
+        k = b.input("k", DType.f32, (4, 32, 16))
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.constant("w", dtype=DType.f32, shape=(64, 64))
+        b.output(b.matmul(q, k, transpose_b=True))
+        b.output(b.matmul(x, w))
+        graph, ctx = run_fusion(b.finish())
+        fused = ctx.fusion_plan.fused_matmuls
+        if len(fused) == 2:
+            assert (
+                fused[0].merge_tag is None or
+                fused[0].merge_tag != fused[1].merge_tag
+            )

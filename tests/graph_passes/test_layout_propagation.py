@@ -1,0 +1,139 @@
+"""Tests for layout propagation and parameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.fused_op import OperandMode
+from repro.graph_ir.passes.layout_propagation import (
+    LayoutPropagationPass,
+    matmul_geometry,
+    weight_blocked_layout,
+)
+from repro.graph_ir.passes.pass_base import CompileContext
+
+
+def run_layout(graph):
+    ctx = CompileContext()
+    graph = LayoutPropagationPass().run(graph, ctx)
+    graph.validate()
+    return graph, ctx
+
+
+class TestGeometry:
+    def test_matmul_geometry(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (2, 3, 16, 32))
+        w = b.input("w", DType.f32, (32, 24))
+        b.output(b.matmul(x, w))
+        graph = b.finish()
+        assert matmul_geometry(graph.ops[0]) == (6, 16, 24, 32)
+
+    def test_transpose_a_geometry(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (32, 16))
+        w = b.input("w", DType.f32, (32, 24))
+        b.output(b.matmul(x, w, transpose_a=True))
+        graph = b.finish()
+        assert matmul_geometry(graph.ops[0]) == (1, 16, 24, 32)
+
+
+class TestWeightLayout:
+    def test_plain_orientation(self):
+        layout = weight_blocked_layout(16, 32, transposed=False)
+        # [K/KB, N/NB, NB, KB]
+        assert layout.physical_shape((64, 64)) == (4, 2, 32, 16)
+
+    def test_transposed_orientation(self):
+        layout = weight_blocked_layout(16, 32, transposed=True)
+        # Logical [n, k] -> same physical [K/KB, N/NB, NB, KB].
+        assert layout.physical_shape((64, 64)) == (4, 2, 32, 16)
+
+
+class TestWeightPrepack:
+    def test_constant_weight_gets_reorder(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        w = b.constant("w", dtype=DType.f32, shape=(64, 64))
+        b.output(b.matmul(x, w))
+        graph, ctx = run_layout(b.finish())
+        reorders = [op for op in graph.ops if op.kind == "reorder"]
+        assert len(reorders) == 1
+        assert reorders[0].inputs[0].id == w.id
+        matmul = next(op for op in graph.ops if op.kind == "matmul")
+        assert matmul.inputs[1].id == reorders[0].outputs[0].id
+        assert ctx.b_modes[matmul.id] is OperandMode.BLOCKED
+
+    def test_activation_b_not_prepacked(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 64))
+        y = b.input("y", DType.f32, (64, 64))
+        b.output(b.matmul(x, y))
+        graph, ctx = run_layout(b.finish())
+        assert not any(op.kind == "reorder" for op in graph.ops)
+        matmul = graph.ops[0]
+        assert ctx.b_modes[matmul.id] is OperandMode.PACK_FULL
+
+    def test_reorder_pads_to_template_grid(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 479))
+        w = b.constant("w", dtype=DType.f32, shape=(479, 100))
+        b.output(b.matmul(x, w))
+        graph, ctx = run_layout(b.finish())
+        reorder = next(op for op in graph.ops if op.kind == "reorder")
+        params = list(ctx.matmul_params.values())[0]
+        assert reorder.outputs[0].shape == (params.k, params.n)
+        assert reorder.attr("pad_to") == (params.k, params.n)
+
+
+class TestChaining:
+    def _chain(self, m, n1, n2):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (m, n1))
+        w0 = b.constant("w0", dtype=DType.f32, shape=(n1, n1))
+        w1 = b.constant("w1", dtype=DType.f32, shape=(n1, n2))
+        t = b.relu(b.matmul(x, w0))
+        b.output(b.relu(b.matmul(t, w1)))
+        return b.finish()
+
+    def test_params_selected_per_matmul(self):
+        graph, ctx = run_layout(self._chain(256, 512, 256))
+        assert len(ctx.matmul_params) == 2
+
+    def test_outer_split_aligned_for_merging(self):
+        """Neighbor matmuls should share the MPN split (the paper's
+        alignment-with-neighbors rule)."""
+        graph, ctx = run_layout(self._chain(256, 512, 256))
+        params = list(ctx.matmul_params.values())
+        assert params[0].mpn == params[1].mpn
+        assert params[0].m == params[1].m
+
+    def test_reduction_lookahead_pins_npn(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (128, 64))
+        w = b.input("w", DType.f32, (64, 128))
+        y = b.matmul(x, w)
+        b.output(b.softmax(y))
+        graph = b.finish()
+        # Decompose softmax first so the lookahead sees basic reductions.
+        from repro.graph_ir.passes.decompose import DecomposePass
+
+        ctx = CompileContext()
+        graph = DecomposePass().run(graph, ctx)
+        graph = LayoutPropagationPass().run(graph, ctx)
+        params = list(ctx.matmul_params.values())[0]
+        assert params.npn == 1
+
+    def test_pack_slice_only_when_aligned(self):
+        # Aligned: m, k multiples of the blocks and no padding.
+        graph, ctx = run_layout(self._chain(256, 512, 256))
+        modes = list(ctx.a_modes.values())
+        assert modes[0] in (OperandMode.PACK_SLICE, OperandMode.PACK_FULL)
+        # Unaligned k=479 must NOT slice-pack.
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (64, 479))
+        w = b.constant("w", dtype=DType.f32, shape=(479, 64))
+        b.output(b.matmul(x, w))
+        graph, ctx = run_layout(b.finish())
+        assert list(ctx.a_modes.values())[0] is OperandMode.PACK_FULL

@@ -1,0 +1,154 @@
+"""Tests for the low-precision conversion pass (Figure 5 rewrite)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.passes.dce import DcePass
+from repro.graph_ir.passes.low_precision import LowPrecisionPass
+from repro.graph_ir.passes.pass_base import CompileContext
+from repro.graph_ir.reference import evaluate_graph
+
+
+def run_lp(graph):
+    ctx = CompileContext()
+    graph = LowPrecisionPass().run(graph, ctx)
+    graph = DcePass().run(graph, ctx)
+    graph.validate()
+    return graph, ctx
+
+
+def quantized_matmul_graph(a_zp=5, transpose_b=False, b_shape=None):
+    b = GraphBuilder()
+    xq = b.input("x", DType.u8, (16, 32))
+    wq = b.input("w", DType.s8, b_shape or ((24, 32) if transpose_b else (32, 24)))
+    x = b.dequantize(xq, scale=0.1, zero_point=a_zp)
+    w = b.dequantize(wq, scale=0.05)
+    y = b.matmul(x, w, transpose_b=transpose_b)
+    b.output(y)
+    return b.finish()
+
+
+class TestRewrite:
+    def test_matmul_becomes_int8(self):
+        graph, ctx = run_lp(quantized_matmul_graph())
+        matmul = next(op for op in graph.ops if op.kind == "matmul")
+        assert matmul.inputs[0].dtype == DType.u8
+        assert matmul.inputs[1].dtype == DType.s8
+        assert matmul.outputs[0].dtype == DType.s32
+        assert any("rewrote" in m for m in ctx.log)
+
+    def test_compensation_present_with_zero_point(self):
+        graph, _ = run_lp(quantized_matmul_graph(a_zp=5))
+        kinds = [op.kind for op in graph.ops]
+        assert "reduce_sum" in kinds  # colsum compensation
+        assert "sub" in kinds
+
+    def test_no_compensation_when_symmetric(self):
+        graph, _ = run_lp(quantized_matmul_graph(a_zp=0))
+        kinds = [op.kind for op in graph.ops]
+        assert "reduce_sum" not in kinds
+
+    def test_b_zero_point_skips_rewrite(self):
+        b = GraphBuilder()
+        xq = b.input("x", DType.u8, (16, 32))
+        wq = b.input("w", DType.s8, (32, 24))
+        x = b.dequantize(xq, scale=0.1)
+        w = b.dequantize(wq, scale=0.05, zero_point=3)  # asymmetric weight
+        b.output(b.matmul(x, w))
+        graph, ctx = run_lp(b.finish())
+        matmul = next(op for op in graph.ops if op.kind == "matmul")
+        assert matmul.inputs[0].dtype == DType.f32  # untouched
+        assert any("skipped" in m for m in ctx.log)
+
+    def test_plain_fp32_matmul_untouched(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (8, 8))
+        w = b.input("w", DType.f32, (8, 8))
+        b.output(b.matmul(x, w))
+        graph, _ = run_lp(b.finish())
+        assert [op.kind for op in graph.ops] == ["matmul"]
+
+    def _exactness(self, a_zp, transpose_b=False):
+        rng = np.random.RandomState(a_zp + 17)
+        x = rng.randint(0, 256, (16, 32)).astype(np.uint8)
+        w_shape = (24, 32) if transpose_b else (32, 24)
+        w = rng.randint(-128, 128, w_shape).astype(np.int8)
+        graph = quantized_matmul_graph(a_zp=a_zp, transpose_b=transpose_b)
+        rewritten, _ = run_lp(
+            quantized_matmul_graph(a_zp=a_zp, transpose_b=transpose_b)
+        )
+        actual = list(
+            evaluate_graph(rewritten, {"x": x, "w": w}).values()
+        )[0]
+        # Exact oracle in the rewrite's own arithmetic.
+        wt = w.T if transpose_b else w
+        acc = (x.astype(np.int32) @ wt.astype(np.int32)).astype(np.float32)
+        comp = wt.astype(np.int32).sum(axis=0).astype(np.float32)
+        expected = (acc - np.float32(a_zp) * comp) * np.float32(0.1 * 0.05)
+        np.testing.assert_allclose(actual, expected, rtol=1e-6, atol=1e-3)
+
+    def test_exact_with_zero_point(self):
+        self._exactness(a_zp=7)
+
+    def test_exact_symmetric(self):
+        self._exactness(a_zp=0)
+
+    def test_exact_transpose_b(self):
+        self._exactness(a_zp=3, transpose_b=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=32),
+        st.floats(min_value=0.01, max_value=0.5),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    def test_rewrite_matches_dequant_oracle(self, a_zp, a_s, b_s):
+        """Property: the rewrite equals dequantized fp32 matmul within
+        fp32 rounding of the accumulator."""
+        rng = np.random.RandomState(a_zp)
+        x = rng.randint(0, 256, (8, 16)).astype(np.uint8)
+        w = rng.randint(-128, 128, (16, 8)).astype(np.int8)
+
+        b = GraphBuilder()
+        xq = b.input("x", DType.u8, (8, 16))
+        wq = b.input("w", DType.s8, (16, 8))
+        xf = b.dequantize(xq, scale=a_s, zero_point=a_zp)
+        wf = b.dequantize(wq, scale=b_s)
+        b.output(b.matmul(xf, wf))
+        rewritten, _ = run_lp(b.finish())
+        actual = list(
+            evaluate_graph(rewritten, {"x": x, "w": w}).values()
+        )[0]
+        exact = (
+            ((x.astype(np.int64) - a_zp) @ w.astype(np.int64)).astype(
+                np.float64
+            )
+            * a_s
+            * b_s
+        )
+        np.testing.assert_allclose(actual, exact, rtol=1e-3, atol=1e-2)
+
+
+class TestBatchedRewrite:
+    def test_batched_activation_matmul(self):
+        """MHA-style: both operands are quantized activations."""
+        b = GraphBuilder()
+        qq = b.input("q", DType.s8, (2, 3, 8, 16))
+        kq = b.input("k", DType.s8, (2, 3, 8, 16))
+        q = b.dequantize(qq, scale=0.1)
+        k = b.dequantize(kq, scale=0.1)
+        b.output(b.matmul(q, k, transpose_b=True))
+        graph, _ = run_lp(b.finish())
+        matmul = next(op for op in graph.ops if op.kind == "matmul")
+        assert matmul.inputs[0].dtype == DType.s8
+        rng = np.random.RandomState(0)
+        qd = rng.randint(-128, 128, (2, 3, 8, 16)).astype(np.int8)
+        kd = rng.randint(-128, 128, (2, 3, 8, 16)).astype(np.int8)
+        out = list(evaluate_graph(graph, {"q": qd, "k": kd}).values())[0]
+        expected = (
+            qd.astype(np.int64) @ kd.astype(np.int64).transpose(0, 1, 3, 2)
+        ).astype(np.float32) * np.float32(0.01)
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-2)

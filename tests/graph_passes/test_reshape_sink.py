@@ -1,0 +1,98 @@
+"""Tests for the reshape-sinking pass."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.passes.pass_base import CompileContext
+from repro.graph_ir.passes.reshape_sink import ReshapeSinkPass
+from repro.graph_ir.reference import evaluate_graph
+
+
+def run(graph):
+    ctx = CompileContext()
+    graph = ReshapeSinkPass().run(graph, ctx)
+    graph.validate()
+    return graph, ctx
+
+
+class TestReshapeSink:
+    def test_unary_sinks(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 6))
+        r = b.reshape(x, (2, 2, 6))
+        b.output(b.relu(r))
+        graph, ctx = run(b.finish())
+        kinds = [op.kind for op in graph.topological_order()]
+        assert kinds == ["relu", "reshape"]
+        assert ctx.log
+
+    def test_binary_with_channel_vector_sinks(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 6))
+        bias = b.input("bias", DType.f32, (6,))
+        r = b.reshape(x, (2, 2, 6))
+        b.output(b.add(r, bias))
+        graph, _ = run(b.finish())
+        kinds = [op.kind for op in graph.topological_order()]
+        assert kinds == ["add", "reshape"]
+
+    def test_binary_with_scalar_sinks(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 6))
+        r = b.reshape(x, (24,))
+        b.output(b.mul(r, b.scalar("s", 2.0)))
+        graph, _ = run(b.finish())
+        kinds = [op.kind for op in graph.topological_order()]
+        assert kinds == ["mul", "reshape"]
+
+    def test_last_dim_change_blocks_vector_operand(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 6))
+        bias = b.input("bias", DType.f32, (24,))
+        r = b.reshape(x, (24,))  # last dim changes 6 -> 24
+        b.output(b.add(r, bias))
+        graph, _ = run(b.finish())
+        kinds = [op.kind for op in graph.topological_order()]
+        assert kinds == ["reshape", "add"]  # unchanged
+
+    def test_multi_consumer_reshape_not_sunk(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 6))
+        r = b.reshape(x, (2, 2, 6))
+        b.output(b.relu(r))
+        b.output(b.tanh(r))
+        graph, _ = run(b.finish())
+        first = graph.topological_order()[0]
+        assert first.kind == "reshape"
+
+    def test_chain_sinks_fully(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 6))
+        bias = b.input("bias", DType.f32, (6,))
+        r = b.reshape(x, (2, 2, 6))
+        y = b.relu(b.add(r, bias))
+        b.output(y)
+        graph, _ = run(b.finish())
+        kinds = [op.kind for op in graph.topological_order()]
+        assert kinds == ["add", "relu", "reshape"]
+
+    def test_semantics_preserved(self):
+        def build():
+            b = GraphBuilder()
+            x = b.input("x", DType.f32, (4, 6))
+            bias = b.input("bias", DType.f32, (6,))
+            r = b.reshape(x, (2, 2, 6))
+            b.output(b.relu(b.add(r, bias)))
+            return b.finish()
+
+        rng = np.random.RandomState(0)
+        inputs = {
+            "x": rng.randn(4, 6).astype(np.float32),
+            "bias": rng.randn(6).astype(np.float32),
+        }
+        expected = list(evaluate_graph(build(), inputs).values())[0]
+        graph, _ = run(build())
+        actual = list(evaluate_graph(graph, inputs).values())[0]
+        np.testing.assert_array_equal(actual, expected)

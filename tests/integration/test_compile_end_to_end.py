@@ -1,0 +1,347 @@
+"""End-to-end compilation tests: compile_graph vs the reference evaluator.
+
+These are the project's strongest correctness guarantees: whole graphs
+(MLPs, MHA, quantized variants) go through every pass and template, execute
+through the interpreter and must match op-by-op reference evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, DType, GraphBuilder, compile_graph
+from repro.errors import ExecutionError
+from repro.graph_ir.reference import evaluate_graph
+
+
+def mlp_graph(batch, dims, name="mlp", dtype=DType.f32):
+    b = GraphBuilder(name)
+    x = b.input("x", dtype, (batch, dims[0]))
+    t = x
+    for i in range(len(dims) - 1):
+        w = b.constant(f"w{i}", dtype=dtype, shape=(dims[i], dims[i + 1]))
+        t = b.relu(b.matmul(t, w))
+    b.output(t)
+    return b.finish()
+
+
+def mlp_weights(dims, seed=0):
+    rng = np.random.RandomState(seed)
+    return {
+        f"w{i}": (rng.randn(dims[i], dims[i + 1]) * 0.1).astype(np.float32)
+        for i in range(len(dims) - 1)
+    }
+
+
+def reference_mlp(batch, dims, weights, x):
+    graph = mlp_graph(batch, dims)
+    for name, data in weights.items():
+        tensor = next(t for t in graph.inputs if t.name == name)
+        graph.bind_constant(tensor, data)
+    return list(evaluate_graph(graph, {"x": x}).values())[0]
+
+
+class TestMlpCompilation:
+    @pytest.mark.parametrize("batch", [32, 64])
+    def test_mlp1_shapes(self, batch):
+        """The MLP_1 workload shape (13x512x256x128) end to end."""
+        dims = [13, 512, 256, 128]
+        weights = mlp_weights(dims)
+        x = np.random.RandomState(1).randn(batch, 13).astype(np.float32)
+        expected = reference_mlp(batch, dims, weights, x)
+        partition = compile_graph(mlp_graph(batch, dims))
+        out = partition.execute({"x": x, **weights})
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-4
+        )
+
+    def test_mlp2_shapes_small(self):
+        """MLP_2-style: k=479 entry and n=1 exit layers (scaled down)."""
+        dims = [479, 128, 64, 1]
+        weights = mlp_weights(dims)
+        x = np.random.RandomState(2).randn(32, 479).astype(np.float32)
+        expected = reference_mlp(32, dims, weights, x)
+        partition = compile_graph(mlp_graph(32, dims))
+        out = partition.execute({"x": x, **weights})
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-4
+        )
+
+    def test_no_coarse_fusion_same_result(self):
+        dims = [64, 128, 64]
+        weights = mlp_weights(dims)
+        x = np.random.RandomState(3).randn(32, 64).astype(np.float32)
+        expected = reference_mlp(32, dims, weights, x)
+        partition = compile_graph(
+            mlp_graph(32, dims), options=CompilerOptions.no_coarse_fusion()
+        )
+        out = partition.execute({"x": x, **weights})
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-4
+        )
+
+    def test_coarse_fusion_merges_loops(self):
+        dims = [128, 128, 128, 128]
+        partition = compile_graph(mlp_graph(256, dims))
+        assert any(
+            "loop_merge: merged groups [[" in m
+            and m.count("f") >= 2
+            for m in partition.lowered.ctx.log
+        )
+
+    def test_constant_cache_used_on_second_run(self):
+        dims = [32, 64]
+        weights = mlp_weights(dims)
+        x = np.random.RandomState(4).randn(16, 32).astype(np.float32)
+        partition = compile_graph(mlp_graph(16, dims))
+        first = partition.execute({"x": x, **weights})
+        # Second run without weights must work (cached).
+        second = partition.execute({"x": x})
+        np.testing.assert_array_equal(
+            list(first.values())[0], list(second.values())[0]
+        )
+
+    def test_missing_weight_on_first_run_raises(self):
+        partition = compile_graph(mlp_graph(16, [32, 64]))
+        with pytest.raises(ExecutionError, match="missing input"):
+            partition.execute(
+                {"x": np.zeros((16, 32), dtype=np.float32)}
+            )
+
+    def test_gelu_mlp(self):
+        def build():
+            b = GraphBuilder("gelu_mlp")
+            x = b.input("x", DType.f32, (32, 64))
+            w = b.constant("w", dtype=DType.f32, shape=(64, 96))
+            b.output(b.gelu(b.matmul(x, w)))
+            return b.finish()
+
+        w = (np.random.RandomState(5).randn(64, 96) * 0.1).astype(np.float32)
+        x = np.random.RandomState(6).randn(32, 64).astype(np.float32)
+        ref_graph = build()
+        tensor = next(t for t in ref_graph.inputs if t.name == "w")
+        ref_graph.bind_constant(tensor, w)
+        expected = list(evaluate_graph(ref_graph, {"x": x}).values())[0]
+        partition = compile_graph(build())
+        out = partition.execute({"x": x, "w": w})
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-5
+        )
+
+    def test_bias_mlp(self):
+        def build():
+            b = GraphBuilder("bias_mlp")
+            x = b.input("x", DType.f32, (32, 64))
+            w = b.constant("w", dtype=DType.f32, shape=(64, 96))
+            bias = b.constant("bias", dtype=DType.f32, shape=(96,))
+            b.output(b.relu(b.bias_add(b.matmul(x, w), bias)))
+            return b.finish()
+
+        rng = np.random.RandomState(7)
+        w = (rng.randn(64, 96) * 0.1).astype(np.float32)
+        bias = rng.randn(96).astype(np.float32)
+        x = rng.randn(32, 64).astype(np.float32)
+        partition = compile_graph(build())
+        out = partition.execute({"x": x, "w": w, "bias": bias})
+        expected = np.maximum(x @ w + bias, 0)
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-5
+        )
+
+
+def mha_graph(batch, heads, seq, head_dim, name="mha"):
+    b = GraphBuilder(name)
+    q = b.input("q", DType.f32, (batch, heads, seq, head_dim))
+    k = b.input("k", DType.f32, (batch, heads, seq, head_dim))
+    v = b.input("v", DType.f32, (batch, heads, seq, head_dim))
+    mask = b.input("mask", DType.f32, (batch, 1, 1, seq))
+    s = b.matmul(q, k, transpose_b=True)
+    s = b.div(s, b.scalar("scale", float(np.sqrt(head_dim))))
+    s = b.add(s, mask)
+    p = b.softmax(s)
+    b.output(b.matmul(p, v))
+    return b.finish()
+
+
+class TestMhaCompilation:
+    def test_attention_matches_reference(self):
+        B, H, S, D = 2, 4, 32, 16
+        rng = np.random.RandomState(8)
+        inputs = {
+            "q": rng.randn(B, H, S, D).astype(np.float32),
+            "k": rng.randn(B, H, S, D).astype(np.float32),
+            "v": rng.randn(B, H, S, D).astype(np.float32),
+            "mask": rng.randn(B, 1, 1, S).astype(np.float32),
+        }
+        expected = list(
+            evaluate_graph(mha_graph(B, H, S, D), inputs).values()
+        )[0]
+        partition = compile_graph(mha_graph(B, H, S, D))
+        out = partition.execute(inputs)
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-5
+        )
+
+    def test_softmax_fuses_into_batch_matmul(self):
+        partition = compile_graph(mha_graph(2, 2, 16, 16))
+        fusion_logs = [
+            m for m in partition.lowered.ctx.log if "absorbed" in m
+        ]
+        assert any("reduce_max" in m and "exp" in m for m in fusion_logs)
+
+    def test_both_matmuls_coarse_merged(self):
+        partition = compile_graph(mha_graph(2, 2, 16, 16))
+        assert any(
+            "coarse_fusion" in m for m in partition.lowered.ctx.log
+        )
+
+    def test_attention_rows_sum_to_one_internally(self):
+        """Feeding V = identity recovers the attention probabilities."""
+        B, H, S, D = 1, 1, 16, 16
+        rng = np.random.RandomState(9)
+        inputs = {
+            "q": rng.randn(B, H, S, D).astype(np.float32),
+            "k": rng.randn(B, H, S, D).astype(np.float32),
+            "v": np.broadcast_to(
+                np.eye(S, D, dtype=np.float32), (B, H, S, D)
+            ).copy(),
+            "mask": np.zeros((B, 1, 1, S), dtype=np.float32),
+        }
+        partition = compile_graph(mha_graph(B, H, S, D))
+        out = list(partition.execute(inputs).values())[0]
+        np.testing.assert_allclose(
+            out.sum(axis=-1), np.ones((B, H, S)), rtol=1e-5
+        )
+
+
+def quantized_mlp(batch, dims, name="qmlp"):
+    b = GraphBuilder(name)
+    xq = b.input("x", DType.u8, (batch, dims[0]))
+    t = b.dequantize(xq, scale=0.05, zero_point=10)
+    for i in range(len(dims) - 1):
+        wq = b.constant(f"w{i}", dtype=DType.s8, shape=(dims[i], dims[i + 1]))
+        w = b.dequantize(wq, scale=0.05)
+        t = b.relu(b.matmul(t, w))
+        if i < len(dims) - 2:
+            q = b.quantize(t, scale=0.2, zero_point=5, dtype=DType.u8)
+            t = b.dequantize(q, scale=0.2, zero_point=5)
+    b.output(t)
+    return b.finish()
+
+
+class TestQuantizedCompilation:
+    def _data(self, batch, dims, seed=10):
+        rng = np.random.RandomState(seed)
+        weights = {
+            f"w{i}": rng.randint(-100, 100, (dims[i], dims[i + 1])).astype(
+                np.int8
+            )
+            for i in range(len(dims) - 1)
+        }
+        x = rng.randint(0, 255, (batch, dims[0])).astype(np.uint8)
+        return weights, x
+
+    def test_quantized_mlp_matches_exact_oracle(self):
+        """Compare against exact integer math (the compiled semantics).
+
+        The fp32 op-by-op reference is unstable at requantization round
+        boundaries, so the oracle follows the int8-rewrite math: exact
+        int32 accumulation, f32 scaling, f32 requantization.
+        """
+        batch, dims = 32, [64, 128, 64]
+        weights, x = self._data(batch, dims)
+        partition = compile_graph(quantized_mlp(batch, dims))
+        out = list(partition.execute({"x": x, **weights}).values())[0]
+
+        def layer(act, zp, w, ab_scale):
+            # The rewrite: f32(int8 matmul) - zp * f32(colsum_k(W)), scaled.
+            acc = (act.astype(np.int32) @ w.astype(np.int32)).astype(
+                np.float32
+            )
+            comp = w.astype(np.int32).sum(axis=0).astype(np.float32)
+            scale = np.float32(ab_scale)
+            return (acc - np.float32(zp) * comp) * scale
+
+        t1 = np.maximum(layer(x, 10, weights["w0"], 0.05 * 0.05), 0)
+        q = np.clip(
+            np.rint(t1 / np.float32(0.2)) + np.float32(5), 0, 255
+        ).astype(np.uint8)
+        expected = np.maximum(layer(q, 5, weights["w1"], 0.2 * 0.05), 0)
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-3)
+
+    def test_int8_rewrite_exactness(self):
+        """Against exact int32 math the compiled result is bit-faithful
+        up to the final f32 scaling."""
+        batch, dims = 16, [32, 48]
+        weights, x = self._data(batch, dims, seed=11)
+        partition = compile_graph(quantized_mlp(batch, dims))
+        out = list(partition.execute({"x": x, **weights}).values())[0]
+        w = weights["w0"].astype(np.int64)
+        acc = (x.astype(np.int64) - 10) @ w  # subtract zero point exactly
+        exact = np.maximum(
+            acc.astype(np.float32) * np.float32(0.05) * np.float32(0.05), 0
+        )
+        np.testing.assert_allclose(out, exact, rtol=1e-6, atol=1e-4)
+
+    def test_low_precision_pass_ran(self):
+        partition = compile_graph(quantized_mlp(16, [32, 48]))
+        assert any(
+            "low_precision: rewrote" in m for m in partition.lowered.ctx.log
+        )
+
+    def test_compensation_cached_in_init(self):
+        partition = compile_graph(quantized_mlp(16, [32, 48]))
+        assert partition.lowered.init_module is not None
+        assert len(partition.lowered.cached_tensors) >= 1
+
+    def test_disable_low_precision_keeps_fp32(self):
+        options = CompilerOptions(enable_low_precision=False)
+        partition = compile_graph(quantized_mlp(16, [32, 48]), options=options)
+        weights, x = self._data(16, [32, 48], seed=12)
+        out = list(partition.execute({"x": x, **weights}).values())[0]
+        graph = quantized_mlp(16, [32, 48])
+        for name, data in weights.items():
+            tensor = next(t for t in graph.inputs if t.name == name)
+            graph.bind_constant(tensor, data)
+        expected = list(evaluate_graph(graph, {"x": x}).values())[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-3, atol=0.5)
+
+
+class TestAblations:
+    def _check(self, options):
+        dims = [64, 96, 32]
+        weights = mlp_weights(dims, seed=13)
+        x = np.random.RandomState(14).randn(32, 64).astype(np.float32)
+        expected = reference_mlp(32, dims, weights, x)
+        partition = compile_graph(mlp_graph(32, dims), options=options)
+        out = partition.execute({"x": x, **weights})
+        np.testing.assert_allclose(
+            list(out.values())[0], expected, rtol=1e-4, atol=1e-4
+        )
+        return partition
+
+    def test_no_tensor_shrink(self):
+        self._check(CompilerOptions(enable_tensor_shrink=False))
+
+    def test_no_buffer_reuse(self):
+        p = self._check(CompilerOptions(enable_buffer_reuse=False))
+        assert p.arena_size == 0
+
+    def test_buffer_reuse_assigns_arena(self):
+        p = self._check(CompilerOptions())
+        # Three layers -> at least one intermediate placed in the arena.
+        assert p.arena_size > 0
+
+    def test_no_constant_cache(self):
+        p = self._check(CompilerOptions(enable_constant_cache=False))
+        assert p.lowered.init_module is None
+
+    def test_everything_off(self):
+        self._check(
+            CompilerOptions(
+                enable_low_precision=False,
+                enable_coarse_grain_fusion=False,
+                enable_tensor_shrink=False,
+                enable_buffer_reuse=False,
+                enable_constant_cache=False,
+            )
+        )

@@ -1,0 +1,113 @@
+"""Failure-injection tests: the compiler rejects malformed inputs loudly."""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, DType, GraphBuilder, compile_graph
+from repro.dtypes import DType as DT
+from repro.errors import (
+    DataTypeError,
+    GraphCompilerError,
+    GraphValidationError,
+    ShapeInferenceError,
+    UnsupportedOpError,
+)
+from repro.graph_ir import Graph, LogicalTensor, Op
+
+
+class TestGraphRejection:
+    def test_cyclic_graph(self):
+        graph = Graph("cycle")
+        t1 = LogicalTensor(dtype=DType.f32, shape=(4,), name="t1")
+        t2 = LogicalTensor(dtype=DType.f32, shape=(4,), name="t2")
+        graph.add_op(Op(kind="relu", inputs=[t2], outputs=[t1]))
+        graph.add_op(Op(kind="relu", inputs=[t1], outputs=[t2]))
+        graph.mark_output(t1)
+        with pytest.raises(GraphValidationError):
+            compile_graph(graph)
+
+    def test_unknown_op_kind(self):
+        graph = Graph("bad")
+        x = LogicalTensor(dtype=DType.f32, shape=(4,), name="x")
+        out = LogicalTensor(dtype=DType.f32, shape=(4,), name="out")
+        graph.add_input(x)
+        graph.add_op(Op(kind="telepathy", inputs=[x], outputs=[out]))
+        graph.mark_output(out)
+        with pytest.raises(UnsupportedOpError):
+            compile_graph(graph)
+
+    def test_builder_rejects_bad_shapes_before_compile(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4, 8))
+        w = b.input("w", DType.f32, (9, 4))
+        with pytest.raises(ShapeInferenceError):
+            b.matmul(x, w)
+
+    def test_builder_rejects_mixed_dtypes(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (4,))
+        y = b.input("y", DType.s32, (4,))
+        with pytest.raises(DataTypeError):
+            b.add(x, y)
+
+    def test_all_public_errors_share_base(self):
+        from repro import errors
+
+        for name in (
+            "GraphValidationError",
+            "ShapeInferenceError",
+            "DataTypeError",
+            "UnsupportedOpError",
+            "LoweringError",
+            "TensorIRError",
+            "ExecutionError",
+            "LayoutError",
+            "HeuristicError",
+        ):
+            assert issubclass(
+                getattr(errors, name), GraphCompilerError
+            ), name
+
+
+class TestBf16:
+    def test_bf16_matmul_compiles_and_runs(self):
+        """bf16 inputs (stored as f32, priced as 2 bytes) flow through."""
+        b = GraphBuilder("bf16")
+        x = b.input("x", DT.bf16, (32, 64))
+        w = b.constant("w", dtype=DT.bf16, shape=(64, 32))
+        y = b.matmul(x, w)
+        assert y.dtype == DT.f32  # accumulates in f32
+        b.output(b.relu(y))
+        partition = compile_graph(b.finish())
+        rng = np.random.RandomState(0)
+        out = partition.execute(
+            {
+                "x": rng.randn(32, 64).astype(np.float32),
+                "w": rng.randn(64, 32).astype(np.float32),
+            }
+        )
+        assert np.isfinite(list(out.values())[0]).all()
+
+
+class TestGraphOfOnlyEltwise:
+    def test_no_matmul_graph_compiles(self):
+        """Graphs without any tunable op still lower (standalone ops)."""
+        b = GraphBuilder("elt")
+        x = b.input("x", DType.f32, (16, 16))
+        b.output(b.tanh(b.relu(x)))
+        partition = compile_graph(b.finish())
+        data = np.random.RandomState(1).randn(16, 16).astype(np.float32)
+        out = list(partition.execute({"x": data}).values())[0]
+        np.testing.assert_allclose(
+            out, np.tanh(np.maximum(data, 0)), rtol=1e-6
+        )
+
+    def test_identity_like_graph(self):
+        b = GraphBuilder("id")
+        x = b.input("x", DType.f32, (8,))
+        b.output(b.relu(x))
+        partition = compile_graph(b.finish())
+        out = list(
+            partition.execute({"x": np.full(8, -1.0, np.float32)}).values()
+        )[0]
+        np.testing.assert_array_equal(out, np.zeros(8))

@@ -1,0 +1,115 @@
+"""Property-based end-to-end compilation tests.
+
+Random graphs — matmul followed by random element-wise chains, random
+shapes, random epilogues — must compile and match the reference evaluator.
+This is the broadest net over the whole pipeline: heuristics, layout
+negotiation, fusion region growing, template lowering, Tensor IR passes
+and the interpreter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import DType, GraphBuilder, compile_graph
+from repro.graph_ir.reference import evaluate_graph
+
+UNARY = ["relu", "tanh", "sigmoid", "abs", "neg"]
+BINARY = ["add", "sub", "mul", "maximum"]
+
+
+@st.composite
+def chain_spec(draw):
+    m = draw(st.sampled_from([1, 7, 16, 33, 64]))
+    k = draw(st.sampled_from([5, 16, 48, 100]))
+    n = draw(st.sampled_from([1, 9, 16, 64]))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("unary"), st.sampled_from(UNARY)),
+                st.tuples(st.just("binary"), st.sampled_from(BINARY)),
+            ),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return m, k, n, ops, seed
+
+
+def build(m, k, n, ops, rng):
+    b = GraphBuilder("prop")
+    x = b.input("x", DType.f32, (m, k))
+    w = b.constant("w", dtype=DType.f32, shape=(k, n))
+    t = b.matmul(x, w)
+    extra = {}
+    for index, (kind, name) in enumerate(ops):
+        if kind == "unary":
+            t = b.op(name, [t])
+        else:
+            operand = b.input(f"e{index}", DType.f32, (n,))
+            extra[f"e{index}"] = rng.randn(n).astype(np.float32)
+            t = b.op(name, [t, operand])
+    b.output(t)
+    return b.finish(), extra
+
+
+class TestRandomChains:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(chain_spec())
+    def test_compiled_matches_reference(self, spec):
+        m, k, n, ops, seed = spec
+        rng = np.random.RandomState(seed % 100000)
+        graph, extra = build(m, k, n, ops, rng)
+        inputs = {
+            "x": (rng.randn(m, k) * 0.5).astype(np.float32),
+            "w": (rng.randn(k, n) * 0.5).astype(np.float32),
+            **extra,
+        }
+        expected = list(evaluate_graph(graph, inputs).values())[0]
+        graph2, extra2 = build(m, k, n, ops, np.random.RandomState(seed % 100000))
+        partition = compile_graph(graph2)
+        out = list(partition.execute(inputs).values())[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-3, atol=1e-3)
+
+
+class TestRandomMlps:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.sampled_from([3, 16, 33, 64, 100]), min_size=2, max_size=5
+        ),
+        st.sampled_from([1, 8, 32, 50]),
+        st.integers(min_value=0, max_value=10000),
+    )
+    def test_random_mlp_dims(self, dims, batch, seed):
+        rng = np.random.RandomState(seed)
+
+        def make():
+            b = GraphBuilder("rmlp")
+            t = b.input("x", DType.f32, (batch, dims[0]))
+            for i in range(len(dims) - 1):
+                w = b.constant(
+                    f"w{i}", dtype=DType.f32, shape=(dims[i], dims[i + 1])
+                )
+                t = b.relu(b.matmul(t, w))
+            b.output(t)
+            return b.finish()
+
+        inputs = {"x": rng.randn(batch, dims[0]).astype(np.float32)}
+        for i in range(len(dims) - 1):
+            inputs[f"w{i}"] = (
+                rng.randn(dims[i], dims[i + 1]) * 0.2
+            ).astype(np.float32)
+        expected = list(evaluate_graph(make(), inputs).values())[0]
+        partition = compile_graph(make())
+        out = list(partition.execute(inputs).values())[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-3, atol=1e-3)

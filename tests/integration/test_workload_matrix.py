@@ -1,0 +1,88 @@
+"""Compile-and-verify the full Table 1 workload matrix.
+
+Every (workload, dtype) cell compiles through the complete pipeline and
+executes through the interpreter; fp32 results check against the op-by-op
+reference, int8 results against the baseline executor (both sides compute
+the identical low-precision rewrite, so they agree tightly).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DType, XEON_8358, compile_graph
+from repro.baseline import BaselineExecutor
+from repro.graph_ir.reference import evaluate_graph
+from repro.workloads import (
+    build_mha_graph,
+    build_mlp_graph,
+    make_mha_inputs,
+    make_mlp_inputs,
+)
+
+MLP_CASES = [
+    ("MLP_1", DType.f32, 32),
+    ("MLP_1", DType.s8, 32),
+    ("MLP_2", DType.f32, 32),
+    ("MLP_2", DType.s8, 32),
+]
+
+MHA_CASES = [
+    ("MHA_1", DType.f32, 4),
+    ("MHA_1", DType.s8, 4),
+    ("MHA_2", DType.f32, 4),
+    ("MHA_2", DType.s8, 4),
+    ("MHA_3", DType.f32, 1),
+    ("MHA_3", DType.s8, 1),
+    ("MHA_4", DType.f32, 1),
+    ("MHA_4", DType.s8, 1),
+]
+
+
+@pytest.mark.parametrize(
+    "name,dtype,batch",
+    MLP_CASES,
+    ids=[f"{n}-{d.value}" for n, d, _ in MLP_CASES],
+)
+def test_mlp_matrix(name, dtype, batch):
+    inputs = make_mlp_inputs(name, batch, dtype, seed=3)
+    partition = compile_graph(build_mlp_graph(name, batch, dtype))
+    out = list(partition.execute(inputs).values())[0]
+    if dtype == DType.f32:
+        expected_graph = build_mlp_graph(name, batch, dtype)
+        expected = list(evaluate_graph(expected_graph, inputs).values())[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-3, atol=1e-3)
+    else:
+        baseline = BaselineExecutor(
+            build_mlp_graph(name, batch, dtype), XEON_8358
+        )
+        expected = list(baseline.execute(inputs).values())[0]
+        # Both sides compute the identical int8 rewrite; differences can
+        # only come from requantization round boundaries.
+        denom = max(np.abs(expected).max(), 1.0)
+        mismatch = np.abs(out - expected) / denom
+        assert np.median(mismatch) < 1e-6
+        assert (mismatch > 1e-2).mean() < 0.01
+
+
+@pytest.mark.parametrize(
+    "name,dtype,batch",
+    MHA_CASES,
+    ids=[f"{n}-{d.value}" for n, d, _ in MHA_CASES],
+)
+def test_mha_matrix(name, dtype, batch):
+    inputs = make_mha_inputs(name, batch, dtype, seed=4)
+    partition = compile_graph(build_mha_graph(name, batch, dtype))
+    out = list(partition.execute(inputs).values())[0]
+    if dtype == DType.f32:
+        expected_graph = build_mha_graph(name, batch, dtype)
+        expected = list(evaluate_graph(expected_graph, inputs).values())[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-3, atol=1e-4)
+    else:
+        baseline = BaselineExecutor(
+            build_mha_graph(name, batch, dtype), XEON_8358
+        )
+        expected = list(baseline.execute(inputs).values())[0]
+        denom = max(np.abs(expected).max(), 1.0)
+        mismatch = np.abs(out - expected) / denom
+        assert np.median(mismatch) < 1e-5
+        assert (mismatch > 2e-2).mean() < 0.01

@@ -1,0 +1,201 @@
+"""Tests for standalone-op lowering (lower_fusible)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import LoweringError
+from repro.graph_ir import GraphBuilder, blocked_2d
+from repro.graph_ir.layout import BlockedLayout
+from repro.graph_ir.logical_tensor import LogicalTensor
+from repro.graph_ir.op import Op
+from repro.lowering.lower_fusible import lower_standalone_op, _blocked_spec
+from repro.runtime import Interpreter
+from repro.tensor_ir import TirModule
+
+
+def run_op(op, buffers):
+    func = lower_standalone_op(op, "f")
+    module = TirModule(entry="f")
+    module.add(func)
+    interp = Interpreter(module)
+    call = {}
+    for tensor, param in zip(
+        list(op.inputs) + list(op.outputs), func.params
+    ):
+        call.setdefault(param.name, buffers[tensor.id])
+    interp.run(call)
+    return interp
+
+
+def make_op(kind, inputs, attrs=None):
+    b = GraphBuilder()
+    tensors = []
+    for i, (dtype, shape) in enumerate(inputs):
+        tensors.append(b.input(f"in{i}", dtype, shape))
+    out = b.op(kind, tensors, attrs or {})
+    b.output(out)
+    graph = b.finish()
+    return graph.ops[0], tensors, out
+
+
+class TestElementwise:
+    def test_relu(self):
+        op, (x,), out = make_op("relu", [(DType.f32, (8, 8))])
+        X = np.random.randn(8, 8).astype(np.float32)
+        Y = np.zeros((8, 8), np.float32)
+        run_op(op, {x.id: X, out.id: Y})
+        np.testing.assert_array_equal(Y, np.maximum(X, 0))
+
+    def test_binary_broadcast(self):
+        op, (x, y), out = make_op(
+            "add", [(DType.f32, (4, 8)), (DType.f32, (8,))]
+        )
+        X = np.random.randn(4, 8).astype(np.float32)
+        B = np.random.randn(8).astype(np.float32)
+        Y = np.zeros((4, 8), np.float32)
+        run_op(op, {x.id: X, y.id: B, out.id: Y})
+        np.testing.assert_allclose(Y, X + B, rtol=1e-6)
+
+    def test_reduce(self):
+        op, (x,), out = make_op(
+            "reduce_sum", [(DType.f32, (4, 8))], {"axis": -1, "keepdims": True}
+        )
+        X = np.random.randn(4, 8).astype(np.float32)
+        Y = np.zeros((4, 1), np.float32)
+        run_op(op, {x.id: X, out.id: Y})
+        np.testing.assert_allclose(Y, X.sum(-1, keepdims=True), rtol=1e-6)
+
+    def test_transpose(self):
+        op, (x,), out = make_op(
+            "transpose", [(DType.f32, (4, 8))], {"perm": (1, 0)}
+        )
+        X = np.random.randn(4, 8).astype(np.float32)
+        Y = np.zeros((8, 4), np.float32)
+        run_op(op, {x.id: X, out.id: Y})
+        np.testing.assert_array_equal(Y, X.T)
+
+    def test_softmax_complex_op(self):
+        op, (x,), out = make_op("softmax", [(DType.f32, (4, 8))])
+        X = np.random.randn(4, 8).astype(np.float32)
+        Y = np.zeros((4, 8), np.float32)
+        run_op(op, {x.id: X, out.id: Y})
+        np.testing.assert_allclose(Y.sum(-1), np.ones(4), rtol=1e-5)
+
+    def test_blocked_input_rejected(self):
+        op, (x,), out = make_op("relu", [(DType.f32, (8, 8))])
+        x.layout = blocked_2d(4, 4)
+        with pytest.raises(LoweringError, match="plain layouts"):
+            lower_standalone_op(op, "f")
+
+
+class TestReorder:
+    def _reorder_op(self, src_shape, src_layout, dst_layout, pad_to=None):
+        src = LogicalTensor(
+            dtype=DType.f32, shape=src_shape, layout=src_layout, name="src"
+        )
+        dst = LogicalTensor(
+            dtype=DType.f32,
+            shape=pad_to or src_shape,
+            layout=dst_layout,
+            name="dst",
+        )
+        attrs = {"layout": dst_layout}
+        if pad_to:
+            attrs["pad_to"] = pad_to
+        return Op(kind="reorder", inputs=[src], outputs=[dst], attrs=attrs)
+
+    def test_plain_to_blocked(self):
+        op = self._reorder_op((8, 8), None, blocked_2d(4, 4))
+        src, dst = op.inputs[0], op.outputs[0]
+        X = np.random.randn(8, 8).astype(np.float32)
+        Y = np.zeros((2, 2, 4, 4), np.float32)
+        run_op(op, {src.id: X, dst.id: Y})
+        np.testing.assert_array_equal(Y, blocked_2d(4, 4).to_physical(X))
+
+    def test_blocked_to_plain(self):
+        op = self._reorder_op((8, 8), blocked_2d(4, 4), None)
+        src, dst = op.inputs[0], op.outputs[0]
+        X = np.random.randn(8, 8).astype(np.float32)
+        Y = np.zeros((8, 8), np.float32)
+        run_op(
+            op, {src.id: blocked_2d(4, 4).to_physical(X), dst.id: Y}
+        )
+        np.testing.assert_array_equal(Y, X)
+
+    def test_weight_layout_with_padding(self):
+        """The init-graph weight reorder: plain [k, n] -> padded blocked."""
+        from repro.graph_ir.passes.layout_propagation import (
+            weight_blocked_layout,
+        )
+
+        layout = weight_blocked_layout(4, 4, transposed=False)
+        op = self._reorder_op((6, 6), None, layout, pad_to=(8, 8))
+        src, dst = op.inputs[0], op.outputs[0]
+        X = np.random.randn(6, 6).astype(np.float32)
+        Y = np.zeros(layout.physical_shape((8, 8)), np.float32)
+        run_op(op, {src.id: X, dst.id: Y})
+        # Block (0, 0) holds X[0:4, 0:4] transposed-inner ([NB, KB]).
+        np.testing.assert_array_equal(Y[0, 0], X[0:4, 0:4].T)
+        # Padding region is zero.
+        assert Y[1, 1, 3, 3] == 0.0
+
+    def test_transposed_weight_layout(self):
+        """transpose_b weights: logical [n, k] -> physical [K/KB, N/NB, NB, KB]."""
+        from repro.graph_ir.passes.layout_propagation import (
+            weight_blocked_layout,
+        )
+
+        layout = weight_blocked_layout(4, 4, transposed=True)
+        op = self._reorder_op((8, 8), None, layout)
+        src, dst = op.inputs[0], op.outputs[0]
+        W = np.random.randn(8, 8).astype(np.float32)  # [n, k]
+        Y = np.zeros(layout.physical_shape((8, 8)), np.float32)
+        run_op(op, {src.id: W, dst.id: Y})
+        # Block (kb_i=0, nb_i=0) should be W[0:4, 0:4] as [NB, KB]:
+        # element [n, k] of the block = W[n, k].
+        np.testing.assert_array_equal(Y[0, 0], W[0:4, 0:4])
+
+    def test_batched_reorder(self):
+        layout = BlockedLayout(
+            ndims=3, inner_blocks=((1, 4), (2, 4))
+        )
+        op = self._reorder_op((3, 8, 8), None, layout)
+        src, dst = op.inputs[0], op.outputs[0]
+        X = np.random.randn(3, 8, 8).astype(np.float32)
+        Y = np.zeros(layout.physical_shape((3, 8, 8)), np.float32)
+        run_op(op, {src.id: X, dst.id: Y})
+        np.testing.assert_array_equal(Y, layout.to_physical(X))
+
+    def test_blocked_to_blocked(self):
+        src_layout = blocked_2d(4, 4)
+        dst_layout = blocked_2d(2, 2)
+        op = self._reorder_op((8, 8), src_layout, dst_layout)
+        src, dst = op.inputs[0], op.outputs[0]
+        X = np.random.randn(8, 8).astype(np.float32)
+        Y = np.zeros(dst_layout.physical_shape((8, 8)), np.float32)
+        run_op(op, {src.id: src_layout.to_physical(X), dst.id: Y})
+        np.testing.assert_array_equal(Y, dst_layout.to_physical(X))
+
+
+class TestBlockedSpec:
+    def test_a_layout(self):
+        spec = _blocked_spec(blocked_2d(16, 32), (64, 64))
+        assert spec == {
+            "block_sizes": (16, 32),
+            "swap_inner": False,
+            "transpose_src": False,
+        }
+
+    def test_b_layout(self):
+        layout = BlockedLayout(
+            ndims=2, inner_blocks=((1, 32), (0, 16))
+        )
+        spec = _blocked_spec(layout, (64, 64))
+        assert spec["swap_inner"] is True
+        assert spec["block_sizes"] == (16, 32)
+
+    def test_unsupported_layout(self):
+        layout = BlockedLayout(ndims=2, inner_blocks=((0, 4),))
+        with pytest.raises(LoweringError):
+            _blocked_spec(layout, (8, 8))

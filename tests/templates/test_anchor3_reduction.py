@@ -1,0 +1,160 @@
+"""Tests for the anchor-3 reduction placement (NPN > 1).
+
+The paper: when the reduction is along n, post-op anchor #3 — after the
+npi parallel loop — is chosen "since at this point there is no need to
+perform synchronization across multiple cores for the final reduction as
+the value for the n dimension is all computed".
+"""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.fused_op import FusedMatmul, OperandMode
+from repro.microkernel.machine import XEON_8358
+from repro.runtime import Interpreter
+from repro.templates.matmul import lower_fused_matmul
+from repro.templates.params import MatmulParams
+from repro.tensor_ir import TirModule
+from repro.tensor_ir.stmt import Alloc, For
+from repro.tensor_ir.visitor import walk
+
+
+def softmax_graph(m, k, n, with_prefix=False, scale=None, mask_shape=None):
+    b = GraphBuilder()
+    x = b.input("x", DType.f32, (m, k))
+    w = b.input("w", DType.f32, (k, n))
+    y = b.matmul(x, w)
+    extras = []
+    if with_prefix:
+        y = b.relu(y)
+    if mask_shape:
+        mask = b.input("mask", DType.f32, mask_shape)
+        y = b.add(y, mask)
+        extras.append(mask)
+    mx = b.reduce_max(y, axis=-1)
+    e = b.exp(b.sub(y, mx))
+    s = b.reduce_sum(e, axis=-1)
+    out = b.div(e, s)
+    b.output(out)
+    return b.finish(), x, w, out, extras
+
+
+def run(graph_info, params):
+    graph, x, w, out, extras = graph_info
+    fused = FusedMatmul(
+        name="a3",
+        matmul=graph.ops[0],
+        post_ops=graph.ops[1:],
+        params=params,
+        a_mode=OperandMode.PACK_FULL,
+        b_mode=OperandMode.PACK_FULL,
+    )
+    func = lower_fused_matmul(fused, XEON_8358)
+    module = TirModule(entry=func.name)
+    module.add(func)
+    m, k = x.shape
+    n = out.shape[-1]
+    rng = np.random.RandomState(0)
+    X = rng.randn(m, k).astype(np.float32)
+    W = (rng.randn(k, n) * 0.1).astype(np.float32)
+    res = np.zeros((m, n), np.float32)
+    arrays = {x.id: X, w.id: W, out.id: res}
+    for extra in extras:
+        arrays[extra.id] = rng.randn(*extra.shape).astype(np.float32)
+    call = {}
+    for tensor, param in zip(
+        fused.external_inputs() + [fused.output], func.params
+    ):
+        call[param.name] = arrays[tensor.id]
+    Interpreter(module).run(call)
+    return res, X, W, arrays, extras, func
+
+
+def softmax_ref(logits):
+    e = np.exp(logits - logits.max(-1, keepdims=True))
+    return e / e.sum(-1, keepdims=True)
+
+
+class TestAnchor3:
+    def test_npn2_matches_reference(self):
+        params = MatmulParams(
+            m=64, n=128, k=64, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=2
+        )
+        res, X, W, *_ = run(softmax_graph(64, 64, 128), params)
+        np.testing.assert_allclose(
+            res, softmax_ref(X @ W), rtol=1e-4, atol=1e-6
+        )
+
+    def test_npn4_with_eltwise_prefix(self):
+        params = MatmulParams(
+            m=64, n=128, k=64, mb=16, nb=32, kb=16, bs=4, mpn=4, npn=4
+        )
+        res, X, W, *_ = run(
+            softmax_graph(64, 64, 128, with_prefix=True), params
+        )
+        np.testing.assert_allclose(
+            res, softmax_ref(np.maximum(X @ W, 0)), rtol=1e-4, atol=1e-6
+        )
+
+    def test_npn2_with_mask_operand(self):
+        params = MatmulParams(
+            m=32, n=64, k=32, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=2
+        )
+        res, X, W, arrays, extras, _ = run(
+            softmax_graph(32, 32, 64, mask_shape=(32, 64)), params
+        )
+        mask = arrays[extras[0].id]
+        np.testing.assert_allclose(
+            res, softmax_ref(X @ W + mask), rtol=1e-4, atol=1e-6
+        )
+
+    def test_padded_n_cropped_before_reduction(self):
+        """n=50 pads to 64; padding lanes must not corrupt the softmax."""
+        params = MatmulParams(
+            m=32, n=64, k=32, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=2
+        )
+        res, X, W, *_ = run(softmax_graph(32, 32, 50), params)
+        np.testing.assert_allclose(
+            res, softmax_ref(X @ W), rtol=1e-4, atol=1e-6
+        )
+        np.testing.assert_allclose(res.sum(-1), np.ones(32), rtol=1e-5)
+
+    def test_anchor3_loop_after_npi(self):
+        """Structurally: the reduction loop sits outside the npi loop."""
+        params = MatmulParams(
+            m=64, n=128, k=64, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=2
+        )
+        *_, func = run(softmax_graph(64, 64, 128), params)
+        mpi_loop = next(
+            s
+            for s in walk(func.body)
+            if isinstance(s, For) and s.var.startswith("mpi")
+        )
+        top_level_vars = [
+            s.var for s in mpi_loop.body.body if isinstance(s, For)
+        ]
+        assert any(v.startswith("npi") for v in top_level_vars)
+        assert any(v.startswith("msi_a3") for v in top_level_vars)
+
+    def test_entry_temp_stays_full_size(self):
+        """The materialized accumulator rows must survive tensor shrink
+        (they are consumed across loop nests)."""
+        from repro.tensor_ir.passes import TensorShrinkPass
+
+        params = MatmulParams(
+            m=64, n=128, k=64, mb=16, nb=16, kb=16, bs=2, mpn=2, npn=2
+        )
+        *_, func = run(softmax_graph(64, 64, 128), params)
+        module = TirModule(entry=func.name)
+        module.add(func)
+        TensorShrinkPass().run(module)
+        entry_allocs = [
+            s
+            for s in walk(func.body)
+            if isinstance(s, Alloc) and s.tensor.startswith("pv_")
+        ]
+        assert entry_allocs
+        # Full [M/MB, N/NB, MB, NB] retained.
+        assert entry_allocs[0].shape == (4, 8, 16, 16)

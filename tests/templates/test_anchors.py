@@ -1,0 +1,143 @@
+"""Tests for the anchor cost table (paper Figure 3)."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.templates.anchors import (
+    Anchor,
+    POST_ANCHORS,
+    PRE_ANCHORS,
+    anchor_access_times,
+    anchor_total_accesses,
+    anchor_working_set,
+    cost_table,
+)
+from repro.templates.params import MatmulParams
+
+
+@pytest.fixture
+def params():
+    return MatmulParams(
+        m=256, n=512, k=256, mb=32, nb=64, kb=64, bs=2, mpn=4, npn=2
+    )
+
+
+class TestWorkingSets:
+    def test_pre_anchor_1_a(self, params):
+        p = params
+        assert anchor_working_set(Anchor.PRE_1, p, "a") == (
+            p.msn * p.ksn * p.mb * p.kb
+        )
+
+    def test_pre_anchor_1_b_covers_npsn(self, params):
+        p = params
+        assert anchor_working_set(Anchor.PRE_1, p, "b") == (
+            p.ksn * p.npsn * p.nb * p.kb
+        )
+
+    def test_pre_anchor_4_vs_5_for_a_same(self, params):
+        """Fig 3: A's slice is the same at anchors #4 and #5 ([BS, MB, KB])."""
+        a4 = anchor_working_set(Anchor.PRE_4, params, "a")
+        a5 = anchor_working_set(Anchor.PRE_5, params, "a")
+        assert a4 == a5 == params.bs * params.mb * params.kb
+
+    def test_pre_anchor_5_shrinks_b(self, params):
+        """Fig 3: the nsi loop reduces B's slice from [BS,NSN,NB,KB] to
+        [BS,NB,KB]."""
+        b4 = anchor_working_set(Anchor.PRE_4, params, "b")
+        b5 = anchor_working_set(Anchor.PRE_5, params, "b")
+        assert b4 == params.bs * params.nsn * params.nb * params.kb
+        assert b5 == params.bs * params.nb * params.kb
+        assert b5 < b4
+
+    def test_post_anchor_working_sets_grow_outward(self, params):
+        """POST_1 has the smallest C slice; POST_3 spans full N."""
+        c1 = anchor_working_set(Anchor.POST_1, params, "c")
+        c2 = anchor_working_set(Anchor.POST_2, params, "c")
+        c3 = anchor_working_set(Anchor.POST_3, params, "c")
+        assert c1 <= c2 <= c3
+        assert c1 == params.mb * params.nsbn
+        assert c3 == params.msbn * params.n
+
+    def test_wrong_operand_rejected(self, params):
+        with pytest.raises(LoweringError):
+            anchor_working_set(Anchor.PRE_1, params, "c")
+        with pytest.raises(LoweringError):
+            anchor_working_set(Anchor.POST_1, params, "a")
+
+
+class TestAccessTimes:
+    def test_access_times_match_figure3(self, params):
+        p = params
+        assert anchor_access_times(Anchor.PRE_1, p) == 1
+        assert anchor_access_times(Anchor.PRE_2, p) == 1
+        assert anchor_access_times(Anchor.PRE_3, p) == p.msn
+        assert anchor_access_times(Anchor.PRE_4, p) == p.msn * (p.ksn // p.bs)
+        assert anchor_access_times(Anchor.PRE_5, p) == (
+            p.msn * p.nsn * (p.ksn // p.bs)
+        )
+        assert anchor_access_times(Anchor.POST_1, p) == p.msn
+        assert anchor_access_times(Anchor.POST_2, p) == 1
+        assert anchor_access_times(Anchor.POST_3, p) == 1
+
+
+class TestTotalAccesses:
+    def test_a_total_same_anchors_1_to_4(self, params):
+        """A's total accesses are MSN*MB*KSN*KB at anchors #1-#4."""
+        p = params
+        expected = p.msn * p.mb * p.ksn * p.kb
+        for anchor in (Anchor.PRE_1, Anchor.PRE_2, Anchor.PRE_3, Anchor.PRE_4):
+            assert anchor_total_accesses(anchor, p, "a") == expected
+
+    def test_a_total_anchor5_redundant_by_nsn(self, params):
+        """At anchor #5, A is redundantly accessed once per nsi iteration."""
+        p = params
+        base = p.msn * p.mb * p.ksn * p.kb
+        assert anchor_total_accesses(Anchor.PRE_5, p, "a") == base * p.nsn
+
+    def test_b_total_equal_at_4_and_5(self, params):
+        """Fig 3: total B access equal between #4 and #5 (slice differs)."""
+        p = params
+        assert anchor_total_accesses(Anchor.PRE_4, p, "b") == (
+            anchor_total_accesses(Anchor.PRE_5, p, "b")
+        )
+
+    def test_b_total_anchor3_redundant_by_msn(self, params):
+        p = params
+        at2 = anchor_total_accesses(Anchor.PRE_2, p, "b")
+        at3 = anchor_total_accesses(Anchor.PRE_3, p, "b")
+        assert at3 == at2 * p.msn
+
+    def test_consistency_total_equals_ws_times_visits_when_disjoint(self):
+        """For anchors whose slice changes every visit, total accesses equal
+        working_set x access_times (brute-force check of the table)."""
+        p = MatmulParams(
+            m=128, n=128, k=128, mb=32, nb=32, kb=32, bs=2, mpn=2, npn=2
+        )
+        # A at PRE_4: slice [BS,MB,KB] visited MSN*KSN/BS times; slices are
+        # disjoint across visits, covering the A slice exactly once.
+        assert anchor_total_accesses(Anchor.PRE_4, p, "a") == (
+            anchor_working_set(Anchor.PRE_4, p, "a")
+            * anchor_access_times(Anchor.PRE_4, p)
+        )
+        # C at POST_1: disjoint rows, MSN visits.
+        assert anchor_total_accesses(Anchor.POST_1, p, "c") == (
+            anchor_working_set(Anchor.POST_1, p, "c")
+            * anchor_access_times(Anchor.POST_1, p)
+        )
+
+
+class TestCostTable:
+    def test_cost_table_covers_all_rows(self, params):
+        table = cost_table(params)
+        # 5 pre anchors x 2 operands + 3 post anchors.
+        assert len(table) == 13
+        anchors = {(r.anchor, r.operand) for r in table}
+        for a in PRE_ANCHORS:
+            assert (a, "a") in anchors and (a, "b") in anchors
+        for a in POST_ANCHORS:
+            assert (a, "c") in anchors
+
+    def test_predicates(self):
+        assert Anchor.PRE_3.is_pre and not Anchor.PRE_3.is_post
+        assert Anchor.POST_2.is_post and not Anchor.POST_2.is_pre

@@ -1,0 +1,61 @@
+"""Tests for heuristic constraints (the layout-negotiation interface)."""
+
+import pytest
+
+from repro.dtypes import DType
+from repro.microkernel.machine import XEON_8358
+from repro.templates.heuristics import (
+    HeuristicConstraints,
+    select_matmul_params,
+)
+from repro.templates.params import TemplateKind
+
+
+class TestBlockConstraints:
+    def test_require_mb(self):
+        c = HeuristicConstraints(require_mb=48)
+        p = select_matmul_params(256, 256, 256, DType.f32, XEON_8358, constraints=c)
+        assert p.mb == 48
+
+    def test_require_nb(self):
+        c = HeuristicConstraints(require_nb=64)
+        p = select_matmul_params(256, 256, 256, DType.f32, XEON_8358, constraints=c)
+        assert p.nb == 64
+
+    def test_require_kb(self):
+        c = HeuristicConstraints(require_kb=32)
+        p = select_matmul_params(256, 256, 256, DType.f32, XEON_8358, constraints=c)
+        assert p.kb == 32
+
+    def test_combined_blocks(self):
+        c = HeuristicConstraints(require_mb=16, require_kb=64, require_nb=32)
+        p = select_matmul_params(512, 512, 512, DType.f32, XEON_8358, constraints=c)
+        assert (p.mb, p.nb, p.kb) == (16, 32, 64)
+
+    def test_forced_blocks_skip_efficiency_reject(self):
+        """Pinned blocks must be honored even when they score poorly."""
+        c = HeuristicConstraints(require_mb=16, require_nb=16, require_kb=16)
+        p = select_matmul_params(64, 64, 64, DType.f32, XEON_8358, constraints=c)
+        assert (p.mb, p.nb, p.kb) == (16, 16, 16)
+
+
+class TestParallelConstraints:
+    def test_require_mpn(self):
+        c = HeuristicConstraints(require_mpn=4)
+        p = select_matmul_params(512, 512, 512, DType.f32, XEON_8358, constraints=c)
+        assert p.mpn == 4
+
+    def test_require_mpn_and_npn(self):
+        c = HeuristicConstraints(require_mpn=2, require_npn=1)
+        p = select_matmul_params(512, 512, 512, DType.f32, XEON_8358, constraints=c)
+        assert (p.mpn, p.npn) == (2, 1)
+
+    def test_require_outer_overrides(self):
+        c = HeuristicConstraints(require_outer=(8, 4))
+        p = select_matmul_params(512, 512, 512, DType.f32, XEON_8358, constraints=c)
+        assert (p.mpn, p.npn) == (8, 4)
+
+    def test_disallow_k_slicing(self):
+        c = HeuristicConstraints(allow_k_slicing=False)
+        p = select_matmul_params(16, 64, 16384, DType.f32, XEON_8358, constraints=c)
+        assert p.kind is not TemplateKind.K_SLICED

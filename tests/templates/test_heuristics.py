@@ -1,0 +1,202 @@
+"""Tests for the cost model and the parameter-selection heuristic."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import DType
+from repro.errors import HeuristicError
+from repro.microkernel.machine import XEON_8358
+from repro.templates.cost_model import (
+    estimate_matmul_cost,
+    load_balance_efficiency,
+    microkernel_efficiency,
+    padding_efficiency,
+    unaligned_k_efficiency,
+    access_cycles_per_byte,
+)
+from repro.templates.heuristics import (
+    HeuristicConstraints,
+    select_matmul_params,
+)
+from repro.templates.params import MatmulParams, TemplateKind
+
+
+class TestMicrokernelEfficiency:
+    def test_good_blocking_is_efficient(self):
+        eff = microkernel_efficiency(32, 32, 64, 4, DType.f32, XEON_8358)
+        assert eff > 0.7
+
+    def test_partial_vector_penalized(self):
+        """NB not a multiple of the accumulator lane count wastes lanes."""
+        aligned = microkernel_efficiency(32, 32, 64, 4, DType.f32, XEON_8358)
+        ragged = microkernel_efficiency(32, 17, 64, 4, DType.f32, XEON_8358)
+        assert ragged < aligned
+
+    def test_load_port_bound_tiles_penalized(self):
+        """Narrow row chunks make B loads dominate the FMA ports."""
+        ok = microkernel_efficiency(14, 32, 64, 2, DType.f32, XEON_8358)
+        narrow = microkernel_efficiency(1, 32, 64, 2, DType.f32, XEON_8358)
+        assert narrow < ok
+
+    def test_short_k_chain_penalized(self):
+        long_k = microkernel_efficiency(32, 32, 64, 4, DType.f32, XEON_8358)
+        short_k = microkernel_efficiency(32, 32, 16, 1, DType.f32, XEON_8358)
+        assert short_k < long_k
+
+    def test_tiny_tile_cannot_hide_latency(self):
+        tiny = microkernel_efficiency(2, 16, 64, 2, DType.f32, XEON_8358)
+        good = microkernel_efficiency(16, 32, 64, 2, DType.f32, XEON_8358)
+        assert tiny < good
+
+
+class TestLoadBalance:
+    def _params(self, mpn, npn, batch=1):
+        return MatmulParams(
+            m=mpn * 32,
+            n=npn * 32,
+            k=64,
+            mb=32,
+            nb=32,
+            kb=64,
+            bs=1,
+            mpn=mpn,
+            npn=npn,
+            batch=batch,
+        )
+
+    def test_exact_core_coverage(self):
+        p = self._params(4, 8)
+        assert load_balance_efficiency(p, XEON_8358) == 1.0
+
+    def test_under_subscription(self):
+        p = self._params(2, 2)
+        assert load_balance_efficiency(p, XEON_8358) == pytest.approx(4 / 32)
+
+    def test_ragged_final_wave(self):
+        p = self._params(4, 8, batch=3)  # 96 tasks on 32 cores = 3 waves
+        assert load_balance_efficiency(p, XEON_8358) == 1.0
+        p = self._params(4, 8, batch=2)  # 64 -> fine
+        assert load_balance_efficiency(p, XEON_8358) == 1.0
+        p = self._params(5, 7)  # 35 tasks -> 2 waves, 35/64
+        assert load_balance_efficiency(p, XEON_8358) == pytest.approx(35 / 64)
+
+
+class TestAlignmentAndPadding:
+    def test_aligned_k_no_penalty(self):
+        assert unaligned_k_efficiency(512, DType.f32, False) == 1.0
+        assert unaligned_k_efficiency(64, DType.s8, False) == 1.0
+
+    def test_k479_penalty_worse_for_template(self):
+        """The paper's k=479 case: primitives handle tails better."""
+        expert = unaligned_k_efficiency(479, DType.f32, True)
+        template = unaligned_k_efficiency(479, DType.f32, False)
+        assert template < expert < 1.0
+
+    def test_padding_efficiency(self):
+        assert padding_efficiency((13, 512, 256), (16, 512, 256)) == 13 / 16
+        assert padding_efficiency((16, 16, 16), (16, 16, 16)) == 1.0
+
+    def test_access_cost_increases_with_working_set(self):
+        small = access_cycles_per_byte(16 * 1024, XEON_8358)
+        mid = access_cycles_per_byte(512 * 1024, XEON_8358)
+        huge = access_cycles_per_byte(1 << 30, XEON_8358)
+        assert small < mid < huge
+
+
+class TestSelectParams:
+    def test_mlp1_layer_shape(self):
+        p = select_matmul_params(256, 512, 256, DType.f32, XEON_8358)
+        assert p.m >= 256 and p.n >= 512 and p.k >= 256
+        assert p.num_cores_used <= 4 * XEON_8358.num_cores
+        # A sane choice keeps the microkernel efficient.
+        eff = microkernel_efficiency(p.mb, p.nb, p.kb, p.bs, DType.f32, XEON_8358)
+        assert eff > 0.5
+
+    def test_small_m_padded(self):
+        p = select_matmul_params(13, 512, 256, DType.f32, XEON_8358)
+        assert p.m % p.mb == 0
+        assert p.m >= 13
+        assert p.m <= 64  # should not pad wildly
+
+    def test_k479_padded_to_block(self):
+        p = select_matmul_params(256, 1024, 479, DType.f32, XEON_8358)
+        assert p.k % p.kb == 0
+        assert p.k >= 479
+        assert p.k <= 512
+
+    def test_n1_layer(self):
+        """MLP_2's final layer has N=1."""
+        p = select_matmul_params(256, 1, 256, DType.f32, XEON_8358)
+        assert p.n >= 1 and p.n % p.nb == 0
+
+    def test_int8_uses_int8_granularity(self):
+        p = select_matmul_params(256, 512, 256, DType.s8, XEON_8358)
+        assert p.kb % 4 == 0  # VNNI packs K in groups of 4
+
+    def test_require_npn_one(self):
+        c = HeuristicConstraints(require_npn=1)
+        p = select_matmul_params(
+            128, 128, 64, DType.f32, XEON_8358, batch=256, constraints=c
+        )
+        assert p.npn == 1
+
+    def test_require_outer_blocking(self):
+        c = HeuristicConstraints(require_outer=(4, 8))
+        p = select_matmul_params(
+            512, 512, 512, DType.f32, XEON_8358, constraints=c
+        )
+        assert (p.mpn, p.npn) == (4, 8)
+
+    def test_batched_matmul_uses_batch_parallelism(self):
+        """With 256 batch tasks available, per-matrix splitting is small."""
+        p = select_matmul_params(
+            128, 128, 64, DType.f32, XEON_8358, batch=256
+        )
+        assert p.mpn * p.npn <= 4
+
+    def test_k_slicing_triggers_for_single_sample(self):
+        """One small-M sample with huge K should k-slice for parallelism."""
+        p = select_matmul_params(
+            16, 64, 16384, DType.f32, XEON_8358
+        )
+        # Either k-sliced or at least not catastrophically unbalanced.
+        if p.kind is TemplateKind.K_SLICED:
+            assert p.kpn > 1
+        assert load_balance_efficiency(p, XEON_8358) > 0.01
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(HeuristicError):
+            select_matmul_params(0, 4, 4, DType.f32, XEON_8358)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=600),
+        st.integers(min_value=1, max_value=600),
+        st.integers(min_value=1, max_value=600),
+        st.sampled_from([DType.f32, DType.s8]),
+    )
+    def test_always_returns_valid_params(self, m, n, k, dtype):
+        """The heuristic produces a consistent assignment for any shape."""
+        p = select_matmul_params(m, n, k, dtype, XEON_8358)
+        assert p.m >= m and p.n >= n and p.k >= k
+        assert p.m % (p.mb * p.mpn) == 0
+        assert p.n % (p.nb * p.npn) == 0
+        assert p.k % (p.kb * p.kpn) == 0
+        assert p.ksn % p.bs == 0
+
+    def test_cost_breakdown_fields(self):
+        p = select_matmul_params(256, 512, 256, DType.f32, XEON_8358)
+        cost = estimate_matmul_cost(p, DType.f32, XEON_8358)
+        assert cost.total_cycles > 0
+        assert cost.compute_cycles > 0
+        assert cost.memory_cycles > 0
+        assert 0 < cost.efficiency <= 1
+        assert 0 < cost.balance <= 1
+
+    def test_int8_faster_than_fp32(self):
+        """Same problem: int8 estimated cost should be well below fp32."""
+        pf = select_matmul_params(512, 1024, 1024, DType.f32, XEON_8358)
+        pi = select_matmul_params(512, 1024, 1024, DType.s8, XEON_8358)
+        cf = estimate_matmul_cost(pf, DType.f32, XEON_8358).total_cycles
+        ci = estimate_matmul_cost(pi, DType.s8, XEON_8358).total_cycles
+        assert ci < cf

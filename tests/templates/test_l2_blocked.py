@@ -1,0 +1,147 @@
+"""Tests for the L2_BLOCKED template variant (training-size activations)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import HeuristicError
+from repro.graph_ir import GraphBuilder
+from repro.graph_ir.fused_op import FusedMatmul, OperandMode
+from repro.microkernel.machine import XEON_8358
+from repro.runtime import Interpreter
+from repro.templates.heuristics import select_matmul_params
+from repro.templates.matmul import lower_fused_matmul
+from repro.templates.params import MatmulParams, TemplateKind
+from repro.tensor_ir import TirModule
+from repro.tensor_ir.stmt import For
+from repro.tensor_ir.visitor import walk
+
+
+class TestParams:
+    def test_l2_chunk_must_divide_msn(self):
+        with pytest.raises(HeuristicError, match="l2_chunk"):
+            MatmulParams(
+                m=256, n=64, k=64, mb=16, nb=16, kb=16, bs=1,
+                mpn=1, npn=1, kind=TemplateKind.L2_BLOCKED, l2_chunk=3,
+            )
+
+    def test_l2_chunk_rejected_for_other_kinds(self):
+        with pytest.raises(HeuristicError, match="only meaningful"):
+            MatmulParams(
+                m=256, n=64, k=64, mb=16, nb=16, kb=16, bs=1,
+                mpn=1, npn=1, l2_chunk=4,
+            )
+
+
+class TestHeuristicTrigger:
+    def test_training_size_triggers_l2_blocking(self):
+        """A huge per-core A slice (several MiB) selects L2_BLOCKED."""
+        params = select_matmul_params(
+            8192, 128, 4096, DType.f32, XEON_8358
+        )
+        a_slice = params.msbn * params.ksbn * 4
+        if a_slice > XEON_8358.cache("L2").size_bytes:
+            assert params.kind is TemplateKind.L2_BLOCKED
+            assert params.l2_chunk > 0
+            assert params.msn % params.l2_chunk == 0
+
+    def test_inference_size_stays_cache_resident(self):
+        params = select_matmul_params(256, 512, 256, DType.f32, XEON_8358)
+        assert params.kind in (
+            TemplateKind.CACHE_RESIDENT, TemplateKind.K_SLICED
+        )
+
+
+class TestLowering:
+    def _run(self, params, m, k, n):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (m, k))
+        w = b.input("w", DType.f32, (k, n))
+        y = b.matmul(x, w)
+        z = b.relu(y)
+        b.output(z)
+        graph = b.finish()
+        fused = FusedMatmul(
+            name="l2",
+            matmul=graph.ops[0],
+            post_ops=[graph.ops[1]],
+            params=params,
+            a_mode=OperandMode.PACK_FULL,
+            b_mode=OperandMode.PACK_FULL,
+        )
+        func = lower_fused_matmul(fused, XEON_8358)
+        module = TirModule(entry=func.name)
+        module.add(func)
+        X = np.random.randn(m, k).astype(np.float32)
+        W = np.random.randn(k, n).astype(np.float32)
+        out = np.zeros((m, n), np.float32)
+        call = {}
+        for tensor, param in zip(
+            fused.external_inputs() + [fused.output], func.params
+        ):
+            call[param.name] = {x.id: X, w.id: W, z.id: out}[tensor.id]
+        Interpreter(module).run(call)
+        return out, X, W, func
+
+    def test_l2_blocked_correctness(self):
+        params = MatmulParams(
+            m=128, n=64, k=64, mb=16, nb=16, kb=16, bs=2,
+            mpn=2, npn=2, kind=TemplateKind.L2_BLOCKED, l2_chunk=2,
+        )
+        out, X, W, func = self._run(params, 128, 64, 64)
+        np.testing.assert_allclose(
+            out, np.maximum(X @ W, 0), rtol=1e-4, atol=1e-4
+        )
+
+    def test_l2_blocked_has_chunk_loop(self):
+        params = MatmulParams(
+            m=128, n=64, k=64, mb=16, nb=16, kb=16, bs=2,
+            mpn=2, npn=2, kind=TemplateKind.L2_BLOCKED, l2_chunk=2,
+        )
+        _, _, _, func = self._run(params, 128, 64, 64)
+        loop_vars = [
+            s.var for s in walk(func.body) if isinstance(s, For)
+        ]
+        assert any(v.startswith("mci") for v in loop_vars)
+        assert any(v.startswith("msj") for v in loop_vars)
+
+    def test_l2_blocked_with_reduction_group(self):
+        """Softmax fusion also works under the L2-blocked nest."""
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (128, 64))
+        w = b.input("w", DType.f32, (64, 64))
+        y = b.matmul(x, w)
+        m = b.reduce_max(y, axis=-1)
+        e = b.exp(b.sub(y, m))
+        s = b.reduce_sum(e, axis=-1)
+        out = b.div(e, s)
+        b.output(out)
+        graph = b.finish()
+        params = MatmulParams(
+            m=128, n=64, k=64, mb=16, nb=16, kb=16, bs=2,
+            mpn=2, npn=1, kind=TemplateKind.L2_BLOCKED, l2_chunk=2,
+        )
+        fused = FusedMatmul(
+            name="l2sm",
+            matmul=graph.ops[0],
+            post_ops=graph.ops[1:],
+            params=params,
+            a_mode=OperandMode.PACK_FULL,
+            b_mode=OperandMode.PACK_FULL,
+        )
+        func = lower_fused_matmul(fused, XEON_8358)
+        module = TirModule(entry=func.name)
+        module.add(func)
+        X = np.random.randn(128, 64).astype(np.float32)
+        W = np.random.randn(64, 64).astype(np.float32) * 0.1
+        res = np.zeros((128, 64), np.float32)
+        call = {}
+        for tensor, param in zip(
+            fused.external_inputs() + [fused.output], func.params
+        ):
+            call[param.name] = {x.id: X, w.id: W, out.id: res}[tensor.id]
+        Interpreter(module).run(call)
+        logits = X @ W
+        expected = np.exp(logits - logits.max(-1, keepdims=True))
+        expected /= expected.sum(-1, keepdims=True)
+        np.testing.assert_allclose(res, expected, rtol=1e-4, atol=1e-6)

@@ -1,0 +1,109 @@
+"""Tests for MatmulParams: the Figure 2 derived-quantity identities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeuristicError
+from repro.templates.params import MatmulParams, TemplateKind, pad_to_grid
+
+
+def make_params(**kw):
+    defaults = dict(
+        m=256, n=512, k=256, mb=32, nb=64, kb=64, bs=2, mpn=4, npn=8
+    )
+    defaults.update(kw)
+    return MatmulParams(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_figure2_identities(self):
+        """The identities of Figure 2's parameter table."""
+        p = make_params()
+        # M = MB * MSN * MPN = MB * MPSN
+        assert p.m == p.mb * p.msn * p.mpn
+        assert p.m == p.mb * p.mpsn
+        assert p.n == p.nb * p.nsn * p.npn
+        assert p.n == p.nb * p.npsn
+        assert p.k == p.kb * p.ksn * p.kpn
+        assert p.k == p.kb * p.kpsn
+        # Tensor slice sizes per single-core kernel.
+        assert p.msbn == p.mb * p.msn
+        assert p.nsbn == p.nb * p.nsn
+        assert p.ksbn == p.kb * p.ksn
+
+    def test_microkernel_invocations(self):
+        p = make_params()
+        assert p.microkernel_invocations == p.msn * p.nsn * (p.ksn // p.bs)
+
+    def test_working_set_bytes(self):
+        p = make_params(mb=32, nb=64, kb=64, bs=2)
+        expected = 2 * (32 * 64 + 64 * 64) * 4 + 32 * 64 * 4
+        assert p.microkernel_working_set_bytes(4, 4) == expected
+
+    def test_num_cores_used(self):
+        p = make_params(mpn=4, npn=8)
+        assert p.num_cores_used == 32
+
+    @given(
+        st.sampled_from([16, 32, 64]),
+        st.sampled_from([16, 32, 64]),
+        st.sampled_from([16, 32, 64]),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([1, 2, 4]),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_identities_hold_for_any_valid_params(
+        self, mb, nb, kb, mpn, npn, scale
+    ):
+        m = mb * mpn * scale
+        n = nb * npn * scale
+        k = kb * 2 * scale
+        p = MatmulParams(
+            m=m, n=n, k=k, mb=mb, nb=nb, kb=kb, bs=1, mpn=mpn, npn=npn
+        )
+        assert p.mb * p.msn * p.mpn == p.m
+        assert p.nb * p.nsn * p.npn == p.n
+        assert p.kb * p.ksn == p.k
+
+
+class TestValidation:
+    def test_m_not_divisible(self):
+        with pytest.raises(HeuristicError, match="M="):
+            make_params(m=100)
+
+    def test_n_not_divisible(self):
+        with pytest.raises(HeuristicError, match="N="):
+            make_params(n=100)
+
+    def test_k_not_divisible(self):
+        with pytest.raises(HeuristicError, match="K="):
+            make_params(k=100)
+
+    def test_bs_must_divide_ksn(self):
+        with pytest.raises(HeuristicError, match="KSN"):
+            make_params(bs=3)
+
+    def test_positive_params(self):
+        with pytest.raises(HeuristicError, match="positive"):
+            make_params(mb=0)
+
+    def test_bad_loop_order(self):
+        with pytest.raises(HeuristicError, match="loop_order"):
+            make_params(loop_order=("msi", "msi", "nsi"))
+
+    def test_describe(self):
+        text = make_params().describe()
+        assert "MB32" in text and "NPN8" in text
+
+
+class TestPadToGrid:
+    def test_exact(self):
+        assert pad_to_grid(256, 32, 4) == 256
+
+    def test_rounds_up(self):
+        assert pad_to_grid(479, 32) == 480
+        assert pad_to_grid(13, 16) == 16
+        assert pad_to_grid(1, 16) == 16
+
+    def test_with_parallel(self):
+        assert pad_to_grid(100, 16, 4) == 128

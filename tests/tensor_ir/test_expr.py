@@ -1,0 +1,109 @@
+"""Unit and property tests for Tensor IR scalar expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TensorIRError
+from repro.tensor_ir.expr import (
+    Binary,
+    BinaryOp,
+    Const,
+    Var,
+    as_expr,
+    evaluate,
+    fold,
+    free_vars,
+)
+
+
+class TestConstruction:
+    def test_operator_overloads(self):
+        i = Var("i")
+        expr = i * 4 + 2
+        assert evaluate(expr, {"i": 3}) == 14
+
+    def test_reverse_operators(self):
+        i = Var("i")
+        assert evaluate(10 - i, {"i": 3}) == 7
+        assert evaluate(2 * i, {"i": 3}) == 6
+        assert evaluate(1 + i, {"i": 3}) == 4
+
+    def test_floordiv_mod(self):
+        i = Var("i")
+        assert evaluate(i // 4, {"i": 13}) == 3
+        assert evaluate(i % 4, {"i": 13}) == 1
+
+    def test_as_expr(self):
+        assert as_expr(5) == Const(5)
+        v = Var("x")
+        assert as_expr(v) is v
+        with pytest.raises(TensorIRError):
+            as_expr("nope")
+
+
+class TestEvaluate:
+    def test_unbound_variable(self):
+        with pytest.raises(TensorIRError, match="unbound"):
+            evaluate(Var("ghost"), {})
+
+    def test_division_by_zero(self):
+        with pytest.raises(TensorIRError):
+            evaluate(Binary(BinaryOp.FLOORDIV, Const(1), Const(0)), {})
+        with pytest.raises(TensorIRError):
+            evaluate(Binary(BinaryOp.MOD, Const(1), Const(0)), {})
+
+    def test_min_max(self):
+        assert evaluate(Binary(BinaryOp.MIN, Const(3), Const(5)), {}) == 3
+        assert evaluate(Binary(BinaryOp.MAX, Const(3), Const(5)), {}) == 5
+
+
+class TestFold:
+    def test_constants_fold(self):
+        assert fold(Const(2) + Const(3)) == Const(5)
+
+    def test_identity_add_zero(self):
+        i = Var("i")
+        assert fold(i + 0) == i
+        assert fold(0 + i) == i
+
+    def test_identity_mul_one(self):
+        i = Var("i")
+        assert fold(i * 1) == i
+        assert fold(1 * i) == i
+
+    def test_mul_zero(self):
+        i = Var("i")
+        assert fold(i * 0) == Const(0)
+
+    def test_sub_zero(self):
+        i = Var("i")
+        assert fold(i - 0) == i
+
+    def test_div_one(self):
+        i = Var("i")
+        assert fold(i // 1) == i
+
+    def test_nested_fold(self):
+        i = Var("i")
+        expr = (i * 1 + 0) * (Const(2) + Const(2))
+        folded = fold(expr)
+        assert evaluate(folded, {"i": 5}) == 20
+
+    @given(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_fold_preserves_value(self, a, b, c):
+        """Folding never changes evaluation results."""
+        i, j = Var("i"), Var("j")
+        expr = (i + b) * c + (j - a) // c + (i % c)
+        env = {"i": a, "j": b}
+        assert evaluate(fold(expr), env) == evaluate(expr, env)
+
+
+class TestFreeVars:
+    def test_free_vars(self):
+        i, j = Var("i"), Var("j")
+        assert free_vars(i * 4 + j) == {"i", "j"}
+        assert free_vars(Const(3)) == set()

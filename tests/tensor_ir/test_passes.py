@@ -1,0 +1,341 @@
+"""Tests for the Tensor IR optimization passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dtypes import DType
+from repro.runtime import Interpreter
+from repro.tensor_ir import (
+    Call,
+    SliceRef,
+    TirBuilder,
+    TirModule,
+)
+from repro.tensor_ir.expr import Const, Var
+from repro.tensor_ir.passes import (
+    BufferReusePass,
+    LoopMergePass,
+    SimplifyPass,
+    TensorShrinkPass,
+)
+from repro.tensor_ir.passes.buffer_reuse import _Arena, _align
+from repro.tensor_ir.stmt import Alloc, For, full_slice
+from repro.tensor_ir.visitor import walk
+
+
+class TestSimplify:
+    def test_folds_loop_bounds_and_offsets(self):
+        b = TirBuilder("f")
+        b.param("x", DType.f32, (16,))
+        with b.for_("i", Const(2) * Const(4)) as i:
+            b.fill(SliceRef("x", (i * 1 + 0,), (1,)), 1.0)
+        module = TirModule(entry="f")
+        module.add(b.finish())
+        SimplifyPass().run(module)
+        func = module.get("f")
+        loop = func.body.body[0]
+        assert loop.end == Const(8)
+        fill = loop.body.body[0]
+        assert fill.dst.offsets[0] == Var("i")
+
+    def test_semantics_preserved(self):
+        b = TirBuilder("f")
+        b.param("x", DType.f32, (8,))
+        with b.for_("i", 8) as i:
+            b.fill(SliceRef("x", ((i + 0) * 1,), (1,)), 3.0)
+        module = TirModule(entry="f")
+        module.add(b.finish())
+        SimplifyPass().run(module)
+        x = np.zeros(8, np.float32)
+        Interpreter(module).run({"x": x})
+        assert np.all(x == 3.0)
+
+
+class TestTensorShrink:
+    def _loop_func(self):
+        """temp[i, :] written then read per iteration -> shrinkable dim 0."""
+        b = TirBuilder("f")
+        b.param("x", DType.f32, (4, 8))
+        b.param("y", DType.f32, (4, 8))
+        tmp = b.alloc("tmp", DType.f32, (4, 8))
+        with b.for_("i", 4) as i:
+            b.compute(
+                "mul",
+                SliceRef(tmp, (i, 0), (1, 8)),
+                [SliceRef("x", (i, 0), (1, 8)), 2.0],
+            )
+            b.compute(
+                "add",
+                SliceRef("y", (i, 0), (1, 8)),
+                [SliceRef(tmp, (i, 0), (1, 8)), 1.0],
+            )
+        return b.finish()
+
+    def test_shrinks_iteration_local_temp(self):
+        func = self._loop_func()
+        module = TirModule(entry="f")
+        module.add(func)
+        shrink = TensorShrinkPass()
+        shrink.run(module)
+        alloc = next(s for s in walk(func.body) if isinstance(s, Alloc))
+        assert alloc.shape == (1, 8)
+        assert "tmp" in shrink.report
+        # Offsets rebased to zero in the shrunk dim.
+        for stmt in walk(func.body):
+            for ref in getattr(stmt, "srcs", []):
+                if isinstance(ref, SliceRef) and ref.tensor == "tmp":
+                    assert ref.offsets[0] == Const(0)
+
+    def test_shrunk_function_still_correct(self):
+        func = self._loop_func()
+        module = TirModule(entry="f")
+        module.add(func)
+        TensorShrinkPass().run(module)
+        x = np.random.rand(4, 8).astype(np.float32)
+        y = np.zeros((4, 8), np.float32)
+        Interpreter(module).run({"x": x, "y": y})
+        np.testing.assert_allclose(y, x * 2 + 1, rtol=1e-6)
+
+    def test_does_not_shrink_accumulated_buffer(self):
+        """A buffer read before written (accumulator) must not shrink."""
+        b = TirBuilder("f")
+        b.param("x", DType.f32, (4, 8))
+        acc = b.alloc("acc", DType.f32, (4, 8))
+        with b.for_("i", 4) as i:
+            # Read-before-write pattern: first access is a read.
+            b.compute(
+                "add",
+                SliceRef("x", (i, 0), (1, 8)),
+                [SliceRef(acc, (i, 0), (1, 8)), SliceRef("x", (i, 0), (1, 8))],
+            )
+        func = b.finish()
+        module = TirModule(entry="f")
+        module.add(func)
+        shrink = TensorShrinkPass()
+        shrink.run(module)
+        assert "acc" not in shrink.report
+
+    def test_does_not_shrink_cross_iteration_values(self):
+        """Different offset expressions per dim block shrinking."""
+        b = TirBuilder("f")
+        b.param("x", DType.f32, (4, 8))
+        tmp = b.alloc("tmp", DType.f32, (4, 8))
+        with b.for_("i", 4) as i:
+            b.compute(
+                "mul",
+                SliceRef(tmp, (i, 0), (1, 8)),
+                [SliceRef("x", (i, 0), (1, 8)), 2.0],
+            )
+        # Read everything at the end: offsets 0 full size.
+        b.compute(
+            "add", SliceRef("x", (0, 0), (4, 8)),
+            [SliceRef(tmp, (0, 0), (4, 8)), 1.0],
+        )
+        func = b.finish()
+        module = TirModule(entry="f")
+        module.add(func)
+        shrink = TensorShrinkPass()
+        shrink.run(module)
+        alloc = next(s for s in walk(func.body) if isinstance(s, Alloc))
+        assert alloc.shape == (4, 8)  # unchanged
+
+
+class TestArena:
+    def test_align(self):
+        assert _align(1) == 64
+        assert _align(64) == 64
+        assert _align(65) == 128
+
+    def test_reuses_most_recently_freed(self):
+        arena = _Arena()
+        a = arena.allocate(128)
+        b = arena.allocate(128)
+        arena.release(a, 128)
+        arena.release(b, 128)
+        # b was freed last -> preferred for reuse (hot in cache)...
+        c = arena.allocate(128)
+        # after coalescing a+b merge; the merged block starts at a.
+        assert c in (a, b)
+        assert arena.size == 256
+
+    def test_grows_when_no_fit(self):
+        arena = _Arena()
+        a = arena.allocate(128)
+        arena.release(a, 128)
+        big = arena.allocate(256)
+        assert big == 128  # appended after the (too small) free block
+        assert arena.size == 384
+
+    def test_coalescing(self):
+        arena = _Arena()
+        a = arena.allocate(64)
+        b = arena.allocate(64)
+        c = arena.allocate(64)
+        arena.release(a, 64)
+        arena.release(b, 64)
+        arena.release(c, 64)
+        # All three coalesce into one block covering the whole arena.
+        assert len(arena.free) == 1
+        assert arena.free[0] == (0, 192)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4096),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_no_live_overlap_property(self, events):
+        """Live allocations never overlap, whatever the alloc/free order."""
+        arena = _Arena()
+        live = {}  # handle -> (offset, size)
+        for index, (size, do_free) in enumerate(events):
+            if do_free and live:
+                handle = next(iter(live))
+                offset, s = live.pop(handle)
+                arena.release(offset, s)
+            else:
+                offset = arena.allocate(size)
+                live[index] = (offset, _align(size))
+            intervals = sorted(live.values())
+            for (o1, s1), (o2, s2) in zip(intervals, intervals[1:]):
+                assert o1 + s1 <= o2, "live buffers overlap"
+
+
+class TestBufferReusePass:
+    def test_entry_plan_and_execution(self):
+        """Two sequential temps share one arena slot; execution is correct."""
+        module = TirModule(entry="main")
+        inner = TirBuilder("scale")
+        inner.param("src", DType.f32, (16,))
+        inner.param("dst", DType.f32, (16,))
+        inner.compute(
+            "mul", full_slice("dst", (16,)), [full_slice("src", (16,)), 2.0]
+        )
+        module.add(inner.finish())
+        b = TirBuilder("main")
+        b.param("x", DType.f32, (16,))
+        b.param("y", DType.f32, (16,))
+        t1 = b.alloc("t1", DType.f32, (16,))
+        b.call("scale", ["x", t1])
+        t2 = b.alloc("t2", DType.f32, (16,))
+        b.call("scale", [t1, t2])
+        b.free(t1)
+        t3 = b.alloc("t3", DType.f32, (16,))
+        b.call("scale", [t2, t3])
+        b.free(t2)
+        b.call("scale", [t3, "y"])
+        b.free(t3)
+        module.add(b.finish())
+        reuse = BufferReusePass()
+        reuse.run(module)
+        plan = reuse.plans["main"]
+        assert plan.arena_size < plan.naive_total
+        x = np.arange(16, dtype=np.float32)
+        y = np.zeros(16, np.float32)
+        interp = Interpreter(module, arena_size=plan.arena_size)
+        interp.run({"x": x, "y": y})
+        np.testing.assert_array_equal(y, x * 16)
+
+
+class TestLoopMerge:
+    def _member(self, name, tag, buf_in, buf_out):
+        b = TirBuilder(name)
+        b.param(buf_in, DType.f32, (4, 8))
+        b.param(buf_out, DType.f32, (4, 8))
+        with b.parallel_for("i", 4, merge_tag=tag) as i:
+            b.compute(
+                "mul",
+                SliceRef(buf_out, (i, 0), (1, 8)),
+                [SliceRef(buf_in, (i, 0), (1, 8)), 2.0],
+            )
+        return b.finish()
+
+    def test_merges_tagged_functions(self):
+        module = TirModule(entry="main")
+        module.add(self._member("f0", "g", "a", "b"))
+        module.add(self._member("f1", "g", "b", "c"))
+        main = TirBuilder("main")
+        main.param("a", DType.f32, (4, 8))
+        main.param("c", DType.f32, (4, 8))
+        t = main.alloc("b", DType.f32, (4, 8))
+        main.call("f0", ["a", "b"])
+        main.call("f1", ["b", "c"])
+        main.free("b")
+        module.add(main.finish())
+
+        merger = LoopMergePass()
+        merger.run(module)
+        assert merger.merged_groups == [["f0", "f1"]]
+        assert "f0" not in module.functions
+        merged_name = next(n for n in module.functions if "merged" in n)
+        merged = module.get(merged_name)
+        # One merged top-level loop containing both bodies.
+        loops = [
+            s for s in merged.body.body if isinstance(s, For) and s.parallel
+        ]
+        assert len(loops) == 1
+        # Execution: c = a * 4.
+        a = np.random.rand(4, 8).astype(np.float32)
+        c = np.zeros((4, 8), np.float32)
+        Interpreter(module).run({"a": a, "c": c})
+        np.testing.assert_allclose(c, a * 4, rtol=1e-6)
+
+    def test_different_tags_not_merged(self):
+        module = TirModule(entry="main")
+        module.add(self._member("f0", "g0", "a", "b"))
+        module.add(self._member("f1", "g1", "b", "c"))
+        main = TirBuilder("main")
+        main.param("a", DType.f32, (4, 8))
+        main.param("c", DType.f32, (4, 8))
+        main.alloc("b", DType.f32, (4, 8))
+        main.call("f0", ["a", "b"])
+        main.call("f1", ["b", "c"])
+        module.add(main.finish())
+        merger = LoopMergePass()
+        merger.run(module)
+        assert merger.merged_groups == []
+        assert "f0" in module.functions
+
+    def test_shared_buffer_becomes_one_param(self):
+        module = TirModule(entry="main")
+        module.add(self._member("f0", "g", "a", "b"))
+        module.add(self._member("f1", "g", "b", "c"))
+        main = TirBuilder("main")
+        main.param("a", DType.f32, (4, 8))
+        main.param("c", DType.f32, (4, 8))
+        main.alloc("b", DType.f32, (4, 8))
+        main.call("f0", ["a", "b"])
+        main.call("f1", ["b", "c"])
+        module.add(main.finish())
+        LoopMergePass().run(module)
+        merged_name = next(n for n in module.functions if "merged" in n)
+        merged = module.get(merged_name)
+        assert len(merged.params) == 3  # a, b, c — b deduplicated
+
+    def test_three_way_merge(self):
+        module = TirModule(entry="main")
+        module.add(self._member("f0", "g", "a", "b"))
+        module.add(self._member("f1", "g", "b", "c"))
+        module.add(self._member("f2", "g", "c", "d"))
+        main = TirBuilder("main")
+        main.param("a", DType.f32, (4, 8))
+        main.param("d", DType.f32, (4, 8))
+        main.alloc("b", DType.f32, (4, 8))
+        main.alloc("c", DType.f32, (4, 8))
+        main.call("f0", ["a", "b"])
+        main.call("f1", ["b", "c"])
+        main.call("f2", ["c", "d"])
+        module.add(main.finish())
+        merger = LoopMergePass()
+        merger.run(module)
+        assert merger.merged_groups == [["f0", "f1", "f2"]]
+        a = np.random.rand(4, 8).astype(np.float32)
+        d = np.zeros((4, 8), np.float32)
+        Interpreter(module).run({"a": a, "d": d})
+        np.testing.assert_allclose(d, a * 8, rtol=1e-6)

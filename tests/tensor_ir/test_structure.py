@@ -1,0 +1,225 @@
+"""Tests for Tensor IR structures: functions, modules, printer,
+substitution and visitors."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import TensorIRError
+from repro.tensor_ir import (
+    SliceRef,
+    TirBuilder,
+    TirModule,
+    format_function,
+    format_module,
+)
+from repro.tensor_ir.expr import Const, Var
+from repro.tensor_ir.function import TensorDecl, TirFunction
+from repro.tensor_ir.stmt import (
+    Alloc,
+    Barrier,
+    BrgemmCall,
+    Call,
+    Compute,
+    Copy,
+    Fill,
+    For,
+    Free,
+    Pack,
+    Seq,
+    Unpack,
+    full_slice,
+)
+from repro.tensor_ir.substitute import (
+    collect_local_names,
+    rewrite_stmt,
+    substitute_expr,
+)
+from repro.tensor_ir.visitor import (
+    reads_of,
+    slices_of,
+    tensors_used,
+    transform,
+    walk,
+    writes_of,
+)
+
+
+def sample_function():
+    b = TirBuilder("f")
+    b.param("x", DType.f32, (8, 8))
+    b.param("y", DType.f32, (8, 8))
+    tmp = b.alloc("tmp", DType.f32, (8,))
+    with b.parallel_for("i", 8, merge_tag="t") as i:
+        j = b.let("j", i * 1)
+        b.fill(SliceRef(tmp, (0,), (8,)), 0.0)
+        b.compute(
+            "add",
+            SliceRef("y", (j, 0), (1, 8)),
+            [SliceRef("x", (j, 0), (1, 8)), SliceRef(tmp, (0,), (8,))],
+        )
+    b.free(tmp)
+    return b.finish()
+
+
+class TestFunctionAndModule:
+    def test_param_lookup(self):
+        func = sample_function()
+        assert func.param("x").shape == (8, 8)
+        assert func.has_param("y")
+        assert not func.has_param("ghost")
+        with pytest.raises(TensorIRError):
+            func.param("ghost")
+
+    def test_local_decls(self):
+        func = sample_function()
+        decls = func.local_decls()
+        assert set(decls) == {"tmp"}
+
+    def test_double_alloc_detected(self):
+        func = TirFunction(name="f")
+        func.body = Seq(
+            body=[
+                Alloc(tensor="t", dtype=DType.f32, shape=(4,)),
+                Alloc(tensor="t", dtype=DType.f32, shape=(4,)),
+            ]
+        )
+        with pytest.raises(TensorIRError, match="allocated twice"):
+            func.local_decls()
+
+    def test_module_add_and_get(self):
+        module = TirModule(entry="main")
+        func = sample_function()
+        module.add(func)
+        assert module.get("f") is func
+        with pytest.raises(TensorIRError):
+            module.add(sample_function())  # same name
+        with pytest.raises(TensorIRError):
+            module.get("missing")
+
+    def test_tensor_decl_sizes(self):
+        decl = TensorDecl(name="t", dtype=DType.s8, shape=(4, 8))
+        assert decl.num_elements == 32
+        assert decl.size_bytes == 32
+
+
+class TestPrinter:
+    def test_function_rendering(self):
+        text = format_function(sample_function())
+        assert "func f(" in text
+        assert "parallel loop i" in text
+        assert "merge:t" in text
+        assert "alloc" in text and "free tmp;" in text
+        assert "add(" in text
+
+    def test_module_rendering(self):
+        module = TirModule(name="m", entry="f")
+        module.add(sample_function())
+        text = format_module(module)
+        assert "module m (entry=f)" in text
+
+    def test_all_statement_kinds_render(self):
+        b = TirBuilder("k")
+        b.param("a", DType.f32, (1, 4, 4))
+        b.param("bb", DType.f32, (1, 4, 4))
+        b.param("c", DType.f32, (4, 4))
+        b.param("p", DType.f32, (8, 8))
+        b.param("pb", DType.f32, (2, 2, 4, 4))
+        b.brgemm(
+            c=full_slice("c", (4, 4)),
+            a=full_slice("a", (1, 4, 4)),
+            b=full_slice("bb", (1, 4, 4)),
+            batch=1,
+        )
+        b.pack(
+            full_slice("pb", (2, 2, 4, 4)),
+            full_slice("p", (8, 8)),
+            (4, 4),
+            swap_inner=True,
+        )
+        b.unpack(
+            full_slice("p", (8, 8)),
+            full_slice("pb", (2, 2, 4, 4)),
+            (4, 4),
+        )
+        b.copy(full_slice("c", (4, 4)), full_slice("c", (4, 4)))
+        b.barrier("note")
+        b.call("other", ["c"])
+        text = format_function(b.finish())
+        for token in (
+            "batch_reduce_gemm",
+            "pack(",
+            "unpack(",
+            "barrier;",
+            "other(c);",
+            "swap",
+        ):
+            assert token in text, token
+
+
+class TestSubstitution:
+    def test_expr_substitution(self):
+        expr = Var("i") * 4 + Var("j")
+        out = substitute_expr(expr, {"i": Var("k"), "j": Const(2)})
+        from repro.tensor_ir.expr import evaluate
+
+        assert evaluate(out, {"k": 3}) == 14
+
+    def test_stmt_rewrite_renames_everything(self):
+        func = sample_function()
+        rewritten = rewrite_stmt(
+            func.body, {"i": Var("m0_i"), "j": Var("m0_j")}, {"tmp": "m0_tmp"}
+        )
+        names = collect_local_names(rewritten)
+        assert "m0_i" in names and "m0_tmp" in names
+        assert "i" not in names
+
+    def test_collect_local_names(self):
+        func = sample_function()
+        names = collect_local_names(func.body)
+        assert names == {"i", "j", "tmp"}
+
+
+class TestVisitors:
+    def test_walk_counts(self):
+        func = sample_function()
+        kinds = [type(s).__name__ for s in walk(func.body)]
+        assert "For" in kinds and "Compute" in kinds and "Fill" in kinds
+
+    def test_reads_writes(self):
+        func = sample_function()
+        compute = next(s for s in walk(func.body) if isinstance(s, Compute))
+        assert {r.tensor for r in reads_of(compute)} == {"x", "tmp"}
+        assert [w.tensor for w in writes_of(compute)] == ["y"]
+
+    def test_tensors_used(self):
+        func = sample_function()
+        assert tensors_used(func.body) == {"x", "y", "tmp"}
+
+    def test_transform_replaces_nodes(self):
+        func = sample_function()
+
+        def kill_fills(stmt):
+            if isinstance(stmt, Fill):
+                return Seq(body=[])
+            return None
+
+        out = transform(func.body, kill_fills)
+        assert not any(isinstance(s, Fill) for s in walk(out))
+        # Original tree untouched.
+        assert any(isinstance(s, Fill) for s in walk(func.body))
+
+
+class TestBuilder:
+    def test_fresh_names(self):
+        b = TirBuilder("f")
+        assert b.fresh("x") == "x"
+        assert b.fresh("x") == "x_1"
+        assert b.fresh("x") == "x_2"
+
+    def test_unbalanced_scope_detected(self):
+        b = TirBuilder("f")
+        ctx = b.for_("i", 4)
+        ctx.__enter__()
+        with pytest.raises(TensorIRError, match="unbalanced"):
+            b.finish()

@@ -1,0 +1,146 @@
+"""Tests for the oneDNN-primitives-style baseline executor."""
+
+import numpy as np
+import pytest
+
+from repro import DType, GraphBuilder, XEON_8358
+from repro.baseline import BaselineExecutor
+from repro.graph_ir.reference import evaluate_graph
+from repro.workloads import (
+    build_mha_graph,
+    build_mlp_graph,
+    make_mha_inputs,
+    make_mlp_inputs,
+)
+
+
+def mlp_graph():
+    b = GraphBuilder("m")
+    x = b.input("x", DType.f32, (32, 64))
+    w0 = b.constant("w0", dtype=DType.f32, shape=(64, 96))
+    w1 = b.constant("w1", dtype=DType.f32, shape=(96, 32))
+    t = b.relu(b.matmul(x, w0))
+    b.output(b.relu(b.matmul(t, w1)))
+    return b.finish()
+
+
+class TestPrimitivePlanning:
+    def test_mlp_maps_to_matmul_primitives_with_postops(self):
+        executor = BaselineExecutor(mlp_graph(), XEON_8358)
+        names = executor.plan.describe()
+        assert len(names) == 2
+        assert all("matmul" in n and "+1post" in n for n in names)
+
+    def test_softmax_stays_separate(self):
+        """The baseline's key limitation: softmax cannot fuse."""
+        executor = BaselineExecutor(
+            build_mha_graph("MHA_1", 32, DType.f32), XEON_8358
+        )
+        kinds = [p.kind for p in executor.plan.primitives]
+        assert "softmax" in kinds
+        assert kinds.count("matmul") == 2
+
+    def test_int8_requant_chain_fuses_as_postops(self):
+        executor = BaselineExecutor(
+            build_mlp_graph("MLP_1", 32, DType.s8), XEON_8358
+        )
+        # Three matmul primitives; the int8 requant chains ride as post-ops,
+        # so no standalone element-wise primitives remain.
+        kinds = [p.kind for p in executor.plan.primitives]
+        assert kinds.count("matmul") == 3
+        assert kinds.count("eltwise") == 0
+
+    def test_weight_preprocessing_split_off(self):
+        executor = BaselineExecutor(
+            build_mlp_graph("MLP_1", 32, DType.s8), XEON_8358
+        )
+        assert executor.init_graph is not None
+
+    def test_value_needed_as_output_not_overfused(self):
+        b = GraphBuilder("m")
+        x = b.input("x", DType.f32, (16, 16))
+        w = b.constant("w", dtype=DType.f32, shape=(16, 16))
+        y = b.matmul(x, w)
+        b.output(y)  # raw matmul result must materialize
+        b.output(b.relu(y))
+        executor = BaselineExecutor(b.finish(), XEON_8358)
+        names = executor.plan.describe()
+        assert any("matmul" in n and "post" not in n for n in names)
+
+
+class TestNumericExecution:
+    def test_fp32_mlp_matches_reference(self):
+        graph = mlp_graph()
+        rng = np.random.RandomState(0)
+        inputs = {
+            "x": rng.randn(32, 64).astype(np.float32),
+            "w0": rng.randn(64, 96).astype(np.float32) * 0.1,
+            "w1": rng.randn(96, 32).astype(np.float32) * 0.1,
+        }
+        inputs = {k: v.astype(np.float32) for k, v in inputs.items()}
+        expected = evaluate_graph(mlp_graph(), inputs)
+        executor = BaselineExecutor(graph, XEON_8358)
+        out = executor.execute(inputs)
+        np.testing.assert_allclose(
+            list(out.values())[0], list(expected.values())[0], rtol=1e-5
+        )
+
+    def test_mha_fp32(self):
+        graph = build_mha_graph("MHA_1", 32, DType.f32)
+        inputs = make_mha_inputs("MHA_1", 32, DType.f32)
+        executor = BaselineExecutor(
+            build_mha_graph("MHA_1", 32, DType.f32), XEON_8358
+        )
+        out = list(executor.execute(inputs).values())[0]
+        expected = list(evaluate_graph(graph, inputs).values())[0]
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_weight_cache_used_on_second_run(self):
+        executor = BaselineExecutor(
+            build_mlp_graph("MLP_1", 32, DType.s8), XEON_8358
+        )
+        inputs = make_mlp_inputs("MLP_1", 32, DType.s8)
+        first = executor.execute(inputs)
+        second = executor.execute(inputs)
+        np.testing.assert_array_equal(
+            list(first.values())[0], list(second.values())[0]
+        )
+
+
+class TestSpecs:
+    def test_every_primitive_pays_api_and_launch(self):
+        executor = BaselineExecutor(
+            build_mha_graph("MHA_1", 32, DType.f32), XEON_8358
+        )
+        specs, _ = executor.specs()
+        assert all(s.api_calls == 1 for s in specs)
+        assert all(s.launches == 1 for s in specs)
+
+    def test_softmax_spec_has_extra_pass(self):
+        executor = BaselineExecutor(
+            build_mha_graph("MHA_1", 32, DType.f32), XEON_8358
+        )
+        softmax = next(
+            s for s in specs_of(executor) if "softmax" in s.name
+        )
+        # Two read passes over the attention tensor.
+        big_reads = [r for r in softmax.reads if r.nbytes > 1 << 20]
+        assert len(big_reads) == 2
+
+    def test_constant_weights_in_warm_set(self):
+        executor = BaselineExecutor(
+            build_mlp_graph("MLP_1", 32, DType.f32), XEON_8358
+        )
+        _, warm = executor.specs()
+        assert len(warm) >= 3  # three weights
+
+    def test_matmul_spec_efficiency_below_one(self):
+        executor = BaselineExecutor(mlp_graph(), XEON_8358)
+        specs, _ = executor.specs()
+        for spec in specs:
+            assert 0 < spec.efficiency < 1
+
+
+def specs_of(executor):
+    specs, _ = executor.specs()
+    return specs

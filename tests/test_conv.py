@@ -1,0 +1,165 @@
+"""Tests for the conv2d extension (im2col + matmul lowering)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import DType, GraphBuilder, compile_graph
+from repro.errors import ShapeInferenceError
+from repro.graph_ir import conv2d
+from repro.graph_ir.conv import _ref_im2col
+from repro.graph_ir.reference import evaluate_graph
+
+
+def naive_conv(x, w, stride=(1, 1), padding=(0, 0)):
+    """Direct convolution oracle, no im2col."""
+    sh, sw = stride
+    ph, pw = padding
+    x = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)))
+    n, h, wd, c = x.shape
+    kh, kw, _, oc = w.shape
+    oh = (h - kh) // sh + 1
+    ow = (wd - kw) // sw + 1
+    out = np.zeros((n, oh, ow, oc), dtype=np.float32)
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[:, i * sh : i * sh + kh, j * sw : j * sw + kw, :]
+            out[:, i, j, :] = np.tensordot(patch, w, axes=([1, 2, 3], [0, 1, 2]))
+    return out
+
+
+class TestIm2col:
+    def test_reference_matches_patch_extraction(self):
+        x = np.arange(2 * 5 * 5 * 3, dtype=np.float32).reshape(2, 5, 5, 3)
+        out = _ref_im2col([x], {"kernel": (3, 3)})[0]
+        assert out.shape == (2, 3, 3, 27)
+        np.testing.assert_array_equal(
+            out[0, 0, 0], x[0, 0:3, 0:3, :].reshape(-1)
+        )
+
+    def test_stride_and_padding(self):
+        x = np.random.rand(1, 6, 6, 2).astype(np.float32)
+        out = _ref_im2col(
+            [x], {"kernel": (3, 3), "stride": (2, 2), "padding": (1, 1)}
+        )[0]
+        assert out.shape == (1, 3, 3, 18)
+
+    def test_invalid_geometry(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (1, 2, 2, 3))
+        with pytest.raises(ShapeInferenceError):
+            b.op("im2col", [x], {"kernel": (5, 5)})
+
+
+class TestConv2dOp:
+    def test_shape_inference(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (2, 8, 8, 4))
+        w = b.input("w", DType.f32, (3, 3, 4, 16))
+        y = conv2d(b, x, w, padding=(1, 1))
+        assert y.shape == (2, 8, 8, 16)
+
+    def test_weight_shape_checked(self):
+        b = GraphBuilder()
+        x = b.input("x", DType.f32, (2, 8, 8, 4))
+        w = b.input("w", DType.f32, (3, 3, 5, 16))  # wrong channels
+        with pytest.raises(ShapeInferenceError, match="conv weight"):
+            conv2d(b, x, w)
+
+    def test_reference_matches_naive(self):
+        rng = np.random.RandomState(0)
+        x = rng.randn(2, 8, 8, 4).astype(np.float32)
+        w = rng.randn(3, 3, 4, 8).astype(np.float32)
+        b = GraphBuilder()
+        xt = b.input("x", DType.f32, x.shape)
+        wt = b.input("w", DType.f32, w.shape)
+        y = conv2d(b, xt, wt, padding=(1, 1))
+        b.output(y)
+        out = list(evaluate_graph(b.finish(), {"x": x, "w": w}).values())[0]
+        np.testing.assert_allclose(
+            out, naive_conv(x, w, padding=(1, 1)), rtol=1e-4, atol=1e-4
+        )
+
+
+class TestCompiledConv:
+    def _build(self, with_epilogue=True):
+        b = GraphBuilder("cnn")
+        x = b.input("x", DType.f32, (2, 12, 12, 8))
+        w = b.constant("w", dtype=DType.f32, shape=(3, 3, 8, 16))
+        y = conv2d(b, x, w, padding=(1, 1))
+        if with_epilogue:
+            bias = b.constant("bias", dtype=DType.f32, shape=(16,))
+            y = b.relu(b.bias_add(y, bias))
+        b.output(y)
+        return b.finish()
+
+    def test_compiled_matches_naive(self):
+        rng = np.random.RandomState(1)
+        inputs = {
+            "x": rng.randn(2, 12, 12, 8).astype(np.float32),
+            "w": (rng.randn(3, 3, 8, 16) * 0.1).astype(np.float32),
+            "bias": rng.randn(16).astype(np.float32),
+        }
+        partition = compile_graph(self._build())
+        out = list(partition.execute(inputs).values())[0]
+        expected = np.maximum(
+            naive_conv(inputs["x"], inputs["w"], padding=(1, 1))
+            + inputs["bias"],
+            0,
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-4)
+
+    def test_epilogue_fuses_into_matmul(self):
+        """Reshape sinking lets bias+relu fuse into the im2col matmul."""
+        partition = compile_graph(self._build())
+        fusion_logs = [
+            m for m in partition.lowered.ctx.log if "absorbed" in m
+        ]
+        assert any("add" in m and "relu" in m for m in fusion_logs)
+
+    def test_kernel_reshape_cached_in_init(self):
+        partition = compile_graph(self._build())
+        assert partition.lowered.init_module is not None
+
+    def test_strided_conv(self):
+        b = GraphBuilder("s")
+        x = b.input("x", DType.f32, (1, 8, 8, 4))
+        w = b.constant("w", dtype=DType.f32, shape=(2, 2, 4, 8))
+        b.output(conv2d(b, x, w, stride=(2, 2)))
+        rng = np.random.RandomState(2)
+        inputs = {
+            "x": rng.randn(1, 8, 8, 4).astype(np.float32),
+            "w": rng.randn(2, 2, 4, 8).astype(np.float32),
+        }
+        partition = compile_graph(b.finish())
+        out = list(partition.execute(inputs).values())[0]
+        np.testing.assert_allclose(
+            out,
+            naive_conv(inputs["x"], inputs["w"], stride=(2, 2)),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=3),  # kernel
+        st.integers(min_value=1, max_value=2),  # stride
+        st.integers(min_value=0, max_value=1),  # padding
+    )
+    def test_compiled_conv_property(self, k, s, p):
+        """Compiled conv == naive conv for any geometry."""
+        rng = np.random.RandomState(k * 10 + s * 3 + p)
+        x = rng.randn(1, 7, 7, 3).astype(np.float32)
+        w = rng.randn(k, k, 3, 4).astype(np.float32)
+        b = GraphBuilder("g")
+        xt = b.input("x", DType.f32, x.shape)
+        wt = b.constant("w", dtype=DType.f32, shape=w.shape)
+        b.output(conv2d(b, xt, wt, stride=(s, s), padding=(p, p)))
+        partition = compile_graph(b.finish())
+        out = list(partition.execute({"x": x, "w": w}).values())[0]
+        np.testing.assert_allclose(
+            out,
+            naive_conv(x, w, stride=(s, s), padding=(p, p)),
+            rtol=1e-3,
+            atol=1e-3,
+        )

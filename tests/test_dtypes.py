@@ -1,0 +1,108 @@
+"""Unit tests for repro.dtypes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dtypes import (
+    DType,
+    accumulator_dtype,
+    dequantize_array,
+    from_numpy,
+    quantize_array,
+)
+from repro.errors import DataTypeError
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.f32.size == 4
+        assert DType.bf16.size == 2
+        assert DType.s8.size == 1
+        assert DType.u8.size == 1
+        assert DType.s32.size == 4
+        assert DType.s64.size == 8
+
+    def test_floating_predicate(self):
+        assert DType.f32.is_floating
+        assert DType.bf16.is_floating
+        assert not DType.s8.is_floating
+
+    def test_low_precision_predicate(self):
+        assert DType.s8.is_low_precision
+        assert DType.u8.is_low_precision
+        assert not DType.s32.is_low_precision
+        assert not DType.f32.is_low_precision
+
+    def test_numpy_roundtrip(self):
+        for dtype in (DType.f32, DType.s32, DType.s8, DType.u8, DType.s64):
+            assert from_numpy(dtype.to_numpy()) == dtype
+
+    def test_bf16_stored_as_f32(self):
+        assert DType.bf16.to_numpy() == np.dtype(np.float32)
+
+    def test_from_numpy_unknown(self):
+        with pytest.raises(DataTypeError):
+            from_numpy(np.complex64)
+
+
+class TestAccumulator:
+    def test_int8_accumulates_in_s32(self):
+        assert accumulator_dtype(DType.s8) == DType.s32
+        assert accumulator_dtype(DType.u8) == DType.s32
+
+    def test_float_accumulates_in_f32(self):
+        assert accumulator_dtype(DType.f32) == DType.f32
+        assert accumulator_dtype(DType.bf16) == DType.f32
+
+    def test_invalid(self):
+        with pytest.raises(DataTypeError):
+            accumulator_dtype(DType.boolean)
+
+
+class TestQuantization:
+    def test_quantize_basic(self):
+        x = np.array([0.0, 0.1, -0.1, 1.0], dtype=np.float32)
+        q = quantize_array(x, scale=0.1, zero_point=0, dtype=DType.s8)
+        assert q.dtype == np.int8
+        np.testing.assert_array_equal(q, [0, 1, -1, 10])
+
+    def test_quantize_zero_point(self):
+        x = np.array([0.0, 0.5], dtype=np.float32)
+        q = quantize_array(x, scale=0.5, zero_point=128, dtype=DType.u8)
+        np.testing.assert_array_equal(q, [128, 129])
+
+    def test_quantize_saturates(self):
+        x = np.array([1000.0, -1000.0], dtype=np.float32)
+        q = quantize_array(x, scale=1.0, zero_point=0, dtype=DType.s8)
+        np.testing.assert_array_equal(q, [127, -128])
+
+    def test_quantize_requires_low_precision_dtype(self):
+        with pytest.raises(DataTypeError):
+            quantize_array(np.zeros(3), scale=1.0, zero_point=0, dtype=DType.f32)
+
+    def test_dequantize(self):
+        q = np.array([0, 10, -10], dtype=np.int8)
+        x = dequantize_array(q, scale=0.5, zero_point=0)
+        assert x.dtype == np.float32
+        np.testing.assert_allclose(x, [0.0, 5.0, -5.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, width=32),
+            min_size=1,
+            max_size=64,
+        ),
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=-8, max_value=8),
+    )
+    def test_roundtrip_error_bounded_by_scale(self, values, scale, zp):
+        """Quantize-dequantize error is at most scale/2 for in-range values."""
+        x = np.array(values, dtype=np.float32)
+        # Keep values inside the representable range for this scale/zp.
+        lo = (-128 - zp + 1) * scale
+        hi = (127 - zp - 1) * scale
+        x = np.clip(x, lo, hi)
+        q = quantize_array(x, scale=scale, zero_point=zp, dtype=DType.s8)
+        back = dequantize_array(q, scale=scale, zero_point=zp)
+        assert np.all(np.abs(back - x) <= scale / 2 + 1e-6)

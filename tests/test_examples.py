@@ -1,0 +1,51 @@
+"""Smoke tests: the example scripts must run end to end.
+
+(The DLRM sweep example is exercised by the benchmarks instead — its full
+batch sweep takes minutes.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "max |compiled - numpy|" in out
+        assert "Tensor IR" in out
+
+    def test_bert_attention(self, capsys):
+        run_example("bert_attention.py")
+        out = capsys.readouterr().out
+        assert "what the compiler did" in out
+
+    def test_custom_machine(self, capsys):
+        run_example("custom_machine.py")
+        out = capsys.readouterr().out
+        assert "xeon-8358" in out
+        assert "laptop-8c" in out
+
+    def test_cnn_layer(self, capsys):
+        run_example("cnn_layer.py")
+        out = capsys.readouterr().out
+        assert "ok" in out
+
+    def test_all_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "dlrm_mlp_inference.py",
+            "bert_attention.py",
+            "custom_machine.py",
+            "cnn_layer.py",
+        } <= names

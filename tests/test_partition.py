@@ -1,0 +1,129 @@
+"""Tests for the CompiledPartition public API."""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, DType, GraphBuilder, compile_graph
+from repro.errors import ExecutionError
+
+
+def make_partition():
+    b = GraphBuilder("p")
+    x = b.input("x", DType.f32, (16, 32))
+    w = b.constant("w", dtype=DType.f32, shape=(32, 16))
+    b.output(b.relu(b.matmul(x, w)))
+    return compile_graph(b.finish())
+
+
+class TestIntrospection:
+    def test_names(self):
+        p = make_partition()
+        assert p.input_names == ["x"]
+        assert p.weight_names == ["w"]
+        assert len(p.output_names) == 1
+
+    def test_not_initialized_before_first_run(self):
+        p = make_partition()
+        assert not p.is_initialized
+
+    def test_initialized_after_first_run(self):
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        p.execute(
+            {
+                "x": rng.randn(16, 32).astype(np.float32),
+                "w": rng.randn(32, 16).astype(np.float32),
+            }
+        )
+        assert p.is_initialized
+
+    def test_stats_available(self):
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        p.execute(
+            {
+                "x": rng.randn(16, 32).astype(np.float32),
+                "w": rng.randn(32, 16).astype(np.float32),
+            }
+        )
+        assert p.last_stats is not None
+        assert p.last_stats.brgemm_calls > 0
+        assert p.init_stats is not None
+        assert p.init_stats.pack_stmts > 0  # weight prepack
+
+
+class TestExecuteValidation:
+    def test_missing_activation(self):
+        p = make_partition()
+        with pytest.raises(ExecutionError, match="missing input"):
+            p.execute({"w": np.zeros((32, 16), np.float32)})
+
+    def test_wrong_shape(self):
+        p = make_partition()
+        with pytest.raises(ExecutionError, match="shape"):
+            p.execute(
+                {
+                    "x": np.zeros((16, 33), np.float32),
+                    "w": np.zeros((32, 16), np.float32),
+                }
+            )
+
+    def test_wrong_dtype(self):
+        p = make_partition()
+        with pytest.raises(ExecutionError, match="dtype"):
+            p.execute(
+                {
+                    "x": np.zeros((16, 32), np.float64),
+                    "w": np.zeros((32, 16), np.float32),
+                }
+            )
+
+    def test_weights_ignored_after_first_run(self):
+        """Weights passed on later runs are ignored — constants are cached
+        (the paper's runtime-constant contract)."""
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        x = rng.randn(16, 32).astype(np.float32)
+        w = rng.randn(32, 16).astype(np.float32)
+        first = list(p.execute({"x": x, "w": w}).values())[0]
+        other_w = rng.randn(32, 16).astype(np.float32)
+        second = list(p.execute({"x": x, "w": other_w}).values())[0]
+        np.testing.assert_array_equal(first, second)
+
+    def test_non_contiguous_input_accepted(self):
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        x = rng.randn(32, 32).astype(np.float32)[::2]  # strided view
+        w = rng.randn(32, 16).astype(np.float32)
+        out = list(p.execute({"x": x, "w": w}).values())[0]
+        np.testing.assert_allclose(
+            out, np.maximum(np.ascontiguousarray(x) @ w, 0), rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_outputs_are_fresh_buffers(self):
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        x = rng.randn(16, 32).astype(np.float32)
+        w = rng.randn(32, 16).astype(np.float32)
+        out1 = list(p.execute({"x": x, "w": w}).values())[0]
+        out2 = list(p.execute({"x": x}).values())[0]
+        assert out1 is not out2
+        out1[...] = 0  # mutating one result must not affect the next
+        out3 = list(p.execute({"x": x}).values())[0]
+        np.testing.assert_array_equal(out2, out3)
+
+
+class TestArena:
+    def test_arena_size_exposed(self):
+        b = GraphBuilder("deep")
+        t = b.input("x", DType.f32, (32, 64))
+        for i in range(4):
+            w = b.constant(f"w{i}", dtype=DType.f32, shape=(64, 64))
+            t = b.relu(b.matmul(t, w))
+        b.output(t)
+        p = compile_graph(
+            b.finish(), options=CompilerOptions.no_coarse_fusion()
+        )
+        assert p.arena_size > 0
+        assert p.arena_size % 64 == 0

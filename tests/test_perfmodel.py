@@ -1,0 +1,169 @@
+"""Tests for the performance model (timing simulator and spec builders)."""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, DType, XEON_8358, compile_graph
+from repro.dtypes import DType as DT
+from repro.perfmodel import (
+    KernelSpec,
+    MachineSimulator,
+    TensorAccess,
+    specs_for_partition,
+)
+from repro.perfmodel.report import format_speedup_table, geomean
+from repro.workloads import build_mha_graph, build_mlp_graph
+
+
+class TestSimulatorPricing:
+    def test_compute_scales_with_flops(self):
+        sim = MachineSimulator(XEON_8358)
+        small = sim.run(KernelSpec(name="s", flops=1e6, launches=0))
+        large = sim.run(KernelSpec(name="l", flops=1e8, launches=0))
+        assert large.compute_cycles == pytest.approx(
+            small.compute_cycles * 100
+        )
+
+    def test_int8_faster_than_fp32(self):
+        sim = MachineSimulator(XEON_8358)
+        f = sim.run(KernelSpec(name="f", flops=1e8, dtype=DT.f32, launches=0))
+        i = sim.run(KernelSpec(name="i", flops=1e8, dtype=DT.s8, launches=0))
+        assert i.compute_cycles == pytest.approx(f.compute_cycles / 4)
+
+    def test_efficiency_and_balance_inflate_cost(self):
+        sim = MachineSimulator(XEON_8358)
+        ideal = sim.run(KernelSpec(name="a", flops=1e8, launches=0))
+        poor = sim.run(
+            KernelSpec(
+                name="b", flops=1e8, efficiency=0.5, balance=0.5, launches=0
+            )
+        )
+        assert poor.compute_cycles == pytest.approx(ideal.compute_cycles * 4)
+
+    def test_overheads(self):
+        sim = MachineSimulator(XEON_8358)
+        t = sim.run(
+            KernelSpec(name="o", launches=2, light_syncs=4, api_calls=3)
+        )
+        expected = (
+            2 * XEON_8358.barrier_cycles
+            + 4 * XEON_8358.barrier_cycles * 0.125
+            + 3 * XEON_8358.api_call_cycles
+        )
+        assert t.overhead_cycles == pytest.approx(expected)
+
+    def test_transcendental_more_expensive(self):
+        sim = MachineSimulator(XEON_8358)
+        cheap = sim.run(
+            KernelSpec(name="c", eltwise_elems=1e7, launches=0)
+        )
+        costly = sim.run(
+            KernelSpec(name="t", transcendental_elems=1e7, launches=0)
+        )
+        assert costly.compute_cycles > cheap.compute_cycles * 3
+
+
+class TestResidency:
+    def test_cold_read_from_dram_then_warm(self):
+        sim = MachineSimulator(XEON_8358)
+        nbytes = 1 << 20
+        spec = KernelSpec(
+            name="k", reads=[TensorAccess("t", nbytes)], launches=0
+        )
+        cold = sim.run(spec).memory_cycles
+        warm = sim.run(spec).memory_cycles
+        assert warm < cold  # promoted to L2 after the first touch
+
+    def test_warm_method(self):
+        sim = MachineSimulator(XEON_8358)
+        sim.warm("w", 1 << 20)
+        assert sim.level_name_of("w") == "L2"
+
+    def test_big_tensor_lands_in_lower_level(self):
+        sim = MachineSimulator(XEON_8358)
+        sim.warm("huge", 1 << 30)  # 1 GiB fits nothing but DRAM
+        assert sim.level_name_of("huge") == "DRAM"
+
+    def test_capacity_eviction_cascade(self):
+        sim = MachineSimulator(XEON_8358)
+        # Fill L2 (20 MiB effective) with three 8 MiB tensors.
+        for name in ("a", "b", "c"):
+            sim.warm(name, 8 << 20)
+        # The least recently used tensor cascaded to L3.
+        assert sim.level_name_of("a") == "L3"
+        assert sim.level_name_of("c") == "L2"
+
+    def test_hint_overrides_residency(self):
+        sim = MachineSimulator(XEON_8358)
+        nbytes = 64 << 20
+        hinted = sim.run(
+            KernelSpec(
+                name="h",
+                reads=[TensorAccess("x", nbytes, hint="L1")],
+                launches=0,
+            )
+        )
+        unhinted = sim.run(
+            KernelSpec(
+                name="u",
+                reads=[TensorAccess("y", nbytes)],
+                launches=0,
+            )
+        )
+        assert hinted.memory_cycles < unhinted.memory_cycles
+
+
+class TestPartitionSpecs:
+    def test_one_dispatch_and_per_item_launches(self):
+        partition = compile_graph(
+            build_mlp_graph("MLP_1", 64, DType.f32),
+            options=CompilerOptions.no_coarse_fusion(),
+        )
+        specs, warm = specs_for_partition(partition, XEON_8358)
+        assert specs[0].name == "partition_dispatch"
+        assert specs[0].api_calls == 1
+        fused = [s for s in specs if s.name.startswith("fused_")]
+        assert len(fused) == 3
+        assert all(s.launches == 1 for s in fused)
+        assert all(s.api_calls == 0 for s in fused)
+
+    def test_merged_members_use_light_syncs(self):
+        partition = compile_graph(build_mlp_graph("MLP_1", 64, DType.f32))
+        specs, _ = specs_for_partition(partition, XEON_8358)
+        fused = [s for s in specs if s.name.startswith("fused_")]
+        launches = sum(s.launches for s in fused)
+        light = sum(s.light_syncs for s in fused)
+        assert launches < 3
+        assert light >= 1
+
+    def test_warm_set_covers_cached_weights(self):
+        partition = compile_graph(build_mlp_graph("MLP_1", 64, DType.s8))
+        _, warm = specs_for_partition(partition, XEON_8358)
+        assert len(warm) >= 3
+
+    def test_padded_flops_charged(self):
+        """The k=13 entry layer pays for its padding in flops."""
+        partition = compile_graph(build_mlp_graph("MLP_1", 64, DType.f32))
+        specs, _ = specs_for_partition(partition, XEON_8358)
+        first = next(s for s in specs if s.name.startswith("fused_"))
+        logical = 2 * 64 * 13 * 512
+        assert first.flops > logical  # padded k >= 16
+
+    def test_fused_postops_counted_as_eltwise(self):
+        partition = compile_graph(build_mha_graph("MHA_1", 32, DType.f32))
+        specs, _ = specs_for_partition(partition, XEON_8358)
+        attention = [s for s in specs if s.name.startswith("fused_")][0]
+        assert attention.transcendental_elems > 0  # exp, div
+        assert attention.eltwise_elems > 0  # add, sub, reductions
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_speedup_table(
+            "T", [{"a": 1.234, "b": "x"}], ["a", "b"]
+        )
+        assert "1.23" in text and "T" in text
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert np.isnan(geomean([]))

@@ -1,0 +1,66 @@
+"""Tests for the dump CLI tool."""
+
+import pytest
+
+from repro.tools.dump import main
+
+
+class TestDumpTool:
+    def test_single_matmul(self, capsys):
+        assert main(["--matmul", "64x64x64"]) == 0
+        out = capsys.readouterr().out
+        assert "optimized Graph IR" in out
+        assert "pass log" in out
+
+    def test_tir_flag(self, capsys):
+        main(["--matmul", "64x64x64", "--tir"])
+        out = capsys.readouterr().out
+        assert "batch_reduce_gemm" in out
+
+    def test_perf_flag(self, capsys):
+        main(["--matmul", "64x64x64", "--perf"])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_workload(self, capsys):
+        main(["--workload", "MLP_1", "--batch", "32", "--dtype", "int8"])
+        out = capsys.readouterr().out
+        assert "init graph" in out  # weight preprocessing present
+
+    def test_no_coarse(self, capsys):
+        main(["--workload", "MLP_1", "--batch", "32", "--no-coarse"])
+        out = capsys.readouterr().out
+        assert "merged groups" not in out
+
+    def test_bad_matmul_spec(self):
+        with pytest.raises(SystemExit):
+            main(["--matmul", "64by64"])
+
+    def test_bad_workload(self):
+        with pytest.raises(SystemExit):
+            main(["--workload", "NOPE"])
+
+
+class TestBenchTool:
+    def test_fig8_mlp_subset(self, capsys):
+        from repro.tools.bench import main as bench_main
+
+        assert bench_main(
+            ["fig8-mlp", "--workload", "MLP_1", "--batches", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8 (MLP)" in out
+        assert "geomean" in out
+
+    def test_fig8_mha_subset(self, capsys):
+        from repro.tools.bench import main as bench_main
+
+        bench_main(["fig8-mha", "--dtype", "int8", "--batches", "32"])
+        out = capsys.readouterr().out
+        assert "Figure 8 (MHA)" in out
+
+    def test_bad_figure(self):
+        from repro.tools.bench import main as bench_main
+
+        with pytest.raises(SystemExit):
+            bench_main(["fig9"])

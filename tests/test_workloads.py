@@ -1,0 +1,127 @@
+"""Tests for the Table 1 workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph_ir.reference import evaluate_graph
+from repro.workloads import (
+    MHA_BATCH_SIZES,
+    MHA_CONFIGS,
+    MLP_BATCH_SIZES,
+    MLP_CONFIGS,
+    build_mha_graph,
+    build_mlp_graph,
+    individual_matmul_shapes,
+    make_mha_inputs,
+    make_mlp_inputs,
+)
+from repro.workloads.mlp import mlp_layer_shapes
+
+
+class TestMlpWorkloads:
+    def test_table1_dims(self):
+        assert MLP_CONFIGS["MLP_1"] == (13, 512, 256, 128)
+        assert MLP_CONFIGS["MLP_2"] == (479, 1024, 1024, 512, 256, 1)
+
+    @pytest.mark.parametrize("name", ["MLP_1", "MLP_2"])
+    def test_fp32_graph_structure(self, name):
+        graph = build_mlp_graph(name, 32, DType.f32)
+        dims = MLP_CONFIGS[name]
+        matmuls = [op for op in graph.ops if op.kind == "matmul"]
+        relus = [op for op in graph.ops if op.kind == "relu"]
+        assert len(matmuls) == len(dims) - 1
+        assert len(relus) == len(dims) - 1
+        assert graph.outputs[0].shape == (32, dims[-1])
+
+    def test_int8_graph_has_quantization(self):
+        graph = build_mlp_graph("MLP_1", 32, DType.s8)
+        kinds = {op.kind for op in graph.ops}
+        assert "dequantize" in kinds
+        assert "quantize" in kinds
+        assert graph.inputs[0].dtype == DType.u8
+
+    def test_fp32_executes(self):
+        graph = build_mlp_graph("MLP_1", 32, DType.f32)
+        inputs = make_mlp_inputs("MLP_1", 32, DType.f32)
+        out = evaluate_graph(graph, inputs)
+        assert list(out.values())[0].shape == (32, 128)
+
+    def test_int8_executes(self):
+        graph = build_mlp_graph("MLP_1", 32, DType.s8)
+        inputs = make_mlp_inputs("MLP_1", 32, DType.s8)
+        out = list(evaluate_graph(graph, inputs).values())[0]
+        assert out.dtype == np.float32
+        assert np.isfinite(out).all()
+
+    def test_inputs_seeded(self):
+        a = make_mlp_inputs("MLP_1", 32, DType.f32, seed=7)
+        b = make_mlp_inputs("MLP_1", 32, DType.f32, seed=7)
+        np.testing.assert_array_equal(a["x"], b["x"])
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            build_mlp_graph("MLP_1", 32, DType.s64)
+
+    def test_layer_shapes(self):
+        shapes = mlp_layer_shapes("MLP_1", 64)
+        assert shapes == [(64, 13, 512), (64, 512, 256), (64, 256, 128)]
+
+
+class TestMhaWorkloads:
+    def test_table1_configs(self):
+        cfg = MHA_CONFIGS["MHA_4"]
+        assert (cfg.seq_len, cfg.hidden, cfg.heads) == (512, 1024, 16)
+        assert cfg.head_dim == 64
+
+    @pytest.mark.parametrize("name", list(MHA_CONFIGS))
+    def test_fp32_graph_structure(self, name):
+        cfg = MHA_CONFIGS[name]
+        graph = build_mha_graph(name, 32, DType.f32)
+        matmuls = [op for op in graph.ops if op.kind == "matmul"]
+        assert len(matmuls) == 2
+        assert any(op.kind == "softmax" for op in graph.ops)
+        assert graph.outputs[0].shape == (
+            32, cfg.heads, cfg.seq_len, cfg.head_dim
+        )
+
+    def test_fp32_attention_rows_normalize(self):
+        graph = build_mha_graph("MHA_1", 4, DType.f32)
+        # Feed V = broadcast identity to recover probabilities.
+        inputs = make_mha_inputs("MHA_1", 4, DType.f32)
+        cfg = MHA_CONFIGS["MHA_1"]
+        inputs["v"] = np.broadcast_to(
+            np.eye(cfg.seq_len, cfg.head_dim, dtype=np.float32),
+            (4, cfg.heads, cfg.seq_len, cfg.head_dim),
+        ).copy()
+        out = list(evaluate_graph(graph, inputs).values())[0]
+        sums = out.sum(-1)
+        # head_dim < seq_len truncates the identity; sums stay <= 1.
+        assert np.all(sums <= 1.0 + 1e-5)
+
+    def test_int8_graph_symmetric(self):
+        graph = build_mha_graph("MHA_2", 32, DType.s8)
+        deq = [op for op in graph.ops if op.kind == "dequantize"]
+        assert all(op.attr("zero_point", 0) == 0 for op in deq)
+
+    def test_int8_executes(self):
+        graph = build_mha_graph("MHA_1", 4, DType.s8)
+        inputs = make_mha_inputs("MHA_1", 4, DType.s8)
+        out = list(evaluate_graph(graph, inputs).values())[0]
+        assert np.isfinite(out).all()
+
+
+class TestMatmulShapes:
+    def test_count(self):
+        # (3 MLP_1 layers + 5 MLP_2 layers) x 5 batches.
+        assert len(individual_matmul_shapes()) == 40
+
+    def test_includes_pathological_shapes(self):
+        shapes = individual_matmul_shapes()
+        assert any(s.k == 479 for s in shapes)
+        assert any(s.k == 13 for s in shapes)
+        assert any(s.n == 1 for s in shapes)
+
+    def test_macs(self):
+        shape = individual_matmul_shapes()[0]
+        assert shape.macs == shape.m * shape.k * shape.n
