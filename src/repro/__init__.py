@@ -23,17 +23,31 @@ Quickstart::
     })
 """
 
-from .core.compiler import compile_graph
+from .core.compiler import (
+    add_compile_hook,
+    compile_counter,
+    compile_graph,
+    remove_compile_hook,
+)
 from .core.options import CompilerOptions
 from .dtypes import DType
 from .graph_ir import Graph, GraphBuilder, format_graph
 from .microkernel.machine import MachineModel, XEON_8358
 from .runtime.partition import CompiledPartition
+from .service import (
+    InferenceSession,
+    PartitionCache,
+    ServiceStats,
+    graph_signature,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compile_graph",
+    "compile_counter",
+    "add_compile_hook",
+    "remove_compile_hook",
     "CompilerOptions",
     "DType",
     "Graph",
@@ -42,5 +56,9 @@ __all__ = [
     "MachineModel",
     "XEON_8358",
     "CompiledPartition",
+    "InferenceSession",
+    "PartitionCache",
+    "ServiceStats",
+    "graph_signature",
     "__version__",
 ]

@@ -11,7 +11,9 @@ Note: compilation takes ownership of the graph and mutates it.
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+import time
+from typing import Callable, List, Optional
 
 from ..graph_ir.graph import Graph
 from ..graph_ir.passes import CompileContext, PassManager, default_pipeline
@@ -27,12 +29,60 @@ from ..tensor_ir.passes import (
 from .options import CompilerOptions
 
 
+#: Observers called as ``hook(graph, seconds)`` after every successful
+#: compilation.  The serving layer's cache tests rely on this to prove
+#: single-flight deduplication actually deduplicates.
+_compile_hooks: List[Callable[[Graph, float], None]] = []
+_hook_lock = threading.Lock()
+
+
+def add_compile_hook(hook: Callable[[Graph, float], None]) -> None:
+    """Register an observer invoked after each ``compile_graph`` call."""
+    with _hook_lock:
+        _compile_hooks.append(hook)
+
+
+def remove_compile_hook(hook: Callable[[Graph, float], None]) -> None:
+    with _hook_lock:
+        _compile_hooks.remove(hook)
+
+
+class compile_counter:
+    """Context manager counting ``compile_graph`` invocations.
+
+    ::
+
+        with compile_counter() as counter:
+            ...
+        assert counter.count == 1
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self._lock = threading.Lock()
+
+    def _hook(self, graph: Graph, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total_seconds += seconds
+
+    def __enter__(self) -> "compile_counter":
+        add_compile_hook(self._hook)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        remove_compile_hook(self._hook)
+
+
 def compile_graph(
     graph: Graph,
     machine: MachineModel = XEON_8358,
     options: Optional[CompilerOptions] = None,
+    num_threads: int = 1,
 ) -> CompiledPartition:
     """Compile a DNN computation graph for the target machine."""
+    start = time.perf_counter()
     options = options or CompilerOptions()
     ctx = CompileContext(machine=machine, options=options)
     manager = PassManager(
@@ -47,7 +97,13 @@ def compile_graph(
         _disable_constant_cache(graph, ctx)
     lowered = lower_graph(graph, ctx)
     _run_tensor_ir_pipeline(lowered, options)
-    return CompiledPartition(lowered)
+    partition = CompiledPartition(lowered, num_threads=num_threads)
+    with _hook_lock:
+        hooks = list(_compile_hooks)
+    elapsed = time.perf_counter() - start
+    for hook in hooks:
+        hook(lowered.graph, elapsed)
+    return partition
 
 
 def _run_tensor_ir_pipeline(

@@ -140,6 +140,40 @@ class Graph:
         doomed = {op.id for op in ops}
         self.ops = [op for op in self.ops if op.id not in doomed]
 
+    # -- canonicalization ----------------------------------------------------
+
+    def canonical_tensor_ids(self) -> Dict[int, int]:
+        """tensor id -> dense canonical index, stable across renumbering.
+
+        Indices are assigned to graph inputs in declaration order, then to
+        every op's tensors in topological order.  Two graphs built by the
+        same construction code therefore get identical maps even though the
+        process-global :class:`LogicalTensor` ids differ — the basis of the
+        serving layer's graph signatures.
+        """
+        mapping: Dict[int, int] = {}
+
+        def visit(tensor: LogicalTensor) -> None:
+            if tensor.id not in mapping:
+                mapping[tensor.id] = len(mapping)
+
+        for t in self.inputs:
+            visit(t)
+        for op in self.topological_order():
+            for t in op.inputs:
+                visit(t)
+            for t in op.outputs:
+                visit(t)
+        for t in self.outputs:
+            visit(t)
+        return mapping
+
+    def canonical_tensors(self) -> List[LogicalTensor]:
+        """Every referenced tensor, in canonical-index order."""
+        order = self.canonical_tensor_ids()
+        tensors = sorted(self.all_tensors(), key=lambda t: order[t.id])
+        return tensors
+
     # -- ordering and validation --------------------------------------------
 
     def topological_order(self) -> List[Op]:

@@ -6,17 +6,78 @@ execution runs the init module on the runtime-constant inputs (weights,
 quantization params) and caches the preprocessed buffers — pre-packed
 blocked weights, int8 compensation — exactly once; later executions reuse
 them, as the paper's constant weight optimization requires.
+
+``execute`` is thread-safe: initialization is guarded by a lock with
+double-checked locking, the tensor/parameter binding is computed once at
+construction (not re-derived per call), and every call gets its own
+interpreter, buffers and output arrays.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+import enum
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ExecutionError
+from ..graph_ir.graph import Graph
+from ..graph_ir.logical_tensor import LogicalTensor
 from ..lowering.lower_graph import LoweredPartition
+from ..tensor_ir.module import TirModule
 from .interpreter import ExecutionStats, Interpreter
+
+
+class _Role(enum.Enum):
+    """How one entry-function parameter is satisfied at call time."""
+
+    OUTPUT = "output"  # freshly allocated, returned to the caller
+    CACHED = "cached"  # served from the constant cache after init
+    CONST = "const"  # compile-time constant data
+    INPUT = "input"  # fetched (and validated) from the caller's mapping
+
+
+#: One precomputed parameter binding: (graph tensor, TIR param, role).
+_Binding = Tuple[LogicalTensor, object, _Role]
+
+
+def _entry_bindings(
+    graph: Graph,
+    module: TirModule,
+    *,
+    output_ids: set,
+    cached_ids: set,
+    const_ids: set,
+) -> List[_Binding]:
+    """Bind graph tensors to entry-function params, in signature order.
+
+    This hoists the O(inputs x outputs) id-matching scans the runtime used
+    to redo on every call onto the construction path.
+    """
+    entry = module.entry_function
+    ordered = list(graph.inputs) + [
+        t
+        for t in graph.outputs
+        if all(t.id != i.id for i in graph.inputs)
+    ]
+    if len(ordered) != len(entry.params):
+        raise ExecutionError(
+            "entry signature mismatch: "
+            f"{len(ordered)} tensors vs {len(entry.params)} params"
+        )
+    bindings: List[_Binding] = []
+    for tensor, param in zip(ordered, entry.params):
+        if tensor.id in output_ids:
+            role = _Role.OUTPUT
+        elif tensor.id in cached_ids:
+            role = _Role.CACHED
+        elif tensor.id in const_ids:
+            role = _Role.CONST
+        else:
+            role = _Role.INPUT
+        bindings.append((tensor, param, role))
+    return bindings
 
 
 class CompiledPartition:
@@ -32,8 +93,31 @@ class CompiledPartition:
         self.lowered = lowered
         self.num_threads = num_threads
         self._cache: Optional[Dict[int, np.ndarray]] = None
+        self._init_lock = threading.Lock()
         self.last_stats: Optional[ExecutionStats] = None
         self.init_stats: Optional[ExecutionStats] = None
+        # Ids the constant cache will hold after init: raw weights plus
+        # everything the init module computes.
+        cached_ids = {t.id for t in lowered.weight_tensors}
+        if lowered.init_module is not None and lowered.init_graph is not None:
+            cached_ids |= {t.id for t in lowered.init_graph.outputs}
+        self._main_bindings = _entry_bindings(
+            lowered.graph,
+            lowered.module,
+            output_ids={t.id for t in lowered.graph.outputs},
+            cached_ids=cached_ids,
+            const_ids=set(lowered.const_data),
+        )
+        self._init_bindings: List[_Binding] = []
+        if lowered.init_module is not None and lowered.init_graph is not None:
+            init_graph = lowered.init_graph
+            self._init_bindings = _entry_bindings(
+                init_graph,
+                lowered.init_module,
+                output_ids={t.id for t in init_graph.outputs},
+                cached_ids={t.id for t in lowered.weight_tensors},
+                const_ids=set(lowered.const_data),
+            )
 
     # -- introspection --------------------------------------------------------
 
@@ -61,6 +145,14 @@ class CompiledPartition:
             self.lowered.module.entry_function.attrs.get("arena_size", 0)
         )
 
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes held by the constant cache (0 before initialization)."""
+        cache = self._cache
+        if cache is None:
+            return 0
+        return sum(array.nbytes for array in cache.values())
+
     # -- execution ---------------------------------------------------------------
 
     def execute(
@@ -71,29 +163,34 @@ class CompiledPartition:
         Weights must be present in ``inputs`` for the first call (they are
         cached); activation inputs are required on every call.
         """
-        if self._cache is None:
-            self._cache = self._run_init(inputs)
-        lowered = self.lowered
+        outputs, _ = self.execute_with_stats(inputs)
+        return outputs
+
+    def execute_with_stats(
+        self, inputs: Mapping[str, np.ndarray]
+    ) -> Tuple[Dict[str, np.ndarray], ExecutionStats]:
+        """Like :meth:`execute` but also returns this call's own stats.
+
+        Concurrent callers each get their own :class:`ExecutionStats`;
+        ``last_stats`` is kept for convenience but is only assigned once,
+        after the run completes.
+        """
+        cache = self._cache
+        if cache is None:
+            with self._init_lock:
+                if self._cache is None:
+                    self._cache = self._run_init(inputs)
+                cache = self._cache
         buffers: Dict[str, np.ndarray] = {}
-        entry = lowered.module.entry_function
-        ordered_tensors = list(lowered.graph.inputs) + [
-            t
-            for t in lowered.graph.outputs
-            if all(t.id != i.id for i in lowered.graph.inputs)
-        ]
-        if len(ordered_tensors) != len(entry.params):
-            raise ExecutionError(
-                "entry signature mismatch: "
-                f"{len(ordered_tensors)} tensors vs {len(entry.params)} params"
-            )
         outputs: Dict[str, np.ndarray] = {}
-        for tensor, param in zip(ordered_tensors, entry.params):
-            if any(tensor.id == o.id for o in lowered.graph.outputs):
+        lowered = self.lowered
+        for tensor, param, role in self._main_bindings:
+            if role is _Role.OUTPUT:
                 array = np.zeros(param.shape, tensor.dtype.to_numpy())
                 outputs[tensor.name] = array
-            elif tensor.id in self._cache:
-                array = self._cache[tensor.id]
-            elif tensor.id in lowered.const_data:
+            elif role is _Role.CACHED:
+                array = cache[tensor.id]
+            elif role is _Role.CONST:
                 array = lowered.const_data[tensor.id]
             else:
                 array = self._fetch(inputs, tensor)
@@ -105,7 +202,7 @@ class CompiledPartition:
         )
         interp.run(buffers)
         self.last_stats = interp.stats
-        return outputs
+        return outputs, interp.stats
 
     def _run_init(self, inputs: Mapping[str, np.ndarray]) -> Dict[int, np.ndarray]:
         lowered = self.lowered
@@ -117,21 +214,14 @@ class CompiledPartition:
             )
         if lowered.init_module is None:
             return cache
-        init_graph = lowered.init_graph
-        entry = lowered.init_module.entry_function
-        ordered = list(init_graph.inputs) + [
-            t
-            for t in init_graph.outputs
-            if all(t.id != i.id for i in init_graph.inputs)
-        ]
         buffers: Dict[str, np.ndarray] = {}
-        for tensor, param in zip(ordered, entry.params):
-            if any(tensor.id == o.id for o in init_graph.outputs):
+        for tensor, param, role in self._init_bindings:
+            if role is _Role.OUTPUT:
                 array = np.zeros(param.shape, tensor.dtype.to_numpy())
                 cache[tensor.id] = array
-            elif tensor.id in lowered.const_data:
+            elif role is _Role.CONST:
                 array = lowered.const_data[tensor.id]
-            elif tensor.id in cache:
+            elif role is _Role.CACHED:
                 array = cache[tensor.id]
             else:
                 array = self._fetch(inputs, tensor)

@@ -1,0 +1,28 @@
+"""repro.service: the serving layer over the one-shot compiler.
+
+Signature -> cache -> session:
+
+* :func:`graph_signature` fingerprints a (graph, machine, options)
+  compilation request, stably across tensor-id renumbering;
+* :class:`PartitionCache` is an LRU, byte-budgeted, single-flight cache of
+  :class:`~repro.runtime.partition.CompiledPartition`;
+* :class:`InferenceSession` binds weights once and serves ``run(inputs)``
+  thread-safely with shape-bucketed batch specialization;
+* :class:`ServiceStats` snapshots what the cache did.
+"""
+
+from .cache import PartitionCache, partition_nbytes
+from .session import InferenceSession
+from .signature import canonical_graph_form, graph_signature
+from .stats import ServiceStats, SignatureStats, format_stats
+
+__all__ = [
+    "PartitionCache",
+    "partition_nbytes",
+    "InferenceSession",
+    "canonical_graph_form",
+    "graph_signature",
+    "ServiceStats",
+    "SignatureStats",
+    "format_stats",
+]

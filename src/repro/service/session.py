@@ -1,0 +1,324 @@
+"""InferenceSession: the serving front-end over cache + signatures.
+
+A session owns a graph-builder callable (``batch -> Graph``), the model
+weights (bound once), and a :class:`PartitionCache`.  ``run(inputs)`` is
+thread-safe: it infers the request's batch size, rounds it up to the
+nearest configured shape bucket, pads the batch-dependent activations to
+the bucket, executes the (cached, single-flight-compiled) partition for
+that bucket, and slices the outputs back to the requested batch.
+
+Which dimensions scale with the batch is discovered structurally: the
+session builds two probe graphs at different batch sizes and diffs the
+input/output shapes, so it works for any workload shape convention (e.g.
+the MHA mask's leading batch dim) without per-workload configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.compiler import compile_graph
+from ..core.options import CompilerOptions
+from ..dtypes import DType
+from ..graph_ir.graph import Graph
+from ..graph_ir.logical_tensor import PropertyKind
+from ..microkernel.machine import MachineModel, XEON_8358
+from .cache import PartitionCache
+from .signature import graph_signature
+from .stats import ServiceStats
+
+#: (axis, multiplier) pairs: dimension ``axis`` equals ``multiplier * batch``.
+_BatchAxes = List[Tuple[int, int]]
+
+_PROBE_BATCHES = (2, 3)
+
+
+def _diff_batch_axes(
+    shape_a: Sequence[int], shape_b: Sequence[int], batches: Tuple[int, int]
+) -> _BatchAxes:
+    """Axes whose extent scales linearly with the probe batch size."""
+    if len(shape_a) != len(shape_b):
+        raise ValueError(
+            f"builder produced different ranks across batch sizes: "
+            f"{tuple(shape_a)} vs {tuple(shape_b)}"
+        )
+    axes: _BatchAxes = []
+    for axis, (da, db) in enumerate(zip(shape_a, shape_b)):
+        if da == db:
+            continue
+        if da % batches[0] or db % batches[1] or da // batches[0] != db // batches[1]:
+            raise ValueError(
+                f"dimension {axis} varies with batch but not linearly: "
+                f"{da}@b{batches[0]} vs {db}@b{batches[1]}"
+            )
+        axes.append((axis, da // batches[0]))
+    return axes
+
+
+class InferenceSession:
+    """Thread-safe serving handle for one model.
+
+    Args:
+        graph_builder: Callable mapping a batch size to a fresh
+            :class:`Graph`.  Must be deterministic: isomorphic graphs for
+            equal batch sizes (workload builders such as
+            :func:`~repro.workloads.build_mlp_graph` qualify).
+        weights: Runtime-constant input arrays by name, bound once here
+            and supplied to every partition's first execution.
+        machine: Compilation target.
+        options: Compiler feature toggles.
+        cache: Shared :class:`PartitionCache`; a private unbounded cache
+            is created when omitted.
+        batch_buckets: Batch sizes to specialize for.  A request's batch
+            is rounded up to the nearest bucket (padding activations with
+            zeros, slicing outputs back); batches above the largest bucket
+            get an exact-size specialization.  ``None`` compiles exactly
+            per distinct batch size.
+        num_threads: Intra-partition parallelism for compiled partitions.
+    """
+
+    def __init__(
+        self,
+        graph_builder: Callable[[int], Graph],
+        weights: Optional[Mapping[str, np.ndarray]] = None,
+        *,
+        machine: MachineModel = XEON_8358,
+        options: Optional[CompilerOptions] = None,
+        cache: Optional[PartitionCache] = None,
+        batch_buckets: Optional[Sequence[int]] = None,
+        num_threads: int = 1,
+    ) -> None:
+        self._builder = graph_builder
+        self._weights: Dict[str, np.ndarray] = dict(weights or {})
+        self._machine = machine
+        self._options = options or CompilerOptions()
+        self._cache = cache if cache is not None else PartitionCache()
+        self._num_threads = num_threads
+        if batch_buckets is not None:
+            buckets = sorted(set(int(b) for b in batch_buckets))
+            if not buckets or buckets[0] <= 0:
+                raise ValueError("batch_buckets must be positive integers")
+            self._buckets: Optional[Tuple[int, ...]] = tuple(buckets)
+        else:
+            self._buckets = None
+        self._lock = threading.Lock()
+        self._sig_by_bucket: Dict[int, str] = {}
+        self._label_by_bucket: Dict[int, str] = {}
+        self._probe()
+
+    @classmethod
+    def for_workload(
+        cls,
+        workload: str,
+        dtype: DType = DType.f32,
+        weights: Optional[Mapping[str, np.ndarray]] = None,
+        **kwargs,
+    ) -> "InferenceSession":
+        """Session over a named Table 1 workload (``MLP_*`` / ``MHA_*``)."""
+        from ..workloads import (
+            MHA_CONFIGS,
+            MLP_CONFIGS,
+            build_mha_graph,
+            build_mlp_graph,
+        )
+
+        name = workload.upper()
+        if name in MLP_CONFIGS:
+            builder = lambda batch: build_mlp_graph(name, batch, dtype)
+        elif name in MHA_CONFIGS:
+            builder = lambda batch: build_mha_graph(name, batch, dtype)
+        else:
+            known = sorted(MLP_CONFIGS) + sorted(MHA_CONFIGS)
+            raise ValueError(f"unknown workload {workload!r}; known: {known}")
+        return cls(builder, weights=weights, **kwargs)
+
+    # -- shape discovery ------------------------------------------------------
+
+    def _probe(self) -> None:
+        """Diff two probe graphs to learn the batch-dependent axes."""
+        g_a = self._builder(_PROBE_BATCHES[0])
+        g_b = self._builder(_PROBE_BATCHES[1])
+        self._input_batch_axes: Dict[str, _BatchAxes] = {}
+        self._activation_names: List[str] = []
+        self._weight_names: List[str] = []
+        for ta, tb in zip(g_a.inputs, g_b.inputs):
+            if ta.name != tb.name:
+                raise ValueError(
+                    "builder produced differently-named inputs across "
+                    f"batch sizes: {ta.name!r} vs {tb.name!r}"
+                )
+            is_weight = (
+                ta.prop is PropertyKind.CONSTANT
+                and ta.id not in g_a.constants
+            )
+            if is_weight:
+                self._weight_names.append(ta.name)
+            if ta.id in g_a.constants:
+                continue  # compile-time constant: never fed at runtime
+            axes = _diff_batch_axes(ta.shape, tb.shape, _PROBE_BATCHES)
+            if not is_weight:
+                self._activation_names.append(ta.name)
+                self._input_batch_axes[ta.name] = axes
+            elif axes:
+                raise ValueError(
+                    f"runtime-constant input {ta.name!r} scales with the "
+                    "batch size; weights must be batch-independent"
+                )
+        self._output_batch_axes: List[_BatchAxes] = [
+            _diff_batch_axes(ta.shape, tb.shape, _PROBE_BATCHES)
+            for ta, tb in zip(g_a.outputs, g_b.outputs)
+        ]
+        # The reference input used to infer each request's batch size.
+        self._batch_ref: Optional[Tuple[str, int, int]] = None
+        for name in self._activation_names:
+            for axis, mult in self._input_batch_axes[name]:
+                self._batch_ref = (name, axis, mult)
+                break
+            if self._batch_ref is not None:
+                break
+
+    # -- serving --------------------------------------------------------------
+
+    @property
+    def buckets(self) -> Optional[Tuple[int, ...]]:
+        return self._buckets
+
+    @property
+    def weight_names(self) -> List[str]:
+        return list(self._weight_names)
+
+    @property
+    def input_names(self) -> List[str]:
+        return list(self._activation_names)
+
+    def bucket_for(self, batch: int) -> int:
+        """The compilation bucket serving ``batch`` requests."""
+        if self._buckets is None:
+            return batch
+        for bucket in self._buckets:
+            if bucket >= batch:
+                return bucket
+        return batch  # beyond the largest bucket: exact specialization
+
+    def infer_batch(self, inputs: Mapping[str, np.ndarray]) -> int:
+        """Batch size of one request, read off a batch-scaled input dim."""
+        if self._batch_ref is None:
+            raise ValueError(
+                "workload has no batch-dependent inputs; "
+                "call run() with explicit batch=..."
+            )
+        name, axis, mult = self._batch_ref
+        if name not in inputs:
+            raise ValueError(
+                f"cannot infer batch size: missing input {name!r}"
+            )
+        dim = int(np.asarray(inputs[name]).shape[axis])
+        if dim % mult:
+            raise ValueError(
+                f"input {name!r} dim {axis} = {dim} is not a multiple "
+                f"of {mult}"
+            )
+        return dim // mult
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        batch: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Serve one request; thread-safe.
+
+        Returns output name -> array, shaped for the *request's* batch
+        size (bucket padding is invisible to the caller).
+        """
+        if batch is None:
+            batch = self.infer_batch(inputs)
+        bucket = self.bucket_for(batch)
+        partition, signature = self._partition_for(bucket)
+        feed: Dict[str, np.ndarray] = dict(self._weights)
+        if bucket == batch:
+            feed.update(inputs)
+        else:
+            for name, array in inputs.items():
+                axes = self._input_batch_axes.get(name)
+                feed[name] = (
+                    self._pad(np.asarray(array), axes, batch, bucket)
+                    if axes
+                    else array
+                )
+        outputs = partition.execute(feed)
+        self._cache.note_execute(signature)
+        if bucket == batch:
+            return outputs
+        sliced: Dict[str, np.ndarray] = {}
+        for index, (name, array) in enumerate(outputs.items()):
+            axes = (
+                self._output_batch_axes[index]
+                if index < len(self._output_batch_axes)
+                else []
+            )
+            sliced[name] = self._slice(array, axes, batch)
+        return sliced
+
+    def _partition_for(self, bucket: int):
+        with self._lock:
+            signature = self._sig_by_bucket.get(bucket)
+            label = self._label_by_bucket.get(bucket, "")
+        if signature is None:
+            probe = self._builder(bucket)
+            signature = graph_signature(probe, self._machine, self._options)
+            label = probe.name
+            with self._lock:
+                self._sig_by_bucket.setdefault(bucket, signature)
+                self._label_by_bucket.setdefault(bucket, label)
+
+        def _compile():
+            # compile_graph mutates its graph, so build a fresh one here
+            # (runs at most once per signature thanks to single-flight).
+            return compile_graph(
+                self._builder(bucket),
+                self._machine,
+                self._options,
+                num_threads=self._num_threads,
+            )
+
+        partition = self._cache.get_or_compile(signature, _compile, label)
+        return partition, signature
+
+    @staticmethod
+    def _pad(
+        array: np.ndarray, axes: _BatchAxes, batch: int, bucket: int
+    ) -> np.ndarray:
+        for axis, mult in axes:
+            if array.shape[axis] != batch * mult:
+                raise ValueError(
+                    f"batch axis {axis} has extent {array.shape[axis]}, "
+                    f"expected {batch * mult}"
+                )
+        scaled = dict(axes)
+        pad_width = [
+            (0, (bucket - batch) * scaled[axis]) if axis in scaled else (0, 0)
+            for axis in range(array.ndim)
+        ]
+        return np.pad(array, pad_width, mode="constant")
+
+    @staticmethod
+    def _slice(
+        array: np.ndarray, axes: _BatchAxes, batch: int
+    ) -> np.ndarray:
+        index = [slice(None)] * array.ndim
+        for axis, mult in axes:
+            index[axis] = slice(0, batch * mult)
+        return array[tuple(index)]
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the underlying cache (shared caches aggregate)."""
+        return self._cache.stats()
+
+    @property
+    def cache(self) -> PartitionCache:
+        return self._cache

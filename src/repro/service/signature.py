@@ -1,0 +1,121 @@
+"""Canonical graph signatures: the cache key of the serving layer.
+
+A signature is a SHA-256 digest over a canonical form of (graph, machine,
+compiler options).  The canonical form renumbers tensors densely (inputs
+first, then op tensors in topological order), so two graphs built by the
+same construction code hash identically even though the process-global
+tensor ids differ between builds — while any change to the op topology,
+shapes, dtypes, layouts, attributes, compile-time constant data, target
+machine or options changes the digest.
+
+Graph *input* names are part of the signature (they are the binding
+surface callers feed arrays through); generated intermediate/output names
+(``t17``) are not, since they depend on the global id counter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.options import CompilerOptions
+from ..graph_ir.graph import Graph
+from ..microkernel.machine import MachineModel, XEON_8358
+
+
+def _canon_value(value: Any) -> Any:
+    """Reduce an attribute/config value to JSON-stable primitives."""
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, _canon_value(value.value)]
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return repr(value)  # repr round-trips; avoids json float surprises
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return repr(float(value))
+    if isinstance(value, np.ndarray):
+        return [
+            "ndarray",
+            str(value.dtype),
+            list(value.shape),
+            hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+        ]
+    if isinstance(value, (list, tuple)):
+        return [_canon_value(v) for v in value]
+    if isinstance(value, dict):
+        return sorted(
+            (str(k), _canon_value(v)) for k, v in value.items()
+        )
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [
+            type(value).__name__,
+            _canon_value(dataclasses.asdict(value)),
+        ]
+    return repr(value)
+
+
+def canonical_graph_form(graph: Graph) -> Any:
+    """The JSON-serializable canonical structure hashed by the signature."""
+    canon = graph.canonical_tensor_ids()
+    input_ids = {t.id for t in graph.inputs}
+    tensors = []
+    for tensor in graph.canonical_tensors():
+        tensors.append(
+            [
+                canon[tensor.id],
+                tensor.dtype.value,
+                list(tensor.shape),
+                tensor.layout.tag(),
+                tensor.prop.value,
+                # Input names are the caller-facing binding surface;
+                # generated names elsewhere are id-dependent noise.
+                tensor.name if tensor.id in input_ids else "",
+            ]
+        )
+    constants = sorted(
+        [canon[tid], _canon_value(data)]
+        for tid, data in graph.constants.items()
+        if tid in canon
+    )
+    ops = [
+        [
+            op.kind,
+            [canon[t.id] for t in op.inputs],
+            [canon[t.id] for t in op.outputs],
+            _canon_value(op.attrs),
+        ]
+        for op in graph.topological_order()
+    ]
+    return {
+        "tensors": tensors,
+        "constants": constants,
+        "ops": ops,
+        "inputs": [canon[t.id] for t in graph.inputs],
+        "outputs": [canon[t.id] for t in graph.outputs],
+    }
+
+
+def graph_signature(
+    graph: Graph,
+    machine: MachineModel = XEON_8358,
+    options: Optional[CompilerOptions] = None,
+) -> str:
+    """Deterministic fingerprint of one compilation request.
+
+    Compute this *before* calling :func:`~repro.core.compiler.compile_graph`
+    — compilation takes ownership of the graph and mutates it.
+    """
+    payload = {
+        "graph": canonical_graph_form(graph),
+        "machine": _canon_value(machine),
+        "options": _canon_value(options or CompilerOptions()),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

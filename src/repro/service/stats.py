@@ -1,0 +1,87 @@
+"""Serving statistics: what the cache and sessions did.
+
+`ServiceStats` is an immutable snapshot — safe to take while other threads
+keep serving — with per-signature detail (compile time, execute counts,
+residency) plus the global hit/miss/eviction/in-flight counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SignatureStats:
+    """Lifetime record of one compiled-partition signature."""
+
+    signature: str
+    label: str
+    nbytes: int
+    compiles: int
+    compile_seconds: float
+    executes: int
+    resident: bool
+
+    @property
+    def short_signature(self) -> str:
+        return self.signature[:12]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of a :class:`~repro.service.cache.PartitionCache`."""
+
+    compiles: int
+    hits: int
+    misses: int
+    evictions: int
+    in_flight: int
+    resident_bytes: int
+    capacity_bytes: Optional[int]
+    signatures: Tuple[SignatureStats, ...] = field(default_factory=tuple)
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a fresh compilation."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+def format_stats(stats: ServiceStats) -> str:
+    """Human-readable ServiceStats table (printed by ``tools/bench.py``)."""
+    lines: List[str] = []
+    capacity = (
+        f"{stats.capacity_bytes}" if stats.capacity_bytes is not None
+        else "unbounded"
+    )
+    lines.append("ServiceStats")
+    lines.append(
+        f"  requests={stats.requests} hits={stats.hits} "
+        f"misses={stats.misses} hit_rate={stats.hit_rate:.1%}"
+    )
+    lines.append(
+        f"  compiles={stats.compiles} evictions={stats.evictions} "
+        f"in_flight={stats.in_flight}"
+    )
+    lines.append(
+        f"  resident_bytes={stats.resident_bytes} capacity={capacity}"
+    )
+    if stats.signatures:
+        header = (
+            f"  {'signature':<14} {'label':<24} {'bytes':>10} "
+            f"{'compiles':>8} {'compile_s':>9} {'executes':>8} resident"
+        )
+        lines.append(header)
+        for sig in stats.signatures:
+            lines.append(
+                f"  {sig.short_signature:<14} {sig.label[:24]:<24} "
+                f"{sig.nbytes:>10} {sig.compiles:>8} "
+                f"{sig.compile_seconds:>9.3f} {sig.executes:>8} "
+                f"{'yes' if sig.resident else 'no'}"
+            )
+    return "\n".join(lines)

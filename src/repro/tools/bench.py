@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools.bench fig7 [--dtype f32]
     python -m repro.tools.bench fig8-mlp [--workload MLP_1] [--dtype int8]
     python -m repro.tools.bench fig8-mha [--dtype f32] [--batches 32,64]
+    python -m repro.tools.bench fig8-mlp --cache-stats  # + ServiceStats
 
 Prints the same tables the pytest benchmarks produce; handy for quick
 sweeps and for regenerating EXPERIMENTS.md numbers.
@@ -20,6 +21,7 @@ from .. import CompilerOptions, DType, XEON_8358, compile_graph
 from ..baseline import BaselineExecutor
 from ..perfmodel import MachineSimulator, specs_for_partition
 from ..perfmodel.report import format_speedup_table, geomean
+from ..service import PartitionCache, format_stats, graph_signature
 from ..workloads import (
     MHA_BATCH_SIZES,
     MHA_CONFIGS,
@@ -31,9 +33,24 @@ from ..workloads import (
 
 _DTYPES = {"f32": DType.f32, "fp32": DType.f32, "int8": DType.s8, "s8": DType.s8}
 
+#: ``--cache-stats`` routes every compilation through this cache and
+#: prints its ServiceStats (per-signature compile times included) at exit.
+_CACHE: Optional[PartitionCache] = None
+
+
+def _compile(graph, options: Optional[CompilerOptions]):
+    if _CACHE is None:
+        return compile_graph(graph, options=options)
+    signature = graph_signature(graph, XEON_8358, options)
+    return _CACHE.get_or_compile(
+        signature,
+        lambda: compile_graph(graph, options=options),
+        label=graph.name,
+    )
+
 
 def _model_compiled(graph, options: Optional[CompilerOptions] = None) -> float:
-    partition = compile_graph(graph, options=options)
+    partition = _compile(graph, options)
     specs, warm = specs_for_partition(partition, XEON_8358)
     sim = MachineSimulator(XEON_8358)
     for tensor, nbytes in warm:
@@ -175,8 +192,16 @@ def main(argv=None) -> int:
         "--batches",
         help="comma-separated batch sizes (defaults to the paper's)",
     )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="serve compilations through a PartitionCache and print its "
+        "ServiceStats (per-signature compile times) after the run",
+    )
     args = parser.parse_args(argv)
     dtype = _DTYPES[args.dtype]
+    global _CACHE
+    _CACHE = PartitionCache() if args.cache_stats else None
     if args.figure == "fig7":
         run_fig7(dtype)
     elif args.figure == "fig8-mlp":
@@ -193,6 +218,10 @@ def main(argv=None) -> int:
             else list(MHA_BATCH_SIZES)
         )
         run_fig8_mha(dtype, batches)
+    if _CACHE is not None:
+        print()
+        print(format_stats(_CACHE.stats()))
+        _CACHE = None
     return 0
 
 

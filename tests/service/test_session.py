@@ -1,0 +1,232 @@
+"""InferenceSession: bucketing, padding, numerical identity, threading."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompilerOptions,
+    DType,
+    compile_counter,
+    compile_graph,
+)
+from repro.service import InferenceSession, PartitionCache
+from repro.workloads import (
+    build_mha_graph,
+    build_mlp_graph,
+    make_mha_inputs,
+    make_mlp_inputs,
+)
+
+
+def mlp_weights(name="MLP_1", seed=0):
+    inputs = make_mlp_inputs(name, 32, seed=seed)
+    return {k: v for k, v in inputs.items() if k.startswith("w")}
+
+
+def mlp_session(weights, **kwargs):
+    return InferenceSession.for_workload(
+        "MLP_1", weights=weights, **kwargs
+    )
+
+
+class TestBucketing:
+    def test_bucket_for_rounds_up(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=[32, 64, 128])
+        assert sess.bucket_for(1) == 32
+        assert sess.bucket_for(32) == 32
+        assert sess.bucket_for(33) == 64
+        assert sess.bucket_for(128) == 128
+        assert sess.bucket_for(200) == 200  # beyond largest: exact
+
+    def test_no_buckets_compiles_exact(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=None)
+        assert sess.bucket_for(17) == 17
+
+    def test_three_buckets_three_compilations(self):
+        """ISSUE acceptance: 3 shape buckets -> exactly 3 compilations."""
+        weights = mlp_weights()
+        sess = mlp_session(weights, batch_buckets=[32, 64, 128])
+        rng = np.random.RandomState(0)
+        with compile_counter() as counter:
+            for batch in (8, 20, 32, 40, 64, 70, 100, 128, 16, 90):
+                out = sess.run(
+                    {"x": rng.randn(batch, 13).astype(np.float32)}
+                )
+                assert list(out.values())[0].shape[0] == batch
+        assert counter.count == 3
+        stats = sess.stats()
+        assert stats.compiles == 3
+        assert stats.misses == 3
+        assert stats.hits == 7
+
+    def test_introspection(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=[32])
+        assert sess.input_names == ["x"]
+        assert sess.weight_names == ["w0", "w1", "w2"]
+        assert sess.buckets == (32,)
+
+
+class TestNumericalIdentity:
+    def test_mlp_exact_bucket_matches_direct(self):
+        weights = mlp_weights()
+        sess = mlp_session(weights, batch_buckets=[32])
+        rng = np.random.RandomState(1)
+        x = rng.randn(32, 13).astype(np.float32)
+        served = list(sess.run({"x": x}).values())[0]
+        direct = list(
+            compile_graph(build_mlp_graph("MLP_1", 32)).execute(
+                {**weights, "x": x}
+            ).values()
+        )[0]
+        np.testing.assert_array_equal(served, direct)
+
+    def test_mlp_padded_bucket_matches_direct(self):
+        weights = mlp_weights()
+        sess = mlp_session(weights, batch_buckets=[32])
+        rng = np.random.RandomState(2)
+        x = rng.randn(20, 13).astype(np.float32)
+        served = list(sess.run({"x": x}).values())[0]
+        direct = list(
+            compile_graph(build_mlp_graph("MLP_1", 20)).execute(
+                {**weights, "x": x}
+            ).values()
+        )[0]
+        assert served.shape == (20, 128)
+        np.testing.assert_array_equal(served, direct)
+
+    def test_mlp_int8_padded_matches_direct(self):
+        inputs = make_mlp_inputs("MLP_1", 24, DType.s8)
+        weights = {k: v for k, v in inputs.items() if k.startswith("w")}
+        sess = InferenceSession.for_workload(
+            "MLP_1", dtype=DType.s8, weights=weights, batch_buckets=[32]
+        )
+        served = list(sess.run({"x": inputs["x"]}).values())[0]
+        direct = list(
+            compile_graph(build_mlp_graph("MLP_1", 24, DType.s8)).execute(
+                inputs
+            ).values()
+        )[0]
+        np.testing.assert_array_equal(served, direct)
+
+    def test_mha_exact_and_padded_match_direct(self):
+        sess = InferenceSession.for_workload("MHA_1", batch_buckets=[4])
+        for batch in (4, 2):  # exact bucket, then padded
+            inputs = make_mha_inputs("MHA_1", batch, seed=batch)
+            served = list(sess.run(inputs).values())[0]
+            direct = list(
+                compile_graph(build_mha_graph("MHA_1", batch)).execute(
+                    inputs
+                ).values()
+            )[0]
+            assert served.shape[0] == batch
+            np.testing.assert_array_equal(served, direct)
+
+
+class TestThreadedServing:
+    def test_mixed_batches_from_many_threads(self):
+        weights = mlp_weights()
+        cache = PartitionCache()
+        sess = mlp_session(
+            weights, batch_buckets=[32, 64], cache=cache
+        )
+        batches = [8, 16, 32, 40, 48, 64, 24, 56]
+        rng = np.random.RandomState(3)
+        requests = [
+            rng.randn(batch, 13).astype(np.float32) for batch in batches
+        ]
+        # Reference results from an identical session served sequentially
+        # (own cache, so the concurrent session still races compilation).
+        # Compilation is deterministic, so bitwise equality is required.
+        reference = mlp_session(weights, batch_buckets=[32, 64])
+        expected = {}
+        for batch, x in zip(batches, requests):
+            expected[batch] = list(reference.run({"x": x}).values())[0]
+
+        barrier = threading.Barrier(len(batches))
+        results = [None] * len(batches)
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = list(
+                    sess.run({"x": requests[i]}).values()
+                )[0]
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        with compile_counter() as counter:
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(batches))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not errors
+        # Two buckets serve every request: at most 2 compilations even
+        # under concurrency (single-flight), regardless of arrival order.
+        assert counter.count <= 2
+        for i, batch in enumerate(batches):
+            np.testing.assert_array_equal(results[i], expected[batch])
+        assert sess.stats().hit_rate > 0
+
+
+class TestSharedCache:
+    def test_sessions_share_compilations_via_cache(self):
+        weights = mlp_weights()
+        cache = PartitionCache()
+        a = mlp_session(weights, batch_buckets=[32], cache=cache)
+        b = mlp_session(weights, batch_buckets=[32], cache=cache)
+        rng = np.random.RandomState(4)
+        x = rng.randn(32, 13).astype(np.float32)
+        with compile_counter() as counter:
+            out_a = list(a.run({"x": x}).values())[0]
+            out_b = list(b.run({"x": x}).values())[0]
+        assert counter.count == 1  # isomorphic builders share a signature
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_options_split_cache_entries(self):
+        weights = mlp_weights()
+        cache = PartitionCache()
+        full = mlp_session(weights, batch_buckets=[32], cache=cache)
+        ablated = mlp_session(
+            weights,
+            batch_buckets=[32],
+            cache=cache,
+            options=CompilerOptions.no_coarse_fusion(),
+        )
+        rng = np.random.RandomState(5)
+        x = rng.randn(32, 13).astype(np.float32)
+        with compile_counter() as counter:
+            full.run({"x": x})
+            ablated.run({"x": x})
+        assert counter.count == 2
+
+
+class TestValidation:
+    def test_missing_batch_input(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=[32])
+        with pytest.raises(ValueError, match="missing input"):
+            sess.run({"not_x": np.zeros((4, 13), np.float32)})
+
+    def test_weight_scaling_with_batch_rejected(self):
+        from repro.graph_ir import GraphBuilder
+
+        def bad_builder(batch):
+            b = GraphBuilder("bad")
+            x = b.input("x", DType.f32, (batch, 8))
+            w = b.constant("w", dtype=DType.f32, shape=(batch, 8))
+            b.output(b.add(x, w))
+            return b.finish()
+
+        with pytest.raises(ValueError, match="batch-independent"):
+            InferenceSession(bad_builder)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            InferenceSession.for_workload("RNN_9")

@@ -1,0 +1,115 @@
+"""Graph signatures: isomorphic graphs hash equal, perturbations don't."""
+
+import numpy as np
+
+from repro import CompilerOptions, DType, GraphBuilder
+from repro.microkernel.machine import XEON_8358
+from repro.service import graph_signature
+from repro.workloads import build_mha_graph, build_mlp_graph
+
+
+def small_graph(k=32, n=16, act="relu", wdata=None):
+    b = GraphBuilder("sig")
+    x = b.input("x", DType.f32, (8, k))
+    w = b.constant("w", data=wdata, dtype=DType.f32, shape=(k, n))
+    t = b.matmul(x, w)
+    t = b.relu(t) if act == "relu" else b.sigmoid(t)
+    b.output(t)
+    return b.finish()
+
+
+class TestIsomorphism:
+    def test_identical_builds_hash_equal(self):
+        # Tensor/op ids come from process-global counters, so the two
+        # builds are isomorphic but differently numbered.
+        assert graph_signature(small_graph()) == graph_signature(
+            small_graph()
+        )
+
+    def test_workload_builders_hash_equal(self):
+        for build, name in (
+            (build_mlp_graph, "MLP_1"),
+            (build_mha_graph, "MHA_1"),
+        ):
+            assert graph_signature(build(name, 32)) == graph_signature(
+                build(name, 32)
+            )
+
+    def test_int8_workload_hash_equal(self):
+        a = build_mlp_graph("MLP_1", 32, DType.s8)
+        b = build_mlp_graph("MLP_1", 32, DType.s8)
+        assert graph_signature(a) == graph_signature(b)
+
+
+class TestPerturbations:
+    def test_shape_changes_signature(self):
+        assert graph_signature(small_graph(k=32)) != graph_signature(
+            small_graph(k=64)
+        )
+
+    def test_batch_changes_signature(self):
+        assert graph_signature(
+            build_mlp_graph("MLP_1", 32)
+        ) != graph_signature(build_mlp_graph("MLP_1", 64))
+
+    def test_dtype_changes_signature(self):
+        assert graph_signature(
+            build_mlp_graph("MLP_1", 32, DType.f32)
+        ) != graph_signature(build_mlp_graph("MLP_1", 32, DType.s8))
+
+    def test_topology_changes_signature(self):
+        assert graph_signature(small_graph(act="relu")) != graph_signature(
+            small_graph(act="sigmoid")
+        )
+
+    def test_constant_data_changes_signature(self):
+        w1 = np.ones((32, 16), np.float32)
+        w2 = np.full((32, 16), 2.0, np.float32)
+        assert graph_signature(small_graph(wdata=w1)) != graph_signature(
+            small_graph(wdata=w2)
+        )
+        assert graph_signature(small_graph(wdata=w1)) == graph_signature(
+            small_graph(wdata=w1.copy())
+        )
+
+    def test_options_change_signature(self):
+        g = small_graph()
+        full = graph_signature(g, options=CompilerOptions())
+        ablated = graph_signature(
+            g, options=CompilerOptions.no_coarse_fusion()
+        )
+        assert full != ablated
+
+    def test_machine_changes_signature(self):
+        import dataclasses
+
+        g = small_graph()
+        laptop = dataclasses.replace(
+            XEON_8358, name="laptop", num_cores=8
+        )
+        assert graph_signature(g, XEON_8358) != graph_signature(g, laptop)
+
+    def test_input_rename_changes_signature(self):
+        # Input names are the binding surface callers feed arrays through.
+        def named(name):
+            b = GraphBuilder("sig")
+            x = b.input(name, DType.f32, (8, 32))
+            w = b.constant("w", dtype=DType.f32, shape=(32, 16))
+            b.output(b.relu(b.matmul(x, w)))
+            return b.finish()
+
+        assert graph_signature(named("x")) != graph_signature(named("y"))
+
+
+class TestStability:
+    def test_signature_is_hex_digest(self):
+        sig = graph_signature(small_graph())
+        assert len(sig) == 64
+        int(sig, 16)  # raises if not hex
+
+    def test_signature_not_affected_by_prior_builds(self):
+        # Interleave unrelated builds to shift the global id counters.
+        first = graph_signature(small_graph())
+        build_mha_graph("MHA_2", 64)
+        build_mlp_graph("MLP_2", 128, DType.s8)
+        assert graph_signature(small_graph()) == first

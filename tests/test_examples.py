@@ -40,6 +40,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "ok" in out
 
+    def test_serving_mlp(self, capsys):
+        run_example("serving_mlp.py")
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "per-bucket compile counts" in out
+        assert "ok" in out
+
     def test_all_examples_exist(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
@@ -48,4 +55,5 @@ class TestExamples:
             "bert_attention.py",
             "custom_machine.py",
             "cnn_layer.py",
+            "serving_mlp.py",
         } <= names

@@ -1,5 +1,7 @@
 """Tests for the CompiledPartition public API."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -112,6 +114,143 @@ class TestExecuteValidation:
         out1[...] = 0  # mutating one result must not affect the next
         out3 = list(p.execute({"x": x}).values())[0]
         np.testing.assert_array_equal(out2, out3)
+
+
+class TestErrorPaths:
+    def test_missing_weight_on_first_call(self):
+        p = make_partition()
+        with pytest.raises(ExecutionError, match="missing input 'w'"):
+            p.execute({"x": np.zeros((16, 32), np.float32)})
+        assert not p.is_initialized  # a failed init leaves no cache behind
+
+    def test_weights_not_required_after_init(self):
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        x = rng.randn(16, 32).astype(np.float32)
+        w = rng.randn(32, 16).astype(np.float32)
+        first = list(p.execute({"x": x, "w": w}).values())[0]
+        # Later calls may omit the weight entirely.
+        second = list(p.execute({"x": x}).values())[0]
+        np.testing.assert_array_equal(first, second)
+
+    def test_shape_mismatch_message_names_tensor(self):
+        p = make_partition()
+        with pytest.raises(
+            ExecutionError, match=r"input 'x' has shape \(16, 33\)"
+        ):
+            p.execute(
+                {
+                    "x": np.zeros((16, 33), np.float32),
+                    "w": np.zeros((32, 16), np.float32),
+                }
+            )
+
+    def test_dtype_mismatch_message_names_tensor(self):
+        p = make_partition()
+        with pytest.raises(
+            ExecutionError, match="input 'w' has dtype int8"
+        ):
+            p.execute(
+                {
+                    "x": np.zeros((16, 32), np.float32),
+                    "w": np.zeros((32, 16), np.int8),
+                }
+            )
+
+    def test_execute_with_stats_returns_per_call_stats(self):
+        p = make_partition()
+        rng = np.random.RandomState(0)
+        feed = {
+            "x": rng.randn(16, 32).astype(np.float32),
+            "w": rng.randn(32, 16).astype(np.float32),
+        }
+        _, stats1 = p.execute_with_stats(feed)
+        _, stats2 = p.execute_with_stats({"x": feed["x"]})
+        assert stats1 is not stats2  # each call owns its stats object
+        assert stats1.brgemm_calls == stats2.brgemm_calls > 0
+
+
+class TestConcurrency:
+    def test_multithreaded_execute_bitwise_identical(self):
+        """The ISSUE stress test: concurrent first-call executions must
+        initialize exactly once and agree bitwise on every output."""
+        p = make_partition()
+        rng = np.random.RandomState(7)
+        x = rng.randn(16, 32).astype(np.float32)
+        w = rng.randn(32, 16).astype(np.float32)
+        reference = list(
+            compile_graph_reference().execute({"x": x, "w": w}).values()
+        )[0]
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                # All threads race the first call (weights included).
+                results[i] = list(
+                    p.execute({"x": x, "w": w}).values()
+                )[0]
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for result in results:
+            np.testing.assert_array_equal(result, reference)
+
+    def test_init_races_do_not_clobber_weight_cache(self):
+        p = make_partition()
+        rng = np.random.RandomState(8)
+        x = rng.randn(16, 32).astype(np.float32)
+        w = rng.randn(32, 16).astype(np.float32)
+        other_w = rng.randn(32, 16).astype(np.float32)
+        barrier = threading.Barrier(2)
+        outs = [None, None]
+
+        def worker(i, weights):
+            barrier.wait()
+            outs[i] = list(
+                p.execute({"x": x, "w": weights}).values()
+            )[0]
+
+        threads = [
+            threading.Thread(target=worker, args=(0, w)),
+            threading.Thread(target=worker, args=(1, other_w)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Exactly one thread's weights won the init; both executions used
+        # that single cached copy, so they agree bitwise with each other
+        # and with every later call.  Which weights won is nondeterministic,
+        # but the result must match one of the two candidates.
+        assert outs[0].tobytes() == outs[1].tobytes()
+        later = list(p.execute({"x": x}).values())[0]
+        np.testing.assert_array_equal(later, outs[0])
+        candidates = [np.maximum(x @ w, 0), np.maximum(x @ other_w, 0)]
+        assert any(
+            np.allclose(outs[0], c, rtol=1e-4, atol=1e-4)
+            for c in candidates
+        )
+
+
+def compile_graph_reference():
+    b = GraphBuilder("p_ref")
+    x = b.input("x", DType.f32, (16, 32))
+    w = b.constant("w", dtype=DType.f32, shape=(32, 16))
+    b.output(b.relu(b.matmul(x, w)))
+    return compile_graph(b.finish())
 
 
 class TestArena:

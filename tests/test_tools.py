@@ -64,3 +64,15 @@ class TestBenchTool:
 
         with pytest.raises(SystemExit):
             bench_main(["fig9"])
+
+    def test_cache_stats_flag(self, capsys):
+        from repro.tools.bench import main as bench_main
+
+        assert bench_main(
+            ["fig8-mlp", "--workload", "MLP_1", "--batches", "32",
+             "--cache-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ServiceStats" in out
+        assert "compiles=" in out
+        assert "mlp_1_b32" in out  # per-signature labels
