@@ -40,6 +40,14 @@ from .service import (
     ServiceStats,
     graph_signature,
 )
+from .tuner import (
+    MatmulTuner,
+    TuningCache,
+    TuningResult,
+    add_tuning_hook,
+    get_tuning_cache,
+    remove_tuning_hook,
+)
 
 __version__ = "1.1.0"
 
@@ -60,5 +68,11 @@ __all__ = [
     "PartitionCache",
     "ServiceStats",
     "graph_signature",
+    "MatmulTuner",
+    "TuningCache",
+    "TuningResult",
+    "add_tuning_hook",
+    "remove_tuning_hook",
+    "get_tuning_cache",
     "__version__",
 ]

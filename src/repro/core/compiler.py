@@ -80,11 +80,21 @@ def compile_graph(
     machine: MachineModel = XEON_8358,
     options: Optional[CompilerOptions] = None,
     num_threads: int = 1,
+    param_selector: Optional[Callable] = None,
 ) -> CompiledPartition:
-    """Compile a DNN computation graph for the target machine."""
+    """Compile a DNN computation graph for the target machine.
+
+    ``param_selector`` overrides template-parameter selection; it must
+    follow the ``select_matmul_params`` signature.  When absent and
+    ``options.tuning`` is not ``"off"``, the autotuner supplies one.
+    """
     start = time.perf_counter()
     options = options or CompilerOptions()
-    ctx = CompileContext(machine=machine, options=options)
+    if param_selector is None:
+        param_selector = _tuning_selector(options, machine)
+    ctx = CompileContext(
+        machine=machine, options=options, param_selector=param_selector
+    )
     manager = PassManager(
         default_pipeline(
             enable_low_precision=options.enable_low_precision,
@@ -104,6 +114,33 @@ def compile_graph(
     for hook in hooks:
         hook(lowered.graph, elapsed)
     return partition
+
+
+def _tuning_selector(
+    options: CompilerOptions, machine: MachineModel
+) -> Optional[Callable]:
+    """Build the autotuner's selector for these options (None = heuristic)."""
+    # Imported lazily: the tuner's measured evaluator calls back into
+    # compile_graph, and most compilations never tune.
+    from ..tuner.tuner import TUNING_MODES, MatmulTuner
+
+    if options.tuning not in TUNING_MODES:
+        raise ValueError(
+            f"CompilerOptions.tuning={options.tuning!r}; "
+            f"expected one of {TUNING_MODES}"
+        )
+    if options.tuning == "off":
+        return None
+    from ..tuner.cache import get_tuning_cache
+
+    tuner = MatmulTuner(
+        machine,
+        cache=get_tuning_cache(options.tuning_cache_path),
+        mode=options.tuning,
+        budget=options.tuning_budget,
+        seed=options.tuning_seed,
+    )
+    return tuner.selector
 
 
 def _run_tensor_ir_pipeline(

@@ -9,6 +9,7 @@ benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -25,8 +26,28 @@ class CompilerOptions:
     enable_buffer_reuse: bool = True
     #: Constant-weight preprocessing (init-graph split + caching).
     enable_constant_cache: bool = True
+    #: Template-parameter selection: ``"off"`` uses the expert heuristic
+    #: only; ``"cached-only"`` serves previously tuned configs but never
+    #: searches; ``"model"`` tunes with the analytical cost model;
+    #: ``"measured"`` additionally re-ranks the model's finalists by real
+    #: compile-and-execute timing.  See :mod:`repro.tuner`.
+    tuning: str = "off"
+    #: Where the persistent tuning cache lives (JSON).  ``None`` keeps a
+    #: process-wide in-memory cache.
+    tuning_cache_path: Optional[str] = None
+    #: Max candidates the tuner's search may evaluate per matmul.
+    tuning_budget: int = 512
+    #: Seed for the tuner's randomized search (deterministic per seed).
+    tuning_seed: int = 0
 
     @staticmethod
     def no_coarse_fusion() -> "CompilerOptions":
         """The paper's middle configuration in Figure 8."""
         return CompilerOptions(enable_coarse_grain_fusion=False)
+
+    @staticmethod
+    def tuned(
+        mode: str = "model", cache_path: Optional[str] = None
+    ) -> "CompilerOptions":
+        """Options with autotuned template-parameter selection."""
+        return CompilerOptions(tuning=mode, tuning_cache_path=cache_path)

@@ -88,7 +88,8 @@ class FineGrainFusionPass(GraphPass):
         params = ctx.matmul_params.get(matmul.id)
         if params is None:
             batch, m, n, k = matmul_geometry(matmul)
-            params = select_matmul_params(
+            selector = ctx.param_selector or select_matmul_params
+            params = selector(
                 m, n, k, matmul.inputs[0].dtype, ctx.machine, batch=batch
             )
             ctx.matmul_params[matmul.id] = params

@@ -105,7 +105,8 @@ class LayoutPropagationPass(GraphPass):
             if _wants_n_reduction(graph, op, consumers)
             else None
         )
-        best = select_matmul_params(
+        selector = ctx.param_selector or select_matmul_params
+        best = selector(
             m, n, k, dtype, ctx.machine, batch=batch, constraints=base
         )
         best_cost = estimate_matmul_cost(
@@ -230,8 +231,9 @@ class LayoutPropagationPass(GraphPass):
     def _try_constrained(
         self, m, n, k, dtype, ctx, batch, constraints
     ) -> Optional[MatmulParams]:
+        selector = ctx.param_selector or select_matmul_params
         try:
-            return select_matmul_params(
+            return selector(
                 m,
                 n,
                 k,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ...microkernel.machine import MachineModel, XEON_8358
 from ..graph import Graph
@@ -36,6 +36,10 @@ class CompileContext:
     init_graph: Optional[Graph] = None
     #: The fusion plan produced by fine/coarse grain fusion.
     fusion_plan: Optional["FusionPlan"] = None
+    #: Override for template-parameter selection (the autotuner's selector
+    #: or a test's forced choice); signature of ``select_matmul_params``.
+    #: None means the expert heuristic decides.
+    param_selector: Optional[Callable] = None
     #: Log of pass activity, useful for tests and debugging.
     log: List[str] = field(default_factory=list)
 

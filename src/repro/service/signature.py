@@ -112,10 +112,18 @@ def graph_signature(
     Compute this *before* calling :func:`~repro.core.compiler.compile_graph`
     — compilation takes ownership of the graph and mutates it.
     """
+    options = options or CompilerOptions()
     payload = {
         "graph": canonical_graph_form(graph),
         "machine": _canon_value(machine),
-        "options": _canon_value(options or CompilerOptions()),
+        "options": _canon_value(options),
     }
+    if getattr(options, "tuning", "off") != "off":
+        # Tuned compilations additionally depend on the tuning-cache
+        # generation: params chosen under one schema/cost-model version
+        # must not collide with another's in a PartitionCache.
+        from ..tuner.cache import TUNING_CACHE_SCHEMA_VERSION
+
+        payload["tuning_cache_version"] = TUNING_CACHE_SCHEMA_VERSION
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -11,16 +11,21 @@ template with parameters chosen by a heuristic (paper Figures 2 and 3):
   memory cost estimates.
 * :mod:`heuristics` — the iterative search that picks the best parameters
   for a given problem size and machine.
+* :mod:`validity` — the hardware-granularity rules shared by the
+  heuristic and the autotuner (:mod:`repro.tuner`).
 """
 
 from .params import MatmulParams, TemplateKind
 from .anchors import Anchor, anchor_access_times, anchor_total_accesses, anchor_working_set
 from .cost_model import (
+    candidate_cost,
     estimate_matmul_cost,
+    k_slice_overhead_cycles,
     load_balance_efficiency,
     microkernel_efficiency,
 )
-from .heuristics import select_matmul_params
+from .heuristics import HeuristicConstraints, select_matmul_params
+from .validity import check_params
 
 __all__ = [
     "MatmulParams",
@@ -29,7 +34,11 @@ __all__ = [
     "anchor_access_times",
     "anchor_total_accesses",
     "anchor_working_set",
+    "candidate_cost",
+    "check_params",
     "estimate_matmul_cost",
+    "HeuristicConstraints",
+    "k_slice_overhead_cycles",
     "load_balance_efficiency",
     "microkernel_efficiency",
     "select_matmul_params",

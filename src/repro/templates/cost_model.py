@@ -73,9 +73,9 @@ def microkernel_efficiency(
 
     # L1 residency of the microkernel working set; streaming from L2 with
     # hardware prefetch still sustains most of peak.
-    acc_size = accumulator_dtype(dtype).size
-    ws = bs * (mb * kb + nb * kb) * dtype.size + mb * nb * acc_size
-    l1_eff = 1.0 if ws <= machine.l1.size_bytes else 0.85
+    from .validity import fits_l1
+
+    l1_eff = 1.0 if fits_l1(mb, nb, kb, bs, dtype, machine) else 0.85
 
     return _PEAK_FRACTION * lane_eff * port_eff * pipeline_eff * k_eff * l1_eff
 
@@ -203,3 +203,48 @@ def estimate_matmul_cost(
         efficiency=ueff * keff * peff,
         balance=balance,
     )
+
+
+def k_slice_overhead_cycles(
+    params: MatmulParams, machine: MachineModel
+) -> float:
+    """Extra cost of the K_SLICED template's combine step.
+
+    Combining partial results costs an extra pass over C per slice plus a
+    second parallel region (the combine barrier).  Zero for unsliced
+    templates, so it is safe to add unconditionally when scoring.
+    """
+    if params.kpn <= 1:
+        return 0.0
+    combine = (
+        params.m
+        * params.n
+        * 4.0
+        * params.kpn
+        / (machine.cache("L2").bandwidth_bytes_per_cycle * machine.num_cores)
+    )
+    return combine + machine.barrier_cycles
+
+
+def candidate_cost(
+    params: MatmulParams,
+    dtype: DType,
+    machine: MachineModel,
+    original_sizes: Optional[Tuple[int, int, int]] = None,
+    expert_tail_handling: bool = False,
+) -> float:
+    """Total modeled cycles of one candidate, template overheads included.
+
+    The scoring function shared by the heuristic comparison and the
+    tuner's model-based evaluator: :func:`estimate_matmul_cost` plus the
+    K_SLICED combine overhead, so cache-resident and k-sliced candidates
+    compete on equal footing.
+    """
+    cost = estimate_matmul_cost(
+        params,
+        dtype,
+        machine,
+        original_sizes=original_sizes,
+        expert_tail_handling=expert_tail_handling,
+    ).total_cycles
+    return cost + k_slice_overhead_cycles(params, machine)

@@ -9,15 +9,19 @@ whole-machine cost.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
-from ..dtypes import DType, accumulator_dtype
+from ..dtypes import DType
 from ..errors import HeuristicError
 from ..microkernel.machine import MachineModel
-from .cost_model import estimate_matmul_cost, microkernel_efficiency
+from .cost_model import (
+    estimate_matmul_cost,
+    k_slice_overhead_cycles,
+    microkernel_efficiency,
+)
 from .params import MatmulParams, TemplateKind, pad_to_grid
+from . import validity
 
 
 @dataclass(frozen=True)
@@ -42,10 +46,6 @@ class HeuristicConstraints:
     allow_k_slicing: bool = True
 
 
-def _divisors(value: int, limit: int) -> List[int]:
-    return [d for d in range(1, min(value, limit) + 1) if value % d == 0]
-
-
 def _block_candidates(
     m: int,
     n: int,
@@ -54,22 +54,8 @@ def _block_candidates(
     machine: MachineModel,
     constraints: "HeuristicConstraints",
 ) -> Iterable[Tuple[int, int, int]]:
-    """Propose (MB, NB, KB) options respecting hardware granularities."""
-    lanes = machine.vector_lanes(accumulator_dtype(dtype))
-    mb_options = [mb for mb in (16, 32, 48, 64) if mb <= max(16, 2 * m)]
-    nb_options = [nb for nb in (lanes, 2 * lanes, 4 * lanes) if nb <= max(lanes, 2 * n)]
-    # Int8 kernels pack K in groups of 4 (VNNI); all options satisfy that.
-    kb_options = [kb for kb in (16, 32, 64) if kb <= max(16, 2 * k)]
-    if constraints.require_mb is not None:
-        mb_options = [constraints.require_mb]
-    if constraints.require_nb is not None:
-        nb_options = [constraints.require_nb]
-    if constraints.require_kb is not None:
-        kb_options = [constraints.require_kb]
-    for mb in mb_options:
-        for nb in nb_options:
-            for kb in kb_options:
-                yield mb, nb, kb
+    """Propose (MB, NB, KB) options (shared rules in :mod:`validity`)."""
+    return validity.block_candidates(m, n, k, dtype, machine, constraints)
 
 
 def _parallel_candidates(
@@ -82,45 +68,16 @@ def _parallel_candidates(
     constraints: HeuristicConstraints,
 ) -> Iterable[Tuple[int, int]]:
     """Propose (MPN, NPN) decompositions with good core coverage."""
-    if constraints.require_outer is not None:
-        yield constraints.require_outer
-        return
-    max_mpn = max(1, math.ceil(m / mb))
-    max_npn = max(1, math.ceil(n / nb))
-    npn_options = (
-        [constraints.require_npn]
-        if constraints.require_npn is not None
-        else [p for p in (1, 2, 4, 8, 16, 32) if p <= max_npn]
+    return validity.parallel_candidates(
+        m, n, mb, nb, batch, machine, constraints
     )
-    mpn_options = (
-        [constraints.require_mpn]
-        if constraints.require_mpn is not None
-        else [p for p in (1, 2, 4, 8, 16, 32) if p <= max_mpn]
-    )
-    for mpn in mpn_options:
-        for npn in npn_options:
-            # Skip decompositions that badly oversubscribe: more than 4
-            # waves of work per core is never chosen by the expert rule.
-            if mpn * npn * batch > 4 * machine.num_cores:
-                if mpn * npn > machine.num_cores:
-                    continue
-            yield mpn, npn
 
 
 def _batch_candidates(
     ksn: int, mb: int, nb: int, kb: int, dtype: DType, machine: MachineModel
 ) -> List[int]:
     """Propose BS values: divisors of KSN whose working set fits L1."""
-    acc_size = accumulator_dtype(dtype).size
-    feasible = []
-    for bs in _divisors(ksn, 32):
-        ws = bs * (mb * kb + nb * kb) * dtype.size + mb * nb * acc_size
-        if ws <= machine.l1.size_bytes:
-            feasible.append(bs)
-    if not feasible:
-        feasible = [1]
-    # Keep the largest few: long reduce chains amortize best.
-    return sorted(feasible)[-4:]
+    return validity.batch_candidates(ksn, mb, nb, kb, dtype, machine)
 
 
 def select_matmul_params(
@@ -283,12 +240,7 @@ def _maybe_k_slice(
         cost = estimate_matmul_cost(
             candidate, dtype, machine, original_sizes=(m, n, k)
         ).total_cycles
-        # Combining partial results costs an extra pass over C per slice
-        # plus a second parallel region (the combine barrier).
-        cost += candidate.m * candidate.n * 4.0 * kpn / (
-            machine.cache("L2").bandwidth_bytes_per_cycle * machine.num_cores
-        )
-        cost += machine.barrier_cycles
+        cost += k_slice_overhead_cycles(candidate, machine)
         # Only slice the reduction when it wins decisively; the partial-sum
         # traffic and synchronization are easy to underestimate.
         if cost < 0.8 * best_cost:

@@ -196,6 +196,35 @@ class MatmulParams:
             + (f" KPN{self.kpn}" if self.kpn > 1 else "")
         )
 
+    # -- serialization (the tuning cache stores params as JSON) ---------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation; inverse of :meth:`from_dict`."""
+        return {
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "mb": self.mb,
+            "nb": self.nb,
+            "kb": self.kb,
+            "bs": self.bs,
+            "mpn": self.mpn,
+            "npn": self.npn,
+            "kpn": self.kpn,
+            "batch": self.batch,
+            "loop_order": list(self.loop_order),
+            "kind": self.kind.value,
+            "l2_chunk": self.l2_chunk,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MatmulParams":
+        """Rebuild params from :meth:`to_dict` output (validates on init)."""
+        fields = dict(data)
+        fields["loop_order"] = tuple(fields.get("loop_order", ("msi", "ksi", "nsi")))
+        fields["kind"] = TemplateKind(fields.get("kind", TemplateKind.CACHE_RESIDENT.value))
+        return cls(**fields)
+
 
 def pad_to_grid(size: int, block: int, parallel: int = 1) -> int:
     """Round ``size`` up to a multiple of ``block * parallel``."""

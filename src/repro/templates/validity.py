@@ -1,0 +1,341 @@
+"""Parameter-validity rules shared by the expert heuristic and the tuner.
+
+The hardware-granularity rules the paper's heuristic encodes — NB on
+accumulator-lane boundaries, the MB x NB accumulator tile fitting the
+register file, the microkernel working set fitting L1, a K chain long
+enough to amortize accumulator load/store, VNNI K-packing for low
+precision — used to live as private helpers of ``heuristics.py``.  They
+are factored out here so that the heuristic's candidate proposal and the
+tuner's search space are generated (and checked) by the *same* code and
+cannot silently drift apart.
+
+Two layers:
+
+* **candidate generators** (``block_candidates``, ``parallel_candidates``,
+  ``batch_candidates``) propose values on the hardware grid, honoring any
+  :class:`~repro.templates.heuristics.HeuristicConstraints` pins;
+* **predicates** (``check_params``) audit a fully-assembled
+  :class:`~repro.templates.params.MatmulParams` and return the list of
+  violated rules (empty = valid), which the tuner uses to filter sampled
+  candidates and the tests use to audit every point the space yields.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from ..dtypes import DType, accumulator_dtype
+from ..errors import HeuristicError
+from ..microkernel.machine import MachineModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .heuristics import HeuristicConstraints
+    from .params import MatmulParams
+
+#: Vector registers the microkernel reserves for A broadcasts and B loads;
+#: the rest hold the accumulator tile.
+RESERVED_REGISTERS = 4
+
+#: Minimum K chain (KB * BS) that can amortize loading and storing the
+#: accumulator tile around the reduction.
+MIN_K_CHAIN = 16
+
+#: Heuristic/tuner proposal grids.  The heuristic iterates the base grids;
+#: the tuner's space additionally explores the extended ones.
+MB_GRID = (16, 32, 48, 64)
+MB_GRID_EXTENDED = (8, 16, 24, 32, 48, 64, 96)
+KB_GRID = (16, 32, 64)
+KB_GRID_EXTENDED = (16, 32, 48, 64, 128)
+NB_LANE_MULTIPLES = (1, 2, 4)
+NB_LANE_MULTIPLES_EXTENDED = (1, 2, 3, 4)
+PARALLEL_GRID = (1, 2, 4, 8, 16, 32)
+PARALLEL_GRID_EXTENDED = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64)
+#: Largest BS divisor considered and how many of the top feasible values
+#: the heuristic keeps (long reduce chains amortize best).
+MAX_BS = 32
+BS_KEEP = 4
+
+
+def k_pack(dtype: DType) -> int:
+    """K-dimension packing granularity of the microkernel for a dtype.
+
+    VNNI packs four int8 (or two bf16) K elements per accumulator lane;
+    KB must be a multiple of this or the packed B tile has ragged rows.
+    """
+    if dtype in (DType.s8, DType.u8):
+        return 4
+    if dtype is DType.bf16:
+        return 2
+    return 1
+
+
+def accumulator_lanes(dtype: DType, machine: MachineModel) -> int:
+    """SIMD lanes of the accumulator vector (sets NB granularity)."""
+    return machine.vector_lanes(accumulator_dtype(dtype))
+
+
+def microkernel_working_set_bytes(
+    mb: int, nb: int, kb: int, bs: int, dtype: DType
+) -> int:
+    """Bytes one brgemm call touches: BS A/B blocks plus the C tile.
+
+    The single source of truth for the L1-fit rule — the heuristic's BS
+    proposal, the cost model's L1-residency check and the params algebra
+    all call this (they used to carry three copies of the formula).
+    """
+    acc_size = accumulator_dtype(dtype).size
+    return bs * (mb * kb + nb * kb) * dtype.size + mb * nb * acc_size
+
+
+def fits_l1(
+    mb: int, nb: int, kb: int, bs: int, dtype: DType, machine: MachineModel
+) -> bool:
+    ws = microkernel_working_set_bytes(mb, nb, kb, bs, dtype)
+    return ws <= machine.l1.size_bytes
+
+
+def accumulator_tile_fits_registers(
+    nb: int, dtype: DType, machine: MachineModel
+) -> bool:
+    """At least one MB-row chunk of the accumulator tile must fit.
+
+    The microkernel sub-tiles MB into register-resident chunks of
+    ``chunk x ceil(NB/lanes)`` accumulators; NB so wide that even a single
+    row exceeds the available registers cannot be held at all.
+    """
+    lanes = accumulator_lanes(dtype, machine)
+    n_vectors = math.ceil(nb / lanes)
+    return n_vectors <= machine.num_vector_registers - RESERVED_REGISTERS
+
+
+def divisors(value: int, limit: int) -> List[int]:
+    """Divisors of ``value`` up to ``limit``."""
+    return [d for d in range(1, min(value, limit) + 1) if value % d == 0]
+
+
+def _check_pin(name: str, value: int, granularity: int, why: str) -> None:
+    if value <= 0:
+        raise HeuristicError(f"pinned {name}={value} must be positive")
+    if value % granularity:
+        raise HeuristicError(
+            f"pinned {name}={value} violates the hardware granularity "
+            f"({why}: multiple of {granularity} required)"
+        )
+
+
+def block_candidates(
+    m: int,
+    n: int,
+    k: int,
+    dtype: DType,
+    machine: MachineModel,
+    constraints: "HeuristicConstraints",
+    extended: bool = False,
+) -> Iterable[Tuple[int, int, int]]:
+    """Propose (MB, NB, KB) options respecting hardware granularities.
+
+    Pinned values (layout negotiation) are honored verbatim but audited
+    against the *hard* granularity rules: a pin that breaks VNNI K-packing
+    or lane alignment used to be silently accepted and would instantiate a
+    template the microkernel substrate cannot pack; it now raises
+    :class:`HeuristicError` immediately.
+    """
+    lanes = accumulator_lanes(dtype, machine)
+    pack = k_pack(dtype)
+    mb_grid = MB_GRID_EXTENDED if extended else MB_GRID
+    kb_grid = KB_GRID_EXTENDED if extended else KB_GRID
+    nb_mults = NB_LANE_MULTIPLES_EXTENDED if extended else NB_LANE_MULTIPLES
+    mb_options = [mb for mb in mb_grid if mb <= max(16, 2 * m)]
+    nb_options = [
+        nb
+        for nb in (mult * lanes for mult in nb_mults)
+        if nb <= max(lanes, 2 * n)
+        and accumulator_tile_fits_registers(nb, dtype, machine)
+    ]
+    kb_options = [
+        kb for kb in kb_grid if kb <= max(16, 2 * k) and kb % pack == 0
+    ]
+    if constraints.require_mb is not None:
+        _check_pin("MB", constraints.require_mb, 1, "positive block")
+        mb_options = [constraints.require_mb]
+    if constraints.require_nb is not None:
+        _check_pin(
+            "NB", constraints.require_nb, lanes, "accumulator vector lanes"
+        )
+        nb_options = [constraints.require_nb]
+    if constraints.require_kb is not None:
+        _check_pin(
+            "KB", constraints.require_kb, pack, f"{dtype.value} K packing"
+        )
+        kb_options = [constraints.require_kb]
+    for mb in mb_options:
+        for nb in nb_options:
+            for kb in kb_options:
+                yield mb, nb, kb
+
+
+def parallel_candidates(
+    m: int,
+    n: int,
+    mb: int,
+    nb: int,
+    batch: int,
+    machine: MachineModel,
+    constraints: "HeuristicConstraints",
+    extended: bool = False,
+) -> Iterable[Tuple[int, int]]:
+    """Propose (MPN, NPN) decompositions with good core coverage."""
+    if constraints.require_outer is not None:
+        yield constraints.require_outer
+        return
+    grid = PARALLEL_GRID_EXTENDED if extended else PARALLEL_GRID
+    max_mpn = max(1, math.ceil(m / mb))
+    max_npn = max(1, math.ceil(n / nb))
+    npn_options = (
+        [constraints.require_npn]
+        if constraints.require_npn is not None
+        else [p for p in grid if p <= max_npn]
+    )
+    mpn_options = (
+        [constraints.require_mpn]
+        if constraints.require_mpn is not None
+        else [p for p in grid if p <= max_mpn]
+    )
+    for mpn in mpn_options:
+        for npn in npn_options:
+            if not oversubscription_acceptable(mpn, npn, batch, machine):
+                continue
+            yield mpn, npn
+
+
+def oversubscription_acceptable(
+    mpn: int, npn: int, batch: int, machine: MachineModel
+) -> bool:
+    """The expert rule against badly oversubscribed decompositions.
+
+    More than four waves of work per core is never chosen — unless the
+    batch dimension alone forces it, in which case only the per-matrix
+    split (MPN x NPN) is required to stay within the core count.
+    """
+    if mpn * npn * batch > 4 * machine.num_cores:
+        if mpn * npn > machine.num_cores:
+            return False
+    return True
+
+
+def batch_candidates(
+    ksn: int,
+    mb: int,
+    nb: int,
+    kb: int,
+    dtype: DType,
+    machine: MachineModel,
+    keep: Optional[int] = BS_KEEP,
+) -> List[int]:
+    """Propose BS values: divisors of KSN whose working set fits L1.
+
+    ``keep`` limits the result to the largest few (the heuristic's
+    behavior); ``None`` returns every feasible divisor (the tuner's space).
+    """
+    feasible = [
+        bs
+        for bs in divisors(ksn, MAX_BS)
+        if fits_l1(mb, nb, kb, bs, dtype, machine)
+    ]
+    if not feasible:
+        feasible = [1]
+    feasible = sorted(feasible)
+    if keep is not None:
+        feasible = feasible[-keep:]
+    return feasible
+
+
+def check_params(
+    params: "MatmulParams",
+    dtype: DType,
+    machine: MachineModel,
+    constraints: Optional["HeuristicConstraints"] = None,
+) -> List[str]:
+    """Audit a parameter assignment; returns the violated rules (empty = ok).
+
+    Divisibility consistency (M % MB*MPN etc.) is already enforced by
+    ``MatmulParams.__post_init__``; this checks the *hardware* rules the
+    heuristic encodes implicitly through its proposal grids.
+    """
+    from .params import TemplateKind
+
+    violations: List[str] = []
+    lanes = accumulator_lanes(dtype, machine)
+    pack = k_pack(dtype)
+    if params.nb % lanes:
+        violations.append(
+            f"NB={params.nb} is not a multiple of the {lanes} accumulator "
+            "vector lanes"
+        )
+    if params.kb % pack:
+        violations.append(
+            f"KB={params.kb} is not a multiple of the {dtype.value} "
+            f"K packing granularity {pack}"
+        )
+    if not accumulator_tile_fits_registers(params.nb, dtype, machine):
+        violations.append(
+            f"NB={params.nb} accumulator row does not fit the register file"
+        )
+    if not fits_l1(params.mb, params.nb, params.kb, params.bs, dtype, machine):
+        violations.append(
+            "microkernel working set "
+            f"{microkernel_working_set_bytes(params.mb, params.nb, params.kb, params.bs, dtype)}"
+            f"B exceeds L1 ({machine.l1.size_bytes}B)"
+        )
+    if params.kb * params.bs < MIN_K_CHAIN:
+        violations.append(
+            f"K chain KB*BS={params.kb * params.bs} is too short to "
+            f"amortize accumulator load/store (minimum {MIN_K_CHAIN})"
+        )
+    pinned_outer = constraints is not None and constraints.require_outer is not None
+    if not pinned_outer and not oversubscription_acceptable(
+        params.mpn, params.npn, params.batch, machine
+    ):
+        violations.append(
+            f"MPN*NPN*batch={params.mpn * params.npn * params.batch} badly "
+            f"oversubscribes {machine.num_cores} cores"
+        )
+    if params.kind is TemplateKind.K_SLICED and params.kpn <= 1:
+        violations.append("K_SLICED template requires KPN > 1")
+    if params.kind is not TemplateKind.K_SLICED and params.kpn != 1:
+        violations.append(
+            f"KPN={params.kpn} is only meaningful for the K_SLICED template"
+        )
+    if constraints is not None:
+        violations.extend(_constraint_violations(params, constraints))
+    return violations
+
+
+def _constraint_violations(
+    params: "MatmulParams", constraints: "HeuristicConstraints"
+) -> List[str]:
+    violations: List[str] = []
+    pins = (
+        ("MB", constraints.require_mb, params.mb),
+        ("NB", constraints.require_nb, params.nb),
+        ("KB", constraints.require_kb, params.kb),
+        ("MPN", constraints.require_mpn, params.mpn),
+        ("NPN", constraints.require_npn, params.npn),
+    )
+    for name, want, got in pins:
+        if want is not None and got != want:
+            violations.append(f"constraint pins {name}={want}, got {got}")
+    if (
+        constraints.require_outer is not None
+        and (params.mpn, params.npn) != constraints.require_outer
+    ):
+        violations.append(
+            f"constraint pins (MPN, NPN)={constraints.require_outer}, "
+            f"got {(params.mpn, params.npn)}"
+        )
+    from .params import TemplateKind
+
+    if not constraints.allow_k_slicing and params.kind is TemplateKind.K_SLICED:
+        violations.append("constraints forbid the K_SLICED template")
+    return violations

@@ -6,16 +6,22 @@ Usage::
     python -m repro.tools.bench fig8-mlp [--workload MLP_1] [--dtype int8]
     python -m repro.tools.bench fig8-mha [--dtype f32] [--batches 32,64]
     python -m repro.tools.bench fig8-mlp --cache-stats  # + ServiceStats
+    python -m repro.tools.bench fig7 --tune model       # autotuned params
+    python -m repro.tools.bench fig7 --tune model --tuning-cache tune.json
 
 Prints the same tables the pytest benchmarks produce; handy for quick
-sweeps and for regenerating EXPERIMENTS.md numbers.
+sweeps and for regenerating EXPERIMENTS.md numbers.  With ``--tune``,
+template parameters come from the autotuner (:mod:`repro.tuner`) instead
+of the expert heuristic alone, and a heuristic-vs-tuned table of modeled
+costs is printed after the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from .. import CompilerOptions, DType, XEON_8358, compile_graph
 from ..baseline import BaselineExecutor
@@ -37,8 +43,19 @@ _DTYPES = {"f32": DType.f32, "fp32": DType.f32, "int8": DType.s8, "s8": DType.s8
 #: prints its ServiceStats (per-signature compile times included) at exit.
 _CACHE: Optional[PartitionCache] = None
 
+#: ``--tune`` applies these overrides to every compilation's options.
+_TUNING: Optional[dict] = None
+
+
+def _effective_options(options: Optional[CompilerOptions]) -> CompilerOptions:
+    options = options or CompilerOptions()
+    if _TUNING is not None:
+        options = dataclasses.replace(options, **_TUNING)
+    return options
+
 
 def _compile(graph, options: Optional[CompilerOptions]):
+    options = _effective_options(options)
     if _CACHE is None:
         return compile_graph(graph, options=options)
     signature = graph_signature(graph, XEON_8358, options)
@@ -179,6 +196,40 @@ def run_fig8_mha(dtype: DType, batches) -> None:
     print(f"\ngeomean speedup: {geomean(speedups):.2f}")
 
 
+def _print_tuning_report(results) -> None:
+    """Heuristic-vs-tuned modeled costs for every tuned matmul problem."""
+    if not results:
+        print("\n(no tuning decisions were made)")
+        return
+    rows = []
+    ratios = []
+    seen = set()
+    for r in results:
+        label = f"b{r.batch} {r.m}x{r.k}x{r.n} {r.dtype.value}"
+        if label in seen:
+            continue
+        seen.add(label)
+        ratios.append(r.speedup_vs_heuristic)
+        rows.append(
+            {
+                "problem": label,
+                "heuristic": round(r.heuristic_cost),
+                "tuned": round(r.cost),
+                "source": r.source,
+                "speedup": r.speedup_vs_heuristic,
+            }
+        )
+    print()
+    print(
+        format_speedup_table(
+            "Autotuning — modeled cycles, heuristic vs tuned",
+            rows,
+            ["problem", "heuristic", "tuned", "source", "speedup"],
+        )
+    )
+    print(f"\ngeomean tuned speedup (modeled): {geomean(ratios):.3f}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.bench", description=__doc__
@@ -198,10 +249,32 @@ def main(argv=None) -> int:
         help="serve compilations through a PartitionCache and print its "
         "ServiceStats (per-signature compile times) after the run",
     )
+    parser.add_argument(
+        "--tune",
+        choices=["model", "measured"],
+        help="select template parameters with the autotuner instead of "
+        "the heuristic alone; prints a heuristic-vs-tuned cost table",
+    )
+    parser.add_argument(
+        "--tuning-cache",
+        metavar="PATH",
+        help="persist tuning results to this JSON file (reused across runs)",
+    )
     args = parser.parse_args(argv)
     dtype = _DTYPES[args.dtype]
-    global _CACHE
+    global _CACHE, _TUNING
     _CACHE = PartitionCache() if args.cache_stats else None
+    tuning_results: List = []
+    if args.tune:
+        from ..tuner import add_tuning_hook, remove_tuning_hook
+
+        _TUNING = {
+            "tuning": args.tune,
+            "tuning_cache_path": args.tuning_cache,
+        }
+        add_tuning_hook(tuning_results.append)
+    elif args.tuning_cache:
+        parser.error("--tuning-cache requires --tune")
     if args.figure == "fig7":
         run_fig7(dtype)
     elif args.figure == "fig8-mlp":
@@ -222,6 +295,10 @@ def main(argv=None) -> int:
         print()
         print(format_stats(_CACHE.stats()))
         _CACHE = None
+    if args.tune:
+        remove_tuning_hook(tuning_results.append)
+        _print_tuning_report(tuning_results)
+        _TUNING = None
     return 0
 
 

@@ -95,11 +95,20 @@ def main(argv=None) -> int:
         action="store_true",
         help="print modeled cycles vs the primitives baseline",
     )
+    parser.add_argument(
+        "--tune",
+        choices=["model", "measured"],
+        help="pick template parameters with the autotuner (repro.tuner)",
+    )
     args = parser.parse_args(argv)
 
     options = (
-        CompilerOptions.no_coarse_fusion() if args.no_coarse else None
+        CompilerOptions.no_coarse_fusion() if args.no_coarse else CompilerOptions()
     )
+    if args.tune:
+        import dataclasses
+
+        options = dataclasses.replace(options, tuning=args.tune)
     partition = compile_graph(_build_graph(args), options=options)
 
     print("== optimized Graph IR (main) ==")

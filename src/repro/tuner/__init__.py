@@ -1,0 +1,64 @@
+"""repro.tuner — empirical autotuning for template parameters.
+
+The paper's template parameters are chosen by an expert heuristic
+(:mod:`repro.templates.heuristics`); the related PolyDL/Gensor line of
+work shows empirical search over the same space can beat hand rules on
+specific shapes.  This package provides that search:
+
+* :class:`~repro.tuner.space.TuningSpace` — every valid parameter
+  assignment for one matmul problem, built on the same
+  :mod:`repro.templates.validity` rules the heuristic uses,
+* :mod:`~repro.tuner.search` — exhaustive and seeded random+greedy
+  strategies with a per-op evaluation budget,
+* :mod:`~repro.tuner.evaluate` — model-based and measured evaluators,
+* :class:`~repro.tuner.cache.TuningCache` — persistent JSON cache so
+  tuning happens once per (problem, machine, constraints),
+* :class:`~repro.tuner.tuner.MatmulTuner` — the driver ``compile_graph``
+  uses when ``CompilerOptions.tuning`` is enabled.
+"""
+
+from .cache import (
+    TUNING_CACHE_SCHEMA_VERSION,
+    TuningCache,
+    TuningRecord,
+    get_tuning_cache,
+    machine_fingerprint,
+    reset_tuning_caches,
+    tuning_key,
+)
+from .evaluate import MeasuredEvaluator, ModelEvaluator
+from .search import (
+    ExhaustiveSearch,
+    RandomGreedySearch,
+    SearchOutcome,
+    choose_strategy,
+)
+from .space import TuningSpace
+from .tuner import (
+    TUNING_MODES,
+    MatmulTuner,
+    TuningResult,
+    add_tuning_hook,
+    remove_tuning_hook,
+)
+
+__all__ = [
+    "TUNING_CACHE_SCHEMA_VERSION",
+    "TUNING_MODES",
+    "ExhaustiveSearch",
+    "MatmulTuner",
+    "MeasuredEvaluator",
+    "ModelEvaluator",
+    "RandomGreedySearch",
+    "SearchOutcome",
+    "TuningCache",
+    "TuningRecord",
+    "TuningResult",
+    "TuningSpace",
+    "add_tuning_hook",
+    "choose_strategy",
+    "get_tuning_cache",
+    "machine_fingerprint",
+    "reset_tuning_caches",
+    "tuning_key",
+]

@@ -1,0 +1,154 @@
+"""Candidate evaluators: model-based scoring and measured execution.
+
+Two ways to rank a :class:`~repro.templates.params.MatmulParams`
+candidate, per the PolyDL observation that an analytical model plus a
+little empirical measurement beats either alone:
+
+* :class:`ModelEvaluator` — prices a candidate with the same cost model
+  the expert heuristic trusts (:func:`repro.templates.cost_model.candidate_cost`,
+  template overheads included).  Microseconds per candidate; used to walk
+  the whole space and to prune before measurement.
+* :class:`MeasuredEvaluator` — lowers the candidate through the real
+  compiler (template instantiation, Tensor IR passes) and *executes* it
+  on the numpy interpreter, timing wall clock.  Milliseconds-to-seconds
+  per candidate; only ever applied to the model's top-K survivors.
+
+Both expose ``score(params) -> float`` where lower is better, so search
+strategies are evaluator-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dtypes import DType
+from ..microkernel.machine import MachineModel
+from ..templates.cost_model import candidate_cost
+from ..templates.params import MatmulParams
+
+
+class ModelEvaluator:
+    """Scores candidates in estimated cycles via the analytical cost model."""
+
+    name = "model"
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype: DType,
+        machine: MachineModel,
+        batch: int = 1,
+    ) -> None:
+        self.original_sizes: Tuple[int, int, int] = (m, n, k)
+        self.dtype = dtype
+        self.machine = machine
+        self.batch = batch
+        self.evaluations = 0
+
+    def score(self, params: MatmulParams) -> float:
+        self.evaluations += 1
+        return candidate_cost(
+            params,
+            self.dtype,
+            self.machine,
+            original_sizes=self.original_sizes,
+        )
+
+
+class MeasuredEvaluator:
+    """Scores candidates in wall-clock seconds of real interpreted runs.
+
+    Builds a single-matmul graph of the problem shape, compiles it with
+    the candidate parameters forced (the full pipeline: layout
+    propagation, template instantiation, Tensor IR passes), executes it
+    on fixed random inputs and returns the best of ``repeats`` timed
+    runs.  The first, untimed execution absorbs constant-cache
+    initialization (weight prepacking), matching steady-state serving.
+    """
+
+    name = "measured"
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype: DType,
+        machine: MachineModel,
+        batch: int = 1,
+        repeats: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.m, self.n, self.k = m, n, k
+        self.dtype = dtype
+        self.machine = machine
+        self.batch = batch
+        self.repeats = max(1, repeats)
+        self.evaluations = 0
+        rng = np.random.default_rng(seed)
+        a_shape = (batch, m, k) if batch > 1 else (m, k)
+        if dtype.is_floating:
+            self._inputs: Dict[str, np.ndarray] = {
+                "x": rng.standard_normal(a_shape).astype(np.float32),
+                "w": rng.standard_normal((k, n)).astype(np.float32),
+            }
+        else:
+            self._inputs = {
+                "x": rng.integers(0, 255, size=a_shape, dtype=np.uint8),
+                "w": rng.integers(-127, 127, size=(k, n), dtype=np.int8),
+            }
+
+    def _build_graph(self):
+        from ..graph_ir import GraphBuilder
+
+        b = GraphBuilder(
+            f"tune_mm_b{self.batch}_{self.m}x{self.k}x{self.n}"
+        )
+        a_shape = (
+            (self.batch, self.m, self.k) if self.batch > 1 else (self.m, self.k)
+        )
+        if self.dtype.is_floating:
+            x = b.input("x", DType.f32, a_shape)
+            w = b.constant("w", dtype=DType.f32, shape=(self.k, self.n))
+            b.output(b.matmul(x, w))
+        else:
+            xq = b.input("x", DType.u8, a_shape)
+            wq = b.constant("w", dtype=DType.s8, shape=(self.k, self.n))
+            b.output(
+                b.matmul(
+                    b.dequantize(xq, scale=0.05, zero_point=8),
+                    b.dequantize(wq, scale=0.05),
+                )
+            )
+        return b.finish()
+
+    def score(self, params: MatmulParams) -> Optional[float]:
+        """Best-of-N wall seconds, or None if the candidate fails to lower."""
+        from ..core.compiler import compile_graph
+        from ..errors import GraphCompilerError
+
+        self.evaluations += 1
+
+        def forced_selector(m, n, k, dtype, machine, batch=1, constraints=None):
+            return params
+
+        try:
+            partition = compile_graph(
+                self._build_graph(),
+                self.machine,
+                param_selector=forced_selector,
+            )
+            partition.execute(self._inputs)  # init: prepack, compensation
+            best = float("inf")
+            for _ in range(self.repeats):
+                start = time.perf_counter()
+                partition.execute(self._inputs)
+                best = min(best, time.perf_counter() - start)
+            return best
+        except GraphCompilerError:
+            return None

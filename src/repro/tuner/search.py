@@ -1,0 +1,193 @@
+"""Search strategies over a :class:`~repro.tuner.space.TuningSpace`.
+
+Gensor-style guided construction, scaled to the space at hand:
+
+* :class:`ExhaustiveSearch` — walk every candidate; exact, used when the
+  space fits the per-op budget.
+* :class:`RandomGreedySearch` — seeded random sampling followed by greedy
+  local refinement ("evolve the best-K neighbors"): keep the K best
+  scored candidates, score all their grid neighbors, repeat until no
+  round improves the incumbent or the evaluation budget is spent.
+
+Both are deterministic for a fixed seed: candidate enumeration order is
+deterministic, sampling uses a private ``random.Random(seed)``, and ties
+are broken by the earlier candidate.  The expert heuristic's pick is
+always injected as a seed candidate, so the search result can never be
+worse than the heuristic under the same evaluator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple
+
+from ..templates.params import MatmulParams
+from .space import TuningSpace
+
+
+class Evaluator(Protocol):
+    """Anything that scores a candidate (lower is better; None = invalid)."""
+
+    def score(self, params: MatmulParams) -> Optional[float]: ...
+
+
+@dataclass
+class SearchOutcome:
+    """Best candidate found plus bookkeeping for stats and tests."""
+
+    params: MatmulParams
+    cost: float
+    evaluations: int
+    strategy: str
+    #: (cost, params) of every scored candidate, best-first, truncated.
+    leaderboard: List[Tuple[float, MatmulParams]] = field(default_factory=list)
+
+    def top(self, count: int) -> List[MatmulParams]:
+        return [params for _, params in self.leaderboard[:count]]
+
+
+class _Scoreboard:
+    """Dedup + ranking shared by both strategies."""
+
+    def __init__(self, evaluator: Evaluator, keep: int = 16) -> None:
+        self.evaluator = evaluator
+        self.keep = keep
+        self.evaluations = 0
+        self._seen: set = set()
+        self._ranked: List[Tuple[float, int, MatmulParams]] = []
+        self._order = 0
+
+    def offer(self, params: MatmulParams) -> Optional[float]:
+        key = (
+            params.m, params.n, params.k, params.mb, params.nb, params.kb,
+            params.bs, params.mpn, params.npn, params.kpn,
+            params.kind.value, params.l2_chunk,
+        )
+        if key in self._seen:
+            return None
+        self._seen.add(key)
+        cost = self.evaluator.score(params)
+        self.evaluations += 1
+        if cost is None:
+            return None
+        self._ranked.append((cost, self._order, params))
+        self._order += 1
+        self._ranked.sort(key=lambda entry: (entry[0], entry[1]))
+        del self._ranked[4 * self.keep :]
+        return cost
+
+    @property
+    def best(self) -> Optional[Tuple[float, MatmulParams]]:
+        if not self._ranked:
+            return None
+        cost, _, params = self._ranked[0]
+        return cost, params
+
+    def leaders(self, count: int) -> List[MatmulParams]:
+        return [params for _, _, params in self._ranked[:count]]
+
+    def outcome(self, strategy: str) -> SearchOutcome:
+        assert self._ranked, "search scored no valid candidate"
+        cost, _, params = self._ranked[0]
+        return SearchOutcome(
+            params=params,
+            cost=cost,
+            evaluations=self.evaluations,
+            strategy=strategy,
+            leaderboard=[(c, p) for c, _, p in self._ranked[: self.keep]],
+        )
+
+
+class ExhaustiveSearch:
+    """Score every candidate in the space (exact, small spaces only)."""
+
+    name = "exhaustive"
+
+    def __init__(self, budget: Optional[int] = None) -> None:
+        self.budget = budget
+
+    def run(
+        self,
+        space: TuningSpace,
+        evaluator: Evaluator,
+        seeds: Optional[List[MatmulParams]] = None,
+    ) -> SearchOutcome:
+        board = _Scoreboard(evaluator)
+        for params in seeds or []:
+            board.offer(params)
+        for params in space.candidates():
+            if self.budget is not None and board.evaluations >= self.budget:
+                break
+            board.offer(params)
+        return board.outcome(self.name)
+
+
+class RandomGreedySearch:
+    """Seeded random sampling plus greedy best-K neighborhood refinement."""
+
+    name = "random-greedy"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        samples: int = 64,
+        top_k: int = 4,
+        budget: int = 512,
+    ) -> None:
+        self.seed = seed
+        self.samples = samples
+        self.top_k = max(1, top_k)
+        self.budget = budget
+
+    def run(
+        self,
+        space: TuningSpace,
+        evaluator: Evaluator,
+        seeds: Optional[List[MatmulParams]] = None,
+    ) -> SearchOutcome:
+        rng = random.Random(self.seed)
+        board = _Scoreboard(evaluator)
+        for params in seeds or []:
+            board.offer(params)
+        for params in space.sample(rng, self.samples):
+            if board.evaluations >= self.budget:
+                break
+            board.offer(params)
+        # Greedy refinement: expand the best-K frontier until a whole
+        # round yields no improvement (or the budget runs out).
+        improved = True
+        while improved and board.evaluations < self.budget:
+            improved = False
+            incumbent = board.best
+            for leader in board.leaders(self.top_k):
+                for neighbor in space.neighbors(leader):
+                    if board.evaluations >= self.budget:
+                        break
+                    board.offer(neighbor)
+            new_best = board.best
+            if (
+                incumbent is not None
+                and new_best is not None
+                and new_best[0] < incumbent[0]
+            ):
+                improved = True
+        return board.outcome(self.name)
+
+
+def choose_strategy(
+    space: TuningSpace, budget: int, seed: int = 0
+) -> object:
+    """Exhaustive when the space fits the budget, random+greedy otherwise.
+
+    Sizing stops counting at ``budget + 1`` so huge spaces cost nothing
+    to classify.
+    """
+    count = 0
+    for _ in space.candidates():
+        count += 1
+        if count > budget:
+            return RandomGreedySearch(
+                seed=seed, samples=max(16, budget // 4), budget=budget
+            )
+    return ExhaustiveSearch(budget=budget)

@@ -1,0 +1,294 @@
+"""The tuning search space: every valid ``MatmulParams`` for one problem.
+
+A :class:`TuningSpace` enumerates (or samples) full parameter assignments
+for a matmul of ``(batch, m, k) x (k, n)``: blocking ``[MB, NB, KB]`` on
+the extended hardware grid, reduce-chain batching ``BS``, the parallel
+decomposition ``[MPN, NPN]``, and the template kind (cache-resident,
+k-sliced with ``KPN``, L2-blocked with its chunk) — the same dimensions
+the paper's expert heuristic walks, on a strictly larger grid.
+
+Candidate proposal reuses :mod:`repro.templates.validity` (the module the
+heuristic's own generators delegate to), and every yielded point is
+audited by ``validity.check_params``, so the space and the heuristic
+cannot drift: the heuristic's pick is itself a point of the space,
+exposed as :meth:`TuningSpace.heuristic_params` and always injected into
+searches as the seed the tuner must beat (or tie).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..dtypes import DType
+from ..errors import HeuristicError
+from ..microkernel.machine import MachineModel
+from ..templates import validity
+from ..templates.heuristics import HeuristicConstraints, select_matmul_params
+from ..templates.params import MatmulParams, TemplateKind, pad_to_grid
+
+#: KPN options for the K_SLICED variant (mirrors the heuristic).
+_KPN_OPTIONS = (2, 4, 8)
+
+
+class TuningSpace:
+    """All valid template-parameter assignments for one matmul problem."""
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype: DType,
+        machine: MachineModel,
+        batch: int = 1,
+        constraints: Optional[HeuristicConstraints] = None,
+        extended: bool = True,
+    ) -> None:
+        if m <= 0 or n <= 0 or k <= 0 or batch <= 0:
+            raise HeuristicError(
+                f"degenerate matmul sizes batch={batch} m={m} n={n} k={k}"
+            )
+        self.m, self.n, self.k = m, n, k
+        self.dtype = dtype
+        self.machine = machine
+        self.batch = batch
+        self.constraints = constraints or HeuristicConstraints()
+        self.extended = extended
+
+    # -- enumeration ----------------------------------------------------------
+
+    def candidates(self) -> Iterator[MatmulParams]:
+        """Yield every valid candidate exactly once (deterministic order)."""
+        seen: Set[Tuple] = set()
+        for params in self._raw_candidates():
+            key = _point_key(params)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield params
+
+    def _raw_candidates(self) -> Iterator[MatmulParams]:
+        c = self.constraints
+        for mb, nb, kb in validity.block_candidates(
+            self.m, self.n, self.k, self.dtype, self.machine, c,
+            extended=self.extended,
+        ):
+            for mpn, npn in validity.parallel_candidates(
+                self.m, self.n, mb, nb, self.batch, self.machine, c,
+                extended=self.extended,
+            ):
+                yield from self._assemble(mb, nb, kb, mpn, npn)
+
+    def _assemble(
+        self, mb: int, nb: int, kb: int, mpn: int, npn: int
+    ) -> Iterator[MatmulParams]:
+        padded_m = pad_to_grid(self.m, mb, mpn)
+        padded_n = pad_to_grid(self.n, nb, npn)
+        padded_k = pad_to_grid(self.k, kb)
+        ksn = padded_k // kb
+        for bs in validity.batch_candidates(
+            ksn, mb, nb, kb, self.dtype, self.machine, keep=None
+        ):
+            base = self._validated(
+                MatmulParams,
+                m=padded_m,
+                n=padded_n,
+                k=padded_k,
+                mb=mb,
+                nb=nb,
+                kb=kb,
+                bs=bs,
+                mpn=mpn,
+                npn=npn,
+                batch=self.batch,
+            )
+            if base is None:
+                continue
+            yield base
+            yield from self._l2_blocked_variants(base)
+            yield from self._k_sliced_variants(base)
+
+    def _validated(self, cls, **fields) -> Optional[MatmulParams]:
+        try:
+            params = cls(**fields)
+        except HeuristicError:
+            return None
+        if validity.check_params(
+            params, self.dtype, self.machine, self.constraints
+        ):
+            return None
+        return params
+
+    def _l2_blocked_variants(
+        self, base: MatmulParams
+    ) -> Iterator[MatmulParams]:
+        """L2 chunking options when a core's A slice overflows L2."""
+        a_slice = base.msbn * base.ksbn * self.dtype.size
+        l2 = self.machine.cache("L2").size_bytes
+        if a_slice <= l2 or base.msn <= 1:
+            return
+        for chunk in validity.divisors(base.msn, base.msn - 1):
+            variant = self._validated(
+                MatmulParams,
+                **{
+                    **base.to_dict(),
+                    "loop_order": base.loop_order,
+                    "kind": TemplateKind.L2_BLOCKED,
+                    "l2_chunk": chunk,
+                },
+            )
+            if variant is not None:
+                yield variant
+
+    def _k_sliced_variants(
+        self, base: MatmulParams
+    ) -> Iterator[MatmulParams]:
+        """Reduction-axis parallelism when m x n tasks starve the cores."""
+        if not self.constraints.allow_k_slicing:
+            return
+        tasks = base.mpn * base.npn * base.batch
+        if tasks * 2 > self.machine.num_cores:
+            return
+        for kpn in _KPN_OPTIONS:
+            if tasks * kpn > self.machine.num_cores:
+                break
+            padded_k = pad_to_grid(self.k, base.kb, kpn)
+            ksn = padded_k // (base.kb * kpn)
+            if ksn == 0 or ksn % base.bs:
+                continue
+            variant = self._validated(
+                MatmulParams,
+                **{
+                    **base.to_dict(),
+                    "k": padded_k,
+                    "kpn": kpn,
+                    "loop_order": base.loop_order,
+                    "kind": TemplateKind.K_SLICED,
+                },
+            )
+            if variant is not None:
+                yield variant
+
+    def size(self) -> int:
+        """Number of distinct valid candidates (exhausts the iterator)."""
+        return sum(1 for _ in self.candidates())
+
+    # -- sampling and neighborhoods -------------------------------------------
+
+    def sample(self, rng: random.Random, count: int) -> List[MatmulParams]:
+        """Reservoir-sample ``count`` candidates, deterministically per rng."""
+        reservoir: List[MatmulParams] = []
+        for index, params in enumerate(self.candidates()):
+            if len(reservoir) < count:
+                reservoir.append(params)
+            else:
+                slot = rng.randint(0, index)
+                if slot < count:
+                    reservoir[slot] = params
+        return reservoir
+
+    def neighbors(self, params: MatmulParams) -> List[MatmulParams]:
+        """Valid one-step perturbations of a candidate (greedy refinement).
+
+        Moves each free dimension one step along its option grid (blocking,
+        BS, parallel split) and re-pads; the kind-specific fields (KPN,
+        l2_chunk) are re-derived through the variant generators.
+        """
+        lanes = validity.accumulator_lanes(self.dtype, self.machine)
+        mb_grid = validity.MB_GRID_EXTENDED if self.extended else validity.MB_GRID
+        kb_grid = validity.KB_GRID_EXTENDED if self.extended else validity.KB_GRID
+        nb_mults = (
+            validity.NB_LANE_MULTIPLES_EXTENDED
+            if self.extended
+            else validity.NB_LANE_MULTIPLES
+        )
+        nb_grid = tuple(mult * lanes for mult in nb_mults)
+        par_grid = (
+            validity.PARALLEL_GRID_EXTENDED
+            if self.extended
+            else validity.PARALLEL_GRID
+        )
+        moves: List[Tuple[int, int, int, int, int]] = []
+        blocks = (params.mb, params.nb, params.kb)
+        outer = (params.mpn, params.npn)
+        for mb in _steps(params.mb, mb_grid):
+            moves.append((mb, params.nb, params.kb) + outer)
+        for nb in _steps(params.nb, nb_grid):
+            moves.append((params.mb, nb, params.kb) + outer)
+        for kb in _steps(params.kb, kb_grid):
+            moves.append((params.mb, params.nb, kb) + outer)
+        for mpn in _steps(params.mpn, par_grid):
+            moves.append(blocks + (mpn, params.npn))
+        for npn in _steps(params.npn, par_grid):
+            moves.append(blocks + (params.mpn, npn))
+        c = self.constraints
+        result: List[MatmulParams] = []
+        seen: Set[Tuple] = {_point_key(params)}
+        for mb, nb, kb, mpn, npn in moves:
+            if not _respects_pins(c, mb, nb, kb, mpn, npn):
+                continue
+            for candidate in self._assemble(mb, nb, kb, mpn, npn):
+                key = _point_key(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    result.append(candidate)
+        return result
+
+    # -- the expert seed ------------------------------------------------------
+
+    def heuristic_params(self) -> MatmulParams:
+        """The expert heuristic's pick for this problem (always in-space)."""
+        return select_matmul_params(
+            self.m,
+            self.n,
+            self.k,
+            self.dtype,
+            self.machine,
+            batch=self.batch,
+            constraints=self.constraints,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"space[{self.dtype.value} b{self.batch} "
+            f"m{self.m} n{self.n} k{self.k}"
+            + (" extended" if self.extended else "")
+            + "]"
+        )
+
+
+def _point_key(params: MatmulParams) -> Tuple:
+    return (
+        params.m, params.n, params.k,
+        params.mb, params.nb, params.kb, params.bs,
+        params.mpn, params.npn, params.kpn,
+        params.kind.value, params.l2_chunk,
+    )
+
+
+def _steps(value: int, grid: Tuple[int, ...]) -> List[int]:
+    """The grid values adjacent to ``value`` (one step down and up)."""
+    ordered = sorted(set(grid) | {value})
+    index = ordered.index(value)
+    return [
+        ordered[i] for i in (index - 1, index + 1) if 0 <= i < len(ordered)
+    ]
+
+
+def _respects_pins(
+    c: HeuristicConstraints, mb: int, nb: int, kb: int, mpn: int, npn: int
+) -> bool:
+    if c.require_mb is not None and mb != c.require_mb:
+        return False
+    if c.require_nb is not None and nb != c.require_nb:
+        return False
+    if c.require_kb is not None and kb != c.require_kb:
+        return False
+    if c.require_mpn is not None and mpn != c.require_mpn:
+        return False
+    if c.require_npn is not None and npn != c.require_npn:
+        return False
+    if c.require_outer is not None and (mpn, npn) != c.require_outer:
+        return False
+    return True

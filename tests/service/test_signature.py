@@ -101,6 +101,63 @@ class TestPerturbations:
         assert graph_signature(named("x")) != graph_signature(named("y"))
 
 
+class TestTuningInSignature:
+    """PR 2 regression: tuned and untuned compilations must not collide."""
+
+    def test_tuning_mode_changes_signature(self):
+        g = small_graph()
+        off = graph_signature(g, options=CompilerOptions())
+        model = graph_signature(g, options=CompilerOptions(tuning="model"))
+        measured = graph_signature(
+            g, options=CompilerOptions(tuning="measured")
+        )
+        cached_only = graph_signature(
+            g, options=CompilerOptions(tuning="cached-only")
+        )
+        assert len({off, model, measured, cached_only}) == 4
+
+    def test_tuning_cache_path_changes_signature(self):
+        # Different caches can hold different winners for the same key.
+        g = small_graph()
+        a = graph_signature(g, options=CompilerOptions(tuning="model"))
+        b = graph_signature(
+            g,
+            options=CompilerOptions(
+                tuning="model", tuning_cache_path="/tmp/t.json"
+            ),
+        )
+        assert a != b
+
+    def test_tuning_budget_and_seed_change_signature(self):
+        g = small_graph()
+        base = graph_signature(g, options=CompilerOptions(tuning="model"))
+        assert base != graph_signature(
+            g, options=CompilerOptions(tuning="model", tuning_budget=64)
+        )
+        assert base != graph_signature(
+            g, options=CompilerOptions(tuning="model", tuning_seed=7)
+        )
+
+    def test_tuning_cache_version_in_payload(self, monkeypatch):
+        # Same options, bumped tuning-cache schema version -> new signature.
+        from repro.service import signature as sig_mod
+        from repro.tuner import cache as cache_mod
+
+        g = small_graph()
+        before = graph_signature(g, options=CompilerOptions(tuning="model"))
+        off_before = graph_signature(g, options=CompilerOptions())
+        monkeypatch.setattr(
+            cache_mod,
+            "TUNING_CACHE_SCHEMA_VERSION",
+            cache_mod.TUNING_CACHE_SCHEMA_VERSION + 1,
+        )
+        after = graph_signature(g, options=CompilerOptions(tuning="model"))
+        off_after = graph_signature(g, options=CompilerOptions())
+        assert before != after
+        # Untuned compilations are independent of the tuning generation.
+        assert off_before == off_after
+
+
 class TestStability:
     def test_signature_is_hex_digest(self):
         sig = graph_signature(small_graph())

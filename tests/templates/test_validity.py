@@ -1,0 +1,207 @@
+"""Shared hardware-granularity rules (templates.validity).
+
+PR 2 factored these out of the heuristic so the tuner's search space and
+the heuristic's generators cannot drift.  The property tests walk a grid
+of problem shapes and check every tuning-space candidate against
+``check_params`` — the single validity oracle — and against the caller's
+constraints.
+"""
+
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import HeuristicError
+from repro.microkernel.machine import XEON_8358
+from repro.templates import validity
+from repro.templates.heuristics import (
+    HeuristicConstraints,
+    select_matmul_params,
+)
+from repro.templates.params import MatmulParams
+from repro.tuner import TuningSpace
+
+MACHINE = XEON_8358
+
+SHAPE_GRID = [
+    # (m, n, k, batch) covering tiny, skewed and Fig-7-like problems.
+    (16, 16, 16, 1),
+    (64, 256, 128, 1),
+    (256, 256, 256, 1),
+    (1, 1024, 1024, 1),
+    (128, 64, 4096, 1),
+    (32, 128, 128, 16),
+]
+
+
+class TestRules:
+    def test_k_pack(self):
+        assert validity.k_pack(DType.s8) == 4
+        assert validity.k_pack(DType.u8) == 4
+        assert validity.k_pack(DType.bf16) == 2
+        assert validity.k_pack(DType.f32) == 1
+
+    def test_accumulator_lanes_match_machine(self):
+        # f32/s8 accumulate in 32-bit: 16 lanes per AVX-512 register.
+        assert validity.accumulator_lanes(DType.f32, MACHINE) == 16
+        assert validity.accumulator_lanes(DType.s8, MACHINE) == 16
+
+    def test_working_set_matches_params_method(self):
+        # The validity formula and MatmulParams.microkernel_working_set_bytes
+        # must be the same quantity (this was the PR's drift risk).
+        params = MatmulParams(
+            m=64, n=64, k=64, mb=32, nb=32, kb=16, bs=2, mpn=2, npn=2
+        )
+        for dtype in (DType.f32, DType.bf16, DType.s8):
+            acc = 4
+            assert validity.microkernel_working_set_bytes(
+                params.mb, params.nb, params.kb, params.bs, dtype
+            ) == params.microkernel_working_set_bytes(dtype.size, acc)
+
+    def test_register_fit_bound(self):
+        lanes = validity.accumulator_lanes(DType.f32, MACHINE)
+        usable = MACHINE.num_vector_registers - validity.RESERVED_REGISTERS
+        assert validity.accumulator_tile_fits_registers(
+            lanes * usable, DType.f32, MACHINE
+        )
+        assert not validity.accumulator_tile_fits_registers(
+            lanes * (usable + 1), DType.f32, MACHINE
+        )
+
+    def test_check_params_flags_violations(self):
+        good = MatmulParams(
+            m=64, n=64, k=64, mb=32, nb=32, kb=16, bs=2, mpn=2, npn=2
+        )
+        assert validity.check_params(good, DType.f32, MACHINE) == []
+        # NB not a multiple of the accumulator lanes.
+        bad_nb = MatmulParams(
+            m=64, n=72, k=64, mb=32, nb=24, kb=16, bs=2, mpn=2, npn=3
+        )
+        assert any(
+            "NB" in v for v in validity.check_params(bad_nb, DType.f32, MACHINE)
+        )
+        # KB violating the VNNI k-pack for int8.
+        bad_kb = MatmulParams(
+            m=64, n=64, k=126, mb=32, nb=32, kb=18, bs=1, mpn=2, npn=2
+        )
+        assert any(
+            "KB" in v for v in validity.check_params(bad_kb, DType.s8, MACHINE)
+        )
+        # K chain too short for the skewed-wide problem class.
+        short_k = MatmulParams(
+            m=64, n=64, k=8, mb=32, nb=32, kb=8, bs=1, mpn=2, npn=2
+        )
+        assert any(
+            "chain" in v.lower()
+            for v in validity.check_params(short_k, DType.f32, MACHINE)
+        )
+
+
+class TestPinValidation:
+    """The silent-inconsistency fix: granularity-violating pins now raise."""
+
+    def test_pinned_nb_must_match_lanes(self):
+        with pytest.raises(HeuristicError):
+            select_matmul_params(
+                64, 64, 64, DType.f32, MACHINE,
+                constraints=HeuristicConstraints(require_nb=24),
+            )
+
+    def test_pinned_kb_must_match_k_pack(self):
+        with pytest.raises(HeuristicError):
+            select_matmul_params(
+                64, 64, 128, DType.s8, MACHINE,
+                constraints=HeuristicConstraints(require_kb=18),
+            )
+
+    def test_pinned_negative_block_raises(self):
+        with pytest.raises(HeuristicError):
+            select_matmul_params(
+                64, 64, 64, DType.f32, MACHINE,
+                constraints=HeuristicConstraints(require_mb=-16),
+            )
+
+    def test_valid_pins_still_honored(self):
+        params = select_matmul_params(
+            256, 256, 256, DType.f32, MACHINE,
+            constraints=HeuristicConstraints(require_mb=32, require_nb=64),
+        )
+        assert params.mb == 32 and params.nb == 64
+
+
+@pytest.mark.parametrize("m,n,k,batch", SHAPE_GRID)
+@pytest.mark.parametrize("dtype", [DType.f32, DType.bf16, DType.s8])
+class TestSpaceValidity:
+    """Property: every tuning-space candidate is hardware-valid."""
+
+    def test_all_candidates_pass_check_params(self, m, n, k, batch, dtype):
+        space = TuningSpace(m, n, k, dtype, MACHINE, batch=batch)
+        count = 0
+        for params in space.candidates():
+            violations = validity.check_params(params, dtype, MACHINE)
+            assert violations == [], (params.describe(), violations)
+            count += 1
+        assert count > 0
+
+    def test_candidates_cover_original_problem(self, m, n, k, batch, dtype):
+        # Padded sizes cover the original problem and batch is preserved.
+        for params in space_head(m, n, k, dtype, batch, 200):
+            assert params.m >= m and params.n >= n and params.k >= k
+            assert params.batch == batch
+
+
+def space_head(m, n, k, dtype, batch, count):
+    space = TuningSpace(m, n, k, dtype, MACHINE, batch=batch)
+    out = []
+    for params in space.candidates():
+        out.append(params)
+        if len(out) >= count:
+            break
+    return out
+
+
+class TestSpaceConstraints:
+    """Property: constrained spaces only propose constraint-respecting points."""
+
+    PINS = [
+        HeuristicConstraints(require_mb=48),
+        HeuristicConstraints(require_nb=64),
+        HeuristicConstraints(require_kb=32),
+        HeuristicConstraints(require_npn=1),
+        HeuristicConstraints(require_outer=(8, 4)),
+        HeuristicConstraints(allow_k_slicing=False),
+        HeuristicConstraints(require_mb=48, require_kb=32, require_mpn=4),
+    ]
+
+    @pytest.mark.parametrize("constraints", PINS)
+    def test_candidates_respect_pins(self, constraints):
+        space = TuningSpace(
+            768, 768, 768, DType.f32, MACHINE, constraints=constraints
+        )
+        count = 0
+        for params in space.candidates():
+            if constraints.require_mb is not None:
+                assert params.mb == constraints.require_mb
+            if constraints.require_nb is not None:
+                assert params.nb == constraints.require_nb
+            if constraints.require_kb is not None:
+                assert params.kb == constraints.require_kb
+            if constraints.require_mpn is not None:
+                assert params.mpn == constraints.require_mpn
+            if constraints.require_npn is not None:
+                assert params.npn == constraints.require_npn
+            if constraints.require_outer is not None:
+                assert (params.mpn, params.npn) == constraints.require_outer
+            if not constraints.allow_k_slicing:
+                assert params.kpn == 1
+            count += 1
+            if count >= 500:
+                break
+        assert count > 0
+
+    def test_heuristic_pick_is_in_space(self):
+        # The heuristic explores a subset of the space's grid, so its pick
+        # must be one of the space's points.
+        for m, n, k, batch in [(256, 256, 256, 1), (64, 1024, 1024, 1)]:
+            space = TuningSpace(m, n, k, DType.f32, MACHINE, batch=batch)
+            pick = space.heuristic_params()
+            assert validity.check_params(pick, DType.f32, MACHINE) == []

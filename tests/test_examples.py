@@ -47,6 +47,14 @@ class TestExamples:
         assert "per-bucket compile counts" in out
         assert "ok" in out
 
+    def test_autotune_matmul(self, capsys):
+        run_example("autotune_matmul.py")
+        out = capsys.readouterr().out
+        assert "heuristic:" in out
+        assert "tuned:" in out
+        assert "source: cache" in out
+        assert "ok" in out
+
     def test_all_examples_exist(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
@@ -56,4 +64,5 @@ class TestExamples:
             "custom_machine.py",
             "cnn_layer.py",
             "serving_mlp.py",
+            "autotune_matmul.py",
         } <= names

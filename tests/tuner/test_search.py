@@ -1,0 +1,100 @@
+"""Search strategies: determinism, budgets, never-worse-than-seed."""
+
+from repro.dtypes import DType
+from repro.microkernel.machine import XEON_8358
+from repro.tuner import (
+    ExhaustiveSearch,
+    ModelEvaluator,
+    RandomGreedySearch,
+    TuningSpace,
+    choose_strategy,
+)
+
+MACHINE = XEON_8358
+
+
+def make(m=256, n=256, k=256, dtype=DType.f32):
+    space = TuningSpace(m, n, k, dtype, MACHINE)
+    evaluator = ModelEvaluator(m, n, k, dtype, MACHINE)
+    return space, evaluator
+
+
+class TestExhaustive:
+    def test_finds_global_optimum_of_small_space(self):
+        space = TuningSpace(64, 64, 64, DType.f32, MACHINE, extended=False)
+        evaluator = ModelEvaluator(64, 64, 64, DType.f32, MACHINE)
+        outcome = ExhaustiveSearch().run(space, evaluator)
+        best = min(evaluator.score(p) for p in space.candidates())
+        assert outcome.cost == best
+        assert outcome.strategy == "exhaustive"
+
+    def test_budget_caps_evaluations(self):
+        space, evaluator = make()
+        outcome = ExhaustiveSearch(budget=25).run(space, evaluator)
+        assert outcome.evaluations <= 25
+
+
+class TestRandomGreedy:
+    def test_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            space, evaluator = make()
+            outcome = RandomGreedySearch(seed=3, samples=24, budget=96).run(
+                space, evaluator
+            )
+            results.append((outcome.params, outcome.cost, outcome.evaluations))
+        assert results[0] == results[1]
+
+    def test_different_seeds_may_differ_but_both_valid(self):
+        space, evaluator = make()
+        a = RandomGreedySearch(seed=0, samples=16, budget=64).run(
+            space, evaluator
+        )
+        space, evaluator = make()
+        b = RandomGreedySearch(seed=99, samples=16, budget=64).run(
+            space, evaluator
+        )
+        assert a.cost > 0 and b.cost > 0
+
+    def test_never_worse_than_seed_candidate(self):
+        # The heuristic pick is injected as a seed, so the search result
+        # must score <= the heuristic under the same evaluator.
+        for m, n, k in [(256, 256, 256), (64, 1024, 1024), (1, 512, 4096)]:
+            space = TuningSpace(m, n, k, DType.bf16, MACHINE)
+            evaluator = ModelEvaluator(m, n, k, DType.bf16, MACHINE)
+            heuristic = space.heuristic_params()
+            heuristic_cost = evaluator.score(heuristic)
+            outcome = RandomGreedySearch(seed=0, samples=32, budget=128).run(
+                space, evaluator, seeds=[heuristic]
+            )
+            assert outcome.cost <= heuristic_cost
+
+    def test_budget_is_respected(self):
+        space, evaluator = make()
+        outcome = RandomGreedySearch(seed=0, samples=200, budget=50).run(
+            space, evaluator
+        )
+        assert outcome.evaluations <= 50
+
+    def test_leaderboard_is_sorted_and_top_works(self):
+        space, evaluator = make()
+        outcome = RandomGreedySearch(seed=0, samples=32, budget=128).run(
+            space, evaluator
+        )
+        costs = [cost for cost, _ in outcome.leaderboard]
+        assert costs == sorted(costs)
+        assert outcome.top(3) == [p for _, p in outcome.leaderboard[:3]]
+
+
+class TestChooseStrategy:
+    def test_small_space_gets_exhaustive(self):
+        space = TuningSpace(32, 32, 32, DType.f32, MACHINE, extended=False)
+        assert isinstance(
+            choose_strategy(space, budget=10_000), ExhaustiveSearch
+        )
+
+    def test_large_space_gets_random_greedy(self):
+        space = TuningSpace(1024, 1024, 1024, DType.f32, MACHINE)
+        strategy = choose_strategy(space, budget=100, seed=5)
+        assert isinstance(strategy, RandomGreedySearch)
+        assert strategy.seed == 5

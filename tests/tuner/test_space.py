@@ -1,0 +1,99 @@
+"""TuningSpace: enumeration, sampling, neighborhoods."""
+
+import random
+
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import HeuristicError
+from repro.microkernel.machine import XEON_8358
+from repro.templates import validity
+from repro.templates.heuristics import HeuristicConstraints
+from repro.templates.params import TemplateKind
+from repro.tuner import TuningSpace
+
+MACHINE = XEON_8358
+
+
+def small_space(**kw):
+    return TuningSpace(128, 128, 128, DType.f32, MACHINE, **kw)
+
+
+class TestEnumeration:
+    def test_candidates_are_unique(self):
+        space = small_space()
+        seen = set()
+        for params in space.candidates():
+            key = (
+                params.m, params.n, params.k, params.mb, params.nb,
+                params.kb, params.bs, params.mpn, params.npn, params.kpn,
+                params.kind, params.l2_chunk,
+            )
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == space.size()
+
+    def test_enumeration_is_deterministic(self):
+        a = [p.describe() for p in small_space().candidates()]
+        b = [p.describe() for p in small_space().candidates()]
+        assert a == b
+
+    def test_degenerate_sizes_raise(self):
+        with pytest.raises(HeuristicError):
+            TuningSpace(0, 128, 128, DType.f32, MACHINE)
+        with pytest.raises(HeuristicError):
+            TuningSpace(128, 128, 128, DType.f32, MACHINE, batch=0)
+
+    def test_extended_grid_is_strictly_larger(self):
+        narrow = TuningSpace(
+            512, 512, 512, DType.f32, MACHINE, extended=False
+        ).size()
+        wide = TuningSpace(
+            512, 512, 512, DType.f32, MACHINE, extended=True
+        ).size()
+        assert wide > narrow
+
+    def test_single_row_problem_offers_k_slicing(self):
+        # m=1: the m x n decomposition can't fill 32 cores, so the space
+        # must include K_SLICED variants (the paper's Template 2).
+        space = TuningSpace(1, 256, 4096, DType.f32, MACHINE)
+        kinds = {p.kind for p in space.candidates()}
+        assert TemplateKind.K_SLICED in kinds
+
+
+class TestSampling:
+    def test_sample_is_deterministic_per_seed(self):
+        space = small_space()
+        a = [p.describe() for p in space.sample(random.Random(7), 10)]
+        b = [p.describe() for p in space.sample(random.Random(7), 10)]
+        c = [p.describe() for p in space.sample(random.Random(8), 10)]
+        assert a == b
+        assert a != c
+
+    def test_sample_returns_whole_space_when_small(self):
+        space = TuningSpace(
+            32, 32, 32, DType.f32, MACHINE, extended=False
+        )
+        size = space.size()
+        sample = space.sample(random.Random(0), size + 50)
+        assert len(sample) == size
+
+
+class TestNeighbors:
+    def test_neighbors_are_valid_and_distinct(self):
+        space = small_space()
+        start = space.heuristic_params()
+        neighbors = space.neighbors(start)
+        assert neighbors
+        for params in neighbors:
+            assert validity.check_params(params, DType.f32, MACHINE) == []
+            assert params != start
+
+    def test_neighbors_respect_pins(self):
+        constraints = HeuristicConstraints(require_mb=32)
+        space = TuningSpace(
+            256, 256, 256, DType.f32, MACHINE, constraints=constraints
+        )
+        start = space.heuristic_params()
+        for params in space.neighbors(start):
+            assert params.mb == 32
