@@ -33,6 +33,15 @@ from .core.options import CompilerOptions
 from .dtypes import DType
 from .graph_ir import Graph, GraphBuilder, format_graph
 from .microkernel.machine import MachineModel, XEON_8358
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    write_chrome_trace,
+)
 from .runtime.partition import CompiledPartition
 from .service import (
     InferenceSession,
@@ -74,5 +83,12 @@ __all__ = [
     "add_tuning_hook",
     "remove_tuning_hook",
     "get_tuning_cache",
+    "MetricsRegistry",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "write_chrome_trace",
     "__version__",
 ]

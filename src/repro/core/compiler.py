@@ -19,6 +19,7 @@ from ..graph_ir.graph import Graph
 from ..graph_ir.passes import CompileContext, PassManager, default_pipeline
 from ..lowering.lower_graph import LoweredPartition, lower_graph
 from ..microkernel.machine import MachineModel, XEON_8358
+from ..observability import get_registry, get_tracer
 from ..runtime.partition import CompiledPartition
 from ..tensor_ir.passes import (
     BufferReusePass,
@@ -90,27 +91,40 @@ def compile_graph(
     """
     start = time.perf_counter()
     options = options or CompilerOptions()
-    if param_selector is None:
-        param_selector = _tuning_selector(options, machine)
-    ctx = CompileContext(
-        machine=machine, options=options, param_selector=param_selector
-    )
-    manager = PassManager(
-        default_pipeline(
-            enable_low_precision=options.enable_low_precision,
-            enable_coarse_grain_fusion=options.enable_coarse_grain_fusion,
+    tracer = get_tracer()
+    with tracer.span(
+        f"compile:{graph.name}", category="stage", graph=graph.name
+    ):
+        if param_selector is None:
+            param_selector = _tuning_selector(options, machine)
+        ctx = CompileContext(
+            machine=machine, options=options, param_selector=param_selector
         )
-    )
-    graph, ctx = manager.run(graph, ctx)
-    if not options.enable_constant_cache:
-        # Fold the init graph back: treat its ops as main-graph ops.
-        _disable_constant_cache(graph, ctx)
-    lowered = lower_graph(graph, ctx)
-    _run_tensor_ir_pipeline(lowered, options)
-    partition = CompiledPartition(lowered, num_threads=num_threads)
+        manager = PassManager(
+            default_pipeline(
+                enable_low_precision=options.enable_low_precision,
+                enable_coarse_grain_fusion=options.enable_coarse_grain_fusion,
+            )
+        )
+        # Template instantiation and tuning happen inside these stages
+        # (layout propagation asks the param selector; lowering expands the
+        # matmul templates), so their spans nest here.
+        with tracer.span("stage:graph_passes", category="stage"):
+            graph, ctx = manager.run(graph, ctx)
+        if not options.enable_constant_cache:
+            # Fold the init graph back: treat its ops as main-graph ops.
+            _disable_constant_cache(graph, ctx)
+        with tracer.span("stage:lowering", category="stage"):
+            lowered = lower_graph(graph, ctx)
+        with tracer.span("stage:tensor_ir", category="stage"):
+            _run_tensor_ir_pipeline(lowered, options)
+        partition = CompiledPartition(lowered, num_threads=num_threads)
     with _hook_lock:
         hooks = list(_compile_hooks)
     elapsed = time.perf_counter() - start
+    registry = get_registry()
+    registry.counter("compile.count").inc()
+    registry.histogram("compile.seconds").observe(elapsed)
     for hook in hooks:
         hook(lowered.graph, elapsed)
     return partition
@@ -143,28 +157,42 @@ def _tuning_selector(
     return tuner.selector
 
 
+def _run_tir_pass(tir_pass, module, which: str) -> None:
+    """Run one Tensor IR pass under a ``tir_pass`` span."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        with tracer.span(
+            f"tir_pass:{tir_pass.name}",
+            category="tir_pass",
+            module=which,
+            functions=len(module.functions),
+        ):
+            tir_pass.run(module)
+    else:
+        tir_pass.run(module)
+
+
 def _run_tensor_ir_pipeline(
     lowered: LoweredPartition, options: CompilerOptions
 ) -> None:
     module = lowered.module
-    SimplifyPass().run(module)
+    _run_tir_pass(SimplifyPass(), module, "main")
     if options.enable_coarse_grain_fusion:
         merger = LoopMergePass()
-        merger.run(module)
+        _run_tir_pass(merger, module, "main")
         lowered.ctx.note(
             f"loop_merge: merged groups {merger.merged_groups}"
         )
     if options.enable_tensor_shrink:
         shrinker = TensorShrinkPass()
-        shrinker.run(module)
+        _run_tir_pass(shrinker, module, "main")
         lowered.ctx.note(f"tensor_shrink: {shrinker.report}")
     if options.enable_buffer_reuse:
-        reuser = BufferReusePass()
-        reuser.run(module)
+        _run_tir_pass(BufferReusePass(), module, "main")
     if lowered.init_module is not None:
-        SimplifyPass().run(lowered.init_module)
+        _run_tir_pass(SimplifyPass(), lowered.init_module, "init")
         if options.enable_tensor_shrink:
-            TensorShrinkPass().run(lowered.init_module)
+            _run_tir_pass(TensorShrinkPass(), lowered.init_module, "init")
 
 
 def _disable_constant_cache(graph: Graph, ctx: CompileContext) -> None:

@@ -1,9 +1,18 @@
-"""Pass manager: runs the Graph IR pipeline in order."""
+"""Pass manager: runs the Graph IR pipeline in order.
+
+Every pass runs under a tracer span (category ``graph_pass``) carrying
+before/after op and IR-node counts, so ``tools/bench.py --trace`` can show
+exactly where compile time goes.  Validation between passes is skipped when
+a pass provably changed nothing — it returned the identical :class:`Graph`
+object with an unchanged structural fingerprint — and each skip is counted
+in the ``compile.validation_skipped`` metric.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
+from ...observability import get_registry, get_tracer
 from ..graph import Graph
 from .pass_base import CompileContext, GraphPass
 from .coarse_grain_fusion import CoarseGrainFusionPass
@@ -18,6 +27,34 @@ from .low_precision import LowPrecisionPass
 from .reshape_sink import ReshapeSinkPass
 
 
+def _structure_key(graph: Graph) -> Tuple:
+    """Cheap structural fingerprint: op list plus per-op tensor wiring.
+
+    Covers everything :meth:`Graph.validate` checks (op arity, dangling
+    tensors, output producers, cycles are all functions of this wiring), so
+    an unchanged key means re-validating cannot find anything new.  Much
+    cheaper than ``validate()`` itself, which resolves schemas and
+    topologically sorts.
+    """
+    return (
+        tuple(t.id for t in graph.inputs),
+        tuple(t.id for t in graph.outputs),
+        tuple(
+            (
+                op.id,
+                tuple(t.id for t in op.inputs),
+                tuple(t.id for t in op.outputs),
+            )
+            for op in graph.ops
+        ),
+    )
+
+
+def _node_count(graph: Graph) -> int:
+    """IR nodes: ops plus distinct logical tensors."""
+    return len(graph.ops) + len(graph.all_tensors())
+
+
 class PassManager:
     """Runs a sequence of passes over a graph, validating in between."""
 
@@ -27,10 +64,37 @@ class PassManager:
 
     def run(self, graph: Graph, ctx: Optional[CompileContext] = None):
         ctx = ctx or CompileContext()
+        tracer = get_tracer()
         for p in self.passes:
-            graph = p.run(graph, ctx)
+            before_key = _structure_key(graph) if self.validate else None
+            if tracer.enabled:
+                with tracer.span(
+                    f"pass:{p.name}", category="graph_pass"
+                ) as span:
+                    span.set(
+                        ops_before=len(graph.ops),
+                        nodes_before=_node_count(graph),
+                    )
+                    result = p.run(graph, ctx)
+                    span.set(
+                        ops_after=len(result.ops),
+                        nodes_after=_node_count(result),
+                    )
+            else:
+                result = p.run(graph, ctx)
             if self.validate:
-                graph.validate()
+                if (
+                    result is graph
+                    and _structure_key(result) == before_key
+                ):
+                    # The pass returned the identical Graph object with
+                    # unchanged wiring: nothing to re-validate.
+                    get_registry().counter(
+                        "compile.validation_skipped"
+                    ).inc()
+                else:
+                    result.validate()
+            graph = result
         return graph, ctx
 
 

@@ -1,0 +1,80 @@
+"""repro.observability — one pane of glass over compile, runtime, serving
+and tuning.
+
+Two primitives and three exporters:
+
+* :class:`~repro.observability.tracer.Tracer` — thread-safe span collector
+  (no-op when disabled) fed by the pass managers, the compiler driver's
+  stage boundaries, the interpreter's microkernel/pack/parallel-loop
+  statements, the serving layer and the autotuner;
+* :class:`~repro.observability.metrics.MetricsRegistry` — counters, gauges
+  and histograms with labels, published by the same layers;
+* :mod:`~repro.observability.export` — Chrome trace-event JSON (open in
+  ``chrome://tracing`` or Perfetto) plus a flat metrics dump, with a schema
+  validator CI reuses;
+* :mod:`~repro.observability.report` — "top passes / top ops" text reports
+  and the modeled-vs-measured brgemm reconciliation table.
+
+Enable via :func:`enable_tracing`, or set ``REPRO_TRACE=trace.json`` to
+collect for a whole process and write the trace at exit.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_json,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .report import (
+    format_brgemm_reconciliation,
+    format_metrics,
+    format_report,
+    format_table,
+    format_top_spans,
+)
+from .tracer import (
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "chrome_trace_events",
+    "disable_tracing",
+    "enable_tracing",
+    "format_brgemm_reconciliation",
+    "format_metrics",
+    "format_report",
+    "format_table",
+    "format_top_spans",
+    "get_registry",
+    "get_tracer",
+    "metrics_json",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "write_chrome_trace",
+]

@@ -1,0 +1,141 @@
+"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+``write_chrome_trace`` produces the Trace Event Format consumed by
+``chrome://tracing`` and Perfetto (JSON object form: a ``traceEvents`` list
+of complete ``"X"`` events plus metadata).  ``validate_chrome_trace`` checks
+the schema and is reused by tests and the CI trace-smoke step, so the
+emitted format can't silently drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracer import SpanRecord, Tracer
+
+#: Synthetic process id for trace events (one repro process per trace).
+_PID = 1
+
+
+def chrome_trace_events(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+    """Map span records to Chrome trace-event dicts (``ph: "X"``/``"i"``).
+
+    Thread ids are renumbered densely from 1 in order of first appearance
+    so the timeline rows are stable across runs.
+    """
+    tids: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = []
+    for record in sorted(records, key=lambda r: r.start):
+        tid = tids.setdefault(record.thread_id, len(tids) + 1)
+        event: Dict[str, Any] = {
+            "name": record.name,
+            "cat": record.category,
+            "pid": _PID,
+            "tid": tid,
+            "ts": round(record.start * 1e6, 3),
+        }
+        if record.end == record.start:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(record.duration_us, 3)
+        if record.attrs:
+            event["args"] = {k: _jsonable(v) for k, v in record.attrs.items()}
+        events.append(event)
+    # One metadata event per thread row, naming it after its dense id.
+    for thread_id, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": f"thread-{tid}"},
+            }
+        )
+    return events
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def chrome_trace(
+    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
+    """The full JSON-object-form trace document."""
+    document: Dict[str, Any] = {
+        "traceEvents": chrome_trace_events(tracer.records()),
+        "displayTimeUnit": "ms",
+    }
+    if registry is not None:
+        document["otherData"] = {"metrics": registry.snapshot()}
+    return document
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
+    """Write the trace document to ``path``; returns the document."""
+    document = chrome_trace(tracer, registry)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+    return document
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    """Flat JSON metrics dump (one key per instrument)."""
+    return json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Schema-check a trace document; returns a list of problems (empty = ok).
+
+    Checks the subset of the Trace Event Format this package emits:
+    object form with a ``traceEvents`` list whose entries carry ``name``,
+    ``ph``, ``pid``, ``tid`` and — for complete events — numeric ``ts`` and
+    non-negative ``dur``.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document is {type(document).__name__}, expected object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where} missing {key!r}")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            problems.append(f"{where} has unknown phase {phase!r}")
+        if phase in ("X", "i"):
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"{where} has non-numeric ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where} has invalid dur {dur!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where} has non-object args")
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> List[str]:
+    """Load ``path`` and validate it; JSON errors become problems too."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_chrome_trace(document)

@@ -1,0 +1,222 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+One process-wide :class:`MetricsRegistry` (reached via :func:`get_registry`)
+is the single pane of glass every layer publishes into: ``compile.*`` from
+the compiler driver, ``runtime.*`` from the interpreter, ``service.*`` from
+the partition cache and inference sessions, ``tuning.*`` from the autotuner.
+
+Instruments are identified by ``(name, sorted labels)``; asking for the same
+identity twice returns the same instrument, so instrumentation sites don't
+coordinate.  All instruments are thread-safe.  Unlike the tracer there is no
+enabled flag: publishing is O(1) dict-lookup + add and only happens on
+coarse events (per compile, per execution, per cache lookup), never inside
+the interpreter's statement loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Canonicalized label set: sorted (key, value) pairs.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value (resident bytes, cache entries, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max/mean.
+
+    Bucketless by design — the consumers here (reports, reconciliation)
+    want aggregates, and a fixed bucket layout would have to guess units
+    (cycles vs seconds vs bytes).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.sum / self.count if self.count else 0.0,
+            }
+
+
+class MetricsRegistry:
+    """Thread-safe home for every instrument.
+
+    ::
+
+        reg = MetricsRegistry()
+        reg.counter("service.cache.hits").inc()
+        reg.histogram("compile.seconds").observe(0.12)
+        reg.snapshot()  # -> flat JSON-ready dict
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, _LabelKey], object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, Any]):
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1])
+                self._instruments[key] = instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # -- introspection --------------------------------------------------------
+
+    def instruments(self) -> List[object]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Counter/gauge value by identity, or None if never registered."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+        if instrument is None:
+            return None
+        return getattr(instrument, "value", None)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat JSON-ready dump: one entry per instrument.
+
+        Keys are ``name`` or ``name{k=v,...}`` for labelled instruments;
+        values carry the kind plus the instrument's ``to_dict()`` fields.
+        """
+        result: Dict[str, Any] = {}
+        for instrument in self.instruments():
+            key = instrument.name
+            if instrument.labels:
+                rendered = ",".join(f"{k}={v}" for k, v in instrument.labels)
+                key = f"{instrument.name}{{{rendered}}}"
+            entry = {"kind": instrument.kind}
+            entry.update(instrument.to_dict())
+            result[key] = entry
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._instruments.clear()
+
+
+_global_lock = threading.Lock()
+_global_registry: Optional[MetricsRegistry] = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every layer publishes into."""
+    global _global_registry
+    registry = _global_registry
+    if registry is None:
+        with _global_lock:
+            if _global_registry is None:
+                _global_registry = MetricsRegistry()
+            registry = _global_registry
+    return registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry (tests install private ones)."""
+    global _global_registry
+    with _global_lock:
+        _global_registry = registry
+    return registry

@@ -1,0 +1,188 @@
+"""Human-readable reports over spans and metrics.
+
+Two consumers: ``tools/bench.py --metrics`` / ``tools/dump.py --metrics``
+print the top-passes / top-ops breakdown after a run, and
+``service/stats.py`` renders its per-signature table through the shared
+:func:`format_table` so serving and observability reports line up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .metrics import MetricsRegistry
+from .tracer import SpanRecord, Tracer
+
+#: Span categories that describe compiler work, in report order.
+PASS_CATEGORIES = ("graph_pass", "tir_pass", "stage")
+#: Span categories that describe runtime work.
+OP_CATEGORIES = ("microkernel", "runtime", "service")
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    indent: str = "  ",
+) -> str:
+    """Fixed-width text table: left-aligned strings, right-aligned numbers."""
+    rendered: List[List[str]] = []
+    numeric: List[bool] = [True] * len(headers)
+    for row in rows:
+        cells = []
+        for col, value in enumerate(row):
+            if isinstance(value, float):
+                cells.append(f"{value:.3f}")
+            else:
+                cells.append(str(value))
+                if not isinstance(value, (int, float)):
+                    numeric[col] = False
+        rendered.append(cells)
+    widths = [len(str(h)) for h in headers]
+    for cells in rendered:
+        for col, cell in enumerate(cells):
+            widths[col] = max(widths[col], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        indent
+        + " ".join(
+            (f"{h:>{w}}" if num else f"{h:<{w}}")
+            for h, w, num in zip(headers, widths, numeric)
+        ).rstrip()
+    )
+    for cells in rendered:
+        lines.append(
+            indent
+            + " ".join(
+                (f"{c:>{w}}" if num else f"{c:<{w}}")
+                for c, w, num in zip(cells, widths, numeric)
+            ).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def aggregate_spans(
+    records: Iterable[SpanRecord], categories: Sequence[str]
+) -> List[Dict[str, Any]]:
+    """Sum span wall time by (category, name), slowest total first."""
+    totals: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for record in records:
+        if record.category not in categories:
+            continue
+        entry = totals.setdefault(
+            (record.category, record.name),
+            {
+                "category": record.category,
+                "name": record.name,
+                "count": 0,
+                "seconds": 0.0,
+            },
+        )
+        entry["count"] += 1
+        entry["seconds"] += record.duration
+    return sorted(totals.values(), key=lambda e: -e["seconds"])
+
+
+def format_top_spans(
+    tracer: Tracer,
+    categories: Sequence[str],
+    title: str,
+    limit: int = 15,
+) -> str:
+    """"Top N by total wall time" table over one span-category group."""
+    aggregated = aggregate_spans(tracer.records(), categories)
+    if not aggregated:
+        return f"{title}\n  (no spans recorded)"
+    total = sum(e["seconds"] for e in aggregated) or 1.0
+    rows = [
+        (
+            e["category"],
+            e["name"],
+            e["count"],
+            round(e["seconds"] * 1e3, 3),
+            f"{e['seconds'] / total:.1%}",
+        )
+        for e in aggregated[:limit]
+    ]
+    return format_table(
+        ["category", "name", "count", "total_ms", "share"], rows, title=title
+    )
+
+
+def format_brgemm_reconciliation(tracer: Tracer) -> str:
+    """Modeled-vs-measured summary over microkernel spans.
+
+    Each brgemm span carries ``modeled_cycles`` (from the cost descriptor)
+    and ``measured_cycles`` (wall time times core frequency); aggregating
+    their ratio per block shape shows where the cost model is optimistic.
+    """
+    groups: Dict[str, Dict[str, float]] = {}
+    for record in tracer.records():
+        if record.category != "microkernel":
+            continue
+        modeled = record.attrs.get("modeled_cycles")
+        measured = record.attrs.get("measured_cycles")
+        if not modeled or not measured:
+            continue
+        shape = record.attrs.get("blocks", record.name)
+        entry = groups.setdefault(
+            shape, {"count": 0, "modeled": 0.0, "measured": 0.0}
+        )
+        entry["count"] += 1
+        entry["modeled"] += modeled
+        entry["measured"] += measured
+    if not groups:
+        return "brgemm reconciliation\n  (no microkernel spans with cost data)"
+    rows = []
+    for shape, entry in sorted(
+        groups.items(), key=lambda item: -item[1]["measured"]
+    ):
+        rows.append(
+            (
+                shape,
+                int(entry["count"]),
+                round(entry["modeled"]),
+                round(entry["measured"]),
+                entry["measured"] / entry["modeled"],
+            )
+        )
+    return format_table(
+        ["blocks", "calls", "modeled_cyc", "measured_cyc", "ratio"],
+        rows,
+        title="brgemm reconciliation — modeled vs measured cycles",
+    )
+
+
+def format_metrics(registry: MetricsRegistry) -> str:
+    """Every instrument, one line each, alphabetical."""
+    snapshot = registry.snapshot()
+    if not snapshot:
+        return "metrics\n  (none recorded)"
+    rows = []
+    for key in sorted(snapshot):
+        entry = snapshot[key]
+        if entry["kind"] == "histogram":
+            value = (
+                f"count={entry['count']} sum={entry['sum']:.6g} "
+                f"mean={entry['mean']:.6g}"
+            )
+        else:
+            value = f"{entry['value']:.6g}"
+        rows.append((key, entry["kind"], value))
+    return format_table(["metric", "kind", "value"], rows, title="metrics")
+
+
+def format_report(tracer: Tracer, registry: MetricsRegistry) -> str:
+    """The full ``--metrics`` report: top passes, top ops, reconciliation,
+    raw metrics."""
+    sections = [
+        format_top_spans(
+            tracer, PASS_CATEGORIES, "top passes — compile wall time"
+        ),
+        format_top_spans(tracer, OP_CATEGORIES, "top ops — runtime wall time"),
+        format_brgemm_reconciliation(tracer),
+        format_metrics(registry),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,256 @@
+"""The span tracer: where wall time goes, across every layer.
+
+A :class:`Tracer` collects :class:`SpanRecord` entries — named, categorized,
+nested intervals with attributes — from the compiler (one span per Graph IR
+and Tensor IR pass, one per lowering stage), the runtime interpreter (brgemm
+calls, pack statements, parallel loops, allocations), the serving layer and
+the autotuner.  Spans nest per thread: the parent of a new span is whatever
+span is currently open on the same thread.
+
+Design constraints:
+
+* **Near-zero overhead when disabled.**  ``tracer.span(...)`` on a disabled
+  tracer returns a shared no-op context manager without allocating, and hot
+  paths (the interpreter's statement dispatch) guard on ``tracer.enabled``
+  so the disabled cost is one attribute read.
+* **Thread safety.**  Concurrent executions record into one tracer; the
+  finished-span list is lock-protected and the open-span stack is
+  thread-local.
+
+The process-wide tracer is reached through :func:`get_tracer`; tracing is
+switched on either programmatically (:func:`enable_tracing`) or by setting
+the ``REPRO_TRACE`` environment variable — ``REPRO_TRACE=1`` just enables
+collection, any other value is a path that receives a Chrome trace-event
+JSON at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named interval on one thread."""
+
+    name: str
+    category: str
+    #: Seconds relative to the tracer's epoch (``time.perf_counter`` based).
+    start: float
+    end: float
+    thread_id: int
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end - self.start) * 1e6
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        """Attribute writes on a disabled span are dropped."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """An open span; becomes a :class:`SpanRecord` when the block exits."""
+
+    __slots__ = ("_tracer", "name", "category", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span while it is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack()
+        stack.pop()
+        record = SpanRecord(
+            name=self.name,
+            category=self.category,
+            start=self._start - tracer.epoch,
+            end=end - tracer.epoch,
+            thread_id=threading.get_ident(),
+            depth=len(stack),
+            attrs=self.attrs,
+        )
+        with tracer._lock:
+            tracer._records.append(record)
+
+
+class Tracer:
+    """Thread-safe span collector.
+
+    ::
+
+        tracer = Tracer(enabled=True)
+        with tracer.span("compile", category="compile", graph="mlp") as s:
+            ...
+            s.set(ops=12)
+        tracer.records()  # -> [SpanRecord(...)]
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, category: str = "default", **attrs):
+        """Context manager timing a block; a shared no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, category, attrs)
+
+    def instant(self, name: str, category: str = "default", **attrs) -> None:
+        """Record a zero-duration event (exported as a Chrome instant)."""
+        if not self.enabled:
+            return
+        now = time.perf_counter() - self.epoch
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=now,
+            end=now,
+            thread_id=threading.get_ident(),
+            depth=len(self._stack()),
+            attrs=attrs,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- introspection --------------------------------------------------------
+
+    def records(self) -> List[SpanRecord]:
+        """Snapshot of every finished span, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def named(self, name: str) -> List[SpanRecord]:
+        return [r for r in self.records() if r.name == name]
+
+    def categories(self) -> Dict[str, int]:
+        """Span count per category."""
+        counts: Dict[str, int] = {}
+        for record in self.records():
+            counts[record.category] = counts.get(record.category, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+# -- the process-wide tracer ---------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_tracer: Optional[Tracer] = None
+_env_export_registered = False
+
+
+def _from_env(tracer: Tracer) -> None:
+    """Apply the ``REPRO_TRACE`` environment toggle to a fresh tracer."""
+    global _env_export_registered
+    value = os.environ.get("REPRO_TRACE", "").strip()
+    if not value or value.lower() in ("0", "false", "off"):
+        return
+    tracer.enabled = True
+    if value.lower() in ("1", "true", "on"):
+        return
+    if not _env_export_registered:
+        import atexit
+
+        def _dump(path=value):
+            from .export import write_chrome_trace
+
+            write_chrome_trace(path, get_tracer())
+
+        atexit.register(_dump)
+        _env_export_registered = True
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled by default, see ``REPRO_TRACE``)."""
+    global _global_tracer
+    tracer = _global_tracer
+    if tracer is None:
+        with _global_lock:
+            if _global_tracer is None:
+                tracer = Tracer(enabled=False)
+                _from_env(tracer)
+                _global_tracer = tracer
+            tracer = _global_tracer
+    return tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide tracer (tests install private ones)."""
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = tracer
+    return tracer
+
+
+def enable_tracing() -> Tracer:
+    """Switch the process-wide tracer on; returns it."""
+    tracer = get_tracer()
+    tracer.enabled = True
+    return tracer
+
+
+def disable_tracing() -> Tracer:
+    tracer = get_tracer()
+    tracer.enabled = False
+    return tracer
+
+
+def span(name: str, category: str = "default", **attrs):
+    """``get_tracer().span(...)`` — the one-liner instrumentation sites use."""
+    return get_tracer().span(name, category, **attrs)

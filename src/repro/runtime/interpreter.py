@@ -9,14 +9,17 @@ model separately charges their synchronization cost.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..dtypes import from_numpy
 from ..errors import ExecutionError, TensorIRError
 from ..graph_ir.op_registry import OP_REGISTRY
 from ..microkernel.brgemm import batch_reduce_gemm
+from ..observability import get_tracer
 from ..tensor_ir.expr import evaluate
 from ..tensor_ir.function import TirFunction
 from ..tensor_ir.module import TirModule
@@ -58,6 +61,18 @@ class ExecutionStats:
 
     def note_free(self, nbytes: int) -> None:
         self._live_temp_bytes = max(0, self._live_temp_bytes - nbytes)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Public counters as a flat dict (exporters consume this)."""
+        return {
+            "brgemm_calls": self.brgemm_calls,
+            "compute_stmts": self.compute_stmts,
+            "pack_stmts": self.pack_stmts,
+            "barriers": self.barriers,
+            "parallel_loops": self.parallel_loops,
+            "function_calls": self.function_calls,
+            "peak_temp_bytes": self.peak_temp_bytes,
+        }
 
 
 class _Frame:
@@ -105,12 +120,19 @@ class Interpreter:
         module: TirModule,
         arena_size: Optional[int] = None,
         num_threads: int = 1,
+        machine=None,
     ):
         self.module = module
         self.stats = ExecutionStats()
         self.num_threads = max(1, int(num_threads))
         self._stats_lock = threading.Lock()
         self._parallel_depth = threading.local()
+        #: Target machine model; lets microkernel spans carry modeled cycles
+        #: from the cost descriptor next to their measured wall time.
+        self.machine = machine
+        #: Bound once: the tracer's ``enabled`` flag is the only per-stmt
+        #: overhead when tracing is off.
+        self._tracer = get_tracer()
         #: Shared arena backing temporaries placed by buffer-reuse planning.
         self._arena = (
             np.zeros(arena_size, dtype=np.uint8) if arena_size else None
@@ -195,10 +217,27 @@ class Interpreter:
                 self.stats.parallel_loops += 1
             values = range(begin, end, step)
             nested = getattr(self._parallel_depth, "value", 0) > 0
-            if self.num_threads > 1 and len(values) > 1 and not nested:
+            threaded = self.num_threads > 1 and len(values) > 1 and not nested
+            tracer = self._tracer
+            if tracer.enabled:
+                with tracer.span(
+                    f"parallel_for:{stmt.var}",
+                    category="runtime",
+                    trips=len(values),
+                    threaded=threaded,
+                ):
+                    if threaded:
+                        self._exec_parallel(stmt, frame, values)
+                    else:
+                        self._exec_serial(stmt, frame, values)
+                return
+            if threaded:
                 self._exec_parallel(stmt, frame, values)
                 return
-        for value in range(begin, end, step):
+        self._exec_serial(stmt, frame, range(begin, end, step))
+
+    def _exec_serial(self, stmt: For, frame: _Frame, values) -> None:
+        for value in values:
             frame.scalars[stmt.var] = value
             self._exec(stmt.body, frame)
 
@@ -243,6 +282,13 @@ class Interpreter:
             frame.thread_local_names.add(stmt.tensor)
         with self._stats_lock:
             self.stats.note_alloc(nbytes)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                f"alloc:{stmt.tensor}",
+                category="runtime",
+                nbytes=nbytes,
+                arena=stmt.arena_offset is not None,
+            )
 
     def _exec_compute(self, stmt: Compute, frame: _Frame) -> None:
         with self._stats_lock:
@@ -317,6 +363,19 @@ class Interpreter:
     def _exec_pack(self, stmt: Pack, frame: _Frame) -> None:
         with self._stats_lock:
             self.stats.pack_stmts += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "pack",
+                category="runtime",
+                tensor=stmt.dst.tensor,
+                blocks=f"{stmt.block_sizes[0]}x{stmt.block_sizes[1]}",
+            ):
+                self._run_pack(stmt, frame)
+        else:
+            self._run_pack(stmt, frame)
+
+    def _run_pack(self, stmt: Pack, frame: _Frame) -> None:
         src = self._squeeze_to(self._view(stmt.src, frame), 2, "pack source")
         if stmt.transpose_src:
             src = src.T
@@ -355,6 +414,19 @@ class Interpreter:
     def _exec_unpack(self, stmt: Unpack, frame: _Frame) -> None:
         with self._stats_lock:
             self.stats.pack_stmts += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "unpack",
+                category="runtime",
+                tensor=stmt.dst.tensor,
+                blocks=f"{stmt.block_sizes[0]}x{stmt.block_sizes[1]}",
+            ):
+                self._run_unpack(stmt, frame)
+        else:
+            self._run_unpack(stmt, frame)
+
+    def _run_unpack(self, stmt: Unpack, frame: _Frame) -> None:
         src = self._view(stmt.src, frame)
         dst = self._squeeze_to(
             self._view(stmt.dst, frame), 2, "unpack destination"
@@ -388,13 +460,61 @@ class Interpreter:
             raise ExecutionError(
                 f"brgemm batch {stmt.batch} but A batch dim is {a.shape[0]}"
             )
-        batch_reduce_gemm(
-            c,
-            np.ascontiguousarray(a),
-            np.ascontiguousarray(b),
-            b_transposed=stmt.b_transposed,
-            initialize=stmt.initialize,
-        )
+        tracer = self._tracer
+        if not tracer.enabled:
+            batch_reduce_gemm(
+                c,
+                np.ascontiguousarray(a),
+                np.ascontiguousarray(b),
+                b_transposed=stmt.b_transposed,
+                initialize=stmt.initialize,
+            )
+            return
+        with tracer.span("brgemm", category="microkernel") as span:
+            start = time.perf_counter()
+            batch_reduce_gemm(
+                c,
+                np.ascontiguousarray(a),
+                np.ascontiguousarray(b),
+                b_transposed=stmt.b_transposed,
+                initialize=stmt.initialize,
+            )
+            wall = time.perf_counter() - start
+            span.set(**self._brgemm_cost_attrs(a, c, stmt.batch, wall))
+
+    def _brgemm_cost_attrs(self, a, c, batch: int, wall: float) -> Dict:
+        """Reconcile one brgemm call: cost-descriptor cycles vs wall time.
+
+        ``modeled_cycles`` charges the MAC count at the efficiency the
+        template cost model predicts for these block sizes;
+        ``measured_cycles`` converts the measured wall time at the machine's
+        clock.  The ratio (aggregated by
+        :func:`repro.observability.report.format_brgemm_reconciliation`)
+        shows where the descriptor is optimistic.
+        """
+        mb, nb = c.shape
+        kb = a.shape[2]
+        attrs: Dict = {
+            "blocks": f"{mb}x{nb}x{kb}x{batch}",
+            "measured_us": wall * 1e6,
+        }
+        machine = self.machine
+        if machine is None:
+            return attrs
+        try:
+            dtype = from_numpy(a.dtype)
+            from ..templates.cost_model import microkernel_efficiency
+
+            efficiency = microkernel_efficiency(
+                mb, nb, kb, batch, dtype, machine
+            )
+            macs = batch * mb * nb * kb
+            peak = machine.flops_per_cycle[dtype]
+            attrs["modeled_cycles"] = macs / (peak * efficiency)
+            attrs["measured_cycles"] = wall * machine.frequency_hz
+        except (KeyError, ValueError):
+            pass  # unmodeled dtype: keep the measured numbers only
+        return attrs
 
     def _exec_call(self, stmt: Call, frame: _Frame) -> None:
         with self._stats_lock:
@@ -412,7 +532,14 @@ class Interpreter:
                     f"call to {stmt.func}: unknown buffer {arg!r}"
                 )
             buffers[param.name] = frame.tensors[arg]
-        self.run(buffers, func_name=stmt.func)
+        tracer = self._tracer
+        if tracer.enabled:
+            # One span per fused-op function call: the per-op runtime
+            # breakdown the top-ops report aggregates.
+            with tracer.span(f"call:{stmt.func}", category="runtime"):
+                self.run(buffers, func_name=stmt.func)
+        else:
+            self.run(buffers, func_name=stmt.func)
 
     # -- slice resolution -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -25,6 +26,7 @@ from ..errors import ExecutionError
 from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import LogicalTensor
 from ..lowering.lower_graph import LoweredPartition
+from ..observability import get_registry, get_tracer
 from ..tensor_ir.module import TirModule
 from .interpreter import ExecutionStats, Interpreter
 
@@ -172,8 +174,9 @@ class CompiledPartition:
         """Like :meth:`execute` but also returns this call's own stats.
 
         Concurrent callers each get their own :class:`ExecutionStats`;
-        ``last_stats`` is kept for convenience but is only assigned once,
-        after the run completes.
+        ``last_stats`` is (re)assigned on every call, from the stats of
+        whichever call finished most recently.  The same per-call stats are
+        published into the metrics registry as ``runtime.*``.
         """
         cache = self._cache
         if cache is None:
@@ -199,10 +202,38 @@ class CompiledPartition:
             lowered.module,
             arena_size=self.arena_size or None,
             num_threads=self.num_threads,
+            machine=lowered.ctx.machine,
         )
-        interp.run(buffers)
-        self.last_stats = interp.stats
-        return outputs, interp.stats
+        start = time.perf_counter()
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"execute:{lowered.graph.name}",
+                category="runtime",
+                graph=lowered.graph.name,
+                threads=self.num_threads,
+            ) as span:
+                interp.run(buffers)
+                span.set(**interp.stats.to_dict())
+        else:
+            interp.run(buffers)
+        stats = interp.stats
+        self.last_stats = stats
+        self._publish_metrics(stats, time.perf_counter() - start)
+        return outputs, stats
+
+    @staticmethod
+    def _publish_metrics(stats: ExecutionStats, seconds: float) -> None:
+        registry = get_registry()
+        registry.counter("runtime.executions").inc()
+        registry.counter("runtime.brgemm_calls").inc(stats.brgemm_calls)
+        registry.counter("runtime.pack_stmts").inc(stats.pack_stmts)
+        registry.counter("runtime.parallel_loops").inc(stats.parallel_loops)
+        registry.counter("runtime.barriers").inc(stats.barriers)
+        registry.histogram("runtime.execute_seconds").observe(seconds)
+        registry.histogram("runtime.peak_temp_bytes").observe(
+            stats.peak_temp_bytes
+        )
 
     def _run_init(self, inputs: Mapping[str, np.ndarray]) -> Dict[int, np.ndarray]:
         lowered = self.lowered
@@ -226,8 +257,15 @@ class CompiledPartition:
             else:
                 array = self._fetch(inputs, tensor)
             buffers[param.name] = array
-        interp = Interpreter(lowered.init_module)
-        interp.run(buffers)
+        interp = Interpreter(lowered.init_module, machine=lowered.ctx.machine)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                f"init:{lowered.graph.name}", category="runtime"
+            ):
+                interp.run(buffers)
+        else:
+            interp.run(buffers)
         self.init_stats = interp.stats
         return cache
 

@@ -22,6 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
+from ..observability import get_registry
 from ..runtime.partition import CompiledPartition
 from .stats import ServiceStats, SignatureStats
 
@@ -106,7 +107,8 @@ class PartitionCache:
                 return None
             self._entries.move_to_end(signature)
             self._hits += 1
-            return entry.partition
+        get_registry().counter("service.cache.hits").inc()
+        return entry.partition
 
     def get_or_compile(
         self,
@@ -128,17 +130,26 @@ class PartitionCache:
             if entry is not None:
                 self._entries.move_to_end(signature)
                 self._hits += 1
-                return entry.partition
-            flight = self._inflight.get(signature)
-            if flight is None:
-                leader_flight = _InFlight()
-                self._inflight[signature] = leader_flight
-                self._misses += 1
-                record = self._records.setdefault(signature, _SigRecord())
-                if label:
-                    record.label = label
+                hit = True
             else:
-                self._hits += 1  # coalesced onto the in-flight compile
+                flight = self._inflight.get(signature)
+                if flight is None:
+                    leader_flight = _InFlight()
+                    self._inflight[signature] = leader_flight
+                    self._misses += 1
+                    hit = False
+                    record = self._records.setdefault(signature, _SigRecord())
+                    if label:
+                        record.label = label
+                else:
+                    self._hits += 1  # coalesced onto the in-flight compile
+                    hit = True
+        registry = get_registry()
+        registry.counter(
+            "service.cache.hits" if hit else "service.cache.misses"
+        ).inc()
+        if hit and flight is None and entry is not None:
+            return entry.partition
 
         if flight is not None:
             flight.event.wait()
@@ -172,7 +183,13 @@ class PartitionCache:
             self._entries.move_to_end(signature)
             self._inflight.pop(signature, None)
             self._evict_locked()
+            resident = self._resident_bytes_locked()
+            entries = len(self._entries)
         leader_flight.event.set()
+        registry.counter("service.cache.compiles").inc()
+        registry.histogram("service.cache.compile_seconds").observe(elapsed)
+        registry.gauge("service.cache.resident_bytes").set(resident)
+        registry.gauge("service.cache.entries").set(entries)
         return partition
 
     def note_execute(self, signature: str, count: int = 1) -> None:
@@ -196,6 +213,7 @@ class PartitionCache:
         while self._entries and over_budget():
             self._entries.popitem(last=False)
             self._evictions += 1
+            get_registry().counter("service.cache.evictions").inc()
 
     def _resident_bytes_locked(self) -> int:
         return sum(entry.nbytes for entry in self._entries.values())
@@ -203,8 +221,13 @@ class PartitionCache:
     def clear(self) -> None:
         """Drop every resident partition (counters are kept)."""
         with self._lock:
-            self._evictions += len(self._entries)
+            dropped = len(self._entries)
+            self._evictions += dropped
             self._entries.clear()
+        registry = get_registry()
+        registry.counter("service.cache.evictions").inc(dropped)
+        registry.gauge("service.cache.resident_bytes").set(0)
+        registry.gauge("service.cache.entries").set(0)
 
     # -- introspection --------------------------------------------------------
 

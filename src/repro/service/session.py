@@ -26,6 +26,7 @@ from ..dtypes import DType
 from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import PropertyKind
 from ..microkernel.machine import MachineModel, XEON_8358
+from ..observability import get_registry, get_tracer
 from .cache import PartitionCache
 from .signature import graph_signature
 from .stats import ServiceStats
@@ -236,6 +237,24 @@ class InferenceSession:
         if batch is None:
             batch = self.infer_batch(inputs)
         bucket = self.bucket_for(batch)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "serve", category="service", batch=batch, bucket=bucket
+            ):
+                outputs = self._run(inputs, batch, bucket)
+        else:
+            outputs = self._run(inputs, batch, bucket)
+        registry = get_registry()
+        registry.counter("service.requests").inc()
+        registry.histogram("service.request_batch").observe(batch)
+        if bucket != batch:
+            registry.counter("service.padded_requests").inc()
+        return outputs
+
+    def _run(
+        self, inputs: Mapping[str, np.ndarray], batch: int, bucket: int
+    ) -> Dict[str, np.ndarray]:
         partition, signature = self._partition_for(bucket)
         feed: Dict[str, np.ndarray] = dict(self._weights)
         if bucket == batch:

@@ -7,8 +7,10 @@ residency) plus the global hit/miss/eviction/in-flight counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..observability.report import format_table
 
 
 @dataclass(frozen=True)
@@ -26,6 +28,9 @@ class SignatureStats:
     @property
     def short_signature(self) -> str:
         return self.signature[:12]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,15 @@ class ServiceStats:
         total = self.requests
         return self.hits / total if total else 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-ready dump (derived rates included); exporters and
+        benches consume this instead of hand-rolling field access."""
+        result = asdict(self)
+        result["requests"] = self.requests
+        result["hit_rate"] = self.hit_rate
+        result["signatures"] = [sig.to_dict() for sig in self.signatures]
+        return result
+
 
 def format_stats(stats: ServiceStats) -> str:
     """Human-readable ServiceStats table (printed by ``tools/bench.py``)."""
@@ -72,16 +86,29 @@ def format_stats(stats: ServiceStats) -> str:
         f"  resident_bytes={stats.resident_bytes} capacity={capacity}"
     )
     if stats.signatures:
-        header = (
-            f"  {'signature':<14} {'label':<24} {'bytes':>10} "
-            f"{'compiles':>8} {'compile_s':>9} {'executes':>8} resident"
-        )
-        lines.append(header)
-        for sig in stats.signatures:
-            lines.append(
-                f"  {sig.short_signature:<14} {sig.label[:24]:<24} "
-                f"{sig.nbytes:>10} {sig.compiles:>8} "
-                f"{sig.compile_seconds:>9.3f} {sig.executes:>8} "
-                f"{'yes' if sig.resident else 'no'}"
+        lines.append(
+            format_table(
+                [
+                    "signature",
+                    "label",
+                    "bytes",
+                    "compiles",
+                    "compile_s",
+                    "executes",
+                    "resident",
+                ],
+                [
+                    (
+                        sig.short_signature,
+                        sig.label[:24],
+                        sig.nbytes,
+                        sig.compiles,
+                        sig.compile_seconds,
+                        sig.executes,
+                        "yes" if sig.resident else "no",
+                    )
+                    for sig in stats.signatures
+                ],
             )
+        )
     return "\n".join(lines)

@@ -8,6 +8,8 @@ Usage::
     python -m repro.tools.bench fig8-mlp --cache-stats  # + ServiceStats
     python -m repro.tools.bench fig7 --tune model       # autotuned params
     python -m repro.tools.bench fig7 --tune model --tuning-cache tune.json
+    python -m repro.tools.bench fig8-mlp --trace trace.json  # Chrome trace
+    python -m repro.tools.bench fig8-mlp --metrics      # top passes / ops
 
 Prints the same tables the pytest benchmarks produce; handy for quick
 sweeps and for regenerating EXPERIMENTS.md numbers.  With ``--tune``,
@@ -25,6 +27,13 @@ from typing import List, Optional
 
 from .. import CompilerOptions, DType, XEON_8358, compile_graph
 from ..baseline import BaselineExecutor
+from ..observability import (
+    enable_tracing,
+    format_report,
+    get_registry,
+    get_tracer,
+    write_chrome_trace,
+)
 from ..perfmodel import MachineSimulator, specs_for_partition
 from ..perfmodel.report import format_speedup_table, geomean
 from ..service import PartitionCache, format_stats, graph_signature
@@ -45,6 +54,35 @@ _CACHE: Optional[PartitionCache] = None
 
 #: ``--tune`` applies these overrides to every compilation's options.
 _TUNING: Optional[dict] = None
+
+#: ``--trace``/``--metrics`` also *execute* each compiled partition once
+#: (with synthetic inputs) so the trace contains runtime spans — microkernel
+#: invocations, packs, parallel loops — next to the modeled numbers.
+_OBSERVE = False
+
+
+def _synthetic_inputs(partition) -> dict:
+    """Random arrays matching the partition's input+weight signature."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    feed = {}
+    lowered = partition.lowered
+    for tensor in list(lowered.input_tensors) + list(lowered.weight_tensors):
+        np_dtype = tensor.dtype.to_numpy()
+        if tensor.dtype.is_floating:
+            array = rng.standard_normal(tensor.shape).astype(np_dtype)
+        else:
+            info = np.iinfo(np_dtype)
+            low, high = max(info.min, -8), min(info.max, 8)
+            array = rng.integers(low, high + 1, tensor.shape).astype(np_dtype)
+        feed[tensor.name] = array
+    return feed
+
+
+def _execute_once(partition) -> None:
+    """One real execution, so runtime spans/metrics land in the trace."""
+    partition.execute(_synthetic_inputs(partition))
 
 
 def _effective_options(options: Optional[CompilerOptions]) -> CompilerOptions:
@@ -68,6 +106,8 @@ def _compile(graph, options: Optional[CompilerOptions]):
 
 def _model_compiled(graph, options: Optional[CompilerOptions] = None) -> float:
     partition = _compile(graph, options)
+    if _OBSERVE:
+        _execute_once(partition)
     specs, warm = specs_for_partition(partition, XEON_8358)
     sim = MachineSimulator(XEON_8358)
     for tensor, nbytes in warm:
@@ -260,10 +300,26 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="persist tuning results to this JSON file (reused across runs)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record spans for every compile and one execution per "
+        "workload, then write a Chrome trace-event JSON (open in "
+        "chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the top-passes / top-ops report and the metrics "
+        "registry after the run",
+    )
     args = parser.parse_args(argv)
     dtype = _DTYPES[args.dtype]
-    global _CACHE, _TUNING
+    global _CACHE, _TUNING, _OBSERVE
     _CACHE = PartitionCache() if args.cache_stats else None
+    _OBSERVE = bool(args.trace or args.metrics)
+    if _OBSERVE:
+        enable_tracing()
     tuning_results: List = []
     if args.tune:
         from ..tuner import add_tuning_hook, remove_tuning_hook
@@ -299,6 +355,18 @@ def main(argv=None) -> int:
         remove_tuning_hook(tuning_results.append)
         _print_tuning_report(tuning_results)
         _TUNING = None
+    if args.metrics:
+        print()
+        print(format_report(get_tracer(), get_registry()))
+    if args.trace:
+        document = write_chrome_trace(
+            args.trace, get_tracer(), get_registry()
+        )
+        print(
+            f"\nwrote {len(document['traceEvents'])} trace events "
+            f"to {args.trace}"
+        )
+    _OBSERVE = False
     return 0
 
 

@@ -100,6 +100,17 @@ def main(argv=None) -> int:
         choices=["model", "measured"],
         help="pick template parameters with the autotuner (repro.tuner)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the compilation "
+        "(per-pass spans) to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the top-passes report and metrics after compiling",
+    )
     args = parser.parse_args(argv)
 
     options = (
@@ -109,6 +120,10 @@ def main(argv=None) -> int:
         import dataclasses
 
         options = dataclasses.replace(options, tuning=args.tune)
+    if args.trace or args.metrics:
+        from ..observability import enable_tracing
+
+        enable_tracing()
     partition = compile_graph(_build_graph(args), options=options)
 
     print("== optimized Graph IR (main) ==")
@@ -138,6 +153,22 @@ def main(argv=None) -> int:
         print(f"  baseline primitives: {baseline_cycles:12,.0f} cycles")
         print(f"  compiled partition:  {compiled_cycles:12,.0f} cycles")
         print(f"  speedup:             {baseline_cycles / compiled_cycles:12.2f}x")
+
+    if args.metrics:
+        from ..observability import format_report, get_registry, get_tracer
+
+        print()
+        print(format_report(get_tracer(), get_registry()))
+    if args.trace:
+        from ..observability import get_registry, get_tracer, write_chrome_trace
+
+        document = write_chrome_trace(
+            args.trace, get_tracer(), get_registry()
+        )
+        print(
+            f"\nwrote {len(document['traceEvents'])} trace events "
+            f"to {args.trace}"
+        )
     return 0
 
 

@@ -29,6 +29,7 @@ from typing import Callable, List, Optional
 from ..dtypes import DType
 from ..errors import HeuristicError
 from ..microkernel.machine import MachineModel
+from ..observability import get_registry, get_tracer
 from ..templates.cost_model import candidate_cost
 from ..templates.heuristics import HeuristicConstraints, select_matmul_params
 from ..templates.params import MatmulParams
@@ -161,6 +162,33 @@ class MatmulTuner:
         batch: int = 1,
         constraints: Optional[HeuristicConstraints] = None,
     ) -> TuningResult:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._tune(m, n, k, dtype, batch, constraints)
+        with tracer.span(
+            f"tune:{m}x{k}x{n}",
+            category="tuning",
+            batch=batch,
+            dtype=dtype.value,
+            mode=self.mode,
+        ) as span:
+            result = self._tune(m, n, k, dtype, batch, constraints)
+            span.set(
+                source=result.source,
+                evaluations=result.evaluations,
+                speedup_vs_heuristic=result.speedup_vs_heuristic,
+            )
+            return result
+
+    def _tune(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype: DType,
+        batch: int,
+        constraints: Optional[HeuristicConstraints],
+    ) -> TuningResult:
         key = tuning_key(
             m, n, k, dtype, self.machine, batch=batch, constraints=constraints
         )
@@ -287,5 +315,11 @@ class MatmulTuner:
 
     def _emit(self, result: TuningResult) -> TuningResult:
         self.results.append(result)
+        registry = get_registry()
+        registry.counter("tuning.results", source=result.source).inc()
+        if result.evaluations:
+            registry.histogram("tuning.evaluations").observe(
+                result.evaluations
+            )
         _fire(result)
         return result

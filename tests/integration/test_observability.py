@@ -1,0 +1,190 @@
+"""Integration: compile + execute an MLP with tracing on, end to end.
+
+Satellite 4 of the observability issue: the trace must contain one span
+per default-pipeline Graph IR pass, spans for the Tensor IR passes, and a
+microkernel span per brgemm invocation whose count matches
+``ExecutionStats.brgemm_calls`` and the ``runtime.brgemm_calls`` metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DType, GraphBuilder, compile_graph
+from repro.graph_ir.passes.pass_manager import default_pipeline
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    validate_chrome_trace,
+)
+from repro.observability.export import chrome_trace
+from repro.observability.metrics import set_registry
+from repro.observability.tracer import set_tracer
+
+
+def mlp_graph(batch=64, dims=(256, 128, 64)):
+    b = GraphBuilder("obs_mlp")
+    x = b.input("x", DType.f32, (batch, dims[0]))
+    t = x
+    for i in range(len(dims) - 1):
+        w = b.constant(f"w{i}", dtype=DType.f32, shape=(dims[i], dims[i + 1]))
+        t = b.relu(b.matmul(t, w))
+    b.output(t)
+    return b.finish()
+
+
+def mlp_feed(batch=64, dims=(256, 128, 64), seed=0):
+    rng = np.random.RandomState(seed)
+    feed = {"x": rng.randn(batch, dims[0]).astype(np.float32)}
+    for i in range(len(dims) - 1):
+        feed[f"w{i}"] = (
+            rng.randn(dims[i], dims[i + 1]) * 0.1
+        ).astype(np.float32)
+    return feed
+
+
+@pytest.fixture
+def observed():
+    """A private enabled tracer + registry installed as the globals."""
+    old_tracer, old_registry = get_tracer(), get_registry()
+    tracer = set_tracer(Tracer(enabled=True))
+    registry = set_registry(MetricsRegistry())
+    try:
+        yield tracer, registry
+    finally:
+        set_tracer(old_tracer)
+        set_registry(old_registry)
+
+
+class TestCompileSpans:
+    def test_span_per_default_pipeline_pass(self, observed):
+        tracer, _ = observed
+        compile_graph(mlp_graph())
+        pass_spans = {
+            r.name for r in tracer.records() if r.category == "graph_pass"
+        }
+        expected = {f"pass:{p.name}" for p in default_pipeline()}
+        assert expected <= pass_spans, expected - pass_spans
+
+    def test_tir_pass_and_stage_spans(self, observed):
+        tracer, _ = observed
+        compile_graph(mlp_graph())
+        tir_spans = {
+            r.name for r in tracer.records() if r.category == "tir_pass"
+        }
+        for name in ("simplify", "loop_merge", "tensor_shrink", "buffer_reuse"):
+            assert f"tir_pass:{name}" in tir_spans, name
+        stage_spans = {
+            r.name for r in tracer.records() if r.category == "stage"
+        }
+        assert "compile:obs_mlp" in stage_spans
+        assert "stage:graph_passes" in stage_spans
+        assert "stage:lowering" in stage_spans
+        assert "stage:tensor_ir" in stage_spans
+
+    def test_pass_spans_carry_op_counts(self, observed):
+        tracer, _ = observed
+        compile_graph(mlp_graph())
+        for record in tracer.records():
+            if record.category != "graph_pass":
+                continue
+            for key in ("ops_before", "ops_after", "nodes_before", "nodes_after"):
+                assert key in record.attrs, (record.name, key)
+
+    def test_compile_metrics(self, observed):
+        _, registry = observed
+        compile_graph(mlp_graph())
+        assert registry.value("compile.count") == 1
+        assert registry.histogram("compile.seconds").count == 1
+        # Most default-pipeline passes leave this small MLP unchanged, so
+        # validation must have been skipped at least once (satellite 2).
+        assert registry.value("compile.validation_skipped") > 0
+
+
+class TestExecuteSpans:
+    def test_brgemm_spans_match_stats_and_metric(self, observed):
+        tracer, registry = observed
+        partition = compile_graph(mlp_graph())
+        out, stats = partition.execute_with_stats(mlp_feed())
+        assert out
+        assert stats.brgemm_calls > 0
+        brgemm_spans = [
+            r for r in tracer.records() if r.category == "microkernel"
+        ]
+        assert len(brgemm_spans) == stats.brgemm_calls
+        assert registry.value("runtime.brgemm_calls") == stats.brgemm_calls
+        assert registry.value("runtime.executions") == 1
+
+    def test_brgemm_spans_reconcile_modeled_vs_measured(self, observed):
+        tracer, _ = observed
+        partition = compile_graph(mlp_graph())
+        partition.execute(mlp_feed())
+        brgemm = [r for r in tracer.records() if r.category == "microkernel"]
+        assert brgemm
+        for record in brgemm:
+            assert "blocks" in record.attrs
+            assert record.attrs["measured_us"] >= 0
+            # The default machine model covers f32, so modeled cycles from
+            # the cost descriptor must be present and positive.
+            assert record.attrs["modeled_cycles"] > 0
+            assert record.attrs["measured_cycles"] >= 0
+
+    def test_last_stats_reassigned_every_call(self, observed):
+        partition = compile_graph(mlp_graph())
+        assert partition.last_stats is None
+        partition.execute(mlp_feed())
+        first = partition.last_stats
+        assert first is not None
+        partition.execute(mlp_feed())
+        second = partition.last_stats
+        assert second is not None and second is not first
+        assert second.brgemm_calls == first.brgemm_calls
+
+    def test_execution_stats_to_dict(self, observed):
+        partition = compile_graph(mlp_graph())
+        _, stats = partition.execute_with_stats(mlp_feed())
+        d = stats.to_dict()
+        assert d["brgemm_calls"] == stats.brgemm_calls
+        assert set(d) == {
+            "brgemm_calls",
+            "compute_stmts",
+            "pack_stmts",
+            "barriers",
+            "parallel_loops",
+            "function_calls",
+            "peak_temp_bytes",
+        }
+
+    def test_runtime_spans_present(self, observed):
+        tracer, _ = observed
+        partition = compile_graph(mlp_graph())
+        partition.execute(mlp_feed())
+        runtime = [r for r in tracer.records() if r.category == "runtime"]
+        names = {r.name for r in runtime}
+        assert "execute:obs_mlp" in names
+        assert any(n.startswith("pack") for n in names)
+        assert any(n.startswith("alloc:") for n in names)
+
+
+class TestTraceDocument:
+    def test_end_to_end_document_validates(self, observed):
+        tracer, registry = observed
+        partition = compile_graph(mlp_graph())
+        partition.execute(mlp_feed())
+        document = chrome_trace(tracer, registry)
+        assert validate_chrome_trace(document) == []
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "compile:obs_mlp" in names
+        assert "brgemm" in names
+
+
+class TestDisabledOverhead:
+    def test_disabled_records_nothing(self, observed):
+        tracer, registry = observed
+        tracer.enabled = False
+        partition = compile_graph(mlp_graph())
+        partition.execute(mlp_feed())
+        assert len(tracer) == 0
+        # Metrics still publish (they are cheap, always-on counters).
+        assert registry.value("compile.count") == 1

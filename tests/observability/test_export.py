@@ -1,0 +1,173 @@
+"""Chrome-trace export tests: event mapping, round-trip, validation."""
+
+import json
+
+from repro.observability.export import (
+    chrome_trace,
+    chrome_trace_events,
+    metrics_json,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import format_report, format_table
+from repro.observability.tracer import Tracer
+
+
+def _populated_tracer() -> Tracer:
+    t = Tracer()
+    with t.span("compile:mlp", category="stage", graph="mlp"):
+        with t.span("pass:cse", category="graph_pass", ops_before=9):
+            pass
+        t.instant("alloc:buf0", category="runtime", nbytes=4096)
+    return t
+
+
+class TestEventMapping:
+    def test_complete_events(self):
+        t = _populated_tracer()
+        events = chrome_trace_events(t.records())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"compile:mlp", "pass:cse"}
+        for e in complete:
+            assert e["pid"] == 1
+            assert isinstance(e["ts"], (int, float))
+            assert e["dur"] >= 0
+        by_name = {e["name"]: e for e in complete}
+        assert by_name["compile:mlp"]["cat"] == "stage"
+        assert by_name["compile:mlp"]["args"] == {"graph": "mlp"}
+        assert by_name["pass:cse"]["args"] == {"ops_before": 9}
+
+    def test_instant_events(self):
+        events = chrome_trace_events(_populated_tracer().records())
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["name"] == "alloc:buf0"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_thread_metadata_and_dense_tids(self):
+        events = chrome_trace_events(_populated_tracer().records())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 1
+        assert meta[0]["name"] == "thread_name"
+        assert meta[0]["args"] == {"name": "thread-1"}
+        assert all(e["tid"] == 1 for e in events)
+
+    def test_events_sorted_by_start(self):
+        events = chrome_trace_events(_populated_tracer().records())
+        timed = [e for e in events if e["ph"] in ("X", "i")]
+        assert timed == sorted(timed, key=lambda e: e["ts"])
+
+    def test_non_json_attrs_stringified(self):
+        t = Tracer()
+        with t.span("x", obj=object(), ok=1.5):
+            pass
+        (event,) = [
+            e for e in chrome_trace_events(t.records()) if e["ph"] == "X"
+        ]
+        assert isinstance(event["args"]["obj"], str)
+        assert event["args"]["ok"] == 1.5
+
+
+class TestDocument:
+    def test_metrics_embedded(self):
+        reg = MetricsRegistry()
+        reg.counter("compile.count").inc()
+        document = chrome_trace(_populated_tracer(), reg)
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["metrics"]["compile.count"]["value"] == 1
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        reg = MetricsRegistry()
+        reg.histogram("compile.seconds").observe(0.25)
+        written = write_chrome_trace(path, _populated_tracer(), reg)
+        loaded = json.load(open(path))
+        assert loaded == json.loads(json.dumps(written))
+        assert validate_chrome_trace(loaded) == []
+        assert validate_chrome_trace_file(path) == []
+
+    def test_metrics_json_is_parseable(self):
+        reg = MetricsRegistry()
+        reg.counter("a", k="v").inc(2)
+        parsed = json.loads(metrics_json(reg))
+        assert parsed["a{k=v}"] == {"kind": "counter", "value": 2}
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"nope": 1}) != []
+
+    def test_flags_missing_fields(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "ts": 0, "dur": 1}]}
+        )
+        assert any("missing 'name'" in p for p in problems)
+
+    def test_flags_bad_phase_and_dur(self):
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "a", "ph": "Z", "pid": 1, "tid": 1, "ts": 0},
+                    {
+                        "name": "b",
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": 1,
+                        "ts": 0,
+                        "dur": -5,
+                    },
+                ]
+            }
+        )
+        assert any("unknown phase" in p for p in problems)
+        assert any("invalid dur" in p for p in problems)
+
+    def test_missing_file(self, tmp_path):
+        problems = validate_chrome_trace_file(str(tmp_path / "absent.json"))
+        assert problems and "cannot load" in problems[0]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "count"], [("cse", 3), ("dce", 12)], title="passes"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "passes"
+        assert "name" in lines[1] and "count" in lines[1]
+        # Numeric column right-aligned: counts end at the same offset.
+        assert lines[2].rstrip().endswith("3")
+        assert lines[3].rstrip().endswith("12")
+        assert len(lines[2].rstrip()) == len(lines[3].rstrip())
+
+    def test_full_report_sections(self):
+        t = _populated_tracer()
+        reg = MetricsRegistry()
+        reg.counter("compile.count").inc()
+        report = format_report(t, reg)
+        assert "top passes" in report
+        assert "top ops" in report
+        assert "brgemm reconciliation" in report
+        assert "metrics" in report
+        assert "pass:cse" in report
+        assert "compile.count" in report
+
+    def test_reconciliation_groups_by_blocks(self):
+        t = Tracer()
+        for _ in range(3):
+            with t.span(
+                "brgemm",
+                category="microkernel",
+                blocks="32x32x64x4",
+                modeled_cycles=1000.0,
+                measured_cycles=1500.0,
+            ):
+                pass
+        from repro.observability.report import format_brgemm_reconciliation
+
+        text = format_brgemm_reconciliation(t)
+        assert "32x32x64x4" in text
+        assert "1.500" in text  # ratio column

@@ -1,0 +1,117 @@
+"""Metrics registry unit tests: instruments, labels, identity, threads."""
+
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("bytes")
+        g.set(100)
+        g.add(-25)
+        assert g.value == 75
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = MetricsRegistry().histogram("seconds")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["count"] == 3
+        assert d["sum"] == 6.0
+        assert d["min"] == 1.0
+        assert d["max"] == 3.0
+        assert d["mean"] == 2.0
+
+    def test_empty(self):
+        h = MetricsRegistry().histogram("empty")
+        assert h.to_dict() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
+        }
+
+
+class TestRegistry:
+    def test_same_identity_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", x=1) is reg.counter("a", x=1)
+
+    def test_labels_distinguish(self):
+        reg = MetricsRegistry()
+        reg.counter("results", source="cache").inc()
+        reg.counter("results", source="search").inc(5)
+        assert reg.value("results", source="cache") == 1
+        assert reg.value("results", source="search") == 5
+        assert reg.value("results", source="nope") is None
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_keys_and_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(3)
+        reg.counter("l", mode="fast").inc()
+        snap = reg.snapshot()
+        assert snap["c"] == {"kind": "counter", "value": 1}
+        assert snap["g"] == {"kind": "gauge", "value": 2}
+        assert snap["h"]["kind"] == "histogram" and snap["h"]["count"] == 1
+        assert "l{mode=fast}" in snap
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.clear()
+        assert reg.snapshot() == {}
+
+    def test_concurrent_increments(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("n").inc()
+                reg.histogram("h").observe(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.value("n") == 8000
+        assert reg.histogram("h").count == 8000
+
+
+class TestGlobal:
+    def test_get_set(self):
+        original = get_registry()
+        try:
+            mine = set_registry(MetricsRegistry())
+            assert get_registry() is mine
+            assert get_registry() is not original
+        finally:
+            set_registry(original)

@@ -1,0 +1,163 @@
+"""Tracer unit tests: nesting, threads, disabled-mode no-ops, env toggle."""
+
+import threading
+
+import pytest
+
+from repro.observability import tracer as tracer_mod
+from repro.observability.tracer import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestSpans:
+    def test_records_name_category_attrs(self):
+        t = Tracer()
+        with t.span("compile", category="stage", graph="mlp"):
+            pass
+        (record,) = t.records()
+        assert record.name == "compile"
+        assert record.category == "stage"
+        assert record.attrs == {"graph": "mlp"}
+        assert record.end >= record.start
+
+    def test_set_attaches_attrs_while_open(self):
+        t = Tracer()
+        with t.span("pass") as span:
+            span.set(ops_after=3)
+        (record,) = t.records()
+        assert record.attrs == {"ops_after": 3}
+
+    def test_nesting_depth(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                with t.span("innermost"):
+                    pass
+        by_name = {r.name: r for r in t.records()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["innermost"].depth == 2
+
+    def test_children_finish_before_parents(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        names = [r.name for r in t.records()]
+        assert names == ["inner", "outer"]
+
+    def test_exception_still_records(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("doomed"):
+                raise RuntimeError("boom")
+        assert [r.name for r in t.records()] == ["doomed"]
+        # The stack unwound: a new span is back at depth 0.
+        with t.span("after"):
+            pass
+        assert t.named("after")[0].depth == 0
+
+    def test_instant_event(self):
+        t = Tracer()
+        t.instant("alloc", category="runtime", nbytes=64)
+        (record,) = t.records()
+        assert record.start == record.end
+        assert record.attrs["nbytes"] == 64
+
+    def test_clear_and_len(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        assert len(t) == 1
+        t.clear()
+        assert len(t) == 0
+
+
+class TestThreads:
+    def test_threads_have_independent_stacks(self):
+        t = Tracer()
+        barrier = threading.Barrier(4)
+
+        def work(i):
+            barrier.wait()
+            with t.span(f"outer{i}"):
+                with t.span(f"inner{i}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        records = t.records()
+        assert len(records) == 8
+        assert len({r.thread_id for r in records}) == 4
+        for i in range(4):
+            assert t.named(f"inner{i}")[0].depth == 1
+            assert t.named(f"outer{i}")[0].depth == 0
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer(enabled=False)
+        span_a = t.span("a", category="x", attr=1)
+        span_b = t.span("b")
+        # One shared object, no allocation per call, nothing recorded.
+        assert span_a is span_b
+        with span_a as s:
+            s.set(anything="goes")
+        assert len(t) == 0
+
+    def test_disabled_instant_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.instant("x")
+        assert len(t) == 0
+
+    def test_reenable(self):
+        t = Tracer(enabled=False)
+        t.enabled = True
+        with t.span("now"):
+            pass
+        assert len(t) == 1
+
+
+class TestGlobal:
+    def test_get_set_enable_disable(self):
+        original = get_tracer()
+        try:
+            mine = set_tracer(Tracer(enabled=False))
+            assert get_tracer() is mine
+            assert enable_tracing() is mine and mine.enabled
+            assert disable_tracing() is mine and not mine.enabled
+        finally:
+            set_tracer(original)
+
+    def test_module_level_span_routes_to_global(self):
+        original = get_tracer()
+        try:
+            mine = set_tracer(Tracer(enabled=True))
+            with tracer_mod.span("via-module", category="stage"):
+                pass
+            assert mine.named("via-module")
+        finally:
+            set_tracer(original)
+
+    def test_env_toggle_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        t = Tracer(enabled=False)
+        tracer_mod._from_env(t)
+        assert t.enabled
+
+    def test_env_toggle_off_values(self, monkeypatch):
+        for value in ("", "0", "false", "off"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            t = Tracer(enabled=False)
+            tracer_mod._from_env(t)
+            assert not t.enabled, value

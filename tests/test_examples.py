@@ -55,6 +55,22 @@ class TestExamples:
         assert "source: cache" in out
         assert "ok" in out
 
+    def test_trace_mlp(self, capsys, tmp_path, monkeypatch):
+        from repro.observability import get_tracer
+
+        path = tmp_path / "trace.json"
+        monkeypatch.setattr(sys, "argv", ["trace_mlp.py", str(path)])
+        try:
+            run_example("trace_mlp.py")
+        finally:
+            get_tracer().clear()
+        out = capsys.readouterr().out
+        assert "brgemm calls" in out
+        assert "top passes" in out
+        assert "brgemm reconciliation" in out
+        assert "schema check: ok" in out
+        assert path.exists()
+
     def test_all_examples_exist(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
@@ -65,4 +81,5 @@ class TestExamples:
             "cnn_layer.py",
             "serving_mlp.py",
             "autotune_matmul.py",
+            "trace_mlp.py",
         } <= names

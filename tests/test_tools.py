@@ -76,3 +76,46 @@ class TestBenchTool:
         assert "ServiceStats" in out
         assert "compiles=" in out
         assert "mlp_1_b32" in out  # per-signature labels
+
+    def test_trace_and_metrics_flags(self, capsys, tmp_path):
+        from repro.observability import (
+            disable_tracing,
+            get_tracer,
+            validate_chrome_trace_file,
+        )
+        from repro.tools.bench import main as bench_main
+
+        path = tmp_path / "trace.json"
+        try:
+            assert bench_main(
+                ["fig8-mlp", "--workload", "MLP_1", "--batches", "8",
+                 "--trace", str(path), "--metrics"]
+            ) == 0
+        finally:
+            disable_tracing()
+            get_tracer().clear()
+        out = capsys.readouterr().out
+        assert "top passes" in out
+        assert "top ops" in out
+        assert "brgemm reconciliation" in out
+        assert "wrote" in out and "trace events" in out
+        assert validate_chrome_trace_file(str(path)) == []
+
+    def test_dump_trace_and_metrics_flags(self, capsys, tmp_path):
+        from repro.observability import (
+            disable_tracing,
+            get_tracer,
+            validate_chrome_trace_file,
+        )
+
+        path = tmp_path / "trace.json"
+        try:
+            assert main(
+                ["--matmul", "64x64x64", "--trace", str(path), "--metrics"]
+            ) == 0
+        finally:
+            disable_tracing()
+            get_tracer().clear()
+        out = capsys.readouterr().out
+        assert "top passes" in out
+        assert validate_chrome_trace_file(str(path)) == []
