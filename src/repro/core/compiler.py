@@ -20,7 +20,7 @@ from ..graph_ir.passes import CompileContext, PassManager, default_pipeline
 from ..lowering.lower_graph import LoweredPartition, lower_graph
 from ..microkernel.machine import MachineModel, XEON_8358
 from ..observability import get_registry, get_tracer
-from ..runtime.partition import CompiledPartition
+from ..runtime.partition import EXECUTOR_BACKENDS, CompiledPartition
 from ..tensor_ir.passes import (
     BufferReusePass,
     LoopMergePass,
@@ -91,6 +91,11 @@ def compile_graph(
     """
     start = time.perf_counter()
     options = options or CompilerOptions()
+    if options.executor not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"CompilerOptions.executor={options.executor!r}; "
+            f"expected one of {EXECUTOR_BACKENDS}"
+        )
     tracer = get_tracer()
     with tracer.span(
         f"compile:{graph.name}", category="stage", graph=graph.name

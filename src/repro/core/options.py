@@ -26,6 +26,14 @@ class CompilerOptions:
     enable_buffer_reuse: bool = True
     #: Constant-weight preprocessing (init-graph split + caching).
     enable_constant_cache: bool = True
+    #: Runtime backend executing the lowered Tensor IR.  ``"compiled"``
+    #: specializes the module once into a flat program of pre-bound
+    #: closures (op schemas resolved, slice offsets in closed form,
+    #: constant loop bounds folded, calls pre-linked) executed on a
+    #: persistent thread pool; ``"interpret"`` re-walks the IR tree on
+    #: every call — slower, but the reference semantics the compiled
+    #: executor is differential-tested against.
+    executor: str = "compiled"
     #: Template-parameter selection: ``"off"`` uses the expert heuristic
     #: only; ``"cached-only"`` serves previously tuned configs but never
     #: searches; ``"model"`` tunes with the analytical cost model;

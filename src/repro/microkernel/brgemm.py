@@ -69,15 +69,17 @@ def batch_reduce_gemm(
             raise ExecutionError(
                 f"int8 brgemm needs an int32 accumulator, got {c.dtype}"
             )
-        acc_a = a.astype(np.int32)
-        acc_b = b.astype(np.int32)
+        acc_dtype = np.int32
     else:
         if c.dtype != np.float32:
             raise ExecutionError(
                 f"float brgemm needs a float32 accumulator, got {c.dtype}"
             )
-        acc_a = a.astype(np.float32)
-        acc_b = b.astype(np.float32)
+        acc_dtype = np.float32
+    # asarray: widen int8 operands to the accumulator dtype, but never
+    # copy operands already in it (astype would copy unconditionally).
+    acc_a = np.asarray(a, dtype=acc_dtype)
+    acc_b = np.asarray(b, dtype=acc_dtype)
 
     if b_transposed:
         partial = np.einsum("bmk,bnk->mn", acc_a, acc_b)
@@ -85,9 +87,9 @@ def batch_reduce_gemm(
         partial = np.einsum("bmk,bkn->mn", acc_a, acc_b)
 
     if initialize:
-        c[...] = partial.astype(c.dtype)
+        c[...] = partial.astype(c.dtype, copy=False)
     else:
-        c += partial.astype(c.dtype)
+        c += partial.astype(c.dtype, copy=False)
 
 
 def brgemm_flops(mb: int, nb: int, kb: int, batch: int) -> int:

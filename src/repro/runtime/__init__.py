@@ -1,13 +1,30 @@
-"""Runtime: Tensor IR interpreter, memory arena and compiled partitions.
+"""Runtime: Tensor IR executors, memory arena and compiled partitions.
 
-In the paper, Tensor IR is lowered to LLVM IR plus microkernel calls.  Here
-the same Tensor IR is executed by an interpreter: loops over block indices
-run in Python while slice-level statements and microkernel calls execute
-vectorized in numpy.  All compiler decisions (fusion, layout, blocking,
-buffer reuse) are taken *before* this stage, so interpreting the IR
-exercises exactly the code structure the paper generates.
+In the paper, Tensor IR is lowered to LLVM IR plus microkernel calls.
+Here the same Tensor IR is executed by one of two backends:
+
+* :class:`~repro.runtime.interpreter.Interpreter` — the reference
+  backend: walks the statement tree per call;
+* :class:`~repro.runtime.executor.CompiledExecutor` — the default: a
+  one-time specialization pass compiles the module into a flat program
+  of pre-bound closures (op schemas resolved at build time, slice
+  offsets in closed form, constant loop bounds folded, calls pre-linked,
+  per-worker scratch slots) executed on a persistent thread pool.
+
+All compiler decisions (fusion, layout, blocking, buffer reuse) are
+taken *before* this stage, so both backends exercise exactly the code
+structure the paper generates; the differential tests assert they are
+bit-identical.
 """
 
+from .executor import CompiledExecutor
 from .interpreter import ExecutionStats, Interpreter
+from .partition import EXECUTOR_BACKENDS, CompiledPartition
 
-__all__ = ["ExecutionStats", "Interpreter"]
+__all__ = [
+    "CompiledExecutor",
+    "CompiledPartition",
+    "EXECUTOR_BACKENDS",
+    "ExecutionStats",
+    "Interpreter",
+]

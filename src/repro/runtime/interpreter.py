@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -62,6 +63,25 @@ class ExecutionStats:
     def note_free(self, nbytes: int) -> None:
         self._live_temp_bytes = max(0, self._live_temp_bytes - nbytes)
 
+    def merge(self, child: "ExecutionStats") -> None:
+        """Fold a per-thread accumulator into this one (at a join point).
+
+        Counters add exactly.  ``peak_temp_bytes`` takes the safe upper
+        bound — the child's peak on top of whatever was live here when
+        the parallel region forked.
+        """
+        self.brgemm_calls += child.brgemm_calls
+        self.compute_stmts += child.compute_stmts
+        self.pack_stmts += child.pack_stmts
+        self.barriers += child.barriers
+        self.parallel_loops += child.parallel_loops
+        self.function_calls += child.function_calls
+        self.peak_temp_bytes = max(
+            self.peak_temp_bytes,
+            self._live_temp_bytes + child.peak_temp_bytes,
+        )
+        self._live_temp_bytes += child._live_temp_bytes
+
     def to_dict(self) -> Dict[str, int]:
         """Public counters as a flat dict (exporters consume this)."""
         return {
@@ -73,6 +93,56 @@ class ExecutionStats:
             "function_calls": self.function_calls,
             "peak_temp_bytes": self.peak_temp_bytes,
         }
+
+
+def brgemm_cost_attrs(machine, a, c, batch: int, wall: float) -> Dict:
+    """Reconcile one brgemm call: cost-descriptor cycles vs wall time.
+
+    ``modeled_cycles`` charges the MAC count at the efficiency the
+    template cost model predicts for these block sizes;
+    ``measured_cycles`` converts the measured wall time at the machine's
+    clock.  The ratio (aggregated by
+    :func:`repro.observability.report.format_brgemm_reconciliation`)
+    shows where the descriptor is optimistic.  Shared by both runtime
+    backends so their microkernel spans are indistinguishable.
+    """
+    mb, nb = c.shape
+    kb = a.shape[2]
+    attrs: Dict = {
+        "blocks": f"{mb}x{nb}x{kb}x{batch}",
+        "measured_us": wall * 1e6,
+    }
+    if machine is None:
+        return attrs
+    try:
+        dtype = from_numpy(a.dtype)
+        from ..templates.cost_model import microkernel_efficiency
+
+        efficiency = microkernel_efficiency(mb, nb, kb, batch, dtype, machine)
+        macs = batch * mb * nb * kb
+        peak = machine.flops_per_cycle[dtype]
+        attrs["modeled_cycles"] = macs / (peak * efficiency)
+        attrs["measured_cycles"] = wall * machine.frequency_hz
+    except (KeyError, ValueError):
+        pass  # unmodeled dtype: keep the measured numbers only
+    return attrs
+
+
+class _NullLock:
+    """No-op context manager standing in for the stats lock.
+
+    The single-threaded service path pays no lock acquisition per
+    statement; parallel interpreters keep the real lock.
+    """
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_LOCK = _NullLock()
 
 
 class _Frame:
@@ -121,11 +191,21 @@ class Interpreter:
         arena_size: Optional[int] = None,
         num_threads: int = 1,
         machine=None,
+        pool=None,
     ):
         self.module = module
         self.stats = ExecutionStats()
         self.num_threads = max(1, int(num_threads))
-        self._stats_lock = threading.Lock()
+        # A serial interpreter never contends on stats: skip the lock.
+        self._stats_lock = (
+            threading.Lock() if self.num_threads > 1 else _NULL_LOCK
+        )
+        #: Persistent worker pool for parallel loops.  Callers (e.g.
+        #: CompiledPartition) may inject one shared across interpreter
+        #: instances; otherwise a private pool is created lazily on the
+        #: first parallel loop and reused for the interpreter's lifetime.
+        self._pool = pool
+        self._own_pool = None
         self._parallel_depth = threading.local()
         #: Target machine model; lets microkernel spans carry modeled cycles
         #: from the cost descriptor next to their measured wall time.
@@ -180,6 +260,9 @@ class Interpreter:
                 with self._stats_lock:
                     self.stats.note_free(frame.alloc_bytes.pop(stmt.tensor))
             frame.tensors.pop(stmt.tensor, None)
+            # A name freed and later re-allocated must not inherit
+            # thread-local status from the dead buffer.
+            frame.thread_local_names.discard(stmt.tensor)
         elif isinstance(stmt, Fill):
             self._view(stmt.dst, frame)[...] = stmt.value
         elif isinstance(stmt, Compute):
@@ -244,7 +327,6 @@ class Interpreter:
     def _exec_parallel(self, stmt: For, frame: _Frame, values) -> None:
         """Run a parallel loop's iterations on a thread pool (joined at the
         end — the loop is a barrier, as the performance model assumes)."""
-        from concurrent.futures import ThreadPoolExecutor
 
         def body(value: int) -> None:
             self._parallel_depth.value = 1
@@ -255,10 +337,32 @@ class Interpreter:
             finally:
                 self._parallel_depth.value = 0
 
-        workers = min(self.num_threads, len(values))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for result in pool.map(body, values):
-                pass  # propagate exceptions
+        for result in self._ensure_pool().map(body, values):
+            pass  # propagate exceptions
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The loop-execution pool: injected, else lazily created once.
+
+        Constructing (and joining) a fresh ``ThreadPoolExecutor`` per
+        parallel loop costs more than small loop bodies themselves; the
+        pool lives for the interpreter (or owning partition) lifetime
+        instead.
+        """
+        pool = self._pool
+        if pool is not None:
+            return pool
+        if self._own_pool is None:
+            self._own_pool = ThreadPoolExecutor(
+                max_workers=self.num_threads,
+                thread_name_prefix="repro-interp",
+            )
+        return self._own_pool
+
+    def close(self) -> None:
+        """Shut down the privately-owned pool (injected pools are not ours)."""
+        if self._own_pool is not None:
+            self._own_pool.shutdown(wait=True)
+            self._own_pool = None
 
     def _exec_alloc(self, stmt: Alloc, frame: _Frame) -> None:
         dtype = stmt.dtype.to_numpy()
@@ -483,38 +587,7 @@ class Interpreter:
             span.set(**self._brgemm_cost_attrs(a, c, stmt.batch, wall))
 
     def _brgemm_cost_attrs(self, a, c, batch: int, wall: float) -> Dict:
-        """Reconcile one brgemm call: cost-descriptor cycles vs wall time.
-
-        ``modeled_cycles`` charges the MAC count at the efficiency the
-        template cost model predicts for these block sizes;
-        ``measured_cycles`` converts the measured wall time at the machine's
-        clock.  The ratio (aggregated by
-        :func:`repro.observability.report.format_brgemm_reconciliation`)
-        shows where the descriptor is optimistic.
-        """
-        mb, nb = c.shape
-        kb = a.shape[2]
-        attrs: Dict = {
-            "blocks": f"{mb}x{nb}x{kb}x{batch}",
-            "measured_us": wall * 1e6,
-        }
-        machine = self.machine
-        if machine is None:
-            return attrs
-        try:
-            dtype = from_numpy(a.dtype)
-            from ..templates.cost_model import microkernel_efficiency
-
-            efficiency = microkernel_efficiency(
-                mb, nb, kb, batch, dtype, machine
-            )
-            macs = batch * mb * nb * kb
-            peak = machine.flops_per_cycle[dtype]
-            attrs["modeled_cycles"] = macs / (peak * efficiency)
-            attrs["measured_cycles"] = wall * machine.frequency_hz
-        except (KeyError, ValueError):
-            pass  # unmodeled dtype: keep the measured numbers only
-        return attrs
+        return brgemm_cost_attrs(self.machine, a, c, batch, wall)
 
     def _exec_call(self, stmt: Call, frame: _Frame) -> None:
         with self._stats_lock:

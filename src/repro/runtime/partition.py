@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -28,7 +29,12 @@ from ..graph_ir.logical_tensor import LogicalTensor
 from ..lowering.lower_graph import LoweredPartition
 from ..observability import get_registry, get_tracer
 from ..tensor_ir.module import TirModule
+from .executor import CompiledExecutor
 from .interpreter import ExecutionStats, Interpreter
+
+#: Valid values for ``CompilerOptions.executor`` / the ``executor=``
+#: constructor override.
+EXECUTOR_BACKENDS = ("interpret", "compiled")
 
 
 class _Role(enum.Enum):
@@ -90,10 +96,31 @@ class CompiledPartition:
     """
 
     def __init__(
-        self, lowered: LoweredPartition, num_threads: int = 1
+        self,
+        lowered: LoweredPartition,
+        num_threads: int = 1,
+        executor: Optional[str] = None,
     ) -> None:
         self.lowered = lowered
         self.num_threads = num_threads
+        if executor is None:
+            options = getattr(lowered.ctx, "options", None)
+            executor = getattr(options, "executor", None) or "compiled"
+        if executor not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {executor!r}; "
+                f"expected one of {EXECUTOR_BACKENDS}"
+            )
+        #: Runtime backend: ``"compiled"`` specializes the module into a
+        #: closure program once; ``"interpret"`` re-walks the IR per call
+        #: (the reference backend).
+        self.executor = executor
+        self._executor_lock = threading.Lock()
+        self._compiled: Optional[CompiledExecutor] = None
+        #: Persistent worker pool shared across calls and parallel loops;
+        #: (re)built lazily whenever ``num_threads`` changes.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_size = 0
         self._cache: Optional[Dict[int, np.ndarray]] = None
         self._init_lock = threading.Lock()
         self.last_stats: Optional[ExecutionStats] = None
@@ -198,12 +225,6 @@ class CompiledPartition:
             else:
                 array = self._fetch(inputs, tensor)
             buffers[param.name] = array
-        interp = Interpreter(
-            lowered.module,
-            arena_size=self.arena_size or None,
-            num_threads=self.num_threads,
-            machine=lowered.ctx.machine,
-        )
         start = time.perf_counter()
         tracer = get_tracer()
         if tracer.enabled:
@@ -212,15 +233,80 @@ class CompiledPartition:
                 category="runtime",
                 graph=lowered.graph.name,
                 threads=self.num_threads,
+                executor=self.executor,
             ) as span:
-                interp.run(buffers)
-                span.set(**interp.stats.to_dict())
+                stats = self._run_backend(buffers)
+                span.set(**stats.to_dict())
         else:
-            interp.run(buffers)
-        stats = interp.stats
+            stats = self._run_backend(buffers)
         self.last_stats = stats
         self._publish_metrics(stats, time.perf_counter() - start)
         return outputs, stats
+
+    def _run_backend(self, buffers: Dict[str, np.ndarray]) -> ExecutionStats:
+        """One execution of the main module on the selected backend."""
+        lowered = self.lowered
+        num_threads = max(1, int(self.num_threads))
+        pool = self._shared_pool(num_threads)
+        if self.executor == "compiled":
+            return self._compiled_executor().run(
+                buffers, pool=pool, num_threads=num_threads
+            )
+        interp = Interpreter(
+            lowered.module,
+            arena_size=self.arena_size or None,
+            num_threads=num_threads,
+            machine=lowered.ctx.machine,
+            pool=pool,
+        )
+        interp.run(buffers)
+        return interp.stats
+
+    def _compiled_executor(self) -> CompiledExecutor:
+        """The specialized executor, built once per partition."""
+        executor = self._compiled
+        if executor is None:
+            with self._executor_lock:
+                if self._compiled is None:
+                    lowered = self.lowered
+                    self._compiled = CompiledExecutor(
+                        lowered.module,
+                        machine=lowered.ctx.machine,
+                        arena_size=self.arena_size or None,
+                    )
+                executor = self._compiled
+        return executor
+
+    def _shared_pool(self, num_threads: int) -> Optional[ThreadPoolExecutor]:
+        """The partition-lifetime worker pool (None when single-threaded).
+
+        ``num_threads`` may be reassigned between calls; the pool is
+        rebuilt to match.  Workers idle between calls — no per-loop (or
+        per-call) pool construction.
+        """
+        if num_threads <= 1:
+            return None
+        pool = self._pool
+        if pool is not None and self._pool_size == num_threads:
+            return pool
+        with self._executor_lock:
+            if self._pool is None or self._pool_size != num_threads:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=num_threads,
+                    thread_name_prefix="repro-runtime",
+                )
+                self._pool_size = num_threads
+            return self._pool
+
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        with self._executor_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_size = 0
 
     @staticmethod
     def _publish_metrics(stats: ExecutionStats, seconds: float) -> None:

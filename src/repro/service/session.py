@@ -15,6 +15,7 @@ the MHA mask's leading batch dim) without per-workload configuration.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -79,6 +80,10 @@ class InferenceSession:
             get an exact-size specialization.  ``None`` compiles exactly
             per distinct batch size.
         num_threads: Intra-partition parallelism for compiled partitions.
+        executor: Runtime backend override (``"interpret"`` or
+            ``"compiled"``); ``None`` keeps ``options.executor``.  The
+            choice participates in partition-cache signatures, so sessions
+            with different backends never share compiled artifacts.
     """
 
     def __init__(
@@ -91,11 +96,16 @@ class InferenceSession:
         cache: Optional[PartitionCache] = None,
         batch_buckets: Optional[Sequence[int]] = None,
         num_threads: int = 1,
+        executor: Optional[str] = None,
     ) -> None:
         self._builder = graph_builder
         self._weights: Dict[str, np.ndarray] = dict(weights or {})
         self._machine = machine
         self._options = options or CompilerOptions()
+        if executor is not None:
+            self._options = dataclasses.replace(
+                self._options, executor=executor
+            )
         self._cache = cache if cache is not None else PartitionCache()
         self._num_threads = num_threads
         if batch_buckets is not None:

@@ -10,6 +10,13 @@ Usage::
     python -m repro.tools.bench fig7 --tune model --tuning-cache tune.json
     python -m repro.tools.bench fig8-mlp --trace trace.json  # Chrome trace
     python -m repro.tools.bench fig8-mlp --metrics      # top passes / ops
+    python -m repro.tools.bench runtime --repeat 5      # BENCH_runtime.json
+    python -m repro.tools.bench runtime --executor compiled --quick
+
+``runtime`` measures *real* steady-state execution latency (not modeled
+cycles) of the fig7/fig8 workloads on the interpreter and the compiled
+executor, asserts both backends produce bit-identical outputs, and
+writes the ``BENCH_runtime.json`` artifact.
 
 Prints the same tables the pytest benchmarks produce; handy for quick
 sweeps and for regenerating EXPERIMENTS.md numbers.  With ``--tune``,
@@ -236,6 +243,205 @@ def run_fig8_mha(dtype: DType, batches) -> None:
     print(f"\ngeomean speedup: {geomean(speedups):.2f}")
 
 
+#: Schema tag of the runtime-bench artifact; bump on breaking changes.
+BENCH_RUNTIME_SCHEMA = "repro.bench_runtime/v1"
+
+
+def _runtime_workloads(dtype: DType, quick: bool):
+    """(group, label, builder) triples for the runtime benchmark."""
+    from ..workloads import MLP_CONFIGS
+
+    items = []
+    shapes = list(individual_matmul_shapes())
+    mlp_batches = list(MLP_BATCH_SIZES)
+    # Backend comparison, not a batch sweep: one MHA batch size keeps the
+    # run in minutes (the interpreter needs seconds per large-MHA call).
+    mha_batches = [MHA_BATCH_SIZES[0]]
+    mha_names = sorted(MHA_CONFIGS)
+    if quick:
+        shapes = shapes[:1]
+        mlp_batches = [32]
+        mha_names = mha_names[:1]
+    for shape in shapes:
+        items.append(
+            (
+                "fig7",
+                f"{shape.name} {dtype.value}",
+                lambda s=shape: _single_matmul(s.m, s.k, s.n, dtype),
+            )
+        )
+    for name in sorted(MLP_CONFIGS):
+        for batch in mlp_batches:
+            items.append(
+                (
+                    "fig8-mlp",
+                    f"{name} b{batch} {dtype.value}",
+                    lambda n=name, b=batch: build_mlp_graph(n, b, dtype),
+                )
+            )
+    for name in mha_names:
+        for batch in mha_batches:
+            items.append(
+                (
+                    "fig8-mha",
+                    f"{name} b{batch} {dtype.value}",
+                    lambda n=name, b=batch: build_mha_graph(n, b, dtype),
+                )
+            )
+    return items
+
+
+def _measure_backend(builder, backend: str, repeat: int, threads: int):
+    """(best steady-state ms, outputs in signature order, stats dict)."""
+    import time
+
+    options = dataclasses.replace(_effective_options(None), executor=backend)
+    partition = compile_graph(
+        builder(), options=options, num_threads=threads
+    )
+    feed = _synthetic_inputs(partition)
+    partition.execute(dict(feed))  # init + one-time specialization
+    partition.execute(dict(feed))  # warmup
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        outputs = partition.execute(dict(feed))
+        best = min(best, time.perf_counter() - start)
+    stats = partition.last_stats.to_dict() if partition.last_stats else {}
+    partition.close()
+    return best * 1e3, list(outputs.values()), stats
+
+
+def run_runtime(
+    executor: str, repeat: int, threads: int, dtype: DType, quick: bool
+) -> dict:
+    """Interpreter-vs-executor steady-state latency over fig7/fig8.
+
+    Returns the ``BENCH_runtime.json`` document (schema
+    ``repro.bench_runtime/v1``).
+    """
+    import numpy as np
+
+    backends = (
+        ["interpret", "compiled"] if executor == "both" else [executor]
+    )
+    workloads = []
+    ratios_by_group: dict = {}
+    for group, label, builder in _runtime_workloads(dtype, quick):
+        entry = {"group": group, "name": label}
+        outputs = {}
+        for backend in backends:
+            ms, outs, stats = _measure_backend(
+                builder, backend, repeat, threads
+            )
+            entry[f"{backend}_ms"] = round(ms, 4)
+            entry["brgemm_calls"] = stats.get("brgemm_calls", 0)
+            outputs[backend] = outs
+        if len(backends) == 2:
+            entry["speedup"] = round(
+                entry["interpret_ms"] / entry["compiled_ms"], 4
+            )
+            entry["identical"] = len(outputs["interpret"]) == len(
+                outputs["compiled"]
+            ) and all(
+                np.array_equal(a, b)
+                for a, b in zip(
+                    outputs["interpret"], outputs["compiled"]
+                )
+            )
+            ratios_by_group.setdefault(group, []).append(entry["speedup"])
+        workloads.append(entry)
+    document = {
+        "schema": BENCH_RUNTIME_SCHEMA,
+        "machine": "XEON_8358",
+        "dtype": dtype.value,
+        "num_threads": threads,
+        "repeat": repeat,
+        "executors": backends,
+        "workloads": workloads,
+    }
+    if ratios_by_group:
+        document["geomean_speedup"] = {
+            group: round(geomean(ratios), 4)
+            for group, ratios in sorted(ratios_by_group.items())
+        }
+        document["geomean_speedup"]["all"] = round(
+            geomean([r for rs in ratios_by_group.values() for r in rs]), 4
+        )
+    return document
+
+
+def validate_bench_runtime(document: dict) -> List[str]:
+    """Schema check for BENCH_runtime.json; returns a list of problems."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("schema") != BENCH_RUNTIME_SCHEMA:
+        errors.append(
+            f"schema is {document.get('schema')!r}, "
+            f"expected {BENCH_RUNTIME_SCHEMA!r}"
+        )
+    for key in ("machine", "dtype", "num_threads", "repeat", "executors"):
+        if key not in document:
+            errors.append(f"missing key {key!r}")
+    executors = document.get("executors", [])
+    if not isinstance(executors, list) or not executors:
+        errors.append("executors must be a non-empty list")
+    workloads = document.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        errors.append("workloads must be a non-empty list")
+        return errors
+    paired = len(executors) == 2
+    for index, entry in enumerate(workloads):
+        where = f"workloads[{index}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key in ("group", "name"):
+            if not isinstance(entry.get(key), str):
+                errors.append(f"{where}.{key} missing or not a string")
+        for backend in executors:
+            ms = entry.get(f"{backend}_ms")
+            if not isinstance(ms, (int, float)) or ms <= 0:
+                errors.append(f"{where}.{backend}_ms must be positive")
+        if paired:
+            if not isinstance(entry.get("speedup"), (int, float)):
+                errors.append(f"{where}.speedup missing")
+            if entry.get("identical") is not True:
+                errors.append(
+                    f"{where}: backends disagree (identical != true)"
+                )
+    if paired and not isinstance(document.get("geomean_speedup"), dict):
+        errors.append("geomean_speedup missing")
+    return errors
+
+
+def _print_runtime_report(document: dict) -> None:
+    rows = []
+    paired = len(document["executors"]) == 2
+    for entry in document["workloads"]:
+        row = {"test": f"{entry['group']}: {entry['name']}"}
+        for backend in document["executors"]:
+            row[backend] = f"{entry[f'{backend}_ms']:.2f}ms"
+        if paired:
+            row["speedup"] = entry["speedup"]
+            row["identical"] = str(entry["identical"]).lower()
+        rows.append(row)
+    columns = ["test"] + list(document["executors"])
+    if paired:
+        columns += ["speedup", "identical"]
+    print(
+        format_speedup_table(
+            f"Runtime backends — steady-state latency, "
+            f"{document['dtype']}, {document['num_threads']} thread(s)",
+            rows,
+            columns,
+        )
+    )
+    for group, value in document.get("geomean_speedup", {}).items():
+        print(f"geomean speedup [{group}]: {value:.2f}")
+
+
 def _print_tuning_report(results) -> None:
     """Heuristic-vs-tuned modeled costs for every tuned matmul problem."""
     if not results:
@@ -275,13 +481,47 @@ def main(argv=None) -> int:
         prog="repro.tools.bench", description=__doc__
     )
     parser.add_argument(
-        "figure", choices=["fig7", "fig8-mlp", "fig8-mha"]
+        "figure", choices=["fig7", "fig8-mlp", "fig8-mha", "runtime"]
     )
     parser.add_argument("--dtype", choices=sorted(_DTYPES), default="f32")
     parser.add_argument("--workload", default="MLP_1")
     parser.add_argument(
         "--batches",
         help="comma-separated batch sizes (defaults to the paper's)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["interpret", "compiled", "both"],
+        default="both",
+        help="runtime backend(s) the `runtime` figure measures "
+        "(default: both, with a bit-identical output check)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        metavar="N",
+        help="steady-state repetitions per workload/backend for `runtime` "
+        "(best-of-N after warmup)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=1,
+        metavar="N",
+        help="num_threads for the `runtime` figure's partitions",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="where the `runtime` figure writes its artifact "
+        "(default: BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="`runtime` smoke mode: one workload per figure group",
     )
     parser.add_argument(
         "--cache-stats",
@@ -331,6 +571,29 @@ def main(argv=None) -> int:
         add_tuning_hook(tuning_results.append)
     elif args.tuning_cache:
         parser.error("--tuning-cache requires --tune")
+    if args.figure == "runtime":
+        import json
+
+        try:
+            document = run_runtime(
+                args.executor, args.repeat, args.threads, dtype, args.quick
+            )
+        finally:
+            if args.tune:
+                remove_tuning_hook(tuning_results.append)
+            _CACHE, _TUNING, _OBSERVE = None, None, False
+        _print_runtime_report(document)
+        problems = validate_bench_runtime(document)
+        if problems:
+            for problem in problems:
+                print(f"schema violation: {problem}", file=sys.stderr)
+            return 1
+        path = args.json or "BENCH_runtime.json"
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {path}")
+        return 0
     if args.figure == "fig7":
         run_fig7(dtype)
     elif args.figure == "fig8-mlp":

@@ -71,6 +71,12 @@ class TestExamples:
         assert "schema check: ok" in out
         assert path.exists()
 
+    def test_executor_speedup(self, capsys):
+        run_example("executor_speedup.py")
+        out = capsys.readouterr().out
+        assert "interpreter" in out
+        assert "bit-identical" in out
+
     def test_all_examples_exist(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
@@ -82,4 +88,5 @@ class TestExamples:
             "serving_mlp.py",
             "autotune_matmul.py",
             "trace_mlp.py",
+            "executor_speedup.py",
         } <= names

@@ -119,3 +119,69 @@ class TestBenchTool:
         out = capsys.readouterr().out
         assert "top passes" in out
         assert validate_chrome_trace_file(str(path)) == []
+
+
+class TestRuntimeBench:
+    def test_quick_runtime_bench_writes_valid_json(self, capsys, tmp_path):
+        import json
+
+        from repro.tools.bench import main as bench_main
+        from repro.tools.bench import validate_bench_runtime
+
+        path = tmp_path / "BENCH_runtime.json"
+        assert bench_main(
+            ["runtime", "--quick", "--repeat", "1", "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Runtime backends" in out
+        assert "geomean" in out
+        document = json.loads(path.read_text())
+        assert validate_bench_runtime(document) == []
+        assert document["schema"] == "repro.bench_runtime/v1"
+        assert document["executors"] == ["interpret", "compiled"]
+        for entry in document["workloads"]:
+            assert entry["identical"] is True
+            assert entry["speedup"] > 0
+
+    def test_single_backend_run(self, capsys, tmp_path):
+        import json
+
+        from repro.tools.bench import main as bench_main
+
+        path = tmp_path / "runtime.json"
+        assert bench_main(
+            ["runtime", "--quick", "--repeat", "1",
+             "--executor", "compiled", "--json", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert document["executors"] == ["compiled"]
+        for entry in document["workloads"]:
+            assert "compiled_ms" in entry
+            assert "speedup" not in entry
+
+    def test_validator_rejects_malformed_documents(self):
+        from repro.tools.bench import validate_bench_runtime
+
+        assert validate_bench_runtime({"schema": "nope"}) != []
+        bad = {
+            "schema": "repro.bench_runtime/v1",
+            "machine": "XEON_8358",
+            "dtype": "f32",
+            "num_threads": 1,
+            "repeat": 1,
+            "executors": ["interpret", "compiled"],
+            "workloads": [
+                {
+                    "group": "fig8-mlp",
+                    "name": "MLP_1_b32",
+                    "interpret_ms": 1.0,
+                    "compiled_ms": -2.0,  # non-positive latency
+                    "identical": False,  # paired run must be identical
+                }
+            ],
+            "geomean_speedup": {},
+        }
+        errors = validate_bench_runtime(bad)
+        assert any("compiled_ms" in e for e in errors)
+        assert any("identical" in e for e in errors)
+        assert any("speedup" in e for e in errors)
