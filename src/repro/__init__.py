@@ -44,6 +44,8 @@ from .observability import (
 )
 from .runtime.partition import CompiledPartition
 from .service import (
+    BatchingEngine,
+    BatchingStats,
     InferenceSession,
     PartitionCache,
     ServiceStats,
@@ -73,6 +75,8 @@ __all__ = [
     "MachineModel",
     "XEON_8358",
     "CompiledPartition",
+    "BatchingEngine",
+    "BatchingStats",
     "InferenceSession",
     "PartitionCache",
     "ServiceStats",

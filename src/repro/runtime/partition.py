@@ -300,8 +300,19 @@ class CompiledPartition:
                 self._pool_size = num_threads
             return self._pool
 
+    @property
+    def has_active_pool(self) -> bool:
+        """Whether a persistent worker pool is currently alive."""
+        with self._executor_lock:
+            return self._pool is not None
+
     def close(self) -> None:
-        """Release the persistent worker pool (idempotent)."""
+        """Release the persistent worker pool (idempotent).
+
+        Called by owners on teardown and by :class:`PartitionCache` when
+        it evicts this partition.  Executing the partition again after
+        ``close`` transparently rebuilds the pool.
+        """
         with self._executor_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)

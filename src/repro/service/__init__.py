@@ -1,22 +1,37 @@
 """repro.service: the serving layer over the one-shot compiler.
 
-Signature -> cache -> session:
+Signature -> cache -> session -> batching:
 
 * :func:`graph_signature` fingerprints a (graph, machine, options)
   compilation request, stably across tensor-id renumbering;
 * :class:`PartitionCache` is an LRU, byte-budgeted, single-flight cache of
-  :class:`~repro.runtime.partition.CompiledPartition`;
+  :class:`~repro.runtime.partition.CompiledPartition` that closes
+  partitions it evicts;
 * :class:`InferenceSession` binds weights once and serves ``run(inputs)``
   thread-safely with shape-bucketed batch specialization;
-* :class:`ServiceStats` snapshots what the cache did.
+* :class:`BatchingEngine` (``InferenceSession(batching="on")``) coalesces
+  concurrent requests per shape bucket into single partition executions —
+  ``submit(inputs) -> Future`` plus a blocking ``run`` wrapper;
+* :class:`ServiceStats` / :class:`BatchingStats` snapshot what the cache
+  and the engine did (including shape-bucket padding utilization).
 """
 
+from .batching import (
+    BatchingEngine,
+    BatchingStats,
+    BucketBatchStats,
+    format_batching_stats,
+)
 from .cache import PartitionCache, partition_nbytes
-from .session import InferenceSession
+from .session import BATCHING_MODES, InferenceSession
 from .signature import canonical_graph_form, graph_signature
 from .stats import ServiceStats, SignatureStats, format_stats
 
 __all__ = [
+    "BATCHING_MODES",
+    "BatchingEngine",
+    "BatchingStats",
+    "BucketBatchStats",
     "PartitionCache",
     "partition_nbytes",
     "InferenceSession",
@@ -24,5 +39,6 @@ __all__ = [
     "graph_signature",
     "ServiceStats",
     "SignatureStats",
+    "format_batching_stats",
     "format_stats",
 ]

@@ -1,0 +1,598 @@
+"""Dynamic micro-batching: coalesce concurrent requests into one execution.
+
+The serving path so far executes every request alone: a request of batch 8
+in a 32-bucket pays a full bucket execution for a quarter of its rows, and
+eight concurrent callers pay eight executor dispatches.  The
+:class:`BatchingEngine` sits in front of an :class:`.InferenceSession` and
+turns that regime around — exactly the "small batch sizes in real
+production scenarios" the paper targets, attacked from the serving side
+(clipper/triton-style dynamic batching) instead of the compiler side.
+
+How it works:
+
+* ``submit(inputs) -> Future`` drops the request into a **per-shape-bucket
+  queue** (the bucket the session would round the request up to anyway).
+* One **dispatcher thread per bucket** coalesces up to ``max_batch``
+  pending requests within a ``batch_timeout_us`` window, stopping early
+  when the combined rows fill the bucket exactly.
+* The dispatcher **concatenates** the requests along the batch axis, pads
+  the remainder once, executes the compiled partition **once**, and
+  **splits** the output back onto the per-request futures.
+
+One bucket execution therefore amortizes executor dispatch, thread-pool
+fan-out and padding waste across the whole micro-batch; per-request
+results are bit-identical to the unbatched path because every batch row is
+computed independently by the generated kernels.
+
+Backpressure is a bounded per-bucket queue (``queue_depth``): submitters
+block until the dispatcher drains space.  ``close(drain=True)`` completes
+every queued request; ``close(drain=False)`` cancels what has not started
+executing — either way no future is left pending.
+
+Buckets are what make coalescing shape-stable: requests whose bucket is an
+*exact* specialization (a session without ``batch_buckets``, or a batch
+beyond the largest bucket) are dispatched solo, since combining them would
+mint new partition shapes per combination and churn the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..observability import get_registry, get_tracer
+
+#: Engine lifecycle states.
+_RUNNING, _DRAINING, _CANCELLING = "running", "draining", "cancelling"
+
+
+@dataclass
+class _Request:
+    """One queued inference request awaiting a dispatcher."""
+
+    inputs: Dict[str, np.ndarray]
+    batch: int
+    future: Future
+    enqueued: float
+
+
+class _BucketQueue:
+    """Pending requests for one shape bucket plus its dispatcher thread."""
+
+    __slots__ = ("bucket", "capacity", "items", "cond", "thread")
+
+    def __init__(self, bucket: int, capacity: Optional[int]) -> None:
+        self.bucket = bucket
+        #: Max combined batch units per execution; ``None`` disables
+        #: coalescing (exact-specialization buckets dispatch solo).
+        self.capacity = capacity
+        self.items: "deque[_Request]" = deque()
+        self.cond = threading.Condition()
+        self.thread: Optional[threading.Thread] = None
+
+
+@dataclass(frozen=True)
+class BucketBatchStats:
+    """Lifetime batching counters for one shape bucket."""
+
+    bucket: int
+    requests: int
+    batches: int
+    rows: int
+    padded_rows: int
+
+    @property
+    def utilization(self) -> float:
+        """Useful rows / computed rows for this bucket's executions."""
+        computed = self.rows + self.padded_rows
+        return self.rows / computed if computed else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bucket": self.bucket,
+            "requests": self.requests,
+            "batches": self.batches,
+            "rows": self.rows,
+            "padded_rows": self.padded_rows,
+            "utilization": self.utilization,
+        }
+
+
+@dataclass(frozen=True)
+class BatchingStats:
+    """Immutable snapshot of what a :class:`BatchingEngine` did."""
+
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    batches: int
+    rows: int
+    padded_rows: int
+    max_requests_per_batch: int
+    queue_wait_seconds: float
+    max_queue_wait_seconds: float
+    buckets: Tuple[BucketBatchStats, ...] = field(default_factory=tuple)
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Requests served per partition execution (1.0 = no batching win)."""
+        return self.completed / self.batches if self.batches else 0.0
+
+    @property
+    def mean_queue_wait_seconds(self) -> float:
+        return self.queue_wait_seconds / self.completed if self.completed else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Useful rows / computed rows across every execution."""
+        computed = self.rows + self.padded_rows
+        return self.rows / computed if computed else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "rows": self.rows,
+            "padded_rows": self.padded_rows,
+            "max_requests_per_batch": self.max_requests_per_batch,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "max_queue_wait_seconds": self.max_queue_wait_seconds,
+            "coalesce_ratio": self.coalesce_ratio,
+            "mean_queue_wait_seconds": self.mean_queue_wait_seconds,
+            "utilization": self.utilization,
+            "buckets": [b.to_dict() for b in self.buckets],
+        }
+
+
+def format_batching_stats(stats: BatchingStats) -> str:
+    """Human-readable BatchingStats block (printed by ``bench.py serve``)."""
+    lines = [
+        "BatchingStats",
+        (
+            f"  submitted={stats.submitted} completed={stats.completed} "
+            f"failed={stats.failed} cancelled={stats.cancelled}"
+        ),
+        (
+            f"  batches={stats.batches} "
+            f"coalesce_ratio={stats.coalesce_ratio:.2f} "
+            f"max_requests_per_batch={stats.max_requests_per_batch}"
+        ),
+        (
+            f"  rows={stats.rows} padded_rows={stats.padded_rows} "
+            f"utilization={stats.utilization:.1%}"
+        ),
+        (
+            f"  queue_wait mean={stats.mean_queue_wait_seconds * 1e3:.3f}ms "
+            f"max={stats.max_queue_wait_seconds * 1e3:.3f}ms"
+        ),
+    ]
+    for b in sorted(stats.buckets, key=lambda b: b.bucket):
+        lines.append(
+            f"    bucket {b.bucket:>5}: requests={b.requests} "
+            f"batches={b.batches} rows={b.rows} "
+            f"padded={b.padded_rows} util={b.utilization:.1%}"
+        )
+    return "\n".join(lines)
+
+
+class _BucketCounters:
+    __slots__ = ("requests", "batches", "rows", "padded_rows")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.rows = 0
+        self.padded_rows = 0
+
+
+class BatchingEngine:
+    """Dynamic micro-batcher in front of one :class:`.InferenceSession`.
+
+    Args:
+        session: The session whose bucketed partitions serve the batches.
+            The engine needs every activation input and every output to
+            carry exactly one batch-scaled axis (so requests concatenate
+            and split cleanly); sessions over workloads violating that are
+            rejected here.
+        max_batch: Most requests one execution may coalesce.
+        batch_timeout_us: How long a dispatcher holds the first request of
+            a window open for followers, in microseconds.  The window
+            closes early once the combined rows fill the bucket.
+        queue_depth: Bound on queued (not yet dispatched) requests per
+            bucket; submitters block while their bucket is full.  ``None``
+            disables backpressure.
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        max_batch: int = 32,
+        batch_timeout_us: int = 2000,
+        queue_depth: Optional[int] = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_timeout_us < 0:
+            raise ValueError("batch_timeout_us must be >= 0")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1 (or None)")
+        self._session = session
+        self.max_batch = int(max_batch)
+        self.batch_timeout_us = int(batch_timeout_us)
+        self.queue_depth = queue_depth
+        self._timeout_s = batch_timeout_us / 1e6
+        self._input_names: List[str] = list(session.input_names)
+        self._input_axes: Dict[str, Tuple[int, int]] = {}
+        for name in self._input_names:
+            axes = session.input_batch_axes.get(name, [])
+            if len(axes) != 1:
+                raise ValueError(
+                    f"input {name!r} has {len(axes)} batch-scaled axes; "
+                    "micro-batching needs exactly one concatenation axis"
+                )
+            self._input_axes[name] = tuple(axes[0])
+        self._output_axes: List[Tuple[int, int]] = []
+        for index, axes in enumerate(session.output_batch_axes):
+            if len(axes) != 1:
+                raise ValueError(
+                    f"output {index} has {len(axes)} batch-scaled axes; "
+                    "micro-batching needs exactly one split axis"
+                )
+            self._output_axes.append(tuple(axes[0]))
+        self._input_dtypes: Dict[str, np.dtype] = dict(
+            getattr(session, "input_dtypes", {}) or {}
+        )
+        self._lock = threading.Lock()
+        self._queues: Dict[int, _BucketQueue] = {}
+        self._state = _RUNNING
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._batches = 0
+        self._rows = 0
+        self._padded_rows = 0
+        self._max_requests = 0
+        self._wait_sum = 0.0
+        self._wait_max = 0.0
+        self._per_bucket: Dict[int, _BucketCounters] = {}
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        batch: Optional[int] = None,
+    ) -> "Future[Dict[str, np.ndarray]]":
+        """Enqueue one request; the Future resolves to its output dict.
+
+        Validates shapes/dtypes *here* so a malformed request fails its own
+        caller instead of poisoning the batch it would have joined.  Blocks
+        while the target bucket's queue is at ``queue_depth``.
+        """
+        if batch is None:
+            batch = self._session.infer_batch(inputs)
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        arrays = self._validated(inputs, batch)
+        bucket = self._session.bucket_for(batch)
+        with self._lock:
+            if self._state != _RUNNING:
+                raise RuntimeError("BatchingEngine is closed")
+            queue = self._queue_for_locked(bucket)
+        registry = get_registry()
+        with queue.cond:
+            while (
+                self.queue_depth is not None
+                and len(queue.items) >= self.queue_depth
+                and self._state == _RUNNING
+            ):
+                registry.counter("service.batch.queue_full_waits").inc()
+                queue.cond.wait()
+            if self._state != _RUNNING:
+                raise RuntimeError("BatchingEngine is closed")
+            future: "Future[Dict[str, np.ndarray]]" = Future()
+            queue.items.append(
+                _Request(arrays, batch, future, time.perf_counter())
+            )
+            queue.cond.notify_all()
+        with self._stats_lock:
+            self._submitted += 1
+        registry.counter("service.requests").inc()
+        registry.histogram("service.request_batch").observe(batch)
+        return future
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        batch: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Blocking wrapper: submit and wait for the result."""
+        return self.submit(inputs, batch=batch).result()
+
+    def _validated(
+        self, inputs: Mapping[str, np.ndarray], batch: int
+    ) -> Dict[str, np.ndarray]:
+        arrays: Dict[str, np.ndarray] = {}
+        for name in self._input_names:
+            if name not in inputs:
+                raise ValueError(f"missing input {name!r}")
+            array = np.asarray(inputs[name])
+            axis, mult = self._input_axes[name]
+            if array.ndim <= axis or array.shape[axis] != batch * mult:
+                raise ValueError(
+                    f"input {name!r} has shape {array.shape}; expected "
+                    f"extent {batch * mult} on axis {axis}"
+                )
+            expected = self._input_dtypes.get(name)
+            if expected is not None and array.dtype != expected:
+                raise ValueError(
+                    f"input {name!r} has dtype {array.dtype}, expected "
+                    f"{np.dtype(expected)}"
+                )
+            arrays[name] = array
+        return arrays
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _queue_for_locked(self, bucket: int) -> _BucketQueue:
+        queue = self._queues.get(bucket)
+        if queue is None:
+            buckets = self._session.buckets
+            coalescible = buckets is not None and bucket in buckets
+            queue = _BucketQueue(bucket, bucket if coalescible else None)
+            queue.thread = threading.Thread(
+                target=self._dispatch,
+                args=(queue,),
+                name=f"repro-batch-{bucket}",
+                daemon=True,
+            )
+            self._queues[bucket] = queue
+            queue.thread.start()
+        return queue
+
+    def _dispatch(self, queue: _BucketQueue) -> None:
+        """Dispatcher loop for one bucket: collect a window, execute it."""
+        tracer = get_tracer()
+        while True:
+            with queue.cond:
+                while not queue.items and self._state == _RUNNING:
+                    queue.cond.wait()
+                if not queue.items:
+                    return  # closed and drained
+                if self._state == _CANCELLING:
+                    cancelled = 0
+                    while queue.items:
+                        request = queue.items.popleft()
+                        if request.future.cancel():
+                            cancelled += 1
+                    queue.cond.notify_all()
+                    with self._stats_lock:
+                        self._cancelled += cancelled
+                    get_registry().counter("service.batch.cancelled").inc(
+                        cancelled
+                    )
+                    return
+                with tracer.span(
+                    "batch.collect", category="service", bucket=queue.bucket
+                ) as span:
+                    requests, rows = self._collect_locked(queue)
+                    span.set(requests=len(requests), rows=rows)
+                queue.cond.notify_all()  # free backpressure waiters
+            self._execute(queue, requests, rows)
+
+    def _collect_locked(
+        self, queue: _BucketQueue
+    ) -> Tuple[List[_Request], int]:
+        """Pop one coalescing window off the queue (cond held)."""
+        first = queue.items.popleft()
+        requests = [first]
+        rows = first.batch
+        if queue.capacity is None:
+            return requests, rows
+        deadline = time.perf_counter() + self._timeout_s
+        while len(requests) < self.max_batch and rows < queue.capacity:
+            if queue.items:
+                if rows + queue.items[0].batch <= queue.capacity:
+                    request = queue.items.popleft()
+                    requests.append(request)
+                    rows += request.batch
+                    continue
+                break  # head does not fit; ship what we have
+            if self._state != _RUNNING:
+                break  # draining: don't hold the window open
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            queue.cond.wait(remaining)
+        return requests, rows
+
+    def _execute(
+        self, queue: _BucketQueue, requests: List[_Request], rows: int
+    ) -> None:
+        """Run one coalesced window through the session's partition."""
+        # A caller may have cancelled a future while it sat in the queue;
+        # set_running_or_notify_cancel also makes later cancels no-ops.
+        live = [
+            r for r in requests if r.future.set_running_or_notify_cancel()
+        ]
+        dropped = len(requests) - len(live)
+        if dropped:
+            with self._stats_lock:
+                self._cancelled += dropped
+            get_registry().counter("service.batch.cancelled").inc(dropped)
+        if not live:
+            return
+        rows = sum(r.batch for r in live)
+        bucket = (
+            queue.bucket
+            if queue.capacity is not None
+            else self._session.bucket_for(rows)
+        )
+        start = time.perf_counter()
+        tracer = get_tracer()
+        try:
+            combined = self._combine(live)
+            with tracer.span(
+                "batch.execute",
+                category="service",
+                bucket=bucket,
+                requests=len(live),
+                rows=rows,
+            ):
+                outputs = self._session.execute_bucket(combined, rows, bucket)
+            results = self._split(outputs, live)
+        except BaseException as exc:
+            for request in live:
+                request.future.set_exception(exc)
+            with self._stats_lock:
+                self._failed += len(live)
+            get_registry().counter("service.batch.failed").inc(len(live))
+            return
+        for request, result in zip(live, results):
+            request.future.set_result(result)
+        self._note_executed(live, rows, bucket, start)
+
+    def _combine(self, requests: List[_Request]) -> Dict[str, np.ndarray]:
+        if len(requests) == 1:
+            return dict(requests[0].inputs)
+        combined: Dict[str, np.ndarray] = {}
+        for name in self._input_names:
+            axis, _ = self._input_axes[name]
+            combined[name] = np.concatenate(
+                [r.inputs[name] for r in requests], axis=axis
+            )
+        return combined
+
+    def _split(
+        self, outputs: Dict[str, np.ndarray], requests: List[_Request]
+    ) -> List[Dict[str, np.ndarray]]:
+        results: List[Dict[str, np.ndarray]] = [{} for _ in requests]
+        for index, (name, array) in enumerate(outputs.items()):
+            axis, mult = self._output_axes[index]
+            offset = 0
+            for request, result in zip(requests, results):
+                window = [slice(None)] * array.ndim
+                window[axis] = slice(
+                    offset * mult, (offset + request.batch) * mult
+                )
+                result[name] = array[tuple(window)]
+                offset += request.batch
+        return results
+
+    def _note_executed(
+        self,
+        requests: List[_Request],
+        rows: int,
+        bucket: int,
+        start: float,
+    ) -> None:
+        padded = max(0, bucket - rows)
+        waits = [start - r.enqueued for r in requests]
+        with self._stats_lock:
+            self._completed += len(requests)
+            self._batches += 1
+            self._rows += rows
+            self._padded_rows += padded
+            self._max_requests = max(self._max_requests, len(requests))
+            self._wait_sum += sum(waits)
+            self._wait_max = max(self._wait_max, max(waits))
+            counters = self._per_bucket.setdefault(bucket, _BucketCounters())
+            counters.requests += len(requests)
+            counters.batches += 1
+            counters.rows += rows
+            counters.padded_rows += padded
+        registry = get_registry()
+        registry.counter("service.batch.executions").inc()
+        registry.counter("service.batch.requests").inc(len(requests))
+        registry.counter("service.batch.padding_rows").inc(padded)
+        registry.histogram("service.batch.size").observe(len(requests))
+        registry.histogram("service.batch.rows").observe(rows)
+        for wait in waits:
+            registry.histogram("service.batch.queue_wait_seconds").observe(
+                wait
+            )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._state != _RUNNING
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and settle every queued future.
+
+        ``drain=True`` executes everything already queued; ``drain=False``
+        cancels queued requests (windows already executing still complete).
+        Idempotent; later calls return immediately.
+        """
+        with self._lock:
+            if self._state != _RUNNING:
+                return
+            self._state = _DRAINING if drain else _CANCELLING
+            queues = list(self._queues.values())
+        for queue in queues:
+            with queue.cond:
+                queue.cond.notify_all()
+        for queue in queues:
+            if queue.thread is not None:
+                queue.thread.join()
+        # Belt and braces: nothing may stay pending after close.
+        leftover = 0
+        for queue in queues:
+            with queue.cond:
+                while queue.items:
+                    request = queue.items.popleft()
+                    if request.future.cancel():
+                        leftover += 1
+        if leftover:
+            with self._stats_lock:
+                self._cancelled += leftover
+            get_registry().counter("service.batch.cancelled").inc(leftover)
+
+    def __enter__(self) -> "BatchingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> BatchingStats:
+        """Immutable snapshot of every batching counter."""
+        with self._stats_lock:
+            buckets = tuple(
+                BucketBatchStats(
+                    bucket=bucket,
+                    requests=c.requests,
+                    batches=c.batches,
+                    rows=c.rows,
+                    padded_rows=c.padded_rows,
+                )
+                for bucket, c in sorted(self._per_bucket.items())
+            )
+            return BatchingStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                batches=self._batches,
+                rows=self._rows,
+                padded_rows=self._padded_rows,
+                max_requests_per_batch=self._max_requests,
+                queue_wait_seconds=self._wait_sum,
+                max_queue_wait_seconds=self._wait_max,
+                buckets=buckets,
+            )

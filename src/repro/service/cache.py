@@ -9,6 +9,8 @@ point.  Guarantees:
 * **LRU byte budget** — each resident partition is charged its weight
   cache plus scratch arena; least-recently-used entries are evicted until
   the cache fits ``capacity_bytes`` (and ``max_entries``, if set).
+  Evicted partitions are **closed** (their persistent thread pools shut
+  down) so eviction actually reclaims resources, not just references.
 * **Counters** — hits, misses, compiles, evictions, in-flight, and
   per-signature compile time / execute counts that survive eviction, all
   exposed as an immutable :class:`~repro.service.stats.ServiceStats`.
@@ -61,6 +63,10 @@ class _SigRecord:
     compiles: int = 0
     compile_seconds: float = 0.0
     executes: int = 0
+    #: Batch units the callers actually asked for vs what the bucket
+    #: computed — their ratio is the bucket's padding utilization.
+    rows_requested: int = 0
+    rows_computed: int = 0
 
 
 class _InFlight:
@@ -182,24 +188,44 @@ class PartitionCache:
             self._entries[signature] = _Entry(partition, nbytes)
             self._entries.move_to_end(signature)
             self._inflight.pop(signature, None)
-            self._evict_locked()
+            evicted = self._evict_locked()
             resident = self._resident_bytes_locked()
             entries = len(self._entries)
         leader_flight.event.set()
+        for victim in evicted:
+            victim.close()
         registry.counter("service.cache.compiles").inc()
         registry.histogram("service.cache.compile_seconds").observe(elapsed)
         registry.gauge("service.cache.resident_bytes").set(resident)
         registry.gauge("service.cache.entries").set(entries)
         return partition
 
-    def note_execute(self, signature: str, count: int = 1) -> None:
-        """Record ``count`` executions against a signature."""
+    def note_execute(
+        self,
+        signature: str,
+        count: int = 1,
+        *,
+        rows_requested: int = 0,
+        rows_computed: int = 0,
+    ) -> None:
+        """Record ``count`` executions against a signature.
+
+        ``rows_requested``/``rows_computed`` accumulate the batch units
+        the caller asked for vs what the bucket actually computed, making
+        shape-bucket padding waste visible in :class:`ServiceStats`.
+        """
         with self._lock:
-            self._records.setdefault(signature, _SigRecord()).executes += count
+            record = self._records.setdefault(signature, _SigRecord())
+            record.executes += count
+            record.rows_requested += rows_requested
+            record.rows_computed += rows_computed
 
     # -- eviction -------------------------------------------------------------
 
-    def _evict_locked(self) -> None:
+    def _evict_locked(self) -> list:
+        """Evict until within budget; returns the victims for the caller
+        to close *outside* the lock (pool shutdown can block)."""
+
         def over_budget() -> bool:
             if (
                 self.max_entries is not None
@@ -210,24 +236,39 @@ class PartitionCache:
                 return False
             return self._resident_bytes_locked() > self.capacity_bytes
 
+        evicted = []
         while self._entries and over_budget():
-            self._entries.popitem(last=False)
+            _, entry = self._entries.popitem(last=False)
+            evicted.append(entry.partition)
             self._evictions += 1
             get_registry().counter("service.cache.evictions").inc()
+        return evicted
 
     def _resident_bytes_locked(self) -> int:
         return sum(entry.nbytes for entry in self._entries.values())
 
     def clear(self) -> None:
-        """Drop every resident partition (counters are kept)."""
+        """Drop every resident partition, closing each (counters kept).
+
+        Evicted/cleared partitions release their persistent thread pools;
+        a partition executed again afterwards transparently rebuilds its
+        pool, so a racing in-flight request degrades rather than breaks.
+        """
         with self._lock:
-            dropped = len(self._entries)
-            self._evictions += dropped
+            dropped = list(self._entries.values())
+            self._evictions += len(dropped)
             self._entries.clear()
+        for entry in dropped:
+            entry.partition.close()
         registry = get_registry()
-        registry.counter("service.cache.evictions").inc(dropped)
+        registry.counter("service.cache.evictions").inc(len(dropped))
         registry.gauge("service.cache.resident_bytes").set(0)
         registry.gauge("service.cache.entries").set(0)
+
+    def close(self) -> None:
+        """Release every resident partition (alias of :meth:`clear`,
+        spelling out teardown intent for session owners)."""
+        self.clear()
 
     # -- introspection --------------------------------------------------------
 
@@ -244,6 +285,11 @@ class PartitionCache:
         with self._lock:
             return self._resident_bytes_locked()
 
+    def resident_partitions(self) -> list:
+        """The currently resident partitions (LRU order, oldest first)."""
+        with self._lock:
+            return [entry.partition for entry in self._entries.values()]
+
     def stats(self) -> ServiceStats:
         """Immutable snapshot of every counter and signature record."""
         with self._lock:
@@ -256,6 +302,8 @@ class PartitionCache:
                     compile_seconds=record.compile_seconds,
                     executes=record.executes,
                     resident=sig in self._entries,
+                    rows_requested=record.rows_requested,
+                    rows_computed=record.rows_computed,
                 )
                 for sig, record in self._records.items()
             )

@@ -11,6 +11,13 @@ Which dimensions scale with the batch is discovered structurally: the
 session builds two probe graphs at different batch sizes and diffs the
 input/output shapes, so it works for any workload shape convention (e.g.
 the MHA mask's leading batch dim) without per-workload configuration.
+
+With ``batching="on"`` the session fronts a
+:class:`~repro.service.batching.BatchingEngine`: concurrent requests are
+coalesced per shape bucket into single partition executions (``run`` is
+then a blocking wrapper over ``submit``'s Future).  Sessions are context
+managers; ``close()`` settles the engine and releases the partitions'
+persistent thread pools when the session owns its cache.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import PropertyKind
 from ..microkernel.machine import MachineModel, XEON_8358
 from ..observability import get_registry, get_tracer
+from .batching import BatchingEngine
 from .cache import PartitionCache
 from .signature import graph_signature
 from .stats import ServiceStats
@@ -36,6 +44,9 @@ from .stats import ServiceStats
 _BatchAxes = List[Tuple[int, int]]
 
 _PROBE_BATCHES = (2, 3)
+
+#: Valid values for ``InferenceSession(batching=)``.
+BATCHING_MODES = ("off", "on")
 
 
 def _diff_batch_axes(
@@ -84,6 +95,17 @@ class InferenceSession:
             ``"compiled"``); ``None`` keeps ``options.executor``.  The
             choice participates in partition-cache signatures, so sessions
             with different backends never share compiled artifacts.
+        batching: ``"off"`` serves every ``run()`` synchronously on the
+            caller's thread (the original path); ``"on"`` routes requests
+            through a :class:`.BatchingEngine` that coalesces concurrent
+            requests per shape bucket into single partition executions
+            (and additionally enables :meth:`submit`).
+        max_batch: Most requests one coalesced execution may contain
+            (``batching="on"`` only).
+        batch_timeout_us: Coalescing window in microseconds
+            (``batching="on"`` only).
+        queue_depth: Per-bucket backpressure bound on queued requests
+            (``batching="on"`` only; ``None`` disables backpressure).
     """
 
     def __init__(
@@ -97,6 +119,10 @@ class InferenceSession:
         batch_buckets: Optional[Sequence[int]] = None,
         num_threads: int = 1,
         executor: Optional[str] = None,
+        batching: str = "off",
+        max_batch: int = 32,
+        batch_timeout_us: int = 2000,
+        queue_depth: Optional[int] = 256,
     ) -> None:
         self._builder = graph_builder
         self._weights: Dict[str, np.ndarray] = dict(weights or {})
@@ -106,6 +132,7 @@ class InferenceSession:
             self._options = dataclasses.replace(
                 self._options, executor=executor
             )
+        self._owns_cache = cache is None
         self._cache = cache if cache is not None else PartitionCache()
         self._num_threads = num_threads
         if batch_buckets is not None:
@@ -118,7 +145,21 @@ class InferenceSession:
         self._lock = threading.Lock()
         self._sig_by_bucket: Dict[int, str] = {}
         self._label_by_bucket: Dict[int, str] = {}
+        self._closed = False
         self._probe()
+        if batching not in BATCHING_MODES:
+            raise ValueError(
+                f"unknown batching mode {batching!r}; "
+                f"expected one of {BATCHING_MODES}"
+            )
+        self._engine: Optional[BatchingEngine] = None
+        if batching == "on":
+            self._engine = BatchingEngine(
+                self,
+                max_batch=max_batch,
+                batch_timeout_us=batch_timeout_us,
+                queue_depth=queue_depth,
+            )
 
     @classmethod
     def for_workload(
@@ -153,6 +194,7 @@ class InferenceSession:
         g_a = self._builder(_PROBE_BATCHES[0])
         g_b = self._builder(_PROBE_BATCHES[1])
         self._input_batch_axes: Dict[str, _BatchAxes] = {}
+        self._input_dtypes: Dict[str, np.dtype] = {}
         self._activation_names: List[str] = []
         self._weight_names: List[str] = []
         for ta, tb in zip(g_a.inputs, g_b.inputs):
@@ -173,6 +215,7 @@ class InferenceSession:
             if not is_weight:
                 self._activation_names.append(ta.name)
                 self._input_batch_axes[ta.name] = axes
+                self._input_dtypes[ta.name] = np.dtype(ta.dtype.to_numpy())
             elif axes:
                 raise ValueError(
                     f"runtime-constant input {ta.name!r} scales with the "
@@ -204,6 +247,30 @@ class InferenceSession:
     @property
     def input_names(self) -> List[str]:
         return list(self._activation_names)
+
+    @property
+    def input_batch_axes(self) -> Dict[str, _BatchAxes]:
+        """Per-activation (axis, multiplier) pairs that scale with batch."""
+        return {k: list(v) for k, v in self._input_batch_axes.items()}
+
+    @property
+    def output_batch_axes(self) -> List[_BatchAxes]:
+        """Per-output (axis, multiplier) pairs that scale with batch."""
+        return [list(axes) for axes in self._output_batch_axes]
+
+    @property
+    def input_dtypes(self) -> Dict[str, np.dtype]:
+        """Expected numpy dtype of each activation input."""
+        return dict(self._input_dtypes)
+
+    @property
+    def batching(self) -> str:
+        return "on" if self._engine is not None else "off"
+
+    @property
+    def engine(self) -> Optional[BatchingEngine]:
+        """The micro-batching engine, or None when ``batching="off"``."""
+        return self._engine
 
     def bucket_for(self, batch: int) -> int:
         """The compilation bucket serving ``batch`` requests."""
@@ -242,8 +309,14 @@ class InferenceSession:
         """Serve one request; thread-safe.
 
         Returns output name -> array, shaped for the *request's* batch
-        size (bucket padding is invisible to the caller).
+        size (bucket padding is invisible to the caller).  With
+        ``batching="on"`` the request joins the micro-batching queue and
+        this call blocks until its share of a coalesced execution lands.
         """
+        if self._closed:
+            raise RuntimeError("InferenceSession is closed")
+        if self._engine is not None:
+            return self._engine.run(inputs, batch=batch)
         if batch is None:
             batch = self.infer_batch(inputs)
         bucket = self.bucket_for(batch)
@@ -252,9 +325,9 @@ class InferenceSession:
             with tracer.span(
                 "serve", category="service", batch=batch, bucket=bucket
             ):
-                outputs = self._run(inputs, batch, bucket)
+                outputs = self.execute_bucket(inputs, batch, bucket)
         else:
-            outputs = self._run(inputs, batch, bucket)
+            outputs = self.execute_bucket(inputs, batch, bucket)
         registry = get_registry()
         registry.counter("service.requests").inc()
         registry.histogram("service.request_batch").observe(batch)
@@ -262,9 +335,36 @@ class InferenceSession:
             registry.counter("service.padded_requests").inc()
         return outputs
 
-    def _run(
+    def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        batch: Optional[int] = None,
+    ):
+        """Async serving: enqueue one request, returning its Future.
+
+        Only available with ``batching="on"`` — the synchronous path has
+        no queue for the request to wait in.
+        """
+        if self._closed:
+            raise RuntimeError("InferenceSession is closed")
+        if self._engine is None:
+            raise RuntimeError(
+                "submit() requires batching='on' "
+                "(this session was built with batching='off')"
+            )
+        return self._engine.submit(inputs, batch=batch)
+
+    def execute_bucket(
         self, inputs: Mapping[str, np.ndarray], batch: int, bucket: int
     ) -> Dict[str, np.ndarray]:
+        """Execute the ``bucket`` partition on ``batch`` units of input.
+
+        The building block both serving paths share: pads the activations
+        up to the bucket, runs the (cached) partition once, slices the
+        outputs back to ``batch``, and accounts the padding waste
+        (``service.padding_rows`` counter, per-signature utilization —
+        both in *batch units*, i.e. rows for batch-major workloads).
+        """
         partition, signature = self._partition_for(bucket)
         feed: Dict[str, np.ndarray] = dict(self._weights)
         if bucket == batch:
@@ -278,9 +378,12 @@ class InferenceSession:
                     else array
                 )
         outputs = partition.execute(feed)
-        self._cache.note_execute(signature)
+        self._cache.note_execute(
+            signature, rows_requested=batch, rows_computed=bucket
+        )
         if bucket == batch:
             return outputs
+        get_registry().counter("service.padding_rows").inc(bucket - batch)
         sliced: Dict[str, np.ndarray] = {}
         for index, (name, array) in enumerate(outputs.items()):
             axes = (
@@ -341,6 +444,36 @@ class InferenceSession:
         for axis, mult in axes:
             index[axis] = slice(0, batch * mult)
         return array[tuple(index)]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Tear the session down; no request may be served afterwards.
+
+        Settles the batching engine first (``drain=True`` completes every
+        queued request, ``drain=False`` cancels what has not started
+        executing), then — when the session owns its cache — closes every
+        resident partition, releasing their persistent thread pools.  A
+        cache passed in by the caller is shared and stays untouched.
+        Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._engine is not None:
+            self._engine.close(drain=drain)
+        if self._owns_cache:
+            self._cache.close()
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- introspection --------------------------------------------------------
 

@@ -24,13 +24,32 @@ class SignatureStats:
     compile_seconds: float
     executes: int
     resident: bool
+    #: Batch units callers asked for vs what the bucket computed; the
+    #: difference is zero-padding the shape bucket silently burned.
+    rows_requested: int = 0
+    rows_computed: int = 0
 
     @property
     def short_signature(self) -> str:
         return self.signature[:12]
 
+    @property
+    def padded_rows(self) -> int:
+        return max(0, self.rows_computed - self.rows_requested)
+
+    @property
+    def utilization(self) -> float:
+        """Useful fraction of the rows this bucket computed (1.0 = no
+        padding waste; 0.0 when the signature never executed)."""
+        if not self.rows_computed:
+            return 0.0
+        return self.rows_requested / self.rows_computed
+
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        result = asdict(self)
+        result["padded_rows"] = self.padded_rows
+        result["utilization"] = self.utilization
+        return result
 
 
 @dataclass(frozen=True)
@@ -56,12 +75,28 @@ class ServiceStats:
         total = self.requests
         return self.hits / total if total else 0.0
 
+    @property
+    def padded_rows(self) -> int:
+        """Total batch units computed only to fill shape buckets."""
+        return sum(sig.padded_rows for sig in self.signatures)
+
+    @property
+    def utilization(self) -> float:
+        """Useful fraction of all bucket rows ever computed."""
+        computed = sum(sig.rows_computed for sig in self.signatures)
+        if not computed:
+            return 0.0
+        requested = sum(sig.rows_requested for sig in self.signatures)
+        return requested / computed
+
     def to_dict(self) -> Dict[str, Any]:
         """Flat JSON-ready dump (derived rates included); exporters and
         benches consume this instead of hand-rolling field access."""
         result = asdict(self)
         result["requests"] = self.requests
         result["hit_rate"] = self.hit_rate
+        result["padded_rows"] = self.padded_rows
+        result["utilization"] = self.utilization
         result["signatures"] = [sig.to_dict() for sig in self.signatures]
         return result
 
@@ -85,6 +120,11 @@ def format_stats(stats: ServiceStats) -> str:
     lines.append(
         f"  resident_bytes={stats.resident_bytes} capacity={capacity}"
     )
+    if stats.padded_rows or stats.utilization:
+        lines.append(
+            f"  padded_rows={stats.padded_rows} "
+            f"utilization={stats.utilization:.1%}"
+        )
     if stats.signatures:
         lines.append(
             format_table(
@@ -95,6 +135,7 @@ def format_stats(stats: ServiceStats) -> str:
                     "compiles",
                     "compile_s",
                     "executes",
+                    "util",
                     "resident",
                 ],
                 [
@@ -105,6 +146,7 @@ def format_stats(stats: ServiceStats) -> str:
                         sig.compiles,
                         sig.compile_seconds,
                         sig.executes,
+                        f"{sig.utilization:.0%}" if sig.rows_computed else "-",
                         "yes" if sig.resident else "no",
                     )
                     for sig in stats.signatures

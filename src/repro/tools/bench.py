@@ -12,11 +12,20 @@ Usage::
     python -m repro.tools.bench fig8-mlp --metrics      # top passes / ops
     python -m repro.tools.bench runtime --repeat 5      # BENCH_runtime.json
     python -m repro.tools.bench runtime --executor compiled --quick
+    python -m repro.tools.bench serve --clients 8       # BENCH_serving.json
+    python -m repro.tools.bench serve --quick
 
 ``runtime`` measures *real* steady-state execution latency (not modeled
 cycles) of the fig7/fig8 workloads on the interpreter and the compiled
 executor, asserts both backends produce bit-identical outputs, and
 writes the ``BENCH_runtime.json`` artifact.
+
+``serve`` is a closed-loop serving load generator: N client threads fire
+mixed-batch requests (Poisson-ish think times from a seeded RNG) at an
+``InferenceSession`` twice — once with ``batching="off"``, once with the
+dynamic micro-batching engine — asserts per-request outputs are
+bit-identical across the two modes, reports throughput and latency
+percentiles, and writes the ``BENCH_serving.json`` artifact.
 
 Prints the same tables the pytest benchmarks produce; handy for quick
 sweeps and for regenerating EXPERIMENTS.md numbers.  With ``--tune``,
@@ -442,6 +451,350 @@ def _print_runtime_report(document: dict) -> None:
         print(f"geomean speedup [{group}]: {value:.2f}")
 
 
+#: Schema tag of the serving-bench artifact; bump on breaking changes.
+BENCH_SERVING_SCHEMA = "repro.bench_serving/v1"
+
+#: Serving modes the ``serve`` figure compares.
+SERVING_MODES = ("unbatched", "batched")
+
+
+def _serving_plans(
+    workload: str,
+    dtype: DType,
+    clients: int,
+    requests: int,
+    batch_sizes,
+    think_ms: float,
+    seed: int,
+):
+    """Per-client request plans: (batch, activation, think_seconds).
+
+    One seeded RNG generates everything, so both serving modes replay the
+    exact same arrival process on the exact same arrays.
+    """
+    import numpy as np
+
+    from ..workloads import MLP_CONFIGS
+
+    features = MLP_CONFIGS[workload][0]
+    rng = np.random.default_rng(seed)
+    plans = []
+    for _ in range(clients):
+        plan = []
+        for _ in range(requests):
+            batch = int(rng.choice(batch_sizes))
+            if dtype == DType.f32:
+                x = rng.standard_normal((batch, features)).astype(
+                    np.float32
+                )
+            else:
+                x = rng.integers(0, 256, (batch, features)).astype(
+                    np.uint8
+                )
+            think = float(rng.exponential(think_ms / 1e3))
+            plan.append((batch, x, think))
+        plans.append(plan)
+    return plans
+
+
+def _run_serving_mode(
+    workload: str,
+    dtype: DType,
+    mode: str,
+    plans,
+    buckets,
+    max_batch: int,
+    timeout_us: int,
+    threads: int,
+):
+    """Replay the plans against one session mode.
+
+    Returns (result dict, per-request outputs, BatchingStats or None).
+    """
+    import threading as _threading
+    import time
+
+    import numpy as np
+
+    from ..service import InferenceSession
+    from ..workloads import MLP_CONFIGS, make_mlp_inputs
+
+    weights = {
+        name: array
+        for name, array in make_mlp_inputs(workload, 32, dtype).items()
+        if name.startswith("w")
+    }
+    session = InferenceSession.for_workload(
+        workload,
+        dtype=dtype,
+        weights=weights,
+        batch_buckets=buckets,
+        num_threads=threads,
+        batching="on" if mode == "batched" else "off",
+        max_batch=max_batch,
+        batch_timeout_us=timeout_us,
+    )
+    # Compile (and init) every bucket outside the timed window: the bench
+    # measures steady-state serving, not cold-start compilation.
+    features = MLP_CONFIGS[workload][0]
+    warm_dtype = np.float32 if dtype == DType.f32 else np.uint8
+    for bucket in buckets:
+        session.run({"x": np.zeros((bucket, features), warm_dtype)})
+
+    latencies = [[0.0] * len(plan) for plan in plans]
+    outputs = [[None] * len(plan) for plan in plans]
+    barrier = _threading.Barrier(len(plans) + 1)
+    errors = []
+
+    def client(ci):
+        try:
+            barrier.wait()
+            for ri, (batch, x, think) in enumerate(plans[ci]):
+                if think:
+                    time.sleep(think)
+                t0 = time.perf_counter()
+                out = session.run({"x": x})
+                latencies[ci][ri] = time.perf_counter() - t0
+                outputs[ci][ri] = next(iter(out.values()))
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    workers = [
+        _threading.Thread(target=client, args=(ci,), name=f"client-{ci}")
+        for ci in range(len(plans))
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    batching_stats = session.engine.stats() if session.engine else None
+    utilization = session.stats().utilization
+    session.close()
+
+    flat = np.array([lat for per_client in latencies for lat in per_client])
+    total_requests = flat.size
+    total_rows = sum(batch for plan in plans for batch, _, _ in plan)
+    result = {
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(total_requests / wall, 2),
+        "rows_per_s": round(total_rows / wall, 1),
+        "latency_ms": {
+            "mean": round(float(flat.mean()) * 1e3, 4),
+            "p50": round(float(np.percentile(flat, 50)) * 1e3, 4),
+            "p95": round(float(np.percentile(flat, 95)) * 1e3, 4),
+            "p99": round(float(np.percentile(flat, 99)) * 1e3, 4),
+            "max": round(float(flat.max()) * 1e3, 4),
+        },
+        "utilization": round(utilization, 4),
+    }
+    if batching_stats is not None:
+        result["batching"] = {
+            "submitted": batching_stats.submitted,
+            "completed": batching_stats.completed,
+            "batches": batching_stats.batches,
+            "utilization": round(batching_stats.utilization, 4),
+            "coalesce_ratio": round(batching_stats.coalesce_ratio, 4),
+            "max_requests_per_batch": batching_stats.max_requests_per_batch,
+            "padded_rows": batching_stats.padded_rows,
+            "mean_queue_wait_ms": round(
+                batching_stats.mean_queue_wait_seconds * 1e3, 4
+            ),
+        }
+    return result, outputs, batching_stats
+
+
+def run_serve(
+    workloads,
+    dtype: DType,
+    clients: int,
+    requests: int,
+    batch_sizes,
+    buckets,
+    max_batch: int,
+    timeout_us: int,
+    think_ms: float,
+    seed: int,
+    threads: int,
+) -> dict:
+    """Unbatched-vs-batched closed-loop serving comparison.
+
+    Returns the ``BENCH_serving.json`` document (schema
+    ``repro.bench_serving/v1``); per-request outputs must be bit-identical
+    across the two modes or ``identical`` is false (a schema violation).
+    """
+    import numpy as np
+
+    entries = []
+    stats_by_workload = {}
+    for workload in workloads:
+        plans = _serving_plans(
+            workload, dtype, clients, requests, batch_sizes, think_ms, seed
+        )
+        entry = {"name": workload}
+        outputs = {}
+        for mode in SERVING_MODES:
+            result, outs, batching_stats = _run_serving_mode(
+                workload,
+                dtype,
+                mode,
+                plans,
+                buckets,
+                max_batch,
+                timeout_us,
+                threads,
+            )
+            entry[mode] = result
+            outputs[mode] = outs
+            if batching_stats is not None:
+                stats_by_workload[workload] = batching_stats
+        entry["speedup"] = round(
+            entry["batched"]["throughput_rps"]
+            / entry["unbatched"]["throughput_rps"],
+            4,
+        )
+        entry["identical"] = all(
+            a is not None
+            and b is not None
+            and np.array_equal(a, b)
+            for client_a, client_b in zip(
+                outputs["unbatched"], outputs["batched"]
+            )
+            for a, b in zip(client_a, client_b)
+        )
+        entries.append(entry)
+    document = {
+        "schema": BENCH_SERVING_SCHEMA,
+        "machine": "XEON_8358",
+        "dtype": dtype.value,
+        "clients": clients,
+        "requests_per_client": requests,
+        "batch_sizes": list(batch_sizes),
+        "buckets": list(buckets),
+        "max_batch": max_batch,
+        "batch_timeout_us": timeout_us,
+        "think_ms": think_ms,
+        "seed": seed,
+        "num_threads": threads,
+        "modes": list(SERVING_MODES),
+        "workloads": entries,
+        "geomean_speedup": round(
+            geomean([entry["speedup"] for entry in entries]), 4
+        ),
+    }
+    document["_batching_stats"] = stats_by_workload  # stripped before dump
+    return document
+
+
+def validate_bench_serving(document: dict) -> List[str]:
+    """Schema check for BENCH_serving.json; returns a list of problems."""
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("schema") != BENCH_SERVING_SCHEMA:
+        errors.append(
+            f"schema is {document.get('schema')!r}, "
+            f"expected {BENCH_SERVING_SCHEMA!r}"
+        )
+    for key in (
+        "machine",
+        "dtype",
+        "clients",
+        "requests_per_client",
+        "batch_sizes",
+        "buckets",
+        "max_batch",
+        "batch_timeout_us",
+        "seed",
+        "modes",
+        "geomean_speedup",
+    ):
+        if key not in document:
+            errors.append(f"missing key {key!r}")
+    if not isinstance(document.get("clients"), int) or (
+        isinstance(document.get("clients"), int)
+        and document["clients"] < 1
+    ):
+        errors.append("clients must be a positive integer")
+    workloads = document.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        errors.append("workloads must be a non-empty list")
+        return errors
+    for index, entry in enumerate(workloads):
+        where = f"workloads[{index}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        if not isinstance(entry.get("name"), str):
+            errors.append(f"{where}.name missing or not a string")
+        for mode in SERVING_MODES:
+            result = entry.get(mode)
+            if not isinstance(result, dict):
+                errors.append(f"{where}.{mode} missing")
+                continue
+            rps = result.get("throughput_rps")
+            if not isinstance(rps, (int, float)) or rps <= 0:
+                errors.append(
+                    f"{where}.{mode}.throughput_rps must be positive"
+                )
+            if not isinstance(result.get("latency_ms"), dict):
+                errors.append(f"{where}.{mode}.latency_ms missing")
+        batched = entry.get("batched")
+        if isinstance(batched, dict) and not isinstance(
+            batched.get("batching"), dict
+        ):
+            errors.append(f"{where}.batched.batching stats missing")
+        if not isinstance(entry.get("speedup"), (int, float)):
+            errors.append(f"{where}.speedup missing")
+        if entry.get("identical") is not True:
+            errors.append(
+                f"{where}: modes disagree (identical != true)"
+            )
+    return errors
+
+
+def _print_serve_report(document: dict) -> None:
+    from ..service import format_batching_stats
+
+    rows = []
+    for entry in document["workloads"]:
+        for mode in document["modes"]:
+            result = entry[mode]
+            rows.append(
+                {
+                    "test": f"{entry['name']} [{mode}]",
+                    "req/s": result["throughput_rps"],
+                    "rows/s": result["rows_per_s"],
+                    "p50ms": result["latency_ms"]["p50"],
+                    "p95ms": result["latency_ms"]["p95"],
+                    "p99ms": result["latency_ms"]["p99"],
+                    "util": f"{result['utilization']:.0%}",
+                }
+            )
+    print(
+        format_speedup_table(
+            f"Serving — {document['clients']} clients, batch sizes "
+            f"{document['batch_sizes']}, buckets {document['buckets']}, "
+            f"{document['dtype']}",
+            rows,
+            ["test", "req/s", "rows/s", "p50ms", "p95ms", "p99ms", "util"],
+        )
+    )
+    for entry in document["workloads"]:
+        print(
+            f"{entry['name']}: batched throughput {entry['speedup']:.2f}x "
+            f"unbatched, identical={str(entry['identical']).lower()}"
+        )
+    print(f"geomean speedup: {document['geomean_speedup']:.2f}")
+    for workload, stats in document.get("_batching_stats", {}).items():
+        print()
+        print(f"[{workload}] " + format_batching_stats(stats))
+
+
 def _print_tuning_report(results) -> None:
     """Heuristic-vs-tuned modeled costs for every tuned matmul problem."""
     if not results:
@@ -481,13 +834,21 @@ def main(argv=None) -> int:
         prog="repro.tools.bench", description=__doc__
     )
     parser.add_argument(
-        "figure", choices=["fig7", "fig8-mlp", "fig8-mha", "runtime"]
+        "figure",
+        choices=["fig7", "fig8-mlp", "fig8-mha", "runtime", "serve"],
     )
     parser.add_argument("--dtype", choices=sorted(_DTYPES), default="f32")
-    parser.add_argument("--workload", default="MLP_1")
+    parser.add_argument(
+        "--workload",
+        default=None,
+        help="workload for fig8-mlp (default MLP_1) or `serve` "
+        "(default: every MLP workload)",
+    )
     parser.add_argument(
         "--batches",
-        help="comma-separated batch sizes (defaults to the paper's)",
+        help="comma-separated batch sizes (defaults to the paper's; "
+        "for `serve`, the per-request batch sizes clients draw from, "
+        "default 1,2,4,8)",
     )
     parser.add_argument(
         "--executor",
@@ -515,13 +876,69 @@ def main(argv=None) -> int:
         "--json",
         metavar="PATH",
         default=None,
-        help="where the `runtime` figure writes its artifact "
-        "(default: BENCH_runtime.json)",
+        help="where `runtime`/`serve` write their artifact "
+        "(default: BENCH_runtime.json / BENCH_serving.json)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="`runtime` smoke mode: one workload per figure group",
+        help="`runtime`/`serve` smoke mode: one workload, few requests",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="`serve`: number of closed-loop client threads",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=30,
+        metavar="N",
+        help="`serve`: requests per client thread",
+    )
+    parser.add_argument(
+        "--buckets",
+        default="32",
+        metavar="B1,B2",
+        help="`serve`: session shape buckets (default 32)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="`serve`: most requests one coalesced execution may contain",
+    )
+    parser.add_argument(
+        "--timeout-us",
+        type=int,
+        default=2000,
+        metavar="US",
+        help="`serve`: micro-batching coalescing window in microseconds",
+    )
+    parser.add_argument(
+        "--think-ms",
+        type=float,
+        default=0.2,
+        metavar="MS",
+        help="`serve`: mean of the exponential client think time",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="`serve`: RNG seed for request plans and think times",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="`serve`: fail unless batched/unbatched geomean throughput "
+        "reaches X",
     )
     parser.add_argument(
         "--cache-stats",
@@ -594,6 +1011,80 @@ def main(argv=None) -> int:
             handle.write("\n")
         print(f"\nwrote {path}")
         return 0
+    if args.figure == "serve":
+        import json
+
+        from ..workloads import MLP_CONFIGS
+
+        if args.workload is not None:
+            name = args.workload.upper()
+            if name not in MLP_CONFIGS:
+                parser.error(
+                    f"serve supports the MLP workloads, not {args.workload!r}"
+                )
+            serve_workloads = [name]
+        else:
+            serve_workloads = sorted(MLP_CONFIGS)
+        requests = args.requests
+        if args.quick:
+            serve_workloads = serve_workloads[:1]
+            requests = min(requests, 6)
+        batch_sizes = (
+            [int(v) for v in args.batches.split(",")]
+            if args.batches
+            else [1, 2, 4, 8]
+        )
+        buckets = [int(v) for v in args.buckets.split(",")]
+        try:
+            document = run_serve(
+                serve_workloads,
+                dtype,
+                args.clients,
+                requests,
+                batch_sizes,
+                buckets,
+                args.max_batch,
+                args.timeout_us,
+                args.think_ms,
+                args.seed,
+                args.threads,
+            )
+        finally:
+            _OBSERVE = False
+        _print_serve_report(document)
+        document.pop("_batching_stats", None)
+        problems = validate_bench_serving(document)
+        if problems:
+            for problem in problems:
+                print(f"schema violation: {problem}", file=sys.stderr)
+            return 1
+        path = args.json or "BENCH_serving.json"
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {path}")
+        if args.metrics:
+            print()
+            print(format_report(get_tracer(), get_registry()))
+        if args.trace:
+            trace_doc = write_chrome_trace(
+                args.trace, get_tracer(), get_registry()
+            )
+            print(
+                f"\nwrote {len(trace_doc['traceEvents'])} trace events "
+                f"to {args.trace}"
+            )
+        if (
+            args.min_speedup is not None
+            and document["geomean_speedup"] < args.min_speedup
+        ):
+            print(
+                f"serving speedup {document['geomean_speedup']:.2f} below "
+                f"required {args.min_speedup:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.figure == "fig7":
         run_fig7(dtype)
     elif args.figure == "fig8-mlp":
@@ -602,7 +1093,7 @@ def main(argv=None) -> int:
             if args.batches
             else list(MLP_BATCH_SIZES)
         )
-        run_fig8_mlp(args.workload, dtype, batches)
+        run_fig8_mlp(args.workload or "MLP_1", dtype, batches)
     else:
         batches = (
             [int(v) for v in args.batches.split(",")]

@@ -202,3 +202,89 @@ class TestStatsSnapshot:
         assert "ServiceStats" in text
         assert "hit_rate" in text
         assert "compiles=1" in text
+
+
+class TestEvictionClosesPartitions:
+    """ISSUE satellite: evicted partitions must release their thread
+    pools and cached buffers, not leak until interpreter exit."""
+
+    def warmed_partition(self, k):
+        import numpy as np
+
+        g = tiny_graph(k=k)
+        p = compile_graph(g)
+        p.num_threads = 2  # force a pool so close() has work to do
+        p.execute(
+            {
+                "x": np.zeros((8, k), np.float32),
+                "w": np.zeros((k, 16), np.float32),
+            }
+        )
+        assert p.has_active_pool
+        return g, p
+
+    def test_lru_eviction_closes_victim(self):
+        cache = PartitionCache(max_entries=1)
+        g1, p1 = self.warmed_partition(32)
+        cache.get_or_compile(graph_signature(g1), lambda: p1)
+        g2, p2 = self.warmed_partition(48)
+        cache.get_or_compile(graph_signature(g2), lambda: p2)
+        assert cache.stats().evictions == 1
+        assert not p1.has_active_pool  # victim was closed
+        assert p2.has_active_pool  # resident entry untouched
+
+    def test_clear_and_close_close_residents(self):
+        cache = PartitionCache()
+        _, p1 = self.warmed_partition(32)
+        _, p2 = self.warmed_partition(48)
+        cache.get_or_compile("sig-1", lambda: p1)
+        cache.get_or_compile("sig-2", lambda: p2)
+        assert cache.resident_partitions() == [p1, p2]
+        cache.clear()
+        assert not p1.has_active_pool
+        assert not p2.has_active_pool
+        assert len(cache) == 0
+        # close() is the teardown alias of clear().
+        _, p3 = self.warmed_partition(64)
+        cache.get_or_compile("sig-3", lambda: p3)
+        cache.close()
+        assert not p3.has_active_pool
+
+    def test_closed_then_reused_partition_rebuilds_pool(self):
+        # A racing execute against a just-evicted partition degrades
+        # (rebuilds the pool) instead of crashing.
+        import numpy as np
+
+        _, p = self.warmed_partition(32)
+        p.close()
+        assert not p.has_active_pool
+        out = p.execute(
+            {
+                "x": np.ones((8, 32), np.float32),
+                "w": np.ones((32, 16), np.float32),
+            }
+        )
+        assert next(iter(out.values())).shape == (8, 16)
+
+
+class TestUtilizationAccounting:
+    def test_note_execute_rows_roll_up(self):
+        from repro.service import format_stats
+
+        cache = PartitionCache()
+        g = tiny_graph()
+        sig = graph_signature(g)
+        cache.get_or_compile(sig, lambda: compile_graph(g))
+        cache.note_execute(sig, rows_requested=20, rows_computed=32)
+        cache.note_execute(sig, rows_requested=32, rows_computed=32)
+        record = {s.signature: s for s in cache.stats().signatures}[sig]
+        assert record.rows_requested == 52
+        assert record.rows_computed == 64
+        assert record.padded_rows == 12
+        assert record.utilization == pytest.approx(52 / 64)
+        stats = cache.stats()
+        assert stats.padded_rows == 12
+        assert stats.utilization == pytest.approx(52 / 64)
+        text = format_stats(stats)
+        assert "padded_rows=12" in text
+        assert "util" in text

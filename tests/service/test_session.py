@@ -230,3 +230,92 @@ class TestValidation:
     def test_unknown_workload(self):
         with pytest.raises(ValueError, match="unknown workload"):
             InferenceSession.for_workload("RNN_9")
+
+
+class TestSessionLifecycle:
+    """ISSUE satellite: sessions own a close() that releases partitions."""
+
+    def test_close_releases_owned_cache_partitions(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=[32])
+        x = np.zeros((32, 13), np.float32)
+        sess.run({"x": x})
+        cache = sess.cache
+        residents = cache.resident_partitions()
+        assert residents
+        for p in residents:
+            p.num_threads = 2
+            p.execute({"x": x, **mlp_weights()})
+            assert p.has_active_pool
+        sess.close()
+        assert sess.closed
+        for p in residents:
+            assert not p.has_active_pool
+        assert len(cache) == 0
+        sess.close()  # idempotent
+
+    def test_close_leaves_shared_cache_alone(self):
+        cache = PartitionCache()
+        sess = mlp_session(
+            mlp_weights(), batch_buckets=[32], cache=cache
+        )
+        sess.run({"x": np.zeros((32, 13), np.float32)})
+        assert len(cache) == 1
+        sess.close()
+        # A caller-provided cache may back other sessions: untouched.
+        assert len(cache) == 1
+        assert cache.resident_partitions()
+
+    def test_run_and_submit_after_close_raise(self):
+        sess = mlp_session(
+            mlp_weights(), batch_buckets=[32], batching="on"
+        )
+        sess.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sess.run({"x": np.zeros((4, 13), np.float32)})
+        with pytest.raises(RuntimeError, match="closed"):
+            sess.submit({"x": np.zeros((4, 13), np.float32)})
+
+    def test_context_manager_closes(self):
+        with mlp_session(mlp_weights(), batch_buckets=[32]) as sess:
+            out = sess.run({"x": np.zeros((8, 13), np.float32)})
+            assert next(iter(out.values())).shape == (8, 128)
+        assert sess.closed
+
+
+class TestBatchingMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="batching"):
+            mlp_session(mlp_weights(), batching="sometimes")
+
+    def test_off_mode_has_no_engine(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=[32])
+        assert sess.batching == "off"
+        assert sess.engine is None
+        with pytest.raises(RuntimeError, match="batching"):
+            sess.submit({"x": np.zeros((4, 13), np.float32)})
+        sess.close()
+
+    def test_on_mode_serves_through_engine(self):
+        weights = mlp_weights()
+        cache = PartitionCache()
+        reference = mlp_session(
+            weights, batch_buckets=[32], cache=cache
+        )
+        with mlp_session(
+            weights,
+            batch_buckets=[32],
+            cache=cache,
+            batching="on",
+            max_batch=4,
+            batch_timeout_us=5_000,
+        ) as sess:
+            assert sess.batching == "on"
+            assert sess.engine is not None
+            rng = np.random.RandomState(6)
+            x = rng.randn(12, 13).astype(np.float32)
+            served = next(iter(sess.run({"x": x}).values()))
+            direct = next(iter(reference.run({"x": x}).values()))
+            np.testing.assert_array_equal(served, direct)
+            assert sess.engine.stats().completed == 1
+        assert sess.engine.closed
+        reference.close()

@@ -47,6 +47,14 @@ class TestExamples:
         assert "per-bucket compile counts" in out
         assert "ok" in out
 
+    def test_serving_batched(self, capsys):
+        run_example("serving_batched.py")
+        out = capsys.readouterr().out
+        assert "bit-identical to unbatched: yes" in out
+        assert "BatchingStats" in out
+        assert "coalesce ratio" in out
+        assert "ok" in out
+
     def test_autotune_matmul(self, capsys):
         run_example("autotune_matmul.py")
         out = capsys.readouterr().out
@@ -86,6 +94,7 @@ class TestExamples:
             "custom_machine.py",
             "cnn_layer.py",
             "serving_mlp.py",
+            "serving_batched.py",
             "autotune_matmul.py",
             "trace_mlp.py",
             "executor_speedup.py",

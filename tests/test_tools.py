@@ -185,3 +185,115 @@ class TestRuntimeBench:
         assert any("compiled_ms" in e for e in errors)
         assert any("identical" in e for e in errors)
         assert any("speedup" in e for e in errors)
+
+
+class TestServingBench:
+    def test_quick_serving_bench_writes_valid_json(self, capsys, tmp_path):
+        import json
+
+        from repro.tools.bench import main as bench_main
+        from repro.tools.bench import validate_bench_serving
+
+        path = tmp_path / "BENCH_serving.json"
+        assert bench_main(
+            ["serve", "--quick", "--clients", "4", "--requests", "3",
+             "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Serving" in out
+        assert "BatchingStats" in out
+        assert "geomean speedup" in out
+        document = json.loads(path.read_text())
+        assert validate_bench_serving(document) == []
+        assert document["schema"] == "repro.bench_serving/v1"
+        assert document["modes"] == ["unbatched", "batched"]
+        assert "_batching_stats" not in document  # transient key stripped
+        for entry in document["workloads"]:
+            assert entry["identical"] is True
+            batching = entry["batched"]["batching"]
+            assert batching["completed"] >= 4 * 3
+            assert batching["coalesce_ratio"] >= 1.0
+            for mode in ("unbatched", "batched"):
+                latency = entry[mode]["latency_ms"]
+                assert latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_serving_metrics_and_trace_flags(self, capsys, tmp_path):
+        import json
+
+        from repro.observability import MetricsRegistry, set_registry
+        from repro.tools.bench import main as bench_main
+
+        set_registry(MetricsRegistry())
+        trace = tmp_path / "serve_trace.json"
+        try:
+            assert bench_main(
+                ["serve", "--quick", "--clients", "2", "--requests", "2",
+                 "--json", str(tmp_path / "s.json"),
+                 "--metrics", "--trace", str(trace)]
+            ) == 0
+        finally:
+            out = capsys.readouterr().out
+            set_registry(MetricsRegistry())
+        assert "service.batch.size" in out
+        assert "service.batch.queue_wait_seconds" in out
+        events = json.loads(trace.read_text())["traceEvents"]
+        names = {e.get("name") for e in events}
+        assert "batch.collect" in names
+        assert "batch.execute" in names
+
+    def test_unknown_serve_workload_rejected(self):
+        from repro.tools.bench import main as bench_main
+
+        with pytest.raises(SystemExit):
+            bench_main(["serve", "--quick", "--workload", "MHA_1"])
+
+    def test_min_speedup_gate(self, tmp_path, capsys):
+        from repro.tools.bench import main as bench_main
+
+        # An impossible floor must fail the run (non-zero exit).
+        code = bench_main(
+            ["serve", "--quick", "--clients", "2", "--requests", "2",
+             "--json", str(tmp_path / "s.json"),
+             "--min-speedup", "1e9"]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_validator_rejects_malformed_documents(self):
+        from repro.tools.bench import validate_bench_serving
+
+        assert validate_bench_serving({"schema": "nope"}) != []
+        bad = {
+            "schema": "repro.bench_serving/v1",
+            "machine": "XEON_8358",
+            "dtype": "f32",
+            "clients": 8,
+            "requests_per_client": 4,
+            "batch_sizes": [1, 2, 4, 8],
+            "buckets": [32],
+            "max_batch": 32,
+            "batch_timeout_us": 2000,
+            "seed": 0,
+            "modes": ["unbatched", "batched"],
+            "workloads": [
+                {
+                    "name": "MLP_1",
+                    "unbatched": {
+                        "throughput_rps": -1.0,  # non-positive
+                        "latency_ms": {"p50": 1.0},
+                    },
+                    "batched": {
+                        "throughput_rps": 10.0,
+                        "latency_ms": {"p50": 1.0},
+                        # no "batching" stats block
+                    },
+                    "identical": False,  # paired run must be identical
+                }
+            ],
+            "geomean_speedup": 1.0,
+        }
+        errors = validate_bench_serving(bad)
+        assert any("throughput_rps" in e for e in errors)
+        assert any("batching" in e for e in errors)
+        assert any("speedup" in e for e in errors)
+        assert any("identical" in e for e in errors)
