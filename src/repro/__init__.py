@@ -43,12 +43,16 @@ from .observability import (
     write_chrome_trace,
 )
 from .runtime.partition import CompiledPartition
+from .errors import SessionClosedError, WorkerCrashError
 from .service import (
     BatchingEngine,
     BatchingStats,
     InferenceSession,
+    ModelSpec,
     PartitionCache,
     ServiceStats,
+    ShardedSession,
+    ShardedStats,
     graph_signature,
 )
 from .tuner import (
@@ -60,7 +64,7 @@ from .tuner import (
     remove_tuning_hook,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "compile_graph",
@@ -78,8 +82,13 @@ __all__ = [
     "BatchingEngine",
     "BatchingStats",
     "InferenceSession",
+    "ModelSpec",
     "PartitionCache",
     "ServiceStats",
+    "SessionClosedError",
+    "ShardedSession",
+    "ShardedStats",
+    "WorkerCrashError",
     "graph_signature",
     "MatmulTuner",
     "TuningCache",

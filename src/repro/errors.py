@@ -40,6 +40,26 @@ class ExecutionError(GraphCompilerError):
     """Runtime failure while executing a compiled partition."""
 
 
+class SessionClosedError(GraphCompilerError, RuntimeError):
+    """A request reached a session/engine after (or during) ``close()``.
+
+    Subclasses :class:`RuntimeError` so callers that guarded the serving
+    layer with ``except RuntimeError`` keep working.
+    """
+
+
+class TransportError(GraphCompilerError):
+    """Shared-memory tensor transport failure (lease, attach, layout)."""
+
+
+class SlotOverflowError(TransportError):
+    """A request's tensors do not fit one shared-memory ring slot."""
+
+
+class WorkerCrashError(GraphCompilerError):
+    """A sharded-serving worker process died while holding requests."""
+
+
 class LayoutError(GraphCompilerError):
     """Invalid memory layout or an impossible layout conversion."""
 

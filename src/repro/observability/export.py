@@ -19,11 +19,15 @@ from .tracer import SpanRecord, Tracer
 _PID = 1
 
 
-def chrome_trace_events(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+def chrome_trace_events(
+    records: Iterable[SpanRecord], pid: int = _PID
+) -> List[Dict[str, Any]]:
     """Map span records to Chrome trace-event dicts (``ph: "X"``/``"i"``).
 
     Thread ids are renumbered densely from 1 in order of first appearance
-    so the timeline rows are stable across runs.
+    so the timeline rows are stable across runs.  ``pid`` selects the
+    process row the events land on — the sharded serving tier exports one
+    row per worker process.
     """
     tids: Dict[int, int] = {}
     events: List[Dict[str, Any]] = []
@@ -32,7 +36,7 @@ def chrome_trace_events(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
         event: Dict[str, Any] = {
             "name": record.name,
             "cat": record.category,
-            "pid": _PID,
+            "pid": pid,
             "tid": tid,
             "ts": round(record.start * 1e6, 3),
         }
@@ -51,7 +55,7 @@ def chrome_trace_events(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": f"thread-{tid}"},
             }
@@ -66,11 +70,42 @@ def _jsonable(value: Any) -> Any:
 
 
 def chrome_trace(
-    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    processes: Optional[Dict[str, Iterable[SpanRecord]]] = None,
 ) -> Dict[str, Any]:
-    """The full JSON-object-form trace document."""
+    """The full JSON-object-form trace document.
+
+    ``processes`` maps extra process names (e.g. sharded-serving workers)
+    to their span records; each gets its own pid row — next to the main
+    process, which is named ``repro`` when siblings are present — so one
+    Perfetto timeline shows the whole fleet.
+    """
+    events = chrome_trace_events(tracer.records())
+    if processes:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        )
+        for index, (name, records) in enumerate(sorted(processes.items())):
+            pid = _PID + 1 + index
+            events.extend(chrome_trace_events(records, pid=pid))
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
     document: Dict[str, Any] = {
-        "traceEvents": chrome_trace_events(tracer.records()),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
     }
     if registry is not None:
@@ -79,10 +114,13 @@ def chrome_trace(
 
 
 def write_chrome_trace(
-    path: str, tracer: Tracer, registry: Optional[MetricsRegistry] = None
+    path: str,
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+    processes: Optional[Dict[str, Iterable[SpanRecord]]] = None,
 ) -> Dict[str, Any]:
     """Write the trace document to ``path``; returns the document."""
-    document = chrome_trace(tracer, registry)
+    document = chrome_trace(tracer, registry, processes=processes)
     with open(path, "w") as handle:
         json.dump(document, handle, indent=1)
     return document

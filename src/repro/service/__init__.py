@@ -13,7 +13,12 @@ Signature -> cache -> session -> batching:
   concurrent requests per shape bucket into single partition executions —
   ``submit(inputs) -> Future`` plus a blocking ``run`` wrapper;
 * :class:`ServiceStats` / :class:`BatchingStats` snapshot what the cache
-  and the engine did (including shape-bucket padding utilization).
+  and the engine did (including shape-bucket padding utilization);
+* :class:`ShardedSession` scales the whole stack across worker
+  *processes*: signature-routed (consistent hashing, one compile home
+  per partition), shared-memory tensor transport
+  (:class:`~repro.service.shm.TensorRing`), warm-up, heartbeats with
+  automatic worker restart, and graceful drain.
 """
 
 from .batching import (
@@ -23,7 +28,16 @@ from .batching import (
     format_batching_stats,
 )
 from .cache import PartitionCache, partition_nbytes
-from .session import BATCHING_MODES, InferenceSession
+from .session import BATCHING_MODES, InferenceSession, ModelProbe
+from .sharding import (
+    ConsistentHashRing,
+    ModelSpec,
+    ShardedSession,
+    ShardedStats,
+    WorkerInfo,
+    format_sharded_stats,
+)
+from .shm import TensorRing, TensorSpec, live_segments, request_nbytes
 from .signature import canonical_graph_form, graph_signature
 from .stats import ServiceStats, SignatureStats, format_stats
 
@@ -32,13 +46,24 @@ __all__ = [
     "BatchingEngine",
     "BatchingStats",
     "BucketBatchStats",
+    "ConsistentHashRing",
     "PartitionCache",
     "partition_nbytes",
     "InferenceSession",
+    "ModelProbe",
+    "ModelSpec",
+    "ShardedSession",
+    "ShardedStats",
+    "TensorRing",
+    "TensorSpec",
+    "WorkerInfo",
     "canonical_graph_form",
     "graph_signature",
+    "live_segments",
+    "request_nbytes",
     "ServiceStats",
     "SignatureStats",
     "format_batching_stats",
+    "format_sharded_stats",
     "format_stats",
 ]

@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import SessionClosedError
 from ..observability import get_registry, get_tracer
 
 #: Engine lifecycle states.
@@ -290,7 +291,7 @@ class BatchingEngine:
         bucket = self._session.bucket_for(batch)
         with self._lock:
             if self._state != _RUNNING:
-                raise RuntimeError("BatchingEngine is closed")
+                raise SessionClosedError("BatchingEngine is closed")
             queue = self._queue_for_locked(bucket)
         registry = get_registry()
         with queue.cond:
@@ -302,12 +303,24 @@ class BatchingEngine:
                 registry.counter("service.batch.queue_full_waits").inc()
                 queue.cond.wait()
             if self._state != _RUNNING:
-                raise RuntimeError("BatchingEngine is closed")
+                raise SessionClosedError("BatchingEngine is closed")
             future: "Future[Dict[str, np.ndarray]]" = Future()
-            queue.items.append(
-                _Request(arrays, batch, future, time.perf_counter())
-            )
+            request = _Request(arrays, batch, future, time.perf_counter())
+            queue.items.append(request)
             queue.cond.notify_all()
+        # close() may have flipped the state between our check and the
+        # append.  If the dispatcher is still alive it will drain or
+        # cancel the request; if it already exited (and close()'s
+        # leftover sweep ran before our append), nothing would ever
+        # settle this future — take it back and fail cleanly instead.
+        if self._state != _RUNNING:
+            with queue.cond:
+                dispatcher_done = (
+                    queue.thread is None or not queue.thread.is_alive()
+                )
+                if dispatcher_done and request in queue.items:
+                    queue.items.remove(request)
+                    raise SessionClosedError("BatchingEngine is closed")
         with self._stats_lock:
             self._submitted += 1
         registry.counter("service.requests").inc()

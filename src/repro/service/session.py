@@ -31,6 +31,7 @@ import numpy as np
 from ..core.compiler import compile_graph
 from ..core.options import CompilerOptions
 from ..dtypes import DType
+from ..errors import SessionClosedError
 from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import PropertyKind
 from ..microkernel.machine import MachineModel, XEON_8358
@@ -69,6 +70,81 @@ def _diff_batch_axes(
             )
         axes.append((axis, da // batches[0]))
     return axes
+
+
+class ModelProbe:
+    """Structural batch-shape discovery for one graph-builder callable.
+
+    Builds two probe graphs at different batch sizes and diffs the
+    input/output shapes to learn which axes scale with the batch — the
+    same discovery :class:`InferenceSession` performs, factored out so
+    other front ends (the sharded tier's router) can reuse it without
+    constructing a full session.
+    """
+
+    def __init__(self, builder: Callable[[int], Graph]) -> None:
+        g_a = builder(_PROBE_BATCHES[0])
+        g_b = builder(_PROBE_BATCHES[1])
+        self.input_batch_axes: Dict[str, _BatchAxes] = {}
+        self.input_dtypes: Dict[str, np.dtype] = {}
+        self.activation_names: List[str] = []
+        self.weight_names: List[str] = []
+        for ta, tb in zip(g_a.inputs, g_b.inputs):
+            if ta.name != tb.name:
+                raise ValueError(
+                    "builder produced differently-named inputs across "
+                    f"batch sizes: {ta.name!r} vs {tb.name!r}"
+                )
+            is_weight = (
+                ta.prop is PropertyKind.CONSTANT
+                and ta.id not in g_a.constants
+            )
+            if is_weight:
+                self.weight_names.append(ta.name)
+            if ta.id in g_a.constants:
+                continue  # compile-time constant: never fed at runtime
+            axes = _diff_batch_axes(ta.shape, tb.shape, _PROBE_BATCHES)
+            if not is_weight:
+                self.activation_names.append(ta.name)
+                self.input_batch_axes[ta.name] = axes
+                self.input_dtypes[ta.name] = np.dtype(ta.dtype.to_numpy())
+            elif axes:
+                raise ValueError(
+                    f"runtime-constant input {ta.name!r} scales with the "
+                    "batch size; weights must be batch-independent"
+                )
+        self.output_batch_axes: List[_BatchAxes] = [
+            _diff_batch_axes(ta.shape, tb.shape, _PROBE_BATCHES)
+            for ta, tb in zip(g_a.outputs, g_b.outputs)
+        ]
+        # The reference input used to infer each request's batch size.
+        self.batch_ref: Optional[Tuple[str, int, int]] = None
+        for name in self.activation_names:
+            for axis, mult in self.input_batch_axes[name]:
+                self.batch_ref = (name, axis, mult)
+                break
+            if self.batch_ref is not None:
+                break
+
+    def infer_batch(self, inputs: Mapping[str, np.ndarray]) -> int:
+        """Batch size of one request, read off a batch-scaled input dim."""
+        if self.batch_ref is None:
+            raise ValueError(
+                "workload has no batch-dependent inputs; "
+                "call run() with explicit batch=..."
+            )
+        name, axis, mult = self.batch_ref
+        if name not in inputs:
+            raise ValueError(
+                f"cannot infer batch size: missing input {name!r}"
+            )
+        dim = int(np.asarray(inputs[name]).shape[axis])
+        if dim % mult:
+            raise ValueError(
+                f"input {name!r} dim {axis} = {dim} is not a multiple "
+                f"of {mult}"
+            )
+        return dim // mult
 
 
 class InferenceSession:
@@ -143,6 +219,7 @@ class InferenceSession:
         else:
             self._buckets = None
         self._lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._sig_by_bucket: Dict[int, str] = {}
         self._label_by_bucket: Dict[int, str] = {}
         self._closed = False
@@ -191,48 +268,13 @@ class InferenceSession:
 
     def _probe(self) -> None:
         """Diff two probe graphs to learn the batch-dependent axes."""
-        g_a = self._builder(_PROBE_BATCHES[0])
-        g_b = self._builder(_PROBE_BATCHES[1])
-        self._input_batch_axes: Dict[str, _BatchAxes] = {}
-        self._input_dtypes: Dict[str, np.dtype] = {}
-        self._activation_names: List[str] = []
-        self._weight_names: List[str] = []
-        for ta, tb in zip(g_a.inputs, g_b.inputs):
-            if ta.name != tb.name:
-                raise ValueError(
-                    "builder produced differently-named inputs across "
-                    f"batch sizes: {ta.name!r} vs {tb.name!r}"
-                )
-            is_weight = (
-                ta.prop is PropertyKind.CONSTANT
-                and ta.id not in g_a.constants
-            )
-            if is_weight:
-                self._weight_names.append(ta.name)
-            if ta.id in g_a.constants:
-                continue  # compile-time constant: never fed at runtime
-            axes = _diff_batch_axes(ta.shape, tb.shape, _PROBE_BATCHES)
-            if not is_weight:
-                self._activation_names.append(ta.name)
-                self._input_batch_axes[ta.name] = axes
-                self._input_dtypes[ta.name] = np.dtype(ta.dtype.to_numpy())
-            elif axes:
-                raise ValueError(
-                    f"runtime-constant input {ta.name!r} scales with the "
-                    "batch size; weights must be batch-independent"
-                )
-        self._output_batch_axes: List[_BatchAxes] = [
-            _diff_batch_axes(ta.shape, tb.shape, _PROBE_BATCHES)
-            for ta, tb in zip(g_a.outputs, g_b.outputs)
-        ]
-        # The reference input used to infer each request's batch size.
-        self._batch_ref: Optional[Tuple[str, int, int]] = None
-        for name in self._activation_names:
-            for axis, mult in self._input_batch_axes[name]:
-                self._batch_ref = (name, axis, mult)
-                break
-            if self._batch_ref is not None:
-                break
+        probe = ModelProbe(self._builder)
+        self._input_batch_axes = probe.input_batch_axes
+        self._input_dtypes = probe.input_dtypes
+        self._activation_names = probe.activation_names
+        self._weight_names = probe.weight_names
+        self._output_batch_axes = probe.output_batch_axes
+        self._batch_ref = probe.batch_ref
 
     # -- serving --------------------------------------------------------------
 
@@ -301,6 +343,28 @@ class InferenceSession:
             )
         return dim // mult
 
+    def warm(self, bucket: int) -> None:
+        """Pre-compile (and execute once, on zeros) the ``bucket`` partition.
+
+        Pulls compilation, weight preprocessing and executor
+        specialization out of the first real request's latency — the
+        sharded tier's warm-up phase calls this for every (model, bucket)
+        a worker is responsible for before the worker accepts traffic.
+        """
+        if self._closed:
+            raise SessionClosedError("InferenceSession is closed")
+        graph = self._builder(bucket)
+        inputs: Dict[str, np.ndarray] = {}
+        for tensor in graph.inputs:
+            if tensor.id in graph.constants:
+                continue
+            if tensor.name in self._weight_names:
+                continue
+            inputs[tensor.name] = np.zeros(
+                tensor.shape, dtype=tensor.dtype.to_numpy()
+            )
+        self.execute_bucket(inputs, bucket, bucket)
+
     def run(
         self,
         inputs: Mapping[str, np.ndarray],
@@ -314,7 +378,7 @@ class InferenceSession:
         this call blocks until its share of a coalesced execution lands.
         """
         if self._closed:
-            raise RuntimeError("InferenceSession is closed")
+            raise SessionClosedError("InferenceSession is closed")
         if self._engine is not None:
             return self._engine.run(inputs, batch=batch)
         if batch is None:
@@ -346,7 +410,7 @@ class InferenceSession:
         no queue for the request to wait in.
         """
         if self._closed:
-            raise RuntimeError("InferenceSession is closed")
+            raise SessionClosedError("InferenceSession is closed")
         if self._engine is None:
             raise RuntimeError(
                 "submit() requires batching='on' "
@@ -459,15 +523,20 @@ class InferenceSession:
         executing), then — when the session owns its cache — closes every
         resident partition, releasing their persistent thread pools.  A
         cache passed in by the caller is shared and stays untouched.
-        Idempotent.
+        Idempotent, including under concurrent callers: the first closer
+        does the teardown while the rest block on it and then return, so
+        no caller can observe a half-closed session.  A ``submit`` racing
+        ``close`` either lands before the drain (and is served/cancelled
+        by it) or raises :class:`~repro.errors.SessionClosedError`.
         """
-        if self._closed:
-            return
-        self._closed = True
-        if self._engine is not None:
-            self._engine.close(drain=drain)
-        if self._owns_cache:
-            self._cache.close()
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._engine is not None:
+                self._engine.close(drain=drain)
+            if self._owns_cache:
+                self._cache.close()
 
     def __enter__(self) -> "InferenceSession":
         return self

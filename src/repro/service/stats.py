@@ -8,7 +8,7 @@ residency) plus the global hit/miss/eviction/in-flight counters.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..observability.report import format_table
 
@@ -100,9 +100,81 @@ class ServiceStats:
         result["signatures"] = [sig.to_dict() for sig in self.signatures]
         return result
 
+    @staticmethod
+    def merge(parts: Iterable["ServiceStats"]) -> "ServiceStats":
+        """Aggregate per-worker snapshots into one fleet-wide table.
 
-def format_stats(stats: ServiceStats) -> str:
-    """Human-readable ServiceStats table (printed by ``tools/bench.py``)."""
+        Counters sum; capacity sums when every part is bounded (one
+        unbounded cache makes the fleet unbounded); signature records are
+        merged by signature — in the sharded tier a signature lives in
+        exactly one worker, but the merge also tolerates overlap (e.g.
+        after a crash re-homed a partition) by summing compile/execute
+        counts and keeping the largest residency charge.
+        """
+        parts = list(parts)
+        if not parts:
+            return ServiceStats(
+                compiles=0,
+                hits=0,
+                misses=0,
+                evictions=0,
+                in_flight=0,
+                resident_bytes=0,
+                capacity_bytes=None,
+            )
+        capacity: Optional[int] = 0
+        merged_sigs: Dict[str, SignatureStats] = {}
+        for part in parts:
+            if part.capacity_bytes is None or capacity is None:
+                capacity = None
+            else:
+                capacity += part.capacity_bytes
+            for sig in part.signatures:
+                seen = merged_sigs.get(sig.signature)
+                if seen is None:
+                    merged_sigs[sig.signature] = sig
+                    continue
+                merged_sigs[sig.signature] = SignatureStats(
+                    signature=sig.signature,
+                    label=seen.label or sig.label,
+                    nbytes=max(seen.nbytes, sig.nbytes),
+                    compiles=seen.compiles + sig.compiles,
+                    compile_seconds=(
+                        seen.compile_seconds + sig.compile_seconds
+                    ),
+                    executes=seen.executes + sig.executes,
+                    resident=seen.resident or sig.resident,
+                    rows_requested=(
+                        seen.rows_requested + sig.rows_requested
+                    ),
+                    rows_computed=seen.rows_computed + sig.rows_computed,
+                )
+        return ServiceStats(
+            compiles=sum(p.compiles for p in parts),
+            hits=sum(p.hits for p in parts),
+            misses=sum(p.misses for p in parts),
+            evictions=sum(p.evictions for p in parts),
+            in_flight=sum(p.in_flight for p in parts),
+            resident_bytes=sum(p.resident_bytes for p in parts),
+            capacity_bytes=capacity,
+            signatures=tuple(
+                sorted(
+                    merged_sigs.values(), key=lambda s: s.signature
+                )
+            ),
+        )
+
+
+def format_stats(
+    stats: ServiceStats,
+    workers: Optional[Mapping[str, ServiceStats]] = None,
+) -> str:
+    """Human-readable ServiceStats table (printed by ``tools/bench.py``).
+
+    ``workers`` adds a per-worker breakdown under the fleet-wide table —
+    the sharded tier passes its per-worker snapshots here so compile
+    placement and utilization per process are visible at a glance.
+    """
     lines: List[str] = []
     capacity = (
         f"{stats.capacity_bytes}" if stats.capacity_bytes is not None
@@ -150,6 +222,35 @@ def format_stats(stats: ServiceStats) -> str:
                         "yes" if sig.resident else "no",
                     )
                     for sig in stats.signatures
+                ],
+            )
+        )
+    if workers:
+        lines.append("  per-worker:")
+        lines.append(
+            format_table(
+                [
+                    "worker",
+                    "requests",
+                    "hit_rate",
+                    "compiles",
+                    "partitions",
+                    "bytes",
+                    "util",
+                ],
+                [
+                    (
+                        worker,
+                        ws.requests,
+                        f"{ws.hit_rate:.0%}",
+                        ws.compiles,
+                        sum(1 for s in ws.signatures if s.resident),
+                        ws.resident_bytes,
+                        f"{ws.utilization:.0%}"
+                        if any(s.rows_computed for s in ws.signatures)
+                        else "-",
+                    )
+                    for worker, ws in sorted(workers.items())
                 ],
             )
         )

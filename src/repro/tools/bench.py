@@ -14,6 +14,7 @@ Usage::
     python -m repro.tools.bench runtime --executor compiled --quick
     python -m repro.tools.bench serve --clients 8       # BENCH_serving.json
     python -m repro.tools.bench serve --quick
+    python -m repro.tools.bench serve --workers 4       # sharded fleet curve
 
 ``runtime`` measures *real* steady-state execution latency (not modeled
 cycles) of the fig7/fig8 workloads on the interpreter and the compiled
@@ -25,7 +26,11 @@ mixed-batch requests (Poisson-ish think times from a seeded RNG) at an
 ``InferenceSession`` twice — once with ``batching="off"``, once with the
 dynamic micro-batching engine — asserts per-request outputs are
 bit-identical across the two modes, reports throughput and latency
-percentiles, and writes the ``BENCH_serving.json`` artifact.
+percentiles, and writes the ``BENCH_serving.json`` artifact.  It then
+replays the same plans — every workload concurrently — through the
+multi-process :class:`~repro.service.ShardedSession` at worker counts
+1, 2, 4, ... ``--workers``, producing a scaling curve whose outputs must
+match the one-worker fleet bit-for-bit.
 
 Prints the same tables the pytest benchmarks produce; handy for quick
 sweeps and for regenerating EXPERIMENTS.md numbers.  With ``--tune``,
@@ -452,7 +457,11 @@ def _print_runtime_report(document: dict) -> None:
 
 
 #: Schema tag of the serving-bench artifact; bump on breaking changes.
-BENCH_SERVING_SCHEMA = "repro.bench_serving/v1"
+BENCH_SERVING_SCHEMA = "repro.bench_serving/v2"
+
+#: Older serving schema (no multi-worker scaling curve); committed v1
+#: artifacts still validate.
+BENCH_SERVING_SCHEMA_V1 = "repro.bench_serving/v1"
 
 #: Serving modes the ``serve`` figure compares.
 SERVING_MODES = ("unbatched", "batched")
@@ -608,6 +617,159 @@ def _run_serving_mode(
     return result, outputs, batching_stats
 
 
+def _worker_levels(max_workers: int, quick: bool = False) -> List[int]:
+    """The worker counts the scaling curve measures: 1, 2, 4, ... N."""
+    if quick:
+        return sorted({1, max_workers})
+    levels = [1]
+    while levels[-1] * 2 < max_workers:
+        levels.append(levels[-1] * 2)
+    if levels[-1] != max_workers:
+        levels.append(max_workers)
+    return levels
+
+
+def _run_sharded_level(
+    workloads,
+    dtype: DType,
+    plans_by_workload,
+    shard_buckets,
+    max_batch: int,
+    timeout_us: int,
+    threads: int,
+    num_workers: int,
+):
+    """Replay every workload's plans concurrently through one fleet.
+
+    All workloads are served by a single :class:`ShardedSession` with
+    ``num_workers`` worker processes — sharding scales across distinct
+    partition signatures (workload x bucket), so the fleet only shows a
+    scaling curve when the whole workload mix is in flight at once.
+    Returns (result dict, outputs keyed by workload, worker spans).
+    """
+    import threading as _threading
+    import time
+
+    import numpy as np
+
+    from ..observability import get_tracer
+    from ..service import ModelSpec, ShardedSession
+    from ..workloads import make_mlp_inputs
+
+    specs = [
+        ModelSpec(
+            name=workload,
+            workload=workload,
+            dtype=dtype,
+            weights={
+                name: array
+                for name, array in make_mlp_inputs(
+                    workload, 32, dtype
+                ).items()
+                if name.startswith("w")
+            },
+            batch_buckets=tuple(shard_buckets),
+        )
+        for workload in workloads
+    ]
+    session = ShardedSession(
+        specs,
+        num_workers=num_workers,
+        num_threads=threads,
+        max_batch=max_batch,
+        batch_timeout_us=timeout_us,
+    )
+    # Pre-compile every (workload, bucket) pair in its home worker so the
+    # timed window measures steady-state serving, not cold compiles.
+    session.warm_up()
+
+    latencies = {
+        workload: [[0.0] * len(plan) for plan in plans]
+        for workload, plans in plans_by_workload.items()
+    }
+    outputs = {
+        workload: [[None] * len(plan) for plan in plans]
+        for workload, plans in plans_by_workload.items()
+    }
+    total_clients = sum(len(p) for p in plans_by_workload.values())
+    barrier = _threading.Barrier(total_clients + 1)
+    errors = []
+
+    def client(workload, ci):
+        try:
+            barrier.wait()
+            for ri, (batch, x, think) in enumerate(
+                plans_by_workload[workload][ci]
+            ):
+                if think:
+                    time.sleep(think)
+                t0 = time.perf_counter()
+                out = session.run({"x": x}, model=workload)
+                latencies[workload][ci][ri] = time.perf_counter() - t0
+                outputs[workload][ci][ri] = next(iter(out.values()))
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    clients = [
+        _threading.Thread(
+            target=client,
+            args=(workload, ci),
+            name=f"client-{workload}-{ci}",
+        )
+        for workload, plans in plans_by_workload.items()
+        for ci in range(len(plans))
+    ]
+    for thread in clients:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in clients:
+        thread.join()
+    wall = time.perf_counter() - start
+    if errors:
+        session.close()
+        raise errors[0]
+    fleet_stats = session.stats()
+    worker_spans = (
+        session.collect_worker_spans() if get_tracer().enabled else {}
+    )
+    session.close()
+
+    flat = np.array(
+        [
+            lat
+            for per_workload in latencies.values()
+            for per_client in per_workload
+            for lat in per_client
+        ]
+    )
+    total_rows = sum(
+        batch
+        for plans in plans_by_workload.values()
+        for plan in plans
+        for batch, _, _ in plan
+    )
+    result = {
+        "workers": num_workers,
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(flat.size / wall, 2),
+        "rows_per_s": round(total_rows / wall, 1),
+        "latency_ms": {
+            "mean": round(float(flat.mean()) * 1e3, 4),
+            "p50": round(float(np.percentile(flat, 50)) * 1e3, 4),
+            "p95": round(float(np.percentile(flat, 95)) * 1e3, 4),
+            "p99": round(float(np.percentile(flat, 99)) * 1e3, 4),
+            "max": round(float(flat.max()) * 1e3, 4),
+        },
+        "utilization": round(fleet_stats.merged.utilization, 4),
+        "compiles": fleet_stats.merged.compiles,
+        "retries": fleet_stats.retries,
+        "restarts": fleet_stats.total_restarts,
+        "placement": fleet_stats.placement(),
+    }
+    return result, outputs, worker_spans
+
+
 def run_serve(
     workloads,
     dtype: DType,
@@ -620,21 +782,31 @@ def run_serve(
     think_ms: float,
     seed: int,
     threads: int,
+    workers: int = 1,
+    shard_buckets=None,
+    quick: bool = False,
 ) -> dict:
-    """Unbatched-vs-batched closed-loop serving comparison.
+    """Unbatched-vs-batched comparison plus a sharded scaling curve.
 
     Returns the ``BENCH_serving.json`` document (schema
-    ``repro.bench_serving/v1``); per-request outputs must be bit-identical
-    across the two modes or ``identical`` is false (a schema violation).
+    ``repro.bench_serving/v2``); per-request outputs must be bit-identical
+    across the two single-process modes or ``identical`` is false (a
+    schema violation).  The ``sharding`` section replays the same request
+    plans — every workload concurrently — through a
+    :class:`~repro.service.ShardedSession` at each worker count in
+    1, 2, 4, ... ``workers``, comparing each level's outputs against the
+    one-worker fleet bit-for-bit.
     """
     import numpy as np
 
     entries = []
     stats_by_workload = {}
+    plans_by_workload = {}
     for workload in workloads:
         plans = _serving_plans(
             workload, dtype, clients, requests, batch_sizes, think_ms, seed
         )
+        plans_by_workload[workload] = plans
         entry = {"name": workload}
         outputs = {}
         for mode in SERVING_MODES:
@@ -667,6 +839,62 @@ def run_serve(
             for a, b in zip(client_a, client_b)
         )
         entries.append(entry)
+
+    # -- sharded fleet: the multi-worker scaling curve ------------------------
+    if shard_buckets is None:
+        shard_buckets = sorted(set(int(b) for b in batch_sizes))
+    levels = _worker_levels(workers, quick=quick)
+    curve = []
+    baseline_outputs = None
+    baseline_rps = None
+    worker_spans = {}
+    for level in levels:
+        result, outputs, spans = _run_sharded_level(
+            workloads,
+            dtype,
+            plans_by_workload,
+            shard_buckets,
+            max_batch,
+            timeout_us,
+            threads,
+            level,
+        )
+        if baseline_outputs is None:
+            baseline_outputs = outputs
+            baseline_rps = result["throughput_rps"]
+            result["identical"] = True
+        else:
+            result["identical"] = all(
+                a is not None
+                and b is not None
+                and np.array_equal(a, b)
+                for workload in workloads
+                for client_a, client_b in zip(
+                    baseline_outputs[workload], outputs[workload]
+                )
+                for a, b in zip(client_a, client_b)
+            )
+        result["speedup"] = round(
+            result["throughput_rps"] / baseline_rps, 4
+        )
+        curve.append(result)
+        if spans:
+            worker_spans = spans
+    import os as _os
+
+    sharding = {
+        "buckets": list(shard_buckets),
+        "slots_per_worker": 8,
+        "workers": levels,
+        "max_workers": workers,
+        # Worker processes only scale on real cores; a curve measured on
+        # fewer cores than workers is a correctness record, not a perf one.
+        "host_cpus": _os.cpu_count(),
+        "curve": curve,
+        "speedup": curve[-1]["speedup"],
+        "identical": all(entry["identical"] for entry in curve),
+    }
+
     document = {
         "schema": BENCH_SERVING_SCHEMA,
         "machine": "XEON_8358",
@@ -685,20 +913,28 @@ def run_serve(
         "geomean_speedup": round(
             geomean([entry["speedup"] for entry in entries]), 4
         ),
+        "sharding": sharding,
     }
     document["_batching_stats"] = stats_by_workload  # stripped before dump
+    document["_worker_spans"] = worker_spans  # stripped before dump
     return document
 
 
 def validate_bench_serving(document: dict) -> List[str]:
-    """Schema check for BENCH_serving.json; returns a list of problems."""
+    """Schema check for BENCH_serving.json; returns a list of problems.
+
+    Accepts the current ``repro.bench_serving/v2`` (with the sharded
+    worker-scaling curve) and the older v1 (without it), so committed v1
+    artifacts keep validating.
+    """
     errors: List[str] = []
     if not isinstance(document, dict):
         return ["document is not an object"]
-    if document.get("schema") != BENCH_SERVING_SCHEMA:
+    schema = document.get("schema")
+    if schema not in (BENCH_SERVING_SCHEMA, BENCH_SERVING_SCHEMA_V1):
         errors.append(
-            f"schema is {document.get('schema')!r}, "
-            f"expected {BENCH_SERVING_SCHEMA!r}"
+            f"schema is {schema!r}, expected {BENCH_SERVING_SCHEMA!r} "
+            f"(or legacy {BENCH_SERVING_SCHEMA_V1!r})"
         )
     for key in (
         "machine",
@@ -754,6 +990,35 @@ def validate_bench_serving(document: dict) -> List[str]:
             errors.append(
                 f"{where}: modes disagree (identical != true)"
             )
+    if schema == BENCH_SERVING_SCHEMA:
+        sharding = document.get("sharding")
+        if not isinstance(sharding, dict):
+            errors.append("missing sharding section (required by v2)")
+            return errors
+        curve = sharding.get("curve")
+        if not isinstance(curve, list) or not curve:
+            errors.append("sharding.curve must be a non-empty list")
+            return errors
+        for index, point in enumerate(curve):
+            where = f"sharding.curve[{index}]"
+            if not isinstance(point, dict):
+                errors.append(f"{where} is not an object")
+                continue
+            count = point.get("workers")
+            if not isinstance(count, int) or count < 1:
+                errors.append(f"{where}.workers must be a positive integer")
+            rps = point.get("throughput_rps")
+            if not isinstance(rps, (int, float)) or rps <= 0:
+                errors.append(f"{where}.throughput_rps must be positive")
+            if not isinstance(point.get("latency_ms"), dict):
+                errors.append(f"{where}.latency_ms missing")
+            if point.get("identical") is not True:
+                errors.append(
+                    f"{where}: outputs differ from the one-worker fleet "
+                    "(identical != true)"
+                )
+        if not isinstance(sharding.get("speedup"), (int, float)):
+            errors.append("sharding.speedup missing")
     return errors
 
 
@@ -793,6 +1058,56 @@ def _print_serve_report(document: dict) -> None:
     for workload, stats in document.get("_batching_stats", {}).items():
         print()
         print(f"[{workload}] " + format_batching_stats(stats))
+    sharding = document.get("sharding")
+    if sharding:
+        rows = [
+            {
+                "workers": point["workers"],
+                "req/s": point["throughput_rps"],
+                "rows/s": point["rows_per_s"],
+                "p50ms": point["latency_ms"]["p50"],
+                "p99ms": point["latency_ms"]["p99"],
+                "speedup": point["speedup"],
+                "identical": str(point["identical"]).lower(),
+            }
+            for point in sharding["curve"]
+        ]
+        print()
+        print(
+            format_speedup_table(
+                f"Sharded fleet — all workloads concurrent, buckets "
+                f"{sharding['buckets']}",
+                rows,
+                [
+                    "workers",
+                    "req/s",
+                    "rows/s",
+                    "p50ms",
+                    "p99ms",
+                    "speedup",
+                    "identical",
+                ],
+            )
+        )
+        top = sharding["curve"][-1]
+        for worker, labels in sorted(top.get("placement", {}).items()):
+            print(
+                f"  {worker}: "
+                f"{', '.join(labels) if labels else '(no partitions)'}"
+            )
+        print(
+            f"sharded speedup at {top['workers']} workers: "
+            f"{sharding['speedup']:.2f}x over one worker, "
+            f"identical={str(sharding['identical']).lower()}"
+        )
+        host_cpus = sharding.get("host_cpus")
+        if host_cpus is not None and host_cpus < sharding["max_workers"]:
+            print(
+                f"note: host has {host_cpus} cpu(s) for "
+                f"{sharding['max_workers']} workers — the curve "
+                "verifies correctness under sharding; throughput "
+                "scaling needs one core per worker"
+            )
 
 
 def _print_tuning_report(results) -> None:
@@ -933,6 +1248,29 @@ def main(argv=None) -> int:
         help="`serve`: RNG seed for request plans and think times",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="`serve`: max worker processes for the sharded fleet phase; "
+        "the scaling curve measures 1, 2, 4, ... N workers",
+    )
+    parser.add_argument(
+        "--shard-buckets",
+        default=None,
+        metavar="B1,B2",
+        help="`serve`: shape buckets of the sharded fleet (default: the "
+        "request batch sizes, one signature per workload x bucket)",
+    )
+    parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="`serve`: fail unless the sharded fleet at --workers reaches "
+        "X times the one-worker throughput",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
@@ -1035,6 +1373,13 @@ def main(argv=None) -> int:
             else [1, 2, 4, 8]
         )
         buckets = [int(v) for v in args.buckets.split(",")]
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        shard_buckets = (
+            [int(v) for v in args.shard_buckets.split(",")]
+            if args.shard_buckets
+            else None
+        )
         try:
             document = run_serve(
                 serve_workloads,
@@ -1048,11 +1393,15 @@ def main(argv=None) -> int:
                 args.think_ms,
                 args.seed,
                 args.threads,
+                workers=args.workers,
+                shard_buckets=shard_buckets,
+                quick=args.quick,
             )
         finally:
             _OBSERVE = False
         _print_serve_report(document)
         document.pop("_batching_stats", None)
+        worker_spans = document.pop("_worker_spans", None)
         problems = validate_bench_serving(document)
         if problems:
             for problem in problems:
@@ -1068,7 +1417,10 @@ def main(argv=None) -> int:
             print(format_report(get_tracer(), get_registry()))
         if args.trace:
             trace_doc = write_chrome_trace(
-                args.trace, get_tracer(), get_registry()
+                args.trace,
+                get_tracer(),
+                get_registry(),
+                processes=worker_spans or None,
             )
             print(
                 f"\nwrote {len(trace_doc['traceEvents'])} trace events "
@@ -1081,6 +1433,17 @@ def main(argv=None) -> int:
             print(
                 f"serving speedup {document['geomean_speedup']:.2f} below "
                 f"required {args.min_speedup:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+        shard_speedup = document["sharding"]["speedup"]
+        if (
+            args.min_shard_speedup is not None
+            and shard_speedup < args.min_shard_speedup
+        ):
+            print(
+                f"sharded speedup {shard_speedup:.2f} below required "
+                f"{args.min_shard_speedup:.2f}",
                 file=sys.stderr,
             )
             return 1

@@ -282,6 +282,79 @@ class TestSessionLifecycle:
         assert sess.closed
 
 
+class TestCloseRace:
+    """ISSUE satellite: a submit racing close() must either serve or
+    raise SessionClosedError — never hang, never lose a future."""
+
+    def test_submit_storm_racing_close_settles_every_future(self):
+        from repro.errors import SessionClosedError
+
+        weights = mlp_weights()
+        x = np.random.RandomState(9).randn(4, 13).astype(np.float32)
+        for _ in range(3):  # repeat: the race window is narrow
+            sess = mlp_session(
+                weights,
+                batch_buckets=[32],
+                batching="on",
+                batch_timeout_us=200,
+            )
+            sess.run({"x": x})  # warm so submits are fast
+            start = threading.Barrier(3)
+            futures, rejected = [], []
+
+            def submitter():
+                start.wait()
+                for _ in range(50):
+                    try:
+                        futures.append(sess.submit({"x": x}))
+                    except SessionClosedError:
+                        rejected.append(1)
+                        return
+
+            def closer():
+                start.wait()
+                sess.close(drain=True)
+
+            threads = [
+                threading.Thread(target=submitter),
+                threading.Thread(target=submitter),
+                threading.Thread(target=closer),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert sess.closed
+            # Every accepted future settles: a result or a closed error.
+            for future in futures:
+                try:
+                    out = future.result(timeout=30)
+                    assert next(iter(out.values())).shape == (4, 128)
+                except SessionClosedError:
+                    pass
+
+    def test_concurrent_closes_are_idempotent(self):
+        sess = mlp_session(mlp_weights(), batch_buckets=[32])
+        sess.run({"x": np.zeros((8, 13), np.float32)})
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def closer():
+            try:
+                barrier.wait()
+                sess.close()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert sess.closed
+
+
 class TestBatchingMode:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError, match="batching"):

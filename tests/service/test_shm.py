@@ -1,0 +1,261 @@
+"""TensorRing shared-memory transport: round-trips, backpressure, leaks.
+
+The transport must move any ndarray the serving tier produces through a
+named shared-memory slot bit-for-bit (dtypes, non-contiguous views,
+zero-length arrays), block submitters when every slot is in flight, and
+never leak a segment — including when the attaching process dies without
+cleaning up.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import SlotOverflowError, TransportError
+from repro.service.shm import (
+    TensorRing,
+    TensorSpec,
+    live_segments,
+    request_nbytes,
+)
+
+
+def roundtrip(ring, arrays):
+    slot = ring.lease()
+    try:
+        specs = ring.write(slot, arrays)
+        return specs, ring.read(slot, specs, copy=True)
+    finally:
+        ring.release(slot)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float16, np.int8, np.int32, np.uint8]
+    )
+    def test_dtypes_roundtrip_bit_identical(self, dtype):
+        rng = np.random.RandomState(0)
+        if np.issubdtype(dtype, np.floating):
+            array = rng.randn(7, 13).astype(dtype)
+        else:
+            array = rng.randint(-100, 100, (7, 13)).astype(dtype)
+        with TensorRing(slots=2, slot_bytes=4096) as ring:
+            specs, out = roundtrip(ring, {"x": array})
+            assert out["x"].dtype == array.dtype
+            assert np.array_equal(out["x"], array)
+            assert specs[0].dtype == np.dtype(dtype).str
+
+    def test_multiple_tensors_one_slot(self):
+        arrays = {
+            "a": np.arange(24, dtype=np.float32).reshape(2, 3, 4),
+            "b": np.full((5,), 7, dtype=np.int8),
+            "c": np.array(3.5, dtype=np.float64),  # zero-rank scalar
+        }
+        with TensorRing(slots=1, slot_bytes=4096) as ring:
+            _, out = roundtrip(ring, arrays)
+            assert sorted(out) == ["a", "b", "c"]
+            for name, array in arrays.items():
+                assert np.array_equal(out[name], array)
+                assert out[name].shape == array.shape
+
+    def test_non_contiguous_arrays(self):
+        base = np.arange(64, dtype=np.float32).reshape(8, 8)
+        arrays = {
+            "strided": base[::2, 1::3],  # non-contiguous view
+            "transposed": base.T,  # F-ordered
+        }
+        assert not arrays["strided"].flags["C_CONTIGUOUS"]
+        assert not arrays["transposed"].flags["C_CONTIGUOUS"]
+        with TensorRing(slots=1, slot_bytes=4096) as ring:
+            _, out = roundtrip(ring, arrays)
+            assert np.array_equal(out["strided"], arrays["strided"])
+            assert np.array_equal(out["transposed"], arrays["transposed"])
+            # The reader gets ordinary C-contiguous arrays back.
+            assert out["transposed"].flags["C_CONTIGUOUS"]
+
+    def test_zero_length_arrays(self):
+        arrays = {
+            "empty": np.empty((0, 4), dtype=np.float32),
+            "data": np.ones((3,), dtype=np.float32),
+        }
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            _, out = roundtrip(ring, arrays)
+            assert out["empty"].shape == (0, 4)
+            assert out["empty"].dtype == np.float32
+            assert np.array_equal(out["data"], arrays["data"])
+
+    def test_zero_copy_read_views_segment(self):
+        array = np.arange(8, dtype=np.float32)
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            slot = ring.lease()
+            specs = ring.write(slot, {"x": array})
+            view = ring.read(slot, specs, copy=False)["x"]
+            copy = ring.read(slot, specs, copy=True)["x"]
+            assert not view.flags["OWNDATA"]
+            # Overwriting the slot is visible through the view, not the copy.
+            ring.write(slot, {"x": array * 2})
+            assert np.array_equal(view, array * 2)
+            assert np.array_equal(copy, array)
+            ring.release(slot)
+
+    def test_request_nbytes_covers_packed_size(self):
+        arrays = {
+            "a": np.zeros((3, 5), dtype=np.float32),
+            "b": np.zeros((7,), dtype=np.int8),
+        }
+        need = request_nbytes(arrays)
+        with TensorRing(slots=1, slot_bytes=max(64, need)) as ring:
+            _, out = roundtrip(ring, arrays)  # exactly-sized slot fits
+            assert sorted(out) == ["a", "b"]
+
+
+class TestBackpressure:
+    def test_lease_blocks_until_release(self):
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            slot = ring.lease()
+            acquired = []
+
+            def waiter():
+                acquired.append(ring.lease())
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.05)
+            assert not acquired  # exhausted: the waiter is blocked
+            ring.release(slot)
+            thread.join(timeout=5)
+            assert acquired == [slot]
+
+    def test_lease_timeout_raises(self):
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            ring.lease()
+            start = time.perf_counter()
+            with pytest.raises(TransportError, match="no free slot"):
+                ring.lease(timeout=0.05)
+            assert time.perf_counter() - start < 2.0
+
+    def test_close_wakes_blocked_lease(self):
+        ring = TensorRing(slots=1, slot_bytes=256)
+        ring.lease()
+        errors = []
+
+        def waiter():
+            try:
+                ring.lease()
+            except TransportError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        ring.close()
+        thread.join(timeout=5)
+        assert len(errors) == 1
+
+    def test_slot_overflow_raises(self):
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            slot = ring.lease()
+            big = np.zeros((1024,), dtype=np.float32)
+            with pytest.raises(SlotOverflowError):
+                ring.write(slot, {"x": big})
+            ring.release(slot)
+
+    def test_double_release_rejected(self):
+        with TensorRing(slots=2, slot_bytes=256) as ring:
+            slot = ring.lease()
+            ring.release(slot)
+            with pytest.raises(TransportError, match="not leased"):
+                ring.release(slot)
+
+
+class TestAttach:
+    def test_attach_missing_segment_raises(self):
+        with pytest.raises(TransportError, match="does not exist"):
+            TensorRing.attach("repro-test-no-such-segment", 1, 256)
+
+    def test_attach_bad_geometry_raises(self):
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            with pytest.raises(TransportError, match="geometry"):
+                TensorRing.attach(ring.name, 64, 4096)
+
+    def test_attacher_cannot_lease(self):
+        with TensorRing(slots=1, slot_bytes=256) as ring:
+            attached = TensorRing.attach(ring.name, 1, 256)
+            with pytest.raises(TransportError, match="owner"):
+                attached.lease()
+            attached.close()
+
+    def test_cross_reference_via_specs(self):
+        """An attacher reads exactly what the owner wrote, by spec."""
+        array = np.arange(12, dtype=np.float32).reshape(3, 4)
+        with TensorRing(slots=2, slot_bytes=512) as ring:
+            attached = TensorRing.attach(ring.name, 2, 512)
+            slot = ring.lease()
+            specs = ring.write(slot, {"x": array})
+            out = attached.read(slot, specs, copy=True)
+            assert np.array_equal(out["x"], array)
+            # And the reverse direction: attacher writes, owner reads.
+            specs = attached.write(slot, {"y": array * 3})
+            back = ring.read(slot, specs, copy=True)
+            assert np.array_equal(back["y"], array * 3)
+            ring.release(slot)
+            attached.close()
+
+
+class TestLeaks:
+    def test_close_unlinks_and_untracks(self):
+        before = live_segments()
+        ring = TensorRing(slots=2, slot_bytes=256)
+        assert ring.name in live_segments()
+        ring.close()
+        assert live_segments() == before
+        # The named segment is actually gone, not just untracked.
+        with pytest.raises(TransportError, match="does not exist"):
+            TensorRing.attach(ring.name, 2, 256)
+
+    def test_close_is_idempotent(self):
+        ring = TensorRing(slots=1, slot_bytes=256)
+        ring.close()
+        ring.close()
+        assert ring.closed
+
+    def test_owner_unlinks_even_if_attacher_process_dies(self):
+        """A crashed attacher must not leak (or unlink) the segment."""
+        ring = TensorRing(slots=1, slot_bytes=256)
+
+        def child(name):
+            attached = TensorRing.attach(name, 1, 256)
+            assert attached is not None
+            os.kill(os.getpid(), signal.SIGKILL)  # die without cleanup
+
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        process = ctx.Process(target=child, args=(ring.name,))
+        process.start()
+        process.join(timeout=30)
+        assert process.exitcode == -signal.SIGKILL
+        # Owner still works after the attacher crashed...
+        slot = ring.lease()
+        specs = ring.write(slot, {"x": np.ones(4, dtype=np.float32)})
+        assert isinstance(specs[0], TensorSpec)
+        ring.release(slot)
+        # ...and still owns the (single) unlink.
+        ring.close()
+        assert ring.name not in live_segments()
+
+    def test_operations_after_close_raise(self):
+        ring = TensorRing(slots=1, slot_bytes=256)
+        slot = ring.lease()
+        ring.close()
+        with pytest.raises(TransportError):
+            ring.write(slot, {"x": np.ones(2, dtype=np.float32)})
+        with pytest.raises(TransportError):
+            ring.lease()

@@ -55,6 +55,15 @@ class TestExamples:
         assert "coalesce ratio" in out
         assert "ok" in out
 
+    def test_serving_sharded(self, capsys):
+        run_example("serving_sharded.py")
+        out = capsys.readouterr().out
+        assert "bit-identical to single session: yes" in out
+        assert "0 failed" in out
+        assert "ShardedStats" in out
+        assert "all shared-memory segments unlinked: yes" in out
+        assert "ok" in out
+
     def test_autotune_matmul(self, capsys):
         run_example("autotune_matmul.py")
         out = capsys.readouterr().out

@@ -205,9 +205,15 @@ class TestServingBench:
         assert "geomean speedup" in out
         document = json.loads(path.read_text())
         assert validate_bench_serving(document) == []
-        assert document["schema"] == "repro.bench_serving/v1"
+        assert document["schema"] == "repro.bench_serving/v2"
         assert document["modes"] == ["unbatched", "batched"]
         assert "_batching_stats" not in document  # transient key stripped
+        assert "_worker_spans" not in document
+        sharding = document["sharding"]
+        assert sharding["workers"] == [1]  # default: no extra workers
+        assert sharding["identical"] is True
+        assert sharding["speedup"] == 1.0
+        assert isinstance(sharding["host_cpus"], int)
         for entry in document["workloads"]:
             assert entry["identical"] is True
             batching = entry["batched"]["batching"]
@@ -259,6 +265,75 @@ class TestServingBench:
         capsys.readouterr()
         assert code == 1
 
+    def test_sharded_quick_bench_writes_scaling_curve(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.service import live_segments
+        from repro.tools.bench import main as bench_main
+        from repro.tools.bench import validate_bench_serving
+
+        path = tmp_path / "BENCH_serving.json"
+        assert bench_main(
+            ["serve", "--quick", "--workers", "2", "--clients", "2",
+             "--requests", "2", "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded fleet" in out
+        assert "sharded speedup" in out
+        document = json.loads(path.read_text())
+        assert validate_bench_serving(document) == []
+        sharding = document["sharding"]
+        assert sharding["workers"] == [1, 2]
+        assert sharding["max_workers"] == 2
+        assert sharding["identical"] is True
+        assert len(sharding["curve"]) == 2
+        for point in sharding["curve"]:
+            assert point["throughput_rps"] > 0
+            assert point["identical"] is True
+        two = sharding["curve"][-1]
+        assert two["workers"] == 2
+        assert two["placement"]  # signatures homed across the fleet
+        # Nothing leaked: every shm segment was unlinked on close.
+        assert live_segments() == []
+
+    def test_validator_accepts_legacy_v1_document(self):
+        from repro.tools.bench import validate_bench_serving
+
+        legacy = {
+            "schema": "repro.bench_serving/v1",
+            "machine": "XEON_8358",
+            "dtype": "f32",
+            "clients": 8,
+            "requests_per_client": 4,
+            "batch_sizes": [1, 2, 4, 8],
+            "buckets": [32],
+            "max_batch": 32,
+            "batch_timeout_us": 2000,
+            "seed": 0,
+            "modes": ["unbatched", "batched"],
+            "workloads": [
+                {
+                    "name": "MLP_1",
+                    "unbatched": {
+                        "throughput_rps": 10.0,
+                        "latency_ms": {"p50": 1.0},
+                    },
+                    "batched": {
+                        "throughput_rps": 20.0,
+                        "latency_ms": {"p50": 1.0},
+                        "batching": {"completed": 32},
+                    },
+                    "identical": True,
+                    "speedup": 2.0,
+                }
+            ],
+            "geomean_speedup": 2.0,
+        }
+        # No sharding section required for v1.
+        assert validate_bench_serving(legacy) == []
+
     def test_validator_rejects_malformed_documents(self):
         from repro.tools.bench import validate_bench_serving
 
@@ -297,3 +372,22 @@ class TestServingBench:
         assert any("batching" in e for e in errors)
         assert any("speedup" in e for e in errors)
         assert any("identical" in e for e in errors)
+        # v2 additionally demands a sharding section with a curve.
+        bad_v2 = dict(bad, schema="repro.bench_serving/v2")
+        assert any(
+            "sharding" in e for e in validate_bench_serving(bad_v2)
+        )
+        bad_v2["sharding"] = {
+            "curve": [
+                {
+                    "workers": 2,
+                    "throughput_rps": 5.0,
+                    "latency_ms": {"p50": 1.0},
+                    "identical": False,  # sharded outputs must match
+                }
+            ],
+            "speedup": "fast",  # not a number
+        }
+        errors = validate_bench_serving(bad_v2)
+        assert any("identical" in e and "curve" in e for e in errors)
+        assert any("sharding.speedup" in e for e in errors)
