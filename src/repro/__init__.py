@@ -23,6 +23,11 @@ Quickstart::
     })
 """
 
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveManager,
+    SignatureState,
+)
 from .core.compiler import (
     add_compile_hook,
     compile_counter,
@@ -64,9 +69,12 @@ from .tuner import (
     remove_tuning_hook,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveManager",
+    "SignatureState",
     "compile_graph",
     "compile_counter",
     "add_compile_hook",

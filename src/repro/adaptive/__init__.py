@@ -1,0 +1,59 @@
+"""repro.adaptive: online feedback-directed retuning.
+
+The static pipeline tunes once, at compile time, against an analytical
+model.  This package closes the loop the paper leaves open: it watches
+live serving latency per partition signature, detects when the measured
+cost drifts away from what the tuner's model promised (data layouts
+change, co-tenants appear, caches shrink), re-searches the drifted
+partition's tuning space *off the hot path*, and hot-swaps the
+recompiled partition into the serving cache — but only after the
+challenger beats the incumbent in a live A/B trial.
+
+Layering:
+
+* :mod:`.policy` — knobs (:class:`AdaptiveConfig`), the signature state
+  machine (:class:`SignatureState`) and the trial verdict
+  (:func:`judge_trial`); pure logic.
+* :mod:`.swap` — :class:`ABTrialPartition` (the A/B guard's serving
+  proxy) and :class:`DegradedPartition` (drift injection).
+* :mod:`.retuner` — :class:`TuningProblemCapture` (what to re-search,
+  recorded at compile time) and :class:`Retuner` (re-search + challenger
+  compile).
+* :mod:`.monitor` — :class:`DriftMonitor` (detection) and
+  :class:`AdaptiveManager` (the background loop gluing it all together).
+
+Sessions opt in with ``InferenceSession(..., adaptive="on")`` (and
+``ShardedSession`` likewise, per worker); the default ``"off"`` leaves
+every hot path byte-identical to a build without this package.
+"""
+
+from .monitor import AdaptiveManager, DriftMonitor, modeled_partition_seconds
+from .policy import (
+    AdaptiveConfig,
+    SignatureState,
+    TrialResult,
+    Verdict,
+    judge_trial,
+)
+from .retuner import Retuner, TuningProblemCapture
+from .swap import ABTrialPartition, DegradedPartition, OutputAliasPartition
+
+#: Valid values of ``InferenceSession(adaptive=)``.
+ADAPTIVE_MODES = ("off", "on")
+
+__all__ = [
+    "ADAPTIVE_MODES",
+    "ABTrialPartition",
+    "AdaptiveConfig",
+    "AdaptiveManager",
+    "DegradedPartition",
+    "DriftMonitor",
+    "OutputAliasPartition",
+    "Retuner",
+    "SignatureState",
+    "TrialResult",
+    "TuningProblemCapture",
+    "Verdict",
+    "judge_trial",
+    "modeled_partition_seconds",
+]

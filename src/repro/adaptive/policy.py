@@ -1,0 +1,158 @@
+"""Adaptive retuning policy: knobs, the signature state machine, and the
+A/B trial verdict.
+
+Pure decision logic with no threads and no I/O — everything here is unit
+testable in isolation, and everything with a side effect lives in
+:mod:`repro.adaptive.monitor` / :mod:`repro.adaptive.retuner` instead.
+
+The per-signature lifecycle::
+
+    STABLE --drift detected--> DRIFTING --retune launched--> RETUNING
+    RETUNING --challenger compiled--> TRIAL
+    TRIAL --challenger wins--> COOLDOWN   (challenger promoted, swap)
+    TRIAL --challenger loses--> COOLDOWN  (incumbent retained)
+    TRIAL --challenger errors--> QUARANTINED (incumbent retained, no
+                                              further retunes this run)
+    COOLDOWN --cooldown_polls elapsed--> STABLE (baseline recalibrated)
+
+``DRIFTING`` is observable only between a breaching poll and the retune
+launch; the manager moves through it within one loop iteration, but tests
+that drive the state machine by hand can hold a signature there.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class SignatureState(enum.Enum):
+    """Where one signature sits in the adaptive lifecycle."""
+
+    STABLE = "stable"
+    DRIFTING = "drifting"
+    RETUNING = "retuning"
+    TRIAL = "trial"
+    COOLDOWN = "cooldown"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Every knob of the adaptive retuning loop.
+
+    The defaults are conservative: a partition must look ~1.5x slower
+    than its calibrated baseline for three consecutive polls before a
+    retune is even attempted, and a challenger must win by a clear
+    margin to displace the incumbent.
+    """
+
+    #: Seconds between drift-monitor polls of the cache snapshot.
+    poll_interval_s: float = 0.25
+    #: Measured/modeled ratio (normalized by the calibration baseline)
+    #: at which a poll counts as breaching.
+    drift_threshold: float = 1.5
+    #: Consecutive breaching polls required to declare drift.
+    window: int = 3
+    #: Latency samples a signature needs before the monitor trusts its
+    #: EWMA (both for calibration and for drift detection).
+    min_executes: int = 8
+    #: Fraction of trial-window requests routed to the challenger
+    #: (every round(1/trial_fraction)-th request).
+    trial_fraction: float = 0.25
+    #: Challenger executions required before the trial is judged.
+    trial_requests: int = 8
+    #: Relative latency margin the challenger must win by to be
+    #: promoted: challenger < incumbent * (1 - win_margin).
+    win_margin: float = 0.05
+    #: Polls a signature sits out after a trial before the monitor
+    #: re-arms (baseline recalibrates on re-entry to STABLE).
+    cooldown_polls: int = 20
+    #: Search budget for each background re-search (usually smaller than
+    #: the compile-time budget: the incumbent seeds the search).
+    retune_budget: int = 64
+    #: Measured-evaluator repeats per finalist during a retune.
+    retune_repeats: int = 2
+    #: Retunes allowed per signature per process (runaway guard).
+    max_retunes_per_signature: int = 3
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be > 0")
+        if self.drift_threshold <= 1.0:
+            raise ValueError("drift_threshold must be > 1.0")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_executes < 1:
+            raise ValueError("min_executes must be >= 1")
+        if not 0.0 < self.trial_fraction <= 0.5:
+            raise ValueError("trial_fraction must be in (0, 0.5]")
+        if self.trial_requests < 1:
+            raise ValueError("trial_requests must be >= 1")
+        if not 0.0 <= self.win_margin < 1.0:
+            raise ValueError("win_margin must be in [0, 1)")
+        if self.cooldown_polls < 0:
+            raise ValueError("cooldown_polls must be >= 0")
+        if self.retune_budget < 1:
+            raise ValueError("retune_budget must be >= 1")
+        if self.max_retunes_per_signature < 1:
+            raise ValueError("max_retunes_per_signature must be >= 1")
+
+    @property
+    def trial_stride(self) -> int:
+        """Route every ``stride``-th request to the challenger."""
+        return max(2, round(1.0 / self.trial_fraction))
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Measured outcome of one A/B trial window."""
+
+    #: Mean wall seconds of the challenger's executions (0.0 when none).
+    challenger_seconds: float
+    #: Mean wall seconds of the incumbent's executions over the window.
+    incumbent_seconds: float
+    #: Challenger executions that raised (each fell back to the
+    #: incumbent, so no request failed).
+    challenger_errors: int
+    challenger_samples: int
+    incumbent_samples: int
+
+
+class Verdict(enum.Enum):
+    """What to do with the challenger once its trial window closes."""
+
+    PROMOTE = "promote"
+    REJECT = "reject"
+    QUARANTINE = "quarantine"
+
+
+def judge_trial(trial: TrialResult, config: AdaptiveConfig) -> Verdict:
+    """The A/B guard's decision for a completed trial.
+
+    * Any challenger error quarantines the signature: a partition that
+      raises under real traffic is never trusted again this run, and the
+      incumbent stays.
+    * Otherwise the challenger must beat the incumbent's mean latency by
+      ``win_margin`` to be promoted.  Ties and insufficient evidence
+      (no incumbent samples to compare against) keep the incumbent —
+      the status quo wins all close calls.
+    """
+    if trial.challenger_errors > 0:
+        return Verdict.QUARANTINE
+    if trial.challenger_samples == 0 or trial.incumbent_samples == 0:
+        return Verdict.REJECT
+    threshold = trial.incumbent_seconds * (1.0 - config.win_margin)
+    if trial.challenger_seconds < threshold:
+        return Verdict.PROMOTE
+    return Verdict.REJECT
+
+
+__all__ = [
+    "AdaptiveConfig",
+    "SignatureState",
+    "TrialResult",
+    "Verdict",
+    "judge_trial",
+]

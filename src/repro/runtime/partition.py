@@ -116,6 +116,7 @@ class CompiledPartition:
         #: (the reference backend).
         self.executor = executor
         self._executor_lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._compiled: Optional[CompiledExecutor] = None
         #: Persistent worker pool shared across calls and parallel loops;
         #: (re)built lazily whenever ``num_threads`` changes.
@@ -312,12 +313,23 @@ class CompiledPartition:
         Called by owners on teardown and by :class:`PartitionCache` when
         it evicts this partition.  Executing the partition again after
         ``close`` transparently rebuilds the pool.
+
+        Safe against double close — a partition that was evicted, then
+        hot-swapped back out by the adaptive retuner, is closed by both
+        paths — and against concurrent closers: mirroring the
+        ``SessionClosedError`` semantics of the serving layer, the first
+        closer performs the (blocking) pool shutdown while the rest wait
+        on it and then return, so no caller ever observes a half-released
+        pool.  The blocking shutdown happens *outside* ``_executor_lock``
+        so a racing ``execute`` is never stalled behind pool teardown.
         """
-        with self._executor_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
+        with self._close_lock:
+            with self._executor_lock:
+                pool = self._pool
                 self._pool = None
                 self._pool_size = 0
+            if pool is not None:
+                pool.shutdown(wait=True)
 
     @staticmethod
     def _publish_metrics(stats: ExecutionStats, seconds: float) -> None:

@@ -28,7 +28,12 @@ from .batching import (
     format_batching_stats,
 )
 from .cache import PartitionCache, partition_nbytes
-from .session import BATCHING_MODES, InferenceSession, ModelProbe
+from .session import (
+    ADAPTIVE_MODES,
+    BATCHING_MODES,
+    InferenceSession,
+    ModelProbe,
+)
 from .sharding import (
     ConsistentHashRing,
     ModelSpec,
@@ -42,6 +47,7 @@ from .signature import canonical_graph_form, graph_signature
 from .stats import ServiceStats, SignatureStats, format_stats
 
 __all__ = [
+    "ADAPTIVE_MODES",
     "BATCHING_MODES",
     "BatchingEngine",
     "BatchingStats",

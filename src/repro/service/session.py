@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,6 +49,9 @@ _PROBE_BATCHES = (2, 3)
 
 #: Valid values for ``InferenceSession(batching=)``.
 BATCHING_MODES = ("off", "on")
+
+#: Valid values for ``InferenceSession(adaptive=)``.
+ADAPTIVE_MODES = ("off", "on")
 
 
 def _diff_batch_axes(
@@ -182,6 +186,18 @@ class InferenceSession:
             (``batching="on"`` only).
         queue_depth: Per-bucket backpressure bound on queued requests
             (``batching="on"`` only; ``None`` disables backpressure).
+        adaptive: ``"off"`` (default) serves statically — no background
+            threads, no behavior change whatsoever.  ``"on"`` attaches a
+            :class:`~repro.adaptive.AdaptiveManager` that watches live
+            per-signature latency, re-searches the tuning space of
+            partitions whose measured cost drifts from the model's
+            expectation, and hot-swaps the recompiled partition into the
+            cache once it wins a live A/B trial.  Implies at least
+            ``tuning="model"`` (a session compiled without the tuner has
+            nothing to re-search).
+        adaptive_config: Knobs for the adaptive loop
+            (:class:`~repro.adaptive.AdaptiveConfig`); defaults apply
+            when omitted.  Ignored with ``adaptive="off"``.
     """
 
     def __init__(
@@ -199,6 +215,8 @@ class InferenceSession:
         max_batch: int = 32,
         batch_timeout_us: int = 2000,
         queue_depth: Optional[int] = 256,
+        adaptive: str = "off",
+        adaptive_config=None,
     ) -> None:
         self._builder = graph_builder
         self._weights: Dict[str, np.ndarray] = dict(weights or {})
@@ -237,6 +255,36 @@ class InferenceSession:
                 batch_timeout_us=batch_timeout_us,
                 queue_depth=queue_depth,
             )
+        if adaptive not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"unknown adaptive mode {adaptive!r}; "
+                f"expected one of {ADAPTIVE_MODES}"
+            )
+        self._adaptive = adaptive
+        self._adaptive_manager = None
+        self._problems_by_sig: Dict[str, list] = {}
+        self._output_names_by_sig: Dict[str, List[str]] = {}
+        if adaptive == "on":
+            # Imported lazily: adaptive="off" sessions never pay for (or
+            # observe) the adaptive machinery.
+            from ..adaptive import AdaptiveConfig, AdaptiveManager
+
+            if self._options.tuning == "off":
+                # Without a tuner in the compile path there is nothing
+                # for the adaptive loop to re-search.
+                self._options = dataclasses.replace(
+                    self._options, tuning="model"
+                )
+            self._adaptive_manager = AdaptiveManager(
+                cache=self._cache,
+                machine=self._machine,
+                config=adaptive_config or AdaptiveConfig(),
+                problems_for=self.tuning_problems,
+                compile_fresh_for=self._fresh_compiler_for,
+                tuning_cache_path=self._options.tuning_cache_path,
+                tuning_seed=self._options.tuning_seed,
+            )
+            self._adaptive_manager.start()
 
     @classmethod
     def for_workload(
@@ -308,6 +356,15 @@ class InferenceSession:
     @property
     def batching(self) -> str:
         return "on" if self._engine is not None else "off"
+
+    @property
+    def adaptive(self) -> str:
+        return self._adaptive
+
+    @property
+    def adaptive_manager(self):
+        """The adaptive retuning loop, or None with ``adaptive="off"``."""
+        return self._adaptive_manager
 
     @property
     def engine(self) -> Optional[BatchingEngine]:
@@ -441,9 +498,14 @@ class InferenceSession:
                     if axes
                     else array
                 )
+        start = time.perf_counter()
         outputs = partition.execute(feed)
+        latency = time.perf_counter() - start
         self._cache.note_execute(
-            signature, rows_requested=batch, rows_computed=bucket
+            signature,
+            rows_requested=batch,
+            rows_computed=bucket,
+            latency_seconds=latency,
         )
         if bucket == batch:
             return outputs
@@ -473,15 +535,81 @@ class InferenceSession:
         def _compile():
             # compile_graph mutates its graph, so build a fresh one here
             # (runs at most once per signature thanks to single-flight).
-            return compile_graph(
+            if self._adaptive_manager is None:
+                return compile_graph(
+                    self._builder(bucket),
+                    self._machine,
+                    self._options,
+                    num_threads=self._num_threads,
+                )
+            # Adaptive sessions record which tuning problems this
+            # signature's compile asked about — the retuner's work list.
+            from ..adaptive import TuningProblemCapture
+
+            with TuningProblemCapture() as capture:
+                partition = compile_graph(
+                    self._builder(bucket),
+                    self._machine,
+                    self._options,
+                    num_threads=self._num_threads,
+                )
+            with self._lock:
+                self._problems_by_sig[signature] = capture.problems
+                # The first compile's output names are the session's
+                # client-visible contract; challengers built later are
+                # aliased back to them (auto tensor names embed a
+                # process-global counter and change across recompiles).
+                self._output_names_by_sig.setdefault(
+                    signature, list(partition.output_names)
+                )
+            return partition
+
+        partition = self._cache.get_or_compile(signature, _compile, label)
+        return partition, signature
+
+    def tuning_problems(self, signature: str) -> list:
+        """Tuning problems captured while compiling ``signature``
+        (empty for untuned or adaptive="off" compilations)."""
+        with self._lock:
+            return list(self._problems_by_sig.get(signature, ()))
+
+    def bucket_for_signature(self, signature: str) -> Optional[int]:
+        """The shape bucket a signature was compiled for, if known."""
+        with self._lock:
+            for bucket, sig in self._sig_by_bucket.items():
+                if sig == signature:
+                    return bucket
+        return None
+
+    def _fresh_compiler_for(
+        self, signature: str
+    ) -> Optional[Callable[[], "CompiledPartition"]]:
+        """A zero-arg recompile hook for a signature's bucket, bypassing
+        the partition cache — how the adaptive layer builds challengers.
+        The recompile consults the (by then updated) tuning cache, and
+        because the graph signature does not fold tuning-cache *contents*,
+        the challenger lands under the same signature as the incumbent.
+        """
+        bucket = self.bucket_for_signature(signature)
+        if bucket is None:
+            return None
+
+        def _compile_fresh():
+            from ..adaptive import OutputAliasPartition
+
+            partition = compile_graph(
                 self._builder(bucket),
                 self._machine,
                 self._options,
                 num_threads=self._num_threads,
             )
+            with self._lock:
+                names = self._output_names_by_sig.get(signature)
+            if names and names != partition.output_names:
+                return OutputAliasPartition(partition, names)
+            return partition
 
-        partition = self._cache.get_or_compile(signature, _compile, label)
-        return partition, signature
+        return _compile_fresh
 
     @staticmethod
     def _pad(
@@ -533,6 +661,11 @@ class InferenceSession:
             if self._closed:
                 return
             self._closed = True
+            # Adaptive first: stop the background loop (resolving any
+            # open A/B trial in the incumbent's favor) before draining
+            # requests and releasing partitions.
+            if self._adaptive_manager is not None:
+                self._adaptive_manager.close()
             if self._engine is not None:
                 self._engine.close(drain=drain)
             if self._owns_cache:

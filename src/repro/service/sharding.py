@@ -244,6 +244,11 @@ class _WorkerConfig:
     batch_timeout_us: int
     queue_depth: Optional[int]
     trace_enabled: bool
+    #: Per-worker adaptive retuning ("off"/"on"); each worker runs its
+    #: own monitor/retuner loop against its own partition cache.
+    adaptive: str = "off"
+    #: Knobs for the per-worker adaptive loop (None = defaults).
+    adaptive_config: Optional[object] = None
 
 
 def _portable_exception(exc: BaseException) -> BaseException:
@@ -287,6 +292,15 @@ def _worker_main(
 
     cache = PartitionCache()
     sessions: Dict[str, InferenceSession] = {}
+    options = config.options
+    if config.adaptive == "on" and options.tuning_cache_path:
+        # Each worker writes retuned records to its own cache file, so a
+        # restarted worker (fresh process, same id) resumes from what its
+        # predecessor learned instead of re-searching from scratch.
+        options = dataclasses.replace(
+            options,
+            tuning_cache_path=f"{options.tuning_cache_path}.{worker_id}",
+        )
 
     def session_for(model: str) -> InferenceSession:
         session = sessions.get(model)
@@ -299,7 +313,7 @@ def _worker_main(
                     spec.resolve_builder(),
                     weights=dict(spec.weights),
                     machine=config.machine,
-                    options=config.options,
+                    options=options,
                     cache=cache,
                     batch_buckets=spec.batch_buckets,
                     num_threads=config.num_threads,
@@ -307,6 +321,8 @@ def _worker_main(
                     max_batch=config.max_batch,
                     batch_timeout_us=config.batch_timeout_us,
                     queue_depth=config.queue_depth,
+                    adaptive=config.adaptive,
+                    adaptive_config=config.adaptive_config,
                 )
             sessions[model] = session
         return session
@@ -380,6 +396,13 @@ def _worker_main(
                 if session.engine is not None
             }
             reply(("stats", cache.stats(), engines))
+        elif kind == "adaptive":
+            reports = {
+                name: session.adaptive_manager.report()
+                for name, session in sessions.items()
+                if session.adaptive_manager is not None
+            }
+            reply(("adaptive", reports))
         elif kind == "trace":
             reply(
                 (
@@ -677,6 +700,14 @@ class ShardedSession:
             ready-made multiprocessing context (default: ``fork`` where
             available — worker boot in milliseconds — else ``spawn``).
         replicas: Virtual nodes per worker on the hash ring.
+        adaptive: ``"on"`` runs one adaptive retuning loop *inside each
+            worker* over that worker's partition cache (see
+            :class:`.InferenceSession`); retuned records are written to
+            a per-worker tuning-cache file
+            (``{tuning_cache_path}.{worker_id}``) so a restarted worker
+            resumes from its predecessor's learning.  Default ``"off"``.
+        adaptive_config: :class:`~repro.adaptive.AdaptiveConfig` knobs
+            forwarded to every worker's loop.
     """
 
     def __init__(
@@ -700,6 +731,8 @@ class ShardedSession:
         warmup=False,
         mp_context=None,
         replicas: int = 64,
+        adaptive: str = "off",
+        adaptive_config=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -725,6 +758,14 @@ class ShardedSession:
                 self._options, executor=executor
             )
         self._num_threads = num_threads
+        from .session import ADAPTIVE_MODES
+
+        if adaptive not in ADAPTIVE_MODES:
+            raise ValueError(
+                f"unknown adaptive mode {adaptive!r}; "
+                f"expected one of {ADAPTIVE_MODES}"
+            )
+        self._adaptive = adaptive
         self._config = _WorkerConfig(
             models=dict(self._models),
             machine=machine,
@@ -735,6 +776,8 @@ class ShardedSession:
             batch_timeout_us=batch_timeout_us,
             queue_depth=queue_depth,
             trace_enabled=get_tracer().enabled,
+            adaptive=adaptive,
+            adaptive_config=adaptive_config,
         )
         self._probes: Dict[str, ModelProbe] = {
             name: ModelProbe(spec.resolve_builder())
@@ -1248,6 +1291,30 @@ class ShardedSession:
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    @property
+    def adaptive(self) -> str:
+        return self._adaptive
+
+    def adaptive_reports(
+        self, timeout: float = 30.0
+    ) -> Dict[str, Dict[str, dict]]:
+        """Per-worker adaptive-loop reports: worker -> model -> report.
+
+        Empty per-worker maps with ``adaptive="off"`` (the loop never
+        exists in the workers).  Workers mid-restart are skipped, like
+        in :meth:`stats`.
+        """
+        reports: Dict[str, Dict[str, dict]] = {}
+        for worker_id, worker in sorted(self._workers.items()):
+            try:
+                (worker_reports,) = worker.request(
+                    "adaptive", ("adaptive",), timeout=timeout
+                )
+            except (TransportError, OSError):
+                continue
+            reports[worker_id] = worker_reports
+        return reports
 
     def workers(self) -> Dict[str, WorkerInfo]:
         """Liveness/identity snapshot of every worker slot."""

@@ -28,10 +28,21 @@ class SignatureStats:
     #: difference is zero-padding the shape bucket silently burned.
     rows_requested: int = 0
     rows_computed: int = 0
+    #: Exponentially-weighted moving average of per-execution latency
+    #: (seconds), fed by ``PartitionCache.note_execute`` — the adaptive
+    #: drift monitor compares it against the cost model's expectation.
+    latency_ewma_seconds: float = 0.0
+    latency_samples: int = 0
+    #: Hot-swaps the adaptive retuner performed on this signature.
+    swaps: int = 0
 
     @property
     def short_signature(self) -> str:
         return self.signature[:12]
+
+    @property
+    def latency_ewma_ms(self) -> float:
+        return self.latency_ewma_seconds * 1e3
 
     @property
     def padded_rows(self) -> int:
@@ -49,6 +60,7 @@ class SignatureStats:
         result = asdict(self)
         result["padded_rows"] = self.padded_rows
         result["utilization"] = self.utilization
+        result["latency_ewma_ms"] = self.latency_ewma_ms
         return result
 
 
@@ -63,6 +75,8 @@ class ServiceStats:
     in_flight: int
     resident_bytes: int
     capacity_bytes: Optional[int]
+    #: Hot-swaps the adaptive retuner performed across all signatures.
+    swaps: int = 0
     signatures: Tuple[SignatureStats, ...] = field(default_factory=tuple)
 
     @property
@@ -134,6 +148,16 @@ class ServiceStats:
                 if seen is None:
                     merged_sigs[sig.signature] = sig
                     continue
+                samples = seen.latency_samples + sig.latency_samples
+                ewma = (
+                    (
+                        seen.latency_ewma_seconds * seen.latency_samples
+                        + sig.latency_ewma_seconds * sig.latency_samples
+                    )
+                    / samples
+                    if samples
+                    else 0.0
+                )
                 merged_sigs[sig.signature] = SignatureStats(
                     signature=sig.signature,
                     label=seen.label or sig.label,
@@ -148,6 +172,9 @@ class ServiceStats:
                         seen.rows_requested + sig.rows_requested
                     ),
                     rows_computed=seen.rows_computed + sig.rows_computed,
+                    latency_ewma_seconds=ewma,
+                    latency_samples=samples,
+                    swaps=seen.swaps + sig.swaps,
                 )
         return ServiceStats(
             compiles=sum(p.compiles for p in parts),
@@ -157,6 +184,7 @@ class ServiceStats:
             in_flight=sum(p.in_flight for p in parts),
             resident_bytes=sum(p.resident_bytes for p in parts),
             capacity_bytes=capacity,
+            swaps=sum(p.swaps for p in parts),
             signatures=tuple(
                 sorted(
                     merged_sigs.values(), key=lambda s: s.signature
@@ -187,7 +215,7 @@ def format_stats(
     )
     lines.append(
         f"  compiles={stats.compiles} evictions={stats.evictions} "
-        f"in_flight={stats.in_flight}"
+        f"in_flight={stats.in_flight} swaps={stats.swaps}"
     )
     lines.append(
         f"  resident_bytes={stats.resident_bytes} capacity={capacity}"
@@ -208,6 +236,8 @@ def format_stats(
                     "compile_s",
                     "executes",
                     "util",
+                    "ewma_ms",
+                    "swaps",
                     "resident",
                 ],
                 [
@@ -219,6 +249,10 @@ def format_stats(
                         sig.compile_seconds,
                         sig.executes,
                         f"{sig.utilization:.0%}" if sig.rows_computed else "-",
+                        f"{sig.latency_ewma_ms:.2f}"
+                        if sig.latency_samples
+                        else "-",
+                        sig.swaps,
                         "yes" if sig.resident else "no",
                     )
                     for sig in stats.signatures

@@ -15,6 +15,7 @@ Usage::
     python -m repro.tools.bench serve --clients 8       # BENCH_serving.json
     python -m repro.tools.bench serve --quick
     python -m repro.tools.bench serve --workers 4       # sharded fleet curve
+    python -m repro.tools.bench serve --adaptive        # drift -> hot swap
 
 ``runtime`` measures *real* steady-state execution latency (not modeled
 cycles) of the fig7/fig8 workloads on the interpreter and the compiled
@@ -30,7 +31,11 @@ percentiles, and writes the ``BENCH_serving.json`` artifact.  It then
 replays the same plans — every workload concurrently — through the
 multi-process :class:`~repro.service.ShardedSession` at worker counts
 1, 2, 4, ... ``--workers``, producing a scaling curve whose outputs must
-match the one-worker fleet bit-for-bit.
+match the one-worker fleet bit-for-bit.  With ``--adaptive`` the run
+ends with the online-retuning scenario: latency drift is injected into
+a served partition, the :mod:`repro.adaptive` loop detects it, retunes
+off the hot path, hot-swaps the winner of the A/B trial, and the
+before/degraded/after latency record lands in the (v3) artifact.
 
 Prints the same tables the pytest benchmarks produce; handy for quick
 sweeps and for regenerating EXPERIMENTS.md numbers.  With ``--tune``,
@@ -463,6 +468,11 @@ BENCH_SERVING_SCHEMA = "repro.bench_serving/v2"
 #: artifacts still validate.
 BENCH_SERVING_SCHEMA_V1 = "repro.bench_serving/v1"
 
+#: v2 plus the ``adaptive`` section: the drift-injection retuning
+#: scenario recorded by ``serve --adaptive``.  Plain ``serve`` runs keep
+#: writing v2; all three schemas validate.
+BENCH_SERVING_SCHEMA_V3 = "repro.bench_serving/v3"
+
 #: Serving modes the ``serve`` figure compares.
 SERVING_MODES = ("unbatched", "batched")
 
@@ -770,6 +780,150 @@ def _run_sharded_level(
     return result, outputs, worker_spans
 
 
+def _phase_stats(latencies) -> dict:
+    """Latency summary (ms) for one phase of the adaptive scenario."""
+    import numpy as np
+
+    arr = np.asarray(latencies, dtype=float)
+    return {
+        "requests": int(arr.size),
+        "mean_ms": round(float(arr.mean()) * 1e3, 4),
+        "p50_ms": round(float(np.percentile(arr, 50)) * 1e3, 4),
+        "p95_ms": round(float(np.percentile(arr, 95)) * 1e3, 4),
+        "max_ms": round(float(arr.max()) * 1e3, 4),
+    }
+
+
+def run_adaptive_scenario(
+    workload: str = "MLP_1",
+    dtype: DType = DType.f32,
+    bucket: int = 32,
+    requests: int = 30,
+    threads: int = 1,
+    drift_ms: float = 20.0,
+    timeout_s: float = 120.0,
+    seed: int = 0,
+    adaptive_config=None,
+) -> dict:
+    """Drift → detect → retune → A/B trial → hot swap, measured live.
+
+    Serves one (workload, bucket) signature through an
+    ``InferenceSession(adaptive="on")`` in three phases: a healthy
+    *before* window, an injected-drift window (a fixed ``drift_ms``
+    delay wrapped around the incumbent partition — the adaptive loop
+    sees only the latency drift, exactly as with genuine degradation),
+    and an *after* window once the background retuner's challenger has
+    won its A/B trial and been hot-swapped in.  Every response is
+    checked against the first (``identical`` is tolerance-based:
+    recompiled partitions may use different blocking, so float
+    accumulation order can differ).
+
+    Returns the ``adaptive`` section of the v3 serving artifact.
+    """
+    import time
+
+    import numpy as np
+
+    from ..adaptive import AdaptiveConfig
+    from ..service import InferenceSession
+    from ..workloads import make_mlp_inputs
+
+    config = adaptive_config or AdaptiveConfig(
+        poll_interval_s=0.02,
+        drift_threshold=1.3,
+        window=2,
+        min_executes=3,
+        trial_requests=3,
+        cooldown_polls=2,
+        retune_budget=16,
+        retune_repeats=1,
+        win_margin=0.01,
+    )
+    data = make_mlp_inputs(workload, bucket, dtype, seed=seed)
+    weights = {k: v for k, v in data.items() if k.startswith("w")}
+    feed = {"x": data["x"]}
+    session = InferenceSession.for_workload(
+        workload,
+        dtype=dtype,
+        weights=weights,
+        batch_buckets=[bucket],
+        num_threads=threads,
+        batching="off",
+        adaptive="on",
+        adaptive_config=config,
+    )
+    manager = session.adaptive_manager
+    try:
+        reference = session.run(dict(feed))  # compile outside any window
+        consistent = True
+
+        def timed_run():
+            nonlocal consistent
+            start = time.perf_counter()
+            out = session.run(dict(feed))
+            elapsed = time.perf_counter() - start
+            for name in reference:
+                if not np.allclose(
+                    out[name], reference[name], rtol=2e-5, atol=2e-5
+                ):
+                    consistent = False
+            return elapsed
+
+        before = [timed_run() for _ in range(requests)]
+        signature = session.cache.stats().signatures[0].signature
+        problems = session.tuning_problems(signature)
+
+        if not manager.inject_drift(signature, drift_ms / 1e3):
+            raise RuntimeError("drift injection failed (signature evicted?)")
+        injected_at = time.perf_counter()
+        # Degraded traffic doubles as detection traffic: the background
+        # loop watches the latency EWMA rise, retunes, and runs the A/B
+        # trial while these requests are in flight.
+        degraded = [timed_run() for _ in range(requests)]
+        deadline = injected_at + timeout_s
+        while manager.swaps < 1 and time.perf_counter() < deadline:
+            degraded.append(timed_run())
+        time_to_swap = time.perf_counter() - injected_at
+        swapped = manager.swaps >= 1
+
+        after = [timed_run() for _ in range(requests)]
+        report = manager.report()
+    finally:
+        session.close()
+
+    before_stats = _phase_stats(before)
+    degraded_stats = _phase_stats(degraded)
+    after_stats = _phase_stats(after)
+    return {
+        "workload": workload,
+        "dtype": dtype.value,
+        "bucket": bucket,
+        "drift_delay_ms": drift_ms,
+        "tuning_problems": len(problems),
+        "config": {
+            "drift_threshold": config.drift_threshold,
+            "window": config.window,
+            "min_executes": config.min_executes,
+            "trial_fraction": config.trial_fraction,
+            "trial_requests": config.trial_requests,
+            "win_margin": config.win_margin,
+            "retune_budget": config.retune_budget,
+        },
+        "before": before_stats,
+        "degraded": degraded_stats,
+        "after": after_stats,
+        "swaps": report["swaps"],
+        "drift_detections": report["drift_detections"],
+        "signatures": report["signatures"],
+        "time_to_swap_s": round(time_to_swap, 4) if swapped else None,
+        # The swap must undo the injected drift: post-swap latency back
+        # under half the degraded mean (degraded mean >= drift_ms).
+        "recovered": swapped
+        and after_stats["mean_ms"] < degraded_stats["mean_ms"] / 2,
+        "identical": consistent,
+    }
+
+
 def run_serve(
     workloads,
     dtype: DType,
@@ -785,11 +939,15 @@ def run_serve(
     workers: int = 1,
     shard_buckets=None,
     quick: bool = False,
+    adaptive: bool = False,
+    drift_ms: float = 20.0,
 ) -> dict:
     """Unbatched-vs-batched comparison plus a sharded scaling curve.
 
     Returns the ``BENCH_serving.json`` document (schema
-    ``repro.bench_serving/v2``); per-request outputs must be bit-identical
+    ``repro.bench_serving/v2``, or v3 with ``adaptive=True``, which
+    appends the :func:`run_adaptive_scenario` drift-injection record);
+    per-request outputs must be bit-identical
     across the two single-process modes or ``identical`` is false (a
     schema violation).  The ``sharding`` section replays the same request
     plans — every workload concurrently — through a
@@ -915,6 +1073,17 @@ def run_serve(
         ),
         "sharding": sharding,
     }
+    if adaptive:
+        document["adaptive"] = run_adaptive_scenario(
+            workload=workloads[0],
+            dtype=dtype,
+            bucket=buckets[0],
+            requests=8 if quick else 30,
+            threads=threads,
+            drift_ms=drift_ms,
+            seed=seed,
+        )
+        document["schema"] = BENCH_SERVING_SCHEMA_V3
     document["_batching_stats"] = stats_by_workload  # stripped before dump
     document["_worker_spans"] = worker_spans  # stripped before dump
     return document
@@ -923,18 +1092,23 @@ def run_serve(
 def validate_bench_serving(document: dict) -> List[str]:
     """Schema check for BENCH_serving.json; returns a list of problems.
 
-    Accepts the current ``repro.bench_serving/v2`` (with the sharded
-    worker-scaling curve) and the older v1 (without it), so committed v1
-    artifacts keep validating.
+    Accepts ``repro.bench_serving/v3`` (with the adaptive retuning
+    scenario), v2 (with the sharded worker-scaling curve) and the older
+    v1 (without either), so committed artifacts keep validating.
     """
     errors: List[str] = []
     if not isinstance(document, dict):
         return ["document is not an object"]
     schema = document.get("schema")
-    if schema not in (BENCH_SERVING_SCHEMA, BENCH_SERVING_SCHEMA_V1):
+    if schema not in (
+        BENCH_SERVING_SCHEMA_V3,
+        BENCH_SERVING_SCHEMA,
+        BENCH_SERVING_SCHEMA_V1,
+    ):
         errors.append(
-            f"schema is {schema!r}, expected {BENCH_SERVING_SCHEMA!r} "
-            f"(or legacy {BENCH_SERVING_SCHEMA_V1!r})"
+            f"schema is {schema!r}, expected {BENCH_SERVING_SCHEMA_V3!r} "
+            f"(or legacy {BENCH_SERVING_SCHEMA!r} / "
+            f"{BENCH_SERVING_SCHEMA_V1!r})"
         )
     for key in (
         "machine",
@@ -990,10 +1164,10 @@ def validate_bench_serving(document: dict) -> List[str]:
             errors.append(
                 f"{where}: modes disagree (identical != true)"
             )
-    if schema == BENCH_SERVING_SCHEMA:
+    if schema in (BENCH_SERVING_SCHEMA, BENCH_SERVING_SCHEMA_V3):
         sharding = document.get("sharding")
         if not isinstance(sharding, dict):
-            errors.append("missing sharding section (required by v2)")
+            errors.append("missing sharding section (required by v2+)")
             return errors
         curve = sharding.get("curve")
         if not isinstance(curve, list) or not curve:
@@ -1019,6 +1193,44 @@ def validate_bench_serving(document: dict) -> List[str]:
                 )
         if not isinstance(sharding.get("speedup"), (int, float)):
             errors.append("sharding.speedup missing")
+    if schema == BENCH_SERVING_SCHEMA_V3:
+        adaptive = document.get("adaptive")
+        if not isinstance(adaptive, dict):
+            errors.append("missing adaptive section (required by v3)")
+            return errors
+        for key in (
+            "workload",
+            "bucket",
+            "drift_delay_ms",
+            "before",
+            "degraded",
+            "after",
+            "swaps",
+            "drift_detections",
+            "time_to_swap_s",
+        ):
+            if key not in adaptive:
+                errors.append(f"adaptive.{key} missing")
+        for phase in ("before", "degraded", "after"):
+            stats = adaptive.get(phase)
+            if not isinstance(stats, dict) or not (
+                isinstance(stats.get("mean_ms"), (int, float))
+                and stats["mean_ms"] > 0
+            ):
+                errors.append(f"adaptive.{phase}.mean_ms must be positive")
+        swaps = adaptive.get("swaps")
+        if not isinstance(swaps, int) or swaps < 1:
+            errors.append("adaptive.swaps must be >= 1 (no hot swap)")
+        if adaptive.get("recovered") is not True:
+            errors.append(
+                "adaptive: post-swap latency did not recover "
+                "(recovered != true)"
+            )
+        if adaptive.get("identical") is not True:
+            errors.append(
+                "adaptive: outputs drifted across the swap "
+                "(identical != true)"
+            )
     return errors
 
 
@@ -1108,6 +1320,40 @@ def _print_serve_report(document: dict) -> None:
                 "verifies correctness under sharding; throughput "
                 "scaling needs one core per worker"
             )
+    adaptive = document.get("adaptive")
+    if adaptive:
+        rows = [
+            {
+                "phase": phase,
+                "req": adaptive[phase]["requests"],
+                "mean_ms": adaptive[phase]["mean_ms"],
+                "p50ms": adaptive[phase]["p50_ms"],
+                "p95ms": adaptive[phase]["p95_ms"],
+            }
+            for phase in ("before", "degraded", "after")
+        ]
+        print()
+        print(
+            format_speedup_table(
+                f"Adaptive retuning — {adaptive['workload']} "
+                f"b{adaptive['bucket']}, injected drift "
+                f"+{adaptive['drift_delay_ms']:.1f}ms",
+                rows,
+                ["phase", "req", "mean_ms", "p50ms", "p95ms"],
+            )
+        )
+        swap_note = (
+            f"hot-swapped in {adaptive['time_to_swap_s']:.2f}s"
+            if adaptive.get("time_to_swap_s") is not None
+            else "no swap happened"
+        )
+        print(
+            f"swaps={adaptive['swaps']} "
+            f"drift_detections={adaptive['drift_detections']} "
+            f"({swap_note}), "
+            f"recovered={str(adaptive['recovered']).lower()}, "
+            f"identical={str(adaptive['identical']).lower()}"
+        )
 
 
 def _print_tuning_report(results) -> None:
@@ -1263,6 +1509,22 @@ def main(argv=None) -> int:
         "request batch sizes, one signature per workload x bucket)",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="`serve`: run the online-retuning scenario (inject latency "
+        "drift, wait for the adaptive loop to retune and hot-swap the "
+        "partition, record before/degraded/after latency); writes the "
+        "v3 serving artifact",
+    )
+    parser.add_argument(
+        "--drift-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help="`serve --adaptive`: injected per-request delay simulating "
+        "tuning drift",
+    )
+    parser.add_argument(
         "--min-shard-speedup",
         type=float,
         default=None,
@@ -1396,6 +1658,8 @@ def main(argv=None) -> int:
                 workers=args.workers,
                 shard_buckets=shard_buckets,
                 quick=args.quick,
+                adaptive=args.adaptive,
+                drift_ms=args.drift_ms,
             )
         finally:
             _OBSERVE = False

@@ -1,0 +1,309 @@
+"""AdaptiveManager: the drift → retune → trial → swap state machine.
+
+These tests drive the manager deterministically through its public
+``step()`` (no background thread): drift evidence is fed through the
+partition cache's latency EWMA, and the retuner's challenger build is
+stubbed so each test controls exactly what the A/B trial compares.
+"""
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from repro import DType, GraphBuilder, XEON_8358, compile_graph
+from repro.adaptive import (
+    ABTrialPartition,
+    AdaptiveConfig,
+    AdaptiveManager,
+    DegradedPartition,
+    SignatureState,
+)
+from repro.service import PartitionCache, graph_signature
+
+CONFIG = AdaptiveConfig(
+    poll_interval_s=0.01,
+    drift_threshold=1.5,
+    window=2,
+    min_executes=4,
+    trial_fraction=0.5,  # stride 2: every other request to the challenger
+    trial_requests=3,
+    win_margin=0.05,
+    cooldown_polls=2,
+    retune_budget=2,
+    retune_repeats=1,
+    max_retunes_per_signature=2,
+)
+
+_RNG = np.random.default_rng(0)
+FEED = {
+    "x": _RNG.standard_normal((8, 32)).astype(np.float32),
+    "w": _RNG.standard_normal((32, 16)).astype(np.float32),
+}
+
+
+def tiny_graph():
+    b = GraphBuilder("tiny")
+    x = b.input("x", DType.f32, (8, 32))
+    w = b.constant("w", dtype=DType.f32, shape=(32, 16))
+    b.output(b.relu(b.matmul(x, w)))
+    return b.finish()
+
+
+class _Boom:
+    """A challenger that raises under traffic (delegates everything else)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.closed = 0
+
+    def execute(self, inputs):
+        raise RuntimeError("challenger broken")
+
+    def close(self):
+        self.closed += 1
+        self._inner.close()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def make_serving():
+    graph = tiny_graph()
+    signature = graph_signature(graph)
+    cache = PartitionCache()
+    incumbent = cache.get_or_compile(
+        signature, lambda: compile_graph(graph)
+    )
+    return cache, signature, incumbent
+
+
+def make_manager(cache, challenger, config=CONFIG):
+    manager = AdaptiveManager(
+        cache,
+        XEON_8358,
+        config,
+        problems_for=lambda sig: ["captured-problem"],
+        compile_fresh_for=lambda sig: (lambda: None),
+    )
+    # The real retuner re-searches the tuning space and recompiles; here
+    # the challenger is dictated so the trial outcome is deterministic.
+    manager.retuner.build_challenger = (
+        lambda sig, problems, fresh: challenger
+    )
+    return manager
+
+
+def drive_to_trial(cache, signature, manager, calibrate_ms=0.1):
+    """Calibrate, then feed a drifted EWMA until the trial is installed."""
+    for _ in range(CONFIG.min_executes):
+        cache.note_execute(signature, latency_seconds=calibrate_ms / 1e3)
+    manager.step()  # registers the signature and calibrates the baseline
+    for _ in range(CONFIG.window):
+        cache.note_execute(
+            signature, latency_seconds=100 * calibrate_ms / 1e3
+        )
+        manager.step()
+    assert manager.state_of(signature) is SignatureState.TRIAL
+
+
+def run_trial_traffic(cache, signature, requests=8):
+    trial = cache.peek(signature)
+    assert isinstance(trial, ABTrialPartition)
+    for _ in range(requests):
+        trial.execute(dict(FEED))
+    return trial
+
+
+class TestDecisionTable:
+    def test_challenger_wins_and_is_hot_swapped(self):
+        cache, signature, incumbent = make_serving()
+        challenger = compile_graph(tiny_graph())
+        manager = make_manager(cache, challenger)
+        # Genuine degradation: the incumbent is 5ms/request slower, so
+        # the challenger wins its trial on real measurements.
+        assert manager.inject_drift(signature, 0.005)
+        drive_to_trial(cache, signature, manager)
+        assert signature in cache.pinned()
+        run_trial_traffic(cache, signature)
+        manager.step()  # judge: PROMOTE
+        assert cache.peek(signature) is challenger
+        assert manager.swaps == 1
+        assert manager.state_of(signature) is SignatureState.COOLDOWN
+        assert signature not in cache.pinned()
+        report = manager.report()
+        assert report["drift_detections"] == 1
+        assert report["signatures"][signature]["retunes"] == 1
+        # inject + trial install + promotion = three swaps on the record.
+        (sig_stats,) = cache.stats().signatures
+        assert sig_stats.swaps == 3
+        # Cooldown elapses back to STABLE.
+        manager.step()
+        manager.step()
+        assert manager.state_of(signature) is SignatureState.STABLE
+        manager.close()
+
+    def test_challenger_loses_and_incumbent_stays(self):
+        cache, signature, incumbent = make_serving()
+        challenger = DegradedPartition(compile_graph(tiny_graph()), 0.01)
+        manager = make_manager(cache, challenger)
+        drive_to_trial(cache, signature, manager)
+        run_trial_traffic(cache, signature)
+        manager.step()  # judge: REJECT
+        assert cache.peek(signature) is incumbent
+        assert manager.swaps == 0
+        assert manager.state_of(signature) is SignatureState.COOLDOWN
+        assert signature not in cache.pinned()
+        manager.close()
+
+    def test_challenger_error_quarantines_signature(self):
+        cache, signature, incumbent = make_serving()
+        challenger = _Boom(compile_graph(tiny_graph()))
+        manager = make_manager(cache, challenger)
+        drive_to_trial(cache, signature, manager)
+        trial = cache.peek(signature)
+        # Second request routes to the challenger, raises, and is
+        # transparently re-served by the incumbent: no caller fails.
+        outputs = [trial.execute(dict(FEED)) for _ in range(2)]
+        assert all(out for out in outputs)
+        manager.step()  # judge: QUARANTINE
+        assert cache.peek(signature) is incumbent
+        assert manager.swaps == 0
+        assert manager.state_of(signature) is SignatureState.QUARANTINED
+        assert challenger.closed == 1
+        # Further drift on a quarantined signature is ignored for good.
+        for _ in range(4):
+            cache.note_execute(signature, latency_seconds=1.0)
+            manager.step()
+        assert manager.state_of(signature) is SignatureState.QUARANTINED
+        assert cache.peek(signature) is incumbent
+        manager.close()
+
+    def test_retune_budget_quarantines(self):
+        cache, signature, incumbent = make_serving()
+        challenger = DegradedPartition(compile_graph(tiny_graph()), 0.01)
+        config = dataclasses.replace(CONFIG, max_retunes_per_signature=1)
+        manager = make_manager(cache, challenger, config=config)
+        drive_to_trial(cache, signature, manager)
+        run_trial_traffic(cache, signature)
+        manager.step()  # REJECT, retune budget now exhausted
+        manager.step()
+        manager.step()  # cooldown over
+        assert manager.state_of(signature) is SignatureState.STABLE
+        # Recalibrate at the drifted level, then drift again.
+        cache.note_execute(signature, latency_seconds=1e-3)
+        manager.step()
+        for _ in range(config.window):
+            cache.note_execute(signature, latency_seconds=1.0)
+            manager.step()
+        assert manager.state_of(signature) is SignatureState.QUARANTINED
+        assert cache.peek(signature) is incumbent
+        manager.close()
+
+
+class TestLifecycle:
+    def test_close_resolves_open_trial_to_incumbent(self):
+        cache, signature, incumbent = make_serving()
+        challenger = compile_graph(tiny_graph())
+        manager = make_manager(cache, challenger)
+        drive_to_trial(cache, signature, manager)
+        manager.close()  # mid-trial shutdown: a shutdown is not evidence
+        assert cache.peek(signature) is incumbent
+        assert manager.swaps == 0
+        assert signature not in cache.pinned()
+
+    def test_untuned_signature_backs_off_to_cooldown(self):
+        cache, signature, _ = make_serving()
+        manager = AdaptiveManager(
+            cache,
+            XEON_8358,
+            CONFIG,
+            problems_for=lambda sig: [],  # nothing captured to re-search
+            compile_fresh_for=lambda sig: (lambda: None),
+        )
+        for _ in range(CONFIG.min_executes):
+            cache.note_execute(signature, latency_seconds=1e-4)
+        manager.step()
+        for _ in range(CONFIG.window):
+            cache.note_execute(signature, latency_seconds=1e-2)
+            manager.step()
+        assert manager.state_of(signature) is SignatureState.COOLDOWN
+        assert not isinstance(cache.peek(signature), ABTrialPartition)
+        manager.close()
+
+    def test_foreign_signature_is_ignored(self):
+        # Sharded workers share one cache between model sessions: a
+        # manager must not adopt a signature its session can't recompile.
+        cache, signature, _ = make_serving()
+        manager = AdaptiveManager(
+            cache,
+            XEON_8358,
+            CONFIG,
+            problems_for=lambda sig: ["problem"],
+            compile_fresh_for=lambda sig: None,  # not ours
+        )
+        for _ in range(CONFIG.min_executes):
+            cache.note_execute(signature, latency_seconds=1e-3)
+        manager.step()
+        assert not manager.monitor.tracked(signature)
+        assert manager.report()["signatures"] == {}
+        manager.close()
+
+
+class TestConcurrentSwap:
+    def test_swap_under_concurrent_execute_is_lossless(self):
+        """Eight serving threads never observe a torn swap: every
+        response stays bit-identical while the resident partition is
+        swapped back and forth under them."""
+        graph = tiny_graph()
+        signature = graph_signature(graph)
+        cache = PartitionCache()
+        # Two compiles of the same deterministic builder graph: identical
+        # schedules, bit-identical results (output *names* differ across
+        # recompiles — positional comparison, as OutputAliasPartition
+        # formalizes for the serving path).
+        first = cache.get_or_compile(signature, lambda: compile_graph(graph))
+        second = compile_graph(tiny_graph())
+        # Warm both outside the storm (first execute packs the weights,
+        # as the serving layer's warmup does) and pin down bit-identity.
+        reference = list(first.execute(dict(FEED)).values())
+        for value, expected in zip(
+            second.execute(dict(FEED)).values(), reference
+        ):
+            np.testing.assert_array_equal(value, expected)
+        stop = threading.Event()
+        errors = []
+
+        def serve():
+            try:
+                while not stop.is_set():
+                    partition = cache.get(signature)
+                    out = list(partition.execute(dict(FEED)).values())
+                    for value, expected in zip(out, reference):
+                        if not np.array_equal(value, expected):
+                            raise AssertionError(
+                                "response changed during a swap"
+                            )
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=serve, name=f"serve-{i}")
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for i in range(100):
+            displaced = cache.swap(
+                signature, second if i % 2 == 0 else first
+            )
+            assert displaced is not None
+            time.sleep(0.001)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        assert cache.stats().swaps >= 100
+        first.close()
+        second.close()

@@ -1,0 +1,110 @@
+"""DriftMonitor: calibration, breach windows, stale polls, recalibration."""
+
+import pytest
+
+from repro import DType, GraphBuilder, XEON_8358, compile_graph
+from repro.adaptive import AdaptiveConfig, DriftMonitor, modeled_partition_seconds
+from repro.service.stats import SignatureStats
+
+CONFIG = AdaptiveConfig(
+    drift_threshold=1.5, window=2, min_executes=4, cooldown_polls=1
+)
+
+
+def snapshot(sig="sig", ewma=1e-3, samples=10):
+    return SignatureStats(
+        signature=sig,
+        label="",
+        nbytes=0,
+        compiles=1,
+        compile_seconds=0.0,
+        executes=samples,
+        resident=True,
+        latency_ewma_seconds=ewma,
+        latency_samples=samples,
+    )
+
+
+def calibrated_monitor(sig="sig", ewma=1e-3, samples=4):
+    monitor = DriftMonitor(CONFIG)
+    monitor.register(sig, modeled_seconds=1e-3)
+    assert monitor.observe(snapshot(sig, ewma=ewma, samples=samples)) is False
+    return monitor
+
+
+class TestModeledSeconds:
+    def test_positive_for_real_partition(self):
+        b = GraphBuilder("tiny")
+        x = b.input("x", DType.f32, (8, 32))
+        w = b.constant("w", dtype=DType.f32, shape=(32, 16))
+        b.output(b.relu(b.matmul(x, w)))
+        partition = compile_graph(b.finish())
+        seconds = modeled_partition_seconds(partition, XEON_8358)
+        assert seconds is not None and seconds > 0
+        partition.close()
+
+    def test_none_for_unmodelable_object(self):
+        assert modeled_partition_seconds(object(), XEON_8358) is None
+
+
+class TestDriftMonitor:
+    def test_unregistered_signature_never_triggers(self):
+        monitor = DriftMonitor(CONFIG)
+        assert monitor.observe(snapshot(ewma=1.0, samples=100)) is False
+
+    def test_too_few_samples_defer_calibration(self):
+        monitor = DriftMonitor(CONFIG)
+        monitor.register("sig", 1e-3)
+        assert monitor.observe(snapshot(samples=3)) is False
+        assert monitor.ratio("sig") is None
+
+    def test_window_of_breaches_declares_drift(self):
+        monitor = calibrated_monitor()
+        # Two consecutive breaching polls (each with new samples).
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=6)) is True
+        assert monitor.ratio("sig") == pytest.approx(10.0)
+
+    def test_single_breach_is_not_drift(self):
+        monitor = calibrated_monitor()
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+
+    def test_recovery_resets_the_breach_window(self):
+        monitor = calibrated_monitor()
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+        # Back under threshold: the count starts over.
+        assert monitor.observe(snapshot(ewma=1e-3, samples=6)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=7)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=8)) is True
+
+    def test_stale_snapshot_does_not_advance_window(self):
+        monitor = calibrated_monitor()
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+        # Same sample count as the last poll: no new evidence.
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=6)) is True
+
+    def test_trigger_resets_for_the_next_episode(self):
+        monitor = calibrated_monitor()
+        monitor.observe(snapshot(ewma=1e-2, samples=5))
+        assert monitor.observe(snapshot(ewma=1e-2, samples=6)) is True
+        # Immediately after a trigger a fresh window is required.
+        assert monitor.observe(snapshot(ewma=1e-2, samples=7)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=8)) is True
+
+    def test_recalibrate_defines_a_new_normal(self):
+        monitor = calibrated_monitor()
+        monitor.recalibrate("sig")
+        # First trusted poll after recalibration is the new baseline,
+        # even at what used to be a drifted level.
+        assert monitor.observe(snapshot(ewma=1e-2, samples=20)) is False
+        assert monitor.ratio("sig") == pytest.approx(1.0)
+        assert monitor.observe(snapshot(ewma=1e-2, samples=21)) is False
+
+    def test_missing_model_falls_back_to_raw_ewma(self):
+        monitor = DriftMonitor(CONFIG)
+        monitor.register("sig", modeled_seconds=None)
+        assert monitor.observe(snapshot(samples=4)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=5)) is False
+        assert monitor.observe(snapshot(ewma=1e-2, samples=6)) is True

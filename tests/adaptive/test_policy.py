@@ -1,0 +1,99 @@
+"""Adaptive policy: config validation and the A/B trial decision table."""
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig, TrialResult, Verdict, judge_trial
+
+
+def trial(
+    challenger=1.0,
+    incumbent=1.0,
+    errors=0,
+    challenger_samples=8,
+    incumbent_samples=24,
+):
+    return TrialResult(
+        challenger_seconds=challenger,
+        incumbent_seconds=incumbent,
+        challenger_errors=errors,
+        challenger_samples=challenger_samples,
+        incumbent_samples=incumbent_samples,
+    )
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        AdaptiveConfig()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("poll_interval_s", 0.0),
+            ("drift_threshold", 1.0),
+            ("window", 0),
+            ("min_executes", 0),
+            ("trial_fraction", 0.0),
+            ("trial_fraction", 0.6),
+            ("trial_requests", 0),
+            ("win_margin", -0.1),
+            ("win_margin", 1.0),
+            ("cooldown_polls", -1),
+            ("retune_budget", 0),
+            ("max_retunes_per_signature", 0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            AdaptiveConfig(**{field: value})
+
+    def test_trial_stride_from_fraction(self):
+        assert AdaptiveConfig(trial_fraction=0.25).trial_stride == 4
+        assert AdaptiveConfig(trial_fraction=0.5).trial_stride == 2
+        assert AdaptiveConfig(trial_fraction=0.1).trial_stride == 10
+        # The stride never routes a majority of traffic to the challenger.
+        assert AdaptiveConfig(trial_fraction=0.49).trial_stride >= 2
+
+
+class TestJudgeTrial:
+    """The decision table: challenger wins / loses / errors."""
+
+    CONFIG = AdaptiveConfig(win_margin=0.05)
+
+    def test_challenger_wins_by_margin(self):
+        result = judge_trial(trial(challenger=0.5, incumbent=1.0), self.CONFIG)
+        assert result is Verdict.PROMOTE
+
+    def test_challenger_loses(self):
+        result = judge_trial(trial(challenger=1.5, incumbent=1.0), self.CONFIG)
+        assert result is Verdict.REJECT
+
+    def test_tie_keeps_incumbent(self):
+        result = judge_trial(trial(challenger=1.0, incumbent=1.0), self.CONFIG)
+        assert result is Verdict.REJECT
+
+    def test_win_inside_margin_is_not_enough(self):
+        # 4% faster, but the margin demands 5%: status quo wins.
+        result = judge_trial(
+            trial(challenger=0.96, incumbent=1.0), self.CONFIG
+        )
+        assert result is Verdict.REJECT
+
+    def test_any_challenger_error_quarantines(self):
+        # Even a blazingly fast challenger is never trusted after raising.
+        result = judge_trial(
+            trial(challenger=0.01, incumbent=1.0, errors=1), self.CONFIG
+        )
+        assert result is Verdict.QUARANTINE
+
+    def test_no_challenger_evidence_rejects(self):
+        result = judge_trial(
+            trial(challenger=0.0, challenger_samples=0), self.CONFIG
+        )
+        assert result is Verdict.REJECT
+
+    def test_no_incumbent_evidence_rejects(self):
+        result = judge_trial(
+            trial(challenger=0.5, incumbent=0.0, incumbent_samples=0),
+            self.CONFIG,
+        )
+        assert result is Verdict.REJECT

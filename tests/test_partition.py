@@ -266,3 +266,73 @@ class TestArena:
         )
         assert p.arena_size > 0
         assert p.arena_size % 64 == 0
+
+
+def make_threaded_partition():
+    b = GraphBuilder("p")
+    x = b.input("x", DType.f32, (16, 32))
+    w = b.constant("w", dtype=DType.f32, shape=(32, 16))
+    b.output(b.relu(b.matmul(x, w)))
+    return compile_graph(b.finish(), num_threads=2)
+
+
+class TestClose:
+    def test_double_close_is_idempotent(self):
+        p = make_threaded_partition()
+        x = np.random.default_rng(0).standard_normal((16, 32)).astype(
+            np.float32
+        )
+        w = np.random.default_rng(1).standard_normal((32, 16)).astype(
+            np.float32
+        )
+        p.execute({"x": x, "w": w})
+        assert p.has_active_pool
+        p.close()
+        assert not p.has_active_pool
+        p.close()  # the adaptive swap path may close an arm twice
+        assert not p.has_active_pool
+
+    def test_close_before_first_execute(self):
+        p = make_threaded_partition()
+        p.close()
+        p.close()
+
+    def test_concurrent_close_is_safe(self):
+        p = make_threaded_partition()
+        x = np.random.default_rng(0).standard_normal((16, 32)).astype(
+            np.float32
+        )
+        w = np.random.default_rng(1).standard_normal((32, 16)).astype(
+            np.float32
+        )
+        p.execute({"x": x, "w": w})
+        errors = []
+
+        def closer():
+            try:
+                p.close()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not p.has_active_pool
+
+    def test_execute_after_close_rebuilds_pool(self):
+        p = make_threaded_partition()
+        x = np.random.default_rng(0).standard_normal((16, 32)).astype(
+            np.float32
+        )
+        w = np.random.default_rng(1).standard_normal((32, 16)).astype(
+            np.float32
+        )
+        first = p.execute({"x": x, "w": w})
+        p.close()
+        again = p.execute({"x": x})
+        for a, b in zip(first.values(), again.values()):
+            np.testing.assert_array_equal(a, b)
+        p.close()
