@@ -25,6 +25,7 @@ import threading
 from typing import Callable, Dict, List, Optional
 
 from ..observability import get_registry, get_tracer
+from ..observability.flight import dump_flight, get_flight_recorder
 from ..perfmodel import MachineSimulator, specs_for_partition
 from ..service.stats import SignatureStats
 from .policy import (
@@ -127,14 +128,23 @@ class DriftMonitor:
         track.last_ratio = None
 
     def observe(self, stats: SignatureStats) -> bool:
-        """Feed one poll's snapshot; True when drift is declared."""
+        """Feed one poll's snapshot; True when drift is declared.
+
+        The measured signal is the signature's p95 latency when a
+        quantile distribution is available (tail latency is what users
+        feel and what the paper's serving claims are judged by), falling
+        back to the EWMA for snapshots without one.
+        """
         track = self._tracks.get(stats.signature)
         if track is None:
             return False
         if stats.latency_samples < self.config.min_executes:
             return False
+        measured = stats.latency_p95_seconds
+        if measured is None:
+            measured = stats.latency_ewma_seconds
         denominator = track.modeled_seconds or 1.0
-        ratio = stats.latency_ewma_seconds / denominator
+        ratio = measured / denominator
         if ratio <= 0:
             return False
         track.last_ratio = ratio
@@ -373,6 +383,17 @@ class AdaptiveManager:
                     self._drift_detections += 1
                     lifecycle.state = SignatureState.DRIFTING
                 registry.counter("adaptive.drift_detected").inc()
+                get_flight_recorder().record(
+                    "adaptive.drift_detected",
+                    category="adaptive",
+                    signature=signature[:12],
+                    ratio=self.monitor.ratio(signature),
+                )
+                dump_flight(
+                    "drift-detected",
+                    signature=signature[:12],
+                    ratio=self.monitor.ratio(signature),
+                )
                 self._launch_retune(signature, lifecycle)
         with self._lock:
             tracked = len(self._lifecycles)
@@ -390,6 +411,15 @@ class AdaptiveManager:
                 registry.counter(
                     "adaptive.quarantines", reason="retune_budget"
                 ).inc()
+                get_flight_recorder().record(
+                    "adaptive.quarantine",
+                    category="adaptive",
+                    signature=signature[:12],
+                    reason="retune_budget",
+                )
+                dump_flight(
+                    "quarantine-retune-budget", signature=signature[:12]
+                )
                 return
             lifecycle.state = SignatureState.RETUNING
             lifecycle.retunes += 1
@@ -500,6 +530,16 @@ class AdaptiveManager:
                 registry.counter(
                     "adaptive.quarantines", reason="challenger_error"
                 ).inc()
+                get_flight_recorder().record(
+                    "adaptive.quarantine",
+                    category="adaptive",
+                    signature=signature[:12],
+                    reason="challenger_error",
+                )
+                dump_flight(
+                    "quarantine-challenger-error",
+                    signature=signature[:12],
+                )
 
     def _enter_cooldown(
         self, signature: str, lifecycle: _SigLifecycle

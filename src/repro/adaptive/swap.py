@@ -26,6 +26,8 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
+from ..observability import get_tracer
+from ..observability.context import active_contexts
 from ..runtime.partition import CompiledPartition
 from .policy import TrialResult
 
@@ -104,6 +106,33 @@ class ABTrialPartition(_PartitionProxy):
         self._incumbent_samples = 0
         self._kept: Optional[CompiledPartition] = None
 
+    def _run_arm(
+        self,
+        arm: str,
+        partition: CompiledPartition,
+        inputs: Mapping[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """Execute one arm, under a ``trial.execute`` span when tracing.
+
+        The span carries the arm name and — via the thread-local request
+        binding — a ``t`` flow step per in-flight request, so a trial
+        run shows up *inside* the request's flow chain in the merged
+        timeline rather than as an anonymous detour.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return partition.execute(inputs)
+        ctxs = active_contexts()
+        with tracer.span(
+            "trial.execute",
+            category="adaptive",
+            arm=arm,
+            requests=len(ctxs),
+        ):
+            for ctx in ctxs:
+                tracer.flow("request", "t", ctx.flow_id)
+            return partition.execute(inputs)
+
     def execute(
         self, inputs: Mapping[str, np.ndarray]
     ) -> Dict[str, np.ndarray]:
@@ -113,18 +142,20 @@ class ABTrialPartition(_PartitionProxy):
         if to_challenger:
             start = time.perf_counter()
             try:
-                outputs = self.challenger.execute(inputs)
+                outputs = self._run_arm(
+                    "challenger", self.challenger, inputs
+                )
             except Exception:
                 with self._lock:
                     self._challenger_errors += 1
-                return self.incumbent.execute(inputs)
+                return self._run_arm("incumbent", self.incumbent, inputs)
             elapsed = time.perf_counter() - start
             with self._lock:
                 self._challenger_seconds += elapsed
                 self._challenger_samples += 1
             return outputs
         start = time.perf_counter()
-        outputs = self.incumbent.execute(inputs)
+        outputs = self._run_arm("incumbent", self.incumbent, inputs)
         elapsed = time.perf_counter() - start
         with self._lock:
             self._incumbent_seconds += elapsed

@@ -1,0 +1,152 @@
+"""Request-scoped trace context for distributed request tracing.
+
+A :class:`RequestContext` is minted once per request at the serving
+front end (``InferenceSession.submit`` / ``ShardedSession.submit``) when
+tracing is enabled, and rides with the request through every hop —
+batching-engine queues (thread boundary), the shared-memory ring into a
+worker process (process boundary), and partition execution.  Each hop
+emits a Chrome-trace *flow event* carrying ``request_id`` as the flow
+id, so Perfetto stitches the per-hop spans into one navigable chain:
+
+    shard.submit ──s──▶ worker request ──t──▶ batch.execute ──f──▶ ...
+
+When tracing is disabled no context is minted (requests carry ``None``)
+and the hot path stays at the PR 3 zero-overhead bar: one attribute
+read, no allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: Wire form: (trace_id, request_id, hop).  A plain tuple keeps the shm
+#: control-pipe messages small and pickle-stable across processes.
+WireContext = Tuple[str, int, int]
+
+_COUNTER = itertools.count(1)
+_TRACE_EPOCH_LOCK = threading.Lock()
+_TRACE_SEED: Optional[str] = None
+
+
+def _trace_seed() -> str:
+    """Per-process trace-id prefix: pid plus a monotonic seed.
+
+    Distinct processes (and restarted workers) mint non-colliding
+    trace ids without coordination.
+    """
+    global _TRACE_SEED
+    if _TRACE_SEED is None:
+        with _TRACE_EPOCH_LOCK:
+            if _TRACE_SEED is None:
+                _TRACE_SEED = f"{os.getpid():x}"
+    return _TRACE_SEED
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Identity of one in-flight request, propagated across hops.
+
+    ``request_id`` is unique within the minting process and doubles as
+    the Chrome flow-event ``id``; ``trace_id`` scopes it fleet-wide.
+    ``hop`` counts process boundaries crossed — 0 at the front end,
+    1 inside a shard worker — letting each side pick the right flow
+    phase (``s``/``t``/``f``) without knowing the whole topology.
+    """
+
+    trace_id: str
+    request_id: int
+    hop: int = 0
+
+    @classmethod
+    def mint(cls) -> "RequestContext":
+        request_id = next(_COUNTER)
+        return cls(
+            trace_id=f"{_trace_seed()}-{request_id:x}",
+            request_id=request_id,
+            hop=0,
+        )
+
+    def to_wire(self) -> WireContext:
+        return (self.trace_id, self.request_id, self.hop)
+
+    @classmethod
+    def from_wire(cls, wire: Optional[WireContext]) -> \
+            Optional["RequestContext"]:
+        """Rebuild a context on the far side of a process hop.
+
+        The hop counter is incremented so the receiver knows it is a
+        relay (emits ``t`` flow steps) rather than the chain origin.
+        """
+        if wire is None:
+            return None
+        trace_id, request_id, hop = wire
+        return cls(trace_id=trace_id, request_id=request_id, hop=hop + 1)
+
+    @property
+    def flow_id(self) -> str:
+        """The Chrome flow-event binding id for this request's chain.
+
+        The trace id (not the bare ``request_id``) so ids stay unique
+        even when several processes mint contexts into one merged trace.
+        """
+        return self.trace_id
+
+
+# -- thread-local binding ------------------------------------------------------
+#
+# Layers below the batching engine (partition execution, A/B trial
+# wrappers) have no request in their signatures — a batch serves N of
+# them.  The engine binds the coalesced contexts to the executing thread
+# so those layers can attach trace identity to their own spans without
+# API churn.
+
+_ACTIVE = threading.local()
+
+
+class _ContextBinding:
+    __slots__ = ("_ctxs",)
+
+    def __init__(self, ctxs: Tuple["RequestContext", ...]) -> None:
+        self._ctxs = ctxs
+
+    def __enter__(self) -> Tuple["RequestContext", ...]:
+        stack = getattr(_ACTIVE, "stack", None)
+        if stack is None:
+            stack = _ACTIVE.stack = []
+        stack.append(self._ctxs)
+        return self._ctxs
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.stack.pop()
+
+
+class _NullBinding:
+    """Shared no-op for the nothing-bound (or tracing-off) case."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Tuple["RequestContext", ...]:
+        return ()
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_BINDING = _NullBinding()
+
+
+def bind_contexts(ctxs) -> Any:
+    """Context manager binding request contexts to the current thread."""
+    if not ctxs:
+        return _NULL_BINDING
+    return _ContextBinding(tuple(ctxs))
+
+
+def active_contexts() -> Tuple["RequestContext", ...]:
+    """Request contexts bound to this thread (empty when none/tracing off)."""
+    stack = getattr(_ACTIVE, "stack", None)
+    return stack[-1] if stack else ()

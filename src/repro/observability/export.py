@@ -40,7 +40,15 @@ def chrome_trace_events(
             "tid": tid,
             "ts": round(record.start * 1e6, 3),
         }
-        if record.end == record.start:
+        if getattr(record, "flow", None) is not None:
+            # One hop of a request's flow chain: all hops share the
+            # "request" name/category and bind by id, so Perfetto draws
+            # a single arrow chain through the enclosing slices.
+            event["ph"] = record.flow
+            event["id"] = str(record.flow_id)
+            if record.flow == "f":
+                event["bp"] = "e"  # bind the arrowhead to the slice end
+        elif record.end == record.start:
             event["ph"] = "i"
             event["s"] = "t"  # thread-scoped instant
         else:
@@ -73,13 +81,18 @@ def chrome_trace(
     tracer: Tracer,
     registry: Optional[MetricsRegistry] = None,
     processes: Optional[Dict[str, Iterable[SpanRecord]]] = None,
+    metric_records: Optional[List[List[Dict[str, Any]]]] = None,
 ) -> Dict[str, Any]:
     """The full JSON-object-form trace document.
 
     ``processes`` maps extra process names (e.g. sharded-serving workers)
     to their span records; each gets its own pid row — next to the main
     process, which is named ``repro`` when siblings are present — so one
-    Perfetto timeline shows the whole fleet.
+    Perfetto timeline shows the whole fleet.  ``metric_records`` embeds
+    per-process :meth:`MetricsRegistry.export_records` dumps (full
+    instrument state, histogram buckets included) under
+    ``otherData["metric_records"]`` — what ``tools/metrics_export.py``
+    re-renders as a fleet-merged Prometheus scrape.
     """
     events = chrome_trace_events(tracer.records())
     if processes:
@@ -108,8 +121,13 @@ def chrome_trace(
         "traceEvents": events,
         "displayTimeUnit": "ms",
     }
+    other: Dict[str, Any] = {}
     if registry is not None:
-        document["otherData"] = {"metrics": registry.snapshot()}
+        other["metrics"] = registry.snapshot()
+    if metric_records is not None:
+        other["metric_records"] = metric_records
+    if other:
+        document["otherData"] = other
     return document
 
 
@@ -118,9 +136,13 @@ def write_chrome_trace(
     tracer: Tracer,
     registry: Optional[MetricsRegistry] = None,
     processes: Optional[Dict[str, Iterable[SpanRecord]]] = None,
+    metric_records: Optional[List[List[Dict[str, Any]]]] = None,
 ) -> Dict[str, Any]:
     """Write the trace document to ``path``; returns the document."""
-    document = chrome_trace(tracer, registry, processes=processes)
+    document = chrome_trace(
+        tracer, registry, processes=processes,
+        metric_records=metric_records,
+    )
     with open(path, "w") as handle:
         json.dump(document, handle, indent=1)
     return document
@@ -154,11 +176,14 @@ def validate_chrome_trace(document: Any) -> List[str]:
             if key not in event:
                 problems.append(f"{where} missing {key!r}")
         phase = event.get("ph")
-        if phase not in ("X", "i", "M"):
+        if phase not in ("X", "i", "M", "s", "t", "f"):
             problems.append(f"{where} has unknown phase {phase!r}")
-        if phase in ("X", "i"):
+        if phase in ("X", "i", "s", "t", "f"):
             if not isinstance(event.get("ts"), (int, float)):
                 problems.append(f"{where} has non-numeric ts")
+        if phase in ("s", "t", "f"):
+            if not isinstance(event.get("id"), (str, int)):
+                problems.append(f"{where} flow event missing id")
         if phase == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
@@ -166,6 +191,51 @@ def validate_chrome_trace(document: Any) -> List[str]:
         args = event.get("args")
         if args is not None and not isinstance(args, dict):
             problems.append(f"{where} has non-object args")
+    return problems
+
+
+def flow_chains(document: Dict[str, Any]) -> Dict[str, List[Dict[str, Any]]]:
+    """Group a trace document's flow events into per-request chains.
+
+    Returns ``{flow id: [flow events sorted by ts]}`` — the raw material
+    for walking one request across front-end, transport and worker
+    process rows.
+    """
+    chains: Dict[str, List[Dict[str, Any]]] = {}
+    for event in document.get("traceEvents", []):
+        if isinstance(event, dict) and event.get("ph") in ("s", "t", "f"):
+            chains.setdefault(str(event.get("id")), []).append(event)
+    for events in chains.values():
+        events.sort(key=lambda e: e.get("ts", 0))
+    return chains
+
+
+def validate_flow_chains(document: Dict[str, Any]) -> List[str]:
+    """Check every flow chain is connected: one start, one finish, ordered.
+
+    A chain that never terminates (lost ``f``), double-starts, or whose
+    hops run backwards in time would render as dangling arrows in
+    Perfetto; tests and the CI telemetry smoke treat that as format
+    drift.
+    """
+    problems: List[str] = []
+    for flow_id, events in sorted(flow_chains(document).items()):
+        phases = [e.get("ph") for e in events]
+        if phases.count("s") != 1:
+            problems.append(
+                f"flow {flow_id}: {phases.count('s')} start events"
+            )
+        if phases.count("f") != 1:
+            problems.append(
+                f"flow {flow_id}: {phases.count('f')} finish events"
+            )
+        if phases and (phases[0] != "s" or phases[-1] != "f"):
+            problems.append(
+                f"flow {flow_id}: out-of-order phases {phases}"
+            )
+        timestamps = [e.get("ts", 0) for e in events]
+        if timestamps != sorted(timestamps):
+            problems.append(f"flow {flow_id}: timestamps not monotonic")
     return problems
 
 

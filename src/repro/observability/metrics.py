@@ -16,7 +16,9 @@ the interpreter's statement loop.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .quantile import QuantileHistogram
 
 #: Canonicalized label set: sorted (key, value) pairs.
 _LabelKey = Tuple[Tuple[str, str], ...]
@@ -81,11 +83,12 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observations: count/sum/min/max/mean.
+    """Streaming summary of observations with quantiles.
 
-    Bucketless by design — the consumers here (reports, reconciliation)
-    want aggregates, and a fixed bucket layout would have to guess units
-    (cycles vs seconds vs bytes).
+    Backed by a log-bucketed :class:`QuantileHistogram`, so p50/p95/p99
+    come out with bounded relative error (one bucket width, ≤5% by
+    default) in fixed memory and without guessing units — the geometric
+    bucket layout adapts to cycles, seconds and bytes alike.
     """
 
     kind = "histogram"
@@ -94,32 +97,59 @@ class Histogram:
         self.name = name
         self.labels = labels
         self._lock = threading.Lock()
-        self.count = 0
-        self.sum = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
+        self._hist = QuantileHistogram()
 
     def observe(self, value: float) -> None:
-        value = float(value)
         with self._lock:
-            self.count += 1
-            self.sum += value
-            self.min = value if self.min is None else min(self.min, value)
-            self.max = value if self.max is None else max(self.max, value)
+            self._hist.observe(float(value))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._hist.count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._hist.sum
+
+    @property
+    def min(self) -> Optional[float]:
+        with self._lock:
+            return self._hist.min
+
+    @property
+    def max(self) -> Optional[float]:
+        with self._lock:
+            return self._hist.max
 
     @property
     def mean(self) -> float:
         with self._lock:
-            return self.sum / self.count if self.count else 0.0
+            return self._hist.mean
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Value at quantile ``q`` in [0, 1], or None when empty."""
+        with self._lock:
+            return self._hist.quantile(q)
+
+    def histogram_data(self) -> QuantileHistogram:
+        """A consistent copy of the backing quantile histogram."""
+        with self._lock:
+            return self._hist.copy()
 
     def to_dict(self) -> Dict[str, Any]:
         with self._lock:
+            hist = self._hist
             return {
-                "count": self.count,
-                "sum": self.sum,
-                "min": self.min,
-                "max": self.max,
-                "mean": self.sum / self.count if self.count else 0.0,
+                "count": hist.count,
+                "sum": hist.sum,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+                "p50": hist.quantile(0.50),
+                "p95": hist.quantile(0.95),
+                "p99": hist.quantile(0.99),
             }
 
 
@@ -164,8 +194,15 @@ class MetricsRegistry:
     # -- introspection --------------------------------------------------------
 
     def instruments(self) -> List[object]:
+        """Every instrument, sorted by (name, labels).
+
+        Deterministic order — not insertion order — so snapshots, trace
+        ``otherData`` blocks and Prometheus scrapes diff cleanly across
+        runs regardless of which code path registered first.
+        """
         with self._lock:
-            return list(self._instruments.values())
+            values = list(self._instruments.values())
+        return sorted(values, key=lambda i: (i.name, i.labels))
 
     def value(self, name: str, **labels) -> Optional[float]:
         """Counter/gauge value by identity, or None if never registered."""
@@ -196,6 +233,61 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._instruments.clear()
+
+    # -- fleet aggregation -----------------------------------------------------
+
+    def export_records(self) -> List[Dict[str, Any]]:
+        """Structured, picklable export: one record per instrument.
+
+        Unlike :meth:`snapshot` (rendered keys, summary values), records
+        keep the full state — histogram buckets included — so they can
+        be shipped across the worker control pipe and merged losslessly
+        into fleet-wide metrics (see :func:`merge_metric_records`).
+        """
+        records: List[Dict[str, Any]] = []
+        for instrument in self.instruments():
+            record: Dict[str, Any] = {
+                "name": instrument.name,
+                "labels": [list(pair) for pair in instrument.labels],
+                "kind": instrument.kind,
+            }
+            if isinstance(instrument, Histogram):
+                record["histogram"] = instrument.histogram_data().to_dict()
+            else:
+                record["value"] = instrument.value
+            records.append(record)
+        return records
+
+    def load_records(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Fold exported records into this registry (counters/gauges add,
+        histograms merge)."""
+        for record in records:
+            labels = {k: v for k, v in record.get("labels", [])}
+            kind = record.get("kind")
+            if kind == "counter":
+                self.counter(record["name"], **labels).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(record["name"], **labels).add(record["value"])
+            elif kind == "histogram":
+                hist = QuantileHistogram.from_dict(record["histogram"])
+                instrument = self.histogram(record["name"], **labels)
+                with instrument._lock:
+                    instrument._hist.merge(hist)
+
+
+def merge_metric_records(
+    record_lists: Iterable[List[Dict[str, Any]]],
+) -> MetricsRegistry:
+    """Merge per-process metric exports into one fleet registry.
+
+    Counters and gauges sum (gauges here are totals — resident bytes,
+    queue depths — where fleet totals are the meaningful aggregate);
+    histograms merge bucket-by-bucket so fleet percentiles stay honest.
+    """
+    merged = MetricsRegistry()
+    for records in record_lists:
+        merged.load_records(records)
+    return merged
 
 
 _global_lock = threading.Lock()

@@ -1,0 +1,215 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`metrics_text` renders every counter, gauge and histogram in the
+`text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so a
+scrape endpoint (or ``tools/metrics_export.py`` writing a file for the
+node-exporter textfile collector) needs no extra dependencies.
+Histograms render as Prometheus *summaries*: one series per quantile
+(``{quantile="0.5"}`` ...) plus ``_sum`` and ``_count``, the idiomatic
+shape for client-side quantiles.
+
+Fleet aggregation composes with :func:`~repro.observability.metrics.
+merge_metric_records`: each shard worker exports records over the
+control pipe, the front end merges them, and one scrape shows the whole
+fleet.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+#: Quantiles every histogram exposes as summary series.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _sanitize(name: str) -> str:
+    """Metric names: dots (our namespace separator) become underscores."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _sanitize_label(name: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def _render_labels(pairs: Iterable[Tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{_sanitize_label(k)}="{_escape_value(str(v))}"' for k, v in pairs
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _format_number(value: Optional[float]) -> str:
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def metrics_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry in Prometheus text exposition format."""
+    if registry is None:
+        from .metrics import get_registry
+
+        registry = get_registry()
+    return render_metric_records(registry.export_records())
+
+
+def render_metric_records(records: Iterable[Dict[str, Any]]) -> str:
+    """Render exported metric records (one process's, or fleet-merged).
+
+    Records sharing a name render under one ``# TYPE`` header, as the
+    format requires; input order (sorted by name, then labels — see
+    ``MetricsRegistry.instruments``) is preserved.
+    """
+    from .quantile import QuantileHistogram
+
+    lines: List[str] = []
+    seen_headers: Dict[str, str] = {}
+    for record in records:
+        name = _sanitize(record["name"])
+        kind = record["kind"]
+        labels = [(k, v) for k, v in record.get("labels", [])]
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "summary"}[kind]
+        if name not in seen_headers:
+            lines.append(f"# HELP {name} repro metric {record['name']}")
+            lines.append(f"# TYPE {name} {prom_type}")
+            seen_headers[name] = prom_type
+        if kind == "histogram":
+            hist = QuantileHistogram.from_dict(record["histogram"])
+            for q in SUMMARY_QUANTILES:
+                series_labels = _render_labels(
+                    labels + [("quantile", _format_number(q))]
+                )
+                lines.append(
+                    f"{name}{series_labels} "
+                    f"{_format_number(hist.quantile(q))}"
+                )
+            base = _render_labels(labels)
+            lines.append(f"{name}_sum{base} {_format_number(hist.sum)}")
+            lines.append(f"{name}_count{base} {hist.count}")
+        else:
+            lines.append(
+                f"{name}{_render_labels(labels)} "
+                f"{_format_number(record['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- minimal exposition-format checker ----------------------------------------
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$'
+)
+_VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def validate_exposition_text(text: str) -> List[str]:
+    """Minimal exposition-format checker; returns problems (empty = ok).
+
+    Covers what CI needs to catch drift: every non-comment line must be
+    a well-formed sample (valid metric name, parseable label pairs, a
+    float value), ``# TYPE`` lines must name a known type, and each
+    sample's base name must be covered by a preceding ``# TYPE``.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in _VALID_TYPES:
+                    problems.append(
+                        f"line {lineno}: malformed TYPE line {line!r}"
+                    )
+                else:
+                    typed[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        base = re.sub(r"_(sum|count|bucket|total)$", "", name)
+        if name not in typed and base not in typed:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE header"
+            )
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1]
+            if body:
+                for pair in _split_label_pairs(body):
+                    if not _LABEL_PAIR.match(pair):
+                        problems.append(
+                            f"line {lineno}: bad label pair {pair!r}"
+                        )
+        value = match.group("value")
+        if value not in ("NaN", "+Inf", "-Inf"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: non-numeric value {value!r}"
+                )
+    return problems
+
+
+def _split_label_pairs(body: str) -> List[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    pairs: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs

@@ -45,6 +45,11 @@ class SpanRecord:
     thread_id: int
     depth: int
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Flow-event phase ("s" start / "t" step / "f" finish) when this
+    #: record is a hop in a request's cross-thread/cross-process chain.
+    flow: Optional[str] = None
+    #: Binding id shared by every hop of one request's flow chain.
+    flow_id: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -158,6 +163,41 @@ class Tracer:
             thread_id=threading.get_ident(),
             depth=len(self._stack()),
             attrs=attrs,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    def flow(
+        self,
+        name: str,
+        phase: str,
+        flow_id: str,
+        category: str = "request",
+        **attrs,
+    ) -> None:
+        """Record one hop of a request's flow chain.
+
+        ``phase`` is the Chrome flow phase — ``"s"`` where the chain
+        starts, ``"t"`` at relay hops, ``"f"`` where it terminates; all
+        hops sharing ``flow_id`` render as one arrow chain in Perfetto.
+        The event is timestamped inside whatever span is open on this
+        thread, so the flow arrows bind to the enclosing slices.
+        """
+        if not self.enabled:
+            return
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be s/t/f, got {phase!r}")
+        now = time.perf_counter() - self.epoch
+        record = SpanRecord(
+            name=name,
+            category=category,
+            start=now,
+            end=now,
+            thread_id=threading.get_ident(),
+            depth=len(self._stack()),
+            attrs=attrs,
+            flow=phase,
+            flow_id=flow_id,
         )
         with self._lock:
             self._records.append(record)

@@ -28,6 +28,7 @@ from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import LogicalTensor
 from ..lowering.lower_graph import LoweredPartition
 from ..observability import get_registry, get_tracer
+from ..observability.context import active_contexts
 from ..tensor_ir.module import TirModule
 from .executor import CompiledExecutor
 from .interpreter import ExecutionStats, Interpreter
@@ -229,12 +230,21 @@ class CompiledPartition:
         start = time.perf_counter()
         tracer = get_tracer()
         if tracer.enabled:
-            with tracer.span(
-                f"execute:{lowered.graph.name}",
-                category="runtime",
+            attrs = dict(
                 graph=lowered.graph.name,
                 threads=self.num_threads,
                 executor=self.executor,
+            )
+            ctxs = active_contexts()
+            if ctxs:
+                # Label the runtime slice with the request chains it
+                # serves, so Perfetto can attribute it without walking
+                # flows (the serving layer above emits the flow steps).
+                attrs["trace_ids"] = ",".join(c.trace_id for c in ctxs)
+            with tracer.span(
+                f"execute:{lowered.graph.name}",
+                category="runtime",
+                **attrs,
             ) as span:
                 stats = self._run_backend(buffers)
                 span.set(**stats.to_dict())

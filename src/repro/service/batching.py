@@ -47,7 +47,8 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SessionClosedError
-from ..observability import get_registry, get_tracer
+from ..observability import RequestContext, get_registry, get_tracer
+from ..observability.context import bind_contexts
 
 #: Engine lifecycle states.
 _RUNNING, _DRAINING, _CANCELLING = "running", "draining", "cancelling"
@@ -61,6 +62,8 @@ class _Request:
     batch: int
     future: Future
     enqueued: float
+    #: Trace identity riding with the request; None when tracing is off.
+    ctx: Optional[RequestContext] = None
 
 
 class _BucketQueue:
@@ -276,12 +279,18 @@ class BatchingEngine:
         self,
         inputs: Mapping[str, np.ndarray],
         batch: Optional[int] = None,
+        ctx: Optional[RequestContext] = None,
     ) -> "Future[Dict[str, np.ndarray]]":
         """Enqueue one request; the Future resolves to its output dict.
 
         Validates shapes/dtypes *here* so a malformed request fails its own
         caller instead of poisoning the batch it would have joined.  Blocks
         while the target bucket's queue is at ``queue_depth``.
+
+        When tracing is on the request carries a :class:`RequestContext`
+        (minted here unless the caller — e.g. a shard worker relaying a
+        front-end request — already has one) and its flow chain starts or
+        continues at the enqueue point.
         """
         if batch is None:
             batch = self._session.infer_batch(inputs)
@@ -289,6 +298,20 @@ class BatchingEngine:
             raise ValueError("batch must be positive")
         arrays = self._validated(inputs, batch)
         bucket = self._session.bucket_for(batch)
+        tracer = get_tracer()
+        if tracer.enabled:
+            phase = "t"
+            if ctx is None:
+                ctx = RequestContext.mint()
+                phase = "s"
+            with tracer.span(
+                "request.enqueue",
+                category="service",
+                bucket=bucket,
+                batch=batch,
+                trace_id=ctx.trace_id,
+            ):
+                tracer.flow("request", phase, ctx.flow_id)
         with self._lock:
             if self._state != _RUNNING:
                 raise SessionClosedError("BatchingEngine is closed")
@@ -305,7 +328,9 @@ class BatchingEngine:
             if self._state != _RUNNING:
                 raise SessionClosedError("BatchingEngine is closed")
             future: "Future[Dict[str, np.ndarray]]" = Future()
-            request = _Request(arrays, batch, future, time.perf_counter())
+            request = _Request(
+                arrays, batch, future, time.perf_counter(), ctx=ctx
+            )
             queue.items.append(request)
             queue.cond.notify_all()
         # close() may have flipped the state between our check and the
@@ -456,6 +481,7 @@ class BatchingEngine:
         )
         start = time.perf_counter()
         tracer = get_tracer()
+        ctxs = [r.ctx for r in live if r.ctx is not None]
         try:
             combined = self._combine(live)
             with tracer.span(
@@ -464,8 +490,17 @@ class BatchingEngine:
                 bucket=bucket,
                 requests=len(live),
                 rows=rows,
-            ):
+            ), bind_contexts(ctxs):
                 outputs = self._session.execute_bucket(combined, rows, bucket)
+                # One batch.execute slice linked to the N coalesced
+                # request chains: a local chain (hop 0) terminates here,
+                # a relayed one (shard worker) steps through.
+                for ctx in ctxs:
+                    tracer.flow(
+                        "request",
+                        "f" if ctx.hop == 0 else "t",
+                        ctx.flow_id,
+                    )
             results = self._split(outputs, live)
         except BaseException as exc:
             for request in live:

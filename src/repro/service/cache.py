@@ -21,10 +21,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..observability import get_registry
+from ..observability.quantile import QuantileHistogram
 from ..runtime.partition import CompiledPartition
 from .stats import ServiceStats, SignatureStats
 
@@ -73,6 +74,11 @@ class _SigRecord:
     latency_samples: int = 0
     #: Hot-swaps performed on this signature (adaptive retuning).
     swaps: int = 0
+    #: Full latency distribution (log-bucketed, mergeable) — the source
+    #: of the fleet-survivable p50/p95/p99 in :class:`SignatureStats`.
+    latency_hist: QuantileHistogram = field(
+        default_factory=QuantileHistogram
+    )
 
 
 class _InFlight:
@@ -255,6 +261,7 @@ class PartitionCache:
                         latency_seconds - record.latency_ewma
                     )
                 record.latency_samples += 1
+                record.latency_hist.observe(latency_seconds)
 
     # -- hot swap (adaptive retuning) -----------------------------------------
 
@@ -418,6 +425,7 @@ class PartitionCache:
                     latency_ewma_seconds=record.latency_ewma,
                     latency_samples=record.latency_samples,
                     swaps=record.swaps,
+                    latency_hist=record.latency_hist.copy(),
                 )
                 for sig, record in self._records.items()
             )

@@ -37,6 +37,8 @@ from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import PropertyKind
 from ..microkernel.machine import MachineModel, XEON_8358
 from ..observability import get_registry, get_tracer
+from ..observability.context import active_contexts
+from ..observability.flight import get_flight_recorder
 from .batching import BatchingEngine
 from .cache import PartitionCache
 from .signature import graph_signature
@@ -460,11 +462,15 @@ class InferenceSession:
         self,
         inputs: Mapping[str, np.ndarray],
         batch: Optional[int] = None,
+        ctx=None,
     ):
         """Async serving: enqueue one request, returning its Future.
 
         Only available with ``batching="on"`` — the synchronous path has
-        no queue for the request to wait in.
+        no queue for the request to wait in.  ``ctx`` carries an existing
+        :class:`~repro.observability.RequestContext` across a relay hop
+        (the sharded tier's workers); local callers leave it None and the
+        engine mints one when tracing is enabled.
         """
         if self._closed:
             raise SessionClosedError("InferenceSession is closed")
@@ -473,7 +479,7 @@ class InferenceSession:
                 "submit() requires batching='on' "
                 "(this session was built with batching='off')"
             )
-        return self._engine.submit(inputs, batch=batch)
+        return self._engine.submit(inputs, batch=batch, ctx=ctx)
 
     def execute_bucket(
         self, inputs: Mapping[str, np.ndarray], batch: int, bucket: int
@@ -498,9 +504,35 @@ class InferenceSession:
                     if axes
                     else array
                 )
+        tracer = get_tracer()
         start = time.perf_counter()
-        outputs = partition.execute(feed)
+        if tracer.enabled:
+            # The partition-execution hop of any request chains bound to
+            # this thread (the batching engine binds the coalesced
+            # contexts around execute_bucket).
+            with tracer.span(
+                "partition.execute",
+                category="service",
+                signature=signature[:12],
+                bucket=bucket,
+            ):
+                for ctx in active_contexts():
+                    tracer.flow("request", "t", ctx.flow_id)
+                outputs = partition.execute(feed)
+        else:
+            outputs = partition.execute(feed)
         latency = time.perf_counter() - start
+        # Always-on flight breadcrumb: one O(1) ring append per partition
+        # execution (batch rate, not request rate), so an anomaly dump
+        # has the recent execution history even with tracing off.
+        get_flight_recorder().record(
+            "partition.execute",
+            category="service",
+            duration=latency,
+            signature=signature[:12],
+            batch=batch,
+            bucket=bucket,
+        )
         self._cache.note_execute(
             signature,
             rows_requested=batch,

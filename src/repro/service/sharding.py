@@ -31,7 +31,17 @@ Observability: the front end publishes ``service.shard.*`` metrics and
 ``shard.*`` spans; :meth:`ShardedSession.collect_worker_spans` pulls each
 worker's span records (rebased onto the parent's clock) so
 ``write_chrome_trace(..., processes=...)`` renders the whole fleet on one
-timeline.
+timeline.  With tracing on, every request carries a
+:class:`~repro.observability.RequestContext` across the pipe: the front
+end mints it (flow phase ``s`` under ``shard.submit``), the worker's
+``shard.worker.request``/``batch.execute``/``partition.execute`` spans
+emit ``t`` steps, and ``shard.response`` closes the chain (``f``) — one
+navigable flow per request in the merged Perfetto view.  Workers also
+piggyback their flight-recorder deltas on heartbeat replies, so a
+SIGKILLed worker's last spans survive in the parent and land in the
+``dump_flight("worker-death", ...)`` file; and a ``metrics`` control
+message ships each worker's full metric state for the fleet-merged
+:meth:`ShardedSession.metrics_text` Prometheus scrape.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ import pickle
 import queue as queue_mod
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import (
@@ -73,7 +84,15 @@ from ..errors import (
 )
 from ..graph_ir.graph import Graph
 from ..microkernel.machine import MachineModel, XEON_8358
-from ..observability import MetricsRegistry, Tracer, get_registry, get_tracer
+from ..observability import (
+    MetricsRegistry,
+    RequestContext,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
+from ..observability.context import bind_contexts
+from ..observability.flight import dump_flight, get_flight_recorder
 from ..observability.metrics import set_registry
 from ..observability.tracer import SpanRecord, set_tracer
 from .batching import BatchingStats
@@ -280,6 +299,16 @@ def _worker_main(
     """
     tracer = set_tracer(Tracer(enabled=config.trace_enabled))
     set_registry(MetricsRegistry())
+    flight = get_flight_recorder()
+    flight.record(
+        "worker.start",
+        category="service",
+        worker=worker_id,
+        pid=os.getpid(),
+    )
+    #: Flight-ring sequence already shipped to the parent; each heartbeat
+    #: reply piggybacks only the delta since the previous one.
+    flight_sent = 0
     ring = TensorRing.attach(ring_name, slots, slot_bytes)
     send_lock = threading.Lock()
 
@@ -354,12 +383,46 @@ def _worker_main(
             break  # parent died or closed the pipe: tear down
         kind = message[0]
         if kind == "req":
-            _, req_id, model, batch, slot, specs = message
+            _, req_id, model, batch, slot, specs, wire = message
             registry.counter("service.worker.requests").inc()
+            flight.record(
+                "worker.request",
+                category="service",
+                worker=worker_id,
+                model=model,
+                batch=batch,
+                req_id=req_id,
+            )
+            ctx = RequestContext.from_wire(wire)
             try:
                 inputs = ring.read(slot, specs, copy=False)
                 session = session_for(model)
-                if session.batching == "on":
+                if tracer.enabled and ctx is not None:
+                    # The relay hop of the request's flow chain: the
+                    # front end minted the context ("s"); this span's
+                    # "t" step hands the chain to the worker's row in
+                    # the merged timeline.
+                    with tracer.span(
+                        "shard.worker.request",
+                        category="service",
+                        model=model,
+                        batch=batch,
+                        trace_id=ctx.trace_id,
+                    ):
+                        tracer.flow("request", "t", ctx.flow_id)
+                        if session.batching == "on":
+                            future = session.submit(
+                                inputs, batch=batch, ctx=ctx
+                            )
+                            future.add_done_callback(
+                                lambda f, r=req_id, s=slot: finish(r, s, f)
+                            )
+                        else:
+                            with bind_contexts((ctx,)):
+                                outputs = session.run(inputs, batch=batch)
+                            out_specs = ring.write(slot, outputs)
+                            reply(("res", req_id, slot, out_specs))
+                elif session.batching == "on":
                     future = session.submit(inputs, batch=batch)
                     future.add_done_callback(
                         lambda f, r=req_id, s=slot: finish(r, s, f)
@@ -388,7 +451,14 @@ def _worker_main(
                     break
             reply(("warmed", warmed, error))
         elif kind == "ping":
-            reply(("pong", message[1]))
+            # Piggyback the flight-ring delta: if this process is later
+            # SIGKILLed, the parent still holds its last recorded spans.
+            sequence = flight.sequence
+            delta = flight.records_since(flight_sent)
+            flight_sent = sequence
+            reply(("pong", message[1], flight.epoch, delta))
+        elif kind == "metrics":
+            reply(("metrics", get_registry().export_records()))
         elif kind == "stats":
             engines: Dict[str, BatchingStats] = {
                 name: session.engine.stats()
@@ -415,6 +485,9 @@ def _worker_main(
         elif kind == "stop":
             drain = bool(message[1])
             running = False
+    flight.record(
+        "worker.stop", category="service", worker=worker_id, drain=drain
+    )
     for session in sessions.values():
         try:
             session.close(drain=drain)
@@ -441,6 +514,9 @@ class _PendingRequest:
     signature: str
     future: Future
     attempts: int = 0
+    #: Trace identity minted at submit when tracing is on; rides the
+    #: control pipe so the worker's spans join this request's flow chain.
+    ctx: Optional[RequestContext] = None
 
 
 @dataclass(frozen=True)
@@ -485,6 +561,10 @@ class _WorkerHandle:
         self.stop = threading.Event()
         self.receiver: Optional[threading.Thread] = None
         self.shut_down = False
+        #: Last flight-ring spans this worker piggybacked on heartbeat
+        #: replies — the evidence that survives a SIGKILL.
+        self.flight_epoch = 0.0
+        self.flight_records: deque = deque(maxlen=512)
 
     # -- sending --------------------------------------------------------------
 
@@ -512,6 +592,9 @@ class _WorkerHandle:
                         pending.batch,
                         slot,
                         specs,
+                        pending.ctx.to_wire()
+                        if pending.ctx is not None
+                        else None,
                     )
                 )
             except BaseException:
@@ -975,6 +1058,7 @@ class ShardedSession:
             except TransportError:  # pragma: no cover - ring torn down
                 pass
             if pending is not None:
+                self._finish_flow(worker, pending)
                 try:
                     pending.future.set_result(outputs)
                 except InvalidStateError:  # pragma: no cover - cancelled
@@ -987,6 +1071,7 @@ class ShardedSession:
             except TransportError:  # pragma: no cover
                 pass
             if pending is not None:
+                self._finish_flow(worker, pending, error=True)
                 try:
                     pending.future.set_exception(error)
                 except InvalidStateError:  # pragma: no cover
@@ -997,8 +1082,34 @@ class ShardedSession:
             worker.bye.set()
         elif kind == "pong":
             get_registry().counter("service.shard.heartbeats").inc()
-        else:  # control replies: warmed / stats / trace
+            if len(message) >= 4:
+                _, _seq, epoch, records = message
+                if records:
+                    worker.flight_epoch = epoch
+                    worker.flight_records.extend(records)
+        else:  # control replies: warmed / stats / trace / metrics
             worker.deliver_reply(kind, message[1:])
+
+    def _finish_flow(
+        self, worker: _WorkerHandle, pending: _PendingRequest,
+        error: bool = False,
+    ) -> None:
+        """Terminate the request's flow chain ("f") back at the front end."""
+        ctx = pending.ctx
+        if ctx is None:
+            return
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        with tracer.span(
+            "shard.response",
+            category="service",
+            model=pending.model,
+            worker=worker.worker_id,
+            error=error,
+            trace_id=ctx.trace_id,
+        ):
+            tracer.flow("request", "f", ctx.flow_id)
 
     def _heartbeat_loop(self) -> None:
         sequence = 0
@@ -1053,6 +1164,38 @@ class ShardedSession:
                 registry.gauge("service.shard.workers").set(
                     len(self._workers)
                 )
+        recorder = get_flight_recorder()
+        recorder.record(
+            "shard.worker_death",
+            category="service",
+            worker=worker.worker_id,
+            incarnation=worker.incarnation,
+            pending=len(pending),
+            restarted=self._restart,
+        )
+        extra: Optional[Dict[str, List[SpanRecord]]] = None
+        if worker.flight_records:
+            # The dead worker's last piggybacked spans, rebased onto this
+            # process's flight clock so both rows share one timeline.
+            shift = worker.flight_epoch - recorder.epoch
+            extra = {
+                f"shard-{worker.worker_id}#{worker.incarnation}": [
+                    dataclasses.replace(
+                        record,
+                        start=record.start + shift,
+                        end=record.end + shift,
+                    )
+                    for record in worker.flight_records
+                ]
+            }
+        dump_flight(
+            "worker-death",
+            extra_processes=extra,
+            worker=worker.worker_id,
+            incarnation=worker.incarnation,
+            pending=len(pending),
+            restarted=self._restart,
+        )
         for request in pending:
             if self._restart:
                 try:
@@ -1206,6 +1349,8 @@ class ShardedSession:
             arrays[name] = np.asarray(inputs[name])
         bucket = self._models[model].bucket_for(batch)
         signature = self.signature_for(model, bucket)
+        tracer = get_tracer()
+        ctx = RequestContext.mint() if tracer.enabled else None
         pending = _PendingRequest(
             req_id=next(_REQ_IDS),
             model=model,
@@ -1213,8 +1358,8 @@ class ShardedSession:
             inputs=arrays,
             signature=signature,
             future=Future(),
+            ctx=ctx,
         )
-        tracer = get_tracer()
         if tracer.enabled:
             with tracer.span(
                 "shard.submit",
@@ -1222,7 +1367,12 @@ class ShardedSession:
                 model=model,
                 batch=batch,
                 bucket=bucket,
+                trace_id=ctx.trace_id,
             ) as span:
+                # The chain origin: this "s" is what every downstream
+                # "t" (worker, batch, partition) and the final "f"
+                # (shard.response) bind to in the merged timeline.
+                tracer.flow("request", "s", ctx.flow_id)
                 worker_id = self._dispatch(pending)
                 span.set(worker=worker_id)
         else:
@@ -1347,6 +1497,45 @@ class ShardedSession:
             restarts=dict(self._restarts),
         )
 
+    def metrics_records(
+        self, timeout: float = 30.0, include_self: bool = True
+    ) -> List[List[dict]]:
+        """Per-process metric records: the front end's own registry plus
+        one record list per live worker (mid-restart workers skipped).
+
+        Each element is a :meth:`MetricsRegistry.export_records` dump —
+        full instrument state including histogram buckets, so quantiles
+        survive the merge.  ``include_self=False`` returns only the
+        workers' records — for callers that will snapshot the front-end
+        registry themselves later (e.g. at trace-write time), avoiding
+        double counting in the merge.
+        """
+        fleets: List[List[dict]] = []
+        if include_self:
+            fleets.append(get_registry().export_records())
+        for worker_id, worker in sorted(self._workers.items()):
+            try:
+                (records,) = worker.request(
+                    "metrics", ("metrics",), timeout=timeout
+                )
+            except (TransportError, OSError):
+                continue
+            fleets.append(records)
+        return fleets
+
+    def metrics_text(self, timeout: float = 30.0) -> str:
+        """Fleet-merged Prometheus exposition text.
+
+        Counters sum, gauges add, histograms merge bucket-by-bucket
+        across the front end and every worker, then render as one
+        scrape document.
+        """
+        from ..observability.metrics import merge_metric_records
+        from ..observability.prometheus import render_metric_records
+
+        merged = merge_metric_records(self.metrics_records(timeout=timeout))
+        return render_metric_records(merged.export_records())
+
     def collect_worker_spans(
         self, timeout: float = 30.0
     ) -> Dict[str, List[SpanRecord]]:
@@ -1367,7 +1556,15 @@ class ShardedSession:
             except (TransportError, OSError):
                 continue
             shift = epoch - parent_epoch
-            self.worker_spans[f"shard-{worker_id}"] = [
+            # Incarnation-suffixed keys: a restarted worker gets its own
+            # Chrome-trace process row instead of silently overwriting
+            # (and clock-skewing) its dead predecessor's spans.
+            key = (
+                f"shard-{worker_id}"
+                if worker.incarnation == 0
+                else f"shard-{worker_id}#{worker.incarnation}"
+            )
+            self.worker_spans[key] = [
                 dataclasses.replace(
                     record,
                     start=record.start + shift,

@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..errors import SlotOverflowError, TransportError
+from ..observability import get_registry
 
 #: Byte alignment of every tensor within a slot (cache-line friendly).
 _ALIGN = 64
@@ -269,6 +270,11 @@ class TensorRing:
             offset += nbytes
         for view, array in views:
             view[...] = array  # compacts non-contiguous sources
+        registry = get_registry()
+        registry.counter("service.shm.write_bytes").inc(offset)
+        registry.histogram("service.shm.slot_fill").observe(
+            offset / self.slot_bytes if self.slot_bytes else 0.0
+        )
         return specs
 
     def read(
@@ -303,6 +309,9 @@ class TensorRing:
                 offset=base + spec.offset,
             )
             out[spec.name] = view.copy() if copy else view
+        get_registry().counter("service.shm.read_bytes").inc(
+            sum(spec.nbytes for spec in specs)
+        )
         return out
 
     # -- lifecycle ------------------------------------------------------------

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..observability.quantile import QuantileHistogram
 from ..observability.report import format_table
 
 
@@ -35,6 +36,11 @@ class SignatureStats:
     latency_samples: int = 0
     #: Hot-swaps the adaptive retuner performed on this signature.
     swaps: int = 0
+    #: Full per-execution latency distribution (seconds).  Log-bucketed
+    #: and mergeable, so fleet-wide p50/p95/p99 survive
+    #: :meth:`ServiceStats.merge` — EWMAs and min/max alone cannot give
+    #: honest fleet percentiles.
+    latency_hist: Optional[QuantileHistogram] = None
 
     @property
     def short_signature(self) -> str:
@@ -43,6 +49,32 @@ class SignatureStats:
     @property
     def latency_ewma_ms(self) -> float:
         return self.latency_ewma_seconds * 1e3
+
+    def latency_quantile_seconds(self, q: float) -> Optional[float]:
+        """Latency quantile in seconds, or None without a distribution."""
+        if self.latency_hist is None or not self.latency_hist.count:
+            return None
+        return self.latency_hist.quantile(q)
+
+    @property
+    def latency_p95_seconds(self) -> Optional[float]:
+        """Tail latency the adaptive drift monitor prefers over the EWMA."""
+        return self.latency_quantile_seconds(0.95)
+
+    @property
+    def latency_p50_ms(self) -> Optional[float]:
+        value = self.latency_quantile_seconds(0.50)
+        return value * 1e3 if value is not None else None
+
+    @property
+    def latency_p95_ms(self) -> Optional[float]:
+        value = self.latency_quantile_seconds(0.95)
+        return value * 1e3 if value is not None else None
+
+    @property
+    def latency_p99_ms(self) -> Optional[float]:
+        value = self.latency_quantile_seconds(0.99)
+        return value * 1e3 if value is not None else None
 
     @property
     def padded_rows(self) -> int:
@@ -61,6 +93,14 @@ class SignatureStats:
         result["padded_rows"] = self.padded_rows
         result["utilization"] = self.utilization
         result["latency_ewma_ms"] = self.latency_ewma_ms
+        result["latency_hist"] = (
+            self.latency_hist.to_dict()
+            if self.latency_hist is not None
+            else None
+        )
+        result["latency_p50_ms"] = self.latency_p50_ms
+        result["latency_p95_ms"] = self.latency_p95_ms
+        result["latency_p99_ms"] = self.latency_p99_ms
         return result
 
 
@@ -158,6 +198,11 @@ class ServiceStats:
                     if samples
                     else 0.0
                 )
+                if seen.latency_hist is not None and \
+                        sig.latency_hist is not None:
+                    hist = seen.latency_hist.copy().merge(sig.latency_hist)
+                else:
+                    hist = seen.latency_hist or sig.latency_hist
                 merged_sigs[sig.signature] = SignatureStats(
                     signature=sig.signature,
                     label=seen.label or sig.label,
@@ -175,6 +220,7 @@ class ServiceStats:
                     latency_ewma_seconds=ewma,
                     latency_samples=samples,
                     swaps=seen.swaps + sig.swaps,
+                    latency_hist=hist,
                 )
         return ServiceStats(
             compiles=sum(p.compiles for p in parts),
@@ -237,6 +283,7 @@ def format_stats(
                     "executes",
                     "util",
                     "ewma_ms",
+                    "p95_ms",
                     "swaps",
                     "resident",
                 ],
@@ -251,6 +298,9 @@ def format_stats(
                         f"{sig.utilization:.0%}" if sig.rows_computed else "-",
                         f"{sig.latency_ewma_ms:.2f}"
                         if sig.latency_samples
+                        else "-",
+                        f"{sig.latency_p95_ms:.2f}"
+                        if sig.latency_p95_ms is not None
                         else "-",
                         sig.swaps,
                         "yes" if sig.resident else "no",

@@ -595,19 +595,24 @@ def _run_serving_mode(
     utilization = session.stats().utilization
     session.close()
 
-    flat = np.array([lat for per_client in latencies for lat in per_client])
-    total_requests = flat.size
+    from ..observability.quantile import from_values
+
+    hist = from_values(
+        lat for per_client in latencies for lat in per_client
+    )
+    summary = hist.summary(scale=1e3, digits=4)
+    total_requests = hist.count
     total_rows = sum(batch for plan in plans for batch, _, _ in plan)
     result = {
         "wall_s": round(wall, 4),
         "throughput_rps": round(total_requests / wall, 2),
         "rows_per_s": round(total_rows / wall, 1),
         "latency_ms": {
-            "mean": round(float(flat.mean()) * 1e3, 4),
-            "p50": round(float(np.percentile(flat, 50)) * 1e3, 4),
-            "p95": round(float(np.percentile(flat, 95)) * 1e3, 4),
-            "p99": round(float(np.percentile(flat, 99)) * 1e3, 4),
-            "max": round(float(flat.max()) * 1e3, 4),
+            "mean": summary["mean"],
+            "p50": summary["p50"],
+            "p95": summary["p95"],
+            "p99": summary["p99"],
+            "max": summary["max"],
         },
         "utilization": round(utilization, 4),
     }
@@ -743,16 +748,22 @@ def _run_sharded_level(
     worker_spans = (
         session.collect_worker_spans() if get_tracer().enabled else {}
     )
+    # Full metric state (histogram buckets included) from every worker —
+    # merged later, together with the front end's registry, into one
+    # Prometheus scrape.  Workers only: the CLI snapshots the front-end
+    # registry once, at trace-write time.
+    metrics_records = session.metrics_records(include_self=False)
     session.close()
 
-    flat = np.array(
-        [
-            lat
-            for per_workload in latencies.values()
-            for per_client in per_workload
-            for lat in per_client
-        ]
+    from ..observability.quantile import from_values
+
+    hist = from_values(
+        lat
+        for per_workload in latencies.values()
+        for per_client in per_workload
+        for lat in per_client
     )
+    summary = hist.summary(scale=1e3, digits=4)
     total_rows = sum(
         batch
         for plans in plans_by_workload.values()
@@ -762,14 +773,14 @@ def _run_sharded_level(
     result = {
         "workers": num_workers,
         "wall_s": round(wall, 4),
-        "throughput_rps": round(flat.size / wall, 2),
+        "throughput_rps": round(hist.count / wall, 2),
         "rows_per_s": round(total_rows / wall, 1),
         "latency_ms": {
-            "mean": round(float(flat.mean()) * 1e3, 4),
-            "p50": round(float(np.percentile(flat, 50)) * 1e3, 4),
-            "p95": round(float(np.percentile(flat, 95)) * 1e3, 4),
-            "p99": round(float(np.percentile(flat, 99)) * 1e3, 4),
-            "max": round(float(flat.max()) * 1e3, 4),
+            "mean": summary["mean"],
+            "p50": summary["p50"],
+            "p95": summary["p95"],
+            "p99": summary["p99"],
+            "max": summary["max"],
         },
         "utilization": round(fleet_stats.merged.utilization, 4),
         "compiles": fleet_stats.merged.compiles,
@@ -777,20 +788,20 @@ def _run_sharded_level(
         "restarts": fleet_stats.total_restarts,
         "placement": fleet_stats.placement(),
     }
-    return result, outputs, worker_spans
+    return result, outputs, worker_spans, metrics_records
 
 
 def _phase_stats(latencies) -> dict:
     """Latency summary (ms) for one phase of the adaptive scenario."""
-    import numpy as np
+    from ..observability.quantile import from_values
 
-    arr = np.asarray(latencies, dtype=float)
+    summary = from_values(latencies).summary(scale=1e3, digits=4)
     return {
-        "requests": int(arr.size),
-        "mean_ms": round(float(arr.mean()) * 1e3, 4),
-        "p50_ms": round(float(np.percentile(arr, 50)) * 1e3, 4),
-        "p95_ms": round(float(np.percentile(arr, 95)) * 1e3, 4),
-        "max_ms": round(float(arr.max()) * 1e3, 4),
+        "requests": summary["count"],
+        "mean_ms": summary["mean"],
+        "p50_ms": summary["p50"],
+        "p95_ms": summary["p95"],
+        "max_ms": summary["max"],
     }
 
 
@@ -1006,8 +1017,9 @@ def run_serve(
     baseline_outputs = None
     baseline_rps = None
     worker_spans = {}
+    fleet_metrics: List[list] = []
     for level in levels:
-        result, outputs, spans = _run_sharded_level(
+        result, outputs, spans, metrics_records = _run_sharded_level(
             workloads,
             dtype,
             plans_by_workload,
@@ -1038,6 +1050,8 @@ def run_serve(
         curve.append(result)
         if spans:
             worker_spans = spans
+        if metrics_records:
+            fleet_metrics = metrics_records
     import os as _os
 
     sharding = {
@@ -1086,6 +1100,7 @@ def run_serve(
         document["schema"] = BENCH_SERVING_SCHEMA_V3
     document["_batching_stats"] = stats_by_workload  # stripped before dump
     document["_worker_spans"] = worker_spans  # stripped before dump
+    document["_metrics_records"] = fleet_metrics  # stripped before dump
     return document
 
 
@@ -1666,6 +1681,7 @@ def main(argv=None) -> int:
         _print_serve_report(document)
         document.pop("_batching_stats", None)
         worker_spans = document.pop("_worker_spans", None)
+        metrics_records = document.pop("_metrics_records", None)
         problems = validate_bench_serving(document)
         if problems:
             for problem in problems:
@@ -1680,11 +1696,16 @@ def main(argv=None) -> int:
             print()
             print(format_report(get_tracer(), get_registry()))
         if args.trace:
+            # Append the front end's live registry so the trace carries
+            # every process's full metric state, not just the workers'.
+            records = list(metrics_records or [])
+            records.append(get_registry().export_records())
             trace_doc = write_chrome_trace(
                 args.trace,
                 get_tracer(),
                 get_registry(),
                 processes=worker_spans or None,
+                metric_records=records,
             )
             print(
                 f"\nwrote {len(trace_doc['traceEvents'])} trace events "
@@ -1741,7 +1762,10 @@ def main(argv=None) -> int:
         print(format_report(get_tracer(), get_registry()))
     if args.trace:
         document = write_chrome_trace(
-            args.trace, get_tracer(), get_registry()
+            args.trace,
+            get_tracer(),
+            get_registry(),
+            metric_records=[get_registry().export_records()],
         )
         print(
             f"\nwrote {len(document['traceEvents'])} trace events "

@@ -1,0 +1,83 @@
+"""RequestContext: minting, wire hops, thread-local binding."""
+
+import threading
+
+from repro.observability.context import (
+    RequestContext,
+    _NULL_BINDING,
+    active_contexts,
+    bind_contexts,
+)
+
+
+class TestMinting:
+    def test_ids_unique_and_monotonic(self):
+        a, b = RequestContext.mint(), RequestContext.mint()
+        assert a.request_id < b.request_id
+        assert a.trace_id != b.trace_id
+        assert a.hop == 0
+
+    def test_trace_id_embeds_process_seed(self):
+        ctx = RequestContext.mint()
+        assert ctx.trace_id.endswith(f"-{ctx.request_id:x}")
+
+    def test_flow_id_is_trace_id(self):
+        ctx = RequestContext.mint()
+        assert ctx.flow_id == ctx.trace_id
+
+
+class TestWire:
+    def test_round_trip_increments_hop(self):
+        ctx = RequestContext.mint()
+        relayed = RequestContext.from_wire(ctx.to_wire())
+        assert relayed.trace_id == ctx.trace_id
+        assert relayed.request_id == ctx.request_id
+        assert relayed.hop == 1
+        # Same chain identity across the hop.
+        assert relayed.flow_id == ctx.flow_id
+
+    def test_none_wire_is_none(self):
+        assert RequestContext.from_wire(None) is None
+
+    def test_double_hop(self):
+        ctx = RequestContext.mint()
+        twice = RequestContext.from_wire(
+            RequestContext.from_wire(ctx.to_wire()).to_wire()
+        )
+        assert twice.hop == 2
+
+
+class TestBinding:
+    def test_empty_binding_is_shared_noop(self):
+        assert bind_contexts(()) is _NULL_BINDING
+        assert bind_contexts([]) is _NULL_BINDING
+        with bind_contexts(()):
+            assert active_contexts() == ()
+
+    def test_bound_contexts_visible_inside_only(self):
+        ctxs = (RequestContext.mint(), RequestContext.mint())
+        assert active_contexts() == ()
+        with bind_contexts(ctxs):
+            assert active_contexts() == ctxs
+        assert active_contexts() == ()
+
+    def test_nested_bindings_shadow(self):
+        outer = (RequestContext.mint(),)
+        inner = (RequestContext.mint(),)
+        with bind_contexts(outer):
+            with bind_contexts(inner):
+                assert active_contexts() == inner
+            assert active_contexts() == outer
+
+    def test_bindings_are_thread_local(self):
+        ctxs = (RequestContext.mint(),)
+        seen = {}
+
+        def probe():
+            seen["other"] = active_contexts()
+
+        with bind_contexts(ctxs):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] == ()

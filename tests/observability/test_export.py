@@ -5,9 +5,11 @@ import json
 from repro.observability.export import (
     chrome_trace,
     chrome_trace_events,
+    flow_chains,
     metrics_json,
     validate_chrome_trace,
     validate_chrome_trace_file,
+    validate_flow_chains,
     write_chrome_trace,
 )
 from repro.observability.metrics import MetricsRegistry
@@ -68,6 +70,80 @@ class TestEventMapping:
         ]
         assert isinstance(event["args"]["obj"], str)
         assert event["args"]["ok"] == 1.5
+
+
+class TestFlowEvents:
+    def _traced_chain(self) -> Tracer:
+        t = Tracer()
+        with t.span("shard.submit", category="service"):
+            t.flow("request", "s", "3f-1")
+        with t.span("batch.execute", category="service"):
+            t.flow("request", "t", "3f-1")
+        with t.span("shard.response", category="service"):
+            t.flow("request", "f", "3f-1")
+        return t
+
+    def test_flow_events_map_to_s_t_f(self):
+        events = chrome_trace_events(self._traced_chain().records())
+        flows = [e for e in events if e["ph"] in ("s", "t", "f")]
+        assert [e["ph"] for e in flows] == ["s", "t", "f"]
+        assert all(e["id"] == "3f-1" for e in flows)
+        assert all("dur" not in e for e in flows)
+        # The terminating arrowhead binds to the enclosing slice's end.
+        assert flows[-1]["bp"] == "e"
+        assert "bp" not in flows[0]
+
+    def test_flow_events_validate(self):
+        document = chrome_trace(self._traced_chain())
+        assert validate_chrome_trace(document) == []
+        assert validate_flow_chains(document) == []
+
+    def test_flow_event_requires_id(self):
+        problems = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "r", "ph": "s", "pid": 1, "tid": 1, "ts": 0}
+                ]
+            }
+        )
+        assert any("missing id" in p for p in problems)
+
+    def test_flow_chains_group_and_sort(self):
+        t = Tracer()
+        t.flow("request", "s", "a")
+        t.flow("request", "s", "b")
+        t.flow("request", "f", "a")
+        t.flow("request", "f", "b")
+        chains = flow_chains(chrome_trace(t))
+        assert set(chains) == {"a", "b"}
+        for events in chains.values():
+            assert [e["ph"] for e in events] == ["s", "f"]
+
+    def test_dangling_chain_detected(self):
+        t = Tracer()
+        t.flow("request", "s", "lost")
+        problems = validate_flow_chains(chrome_trace(t))
+        assert any("finish" in p for p in problems)
+
+    def test_double_start_detected(self):
+        t = Tracer()
+        t.flow("request", "s", "dup")
+        t.flow("request", "s", "dup")
+        t.flow("request", "f", "dup")
+        problems = validate_flow_chains(chrome_trace(t))
+        assert any("2 start events" in p for p in problems)
+
+    def test_out_of_order_chain_detected(self):
+        document = {
+            "traceEvents": [
+                {"name": "r", "ph": "f", "pid": 1, "tid": 1, "ts": 0,
+                 "id": "x"},
+                {"name": "r", "ph": "s", "pid": 1, "tid": 1, "ts": 5,
+                 "id": "x"},
+            ]
+        }
+        problems = validate_flow_chains(document)
+        assert any("out-of-order" in p for p in problems)
 
 
 class TestDocument:

@@ -7,6 +7,7 @@ import pytest
 from repro.observability.metrics import (
     MetricsRegistry,
     get_registry,
+    merge_metric_records,
     set_registry,
 )
 
@@ -48,6 +49,7 @@ class TestHistogram:
         h = MetricsRegistry().histogram("empty")
         assert h.to_dict() == {
             "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
+            "p50": None, "p95": None, "p99": None,
         }
 
 
@@ -104,6 +106,90 @@ class TestRegistry:
             t.join()
         assert reg.value("n") == 8000
         assert reg.histogram("h").count == 8000
+
+
+class TestDeterministicOrder:
+    def test_instruments_sorted_by_name_then_labels(self):
+        """Snapshot/export order must not depend on creation order — CI
+        diffs metrics artifacts across runs."""
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first", worker="w1").inc()
+        reg.counter("a.first", worker="w0").inc()
+        reg.gauge("m.middle").set(1)
+        names = [
+            (i.name, i.labels) for i in reg.instruments()
+        ]
+        assert names == sorted(names)
+        assert names[0][0] == "a.first"
+        assert names[0][1] == (("worker", "w0"),)
+
+    def test_snapshot_order_stable_across_creation_orders(self):
+        import json
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for reg, order in ((forward, (1, 2, 3)), (backward, (3, 2, 1))):
+            for i in order:
+                reg.counter("c", idx=str(i)).inc(i)
+        assert json.dumps(forward.snapshot()) == json.dumps(
+            backward.snapshot()
+        )
+        assert [r["name"] for r in forward.export_records()] == [
+            r["name"] for r in backward.export_records()
+        ]
+
+
+class TestRecords:
+    def test_export_load_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("c", k="v").inc(3)
+        source.gauge("g").set(2.5)
+        source.histogram("h").observe(0.5)
+        target = MetricsRegistry()
+        target.load_records(source.export_records())
+        assert target.value("c", k="v") == 3
+        assert target.value("g") == 2.5
+        assert target.histogram("h").count == 1
+
+    def test_load_accumulates(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(2)
+        source.histogram("h").observe(1.0)
+        target = MetricsRegistry()
+        target.load_records(source.export_records())
+        target.load_records(source.export_records())
+        assert target.value("c") == 4
+        assert target.histogram("h").count == 2
+
+    def test_records_are_picklable(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        reg.histogram("h", worker="w0").observe(0.25)
+        records = pickle.loads(pickle.dumps(reg.export_records()))
+        merged = merge_metric_records([records])
+        assert merged.histogram("h", worker="w0").count == 1
+
+    def test_merge_metric_records_sums(self):
+        fleets = []
+        for _ in range(3):
+            reg = MetricsRegistry()
+            reg.counter("requests").inc(5)
+            reg.histogram("lat").observe(0.1)
+            fleets.append(reg.export_records())
+        merged = merge_metric_records(fleets)
+        assert merged.value("requests") == 15
+        assert merged.histogram("lat").count == 3
+
+    def test_histogram_quantiles_in_to_dict(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h")
+        for i in range(1, 101):
+            hist.observe(float(i))
+        d = hist.to_dict()
+        assert 45 <= d["p50"] <= 55
+        assert 90 <= d["p95"] <= 100
+        assert d["p99"] <= 100
 
 
 class TestGlobal:

@@ -1,0 +1,145 @@
+"""Prometheus exposition: rendering, fleet merge, format checker."""
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    merge_metric_records,
+)
+from repro.observability.prometheus import (
+    metrics_text,
+    render_metric_records,
+    validate_exposition_text,
+)
+
+
+def _scrape(registry: MetricsRegistry) -> str:
+    return metrics_text(registry)
+
+
+class TestRendering:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests").inc(3)
+        reg.gauge("service.shard.workers").set(2)
+        text = _scrape(reg)
+        assert "# TYPE service_requests counter" in text
+        assert "service_requests 3" in text
+        assert "# TYPE service_shard_workers gauge" in text
+        assert "service_shard_workers 2" in text
+
+    def test_histogram_renders_as_summary(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency.seconds")
+        for i in range(1, 101):
+            hist.observe(i / 1000.0)
+        text = _scrape(reg)
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"}' in text
+        assert 'latency_seconds{quantile="0.95"}' in text
+        assert 'latency_seconds{quantile="0.99"}' in text
+        assert "latency_seconds_count 100" in text
+        assert "latency_seconds_sum" in text
+
+    def test_labels_render_and_escape(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", path='a"b\\c', tier="hot").inc()
+        text = _scrape(reg)
+        assert 'path="a\\"b\\\\c"' in text
+        assert 'tier="hot"' in text
+        assert validate_exposition_text(text) == []
+
+    def test_one_type_header_per_name(self):
+        reg = MetricsRegistry()
+        reg.counter("routed", worker="w0").inc()
+        reg.counter("routed", worker="w1").inc(2)
+        text = _scrape(reg)
+        assert text.count("# TYPE routed counter") == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert _scrape(MetricsRegistry()) == ""
+
+    def test_dots_become_underscores(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b.c-d").inc()
+        text = _scrape(reg)
+        assert "a_b_c_d 1" in text
+
+    def test_our_output_always_validates(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc()
+        reg.gauge("g").set(-1.5)
+        reg.histogram("h.seconds", worker="w0").observe(0.25)
+        reg.histogram("h.seconds", worker="w1").observe(0.5)
+        assert validate_exposition_text(_scrape(reg)) == []
+
+
+class TestFleetMerge:
+    def test_counters_sum_and_histograms_merge(self):
+        shards = []
+        for worker in ("w0", "w1"):
+            reg = MetricsRegistry()
+            reg.counter("service.requests").inc(10)
+            hist = reg.histogram("latency.seconds")
+            for i in range(1, 51):
+                hist.observe(i / 1000.0)
+            shards.append(reg.export_records())
+        merged = merge_metric_records(shards)
+        text = render_metric_records(merged.export_records())
+        assert "service_requests 20" in text
+        assert "latency_seconds_count 100" in text
+        assert validate_exposition_text(text) == []
+
+    def test_fleet_quantile_is_honest(self):
+        """Merging shards must answer quantiles over the union, not an
+        average of per-shard answers."""
+        fast, slow = MetricsRegistry(), MetricsRegistry()
+        for _ in range(95):
+            fast.histogram("lat").observe(0.001)
+        for _ in range(5):
+            slow.histogram("lat").observe(1.0)
+        merged = merge_metric_records(
+            [fast.export_records(), slow.export_records()]
+        )
+        hist = merged.histogram("lat")
+        assert hist.count == 100
+        assert hist.quantile(0.5) < 0.01  # median is a fast request
+        assert hist.quantile(0.99) > 0.5  # tail sees the slow shard
+
+
+class TestChecker:
+    def test_flags_unparseable_sample(self):
+        problems = validate_exposition_text("what is this\n")
+        assert problems and "unparseable" in problems[0]
+
+    def test_flags_missing_type_header(self):
+        problems = validate_exposition_text("orphan_metric 1\n")
+        assert problems and "no TYPE header" in problems[0]
+
+    def test_flags_bad_type(self):
+        text = "# TYPE m wat\nm 1\n"
+        problems = validate_exposition_text(text)
+        assert any("malformed TYPE" in p for p in problems)
+
+    def test_flags_non_numeric_value(self):
+        text = "# TYPE m counter\nm banana\n"
+        problems = validate_exposition_text(text)
+        assert any("non-numeric" in p for p in problems)
+
+    def test_flags_bad_label_pair(self):
+        text = '# TYPE m counter\nm{k=unquoted} 1\n'
+        problems = validate_exposition_text(text)
+        assert any("bad label pair" in p for p in problems)
+
+    def test_accepts_suffixes_under_base_type(self):
+        text = (
+            "# TYPE s summary\n"
+            's{quantile="0.5"} 1\n'
+            "s_sum 2\n"
+            "s_count 3\n"
+        )
+        assert validate_exposition_text(text) == []
+
+    def test_accepts_special_values(self):
+        text = "# TYPE g gauge\ng NaN\ng2_is_missing_header +Inf\n"
+        problems = validate_exposition_text(text)
+        # NaN parses; the second line's only problem is the header.
+        assert all("header" in p for p in problems)

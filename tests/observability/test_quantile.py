@@ -1,0 +1,133 @@
+"""QuantileHistogram: accuracy bound, merge, serialization, plain-data."""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.observability.quantile import (
+    DEFAULT_GROWTH,
+    QuantileHistogram,
+    from_values,
+)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "dist",
+        ["uniform", "lognormal", "exponential"],
+    )
+    def test_quantiles_within_one_bucket_of_numpy(self, seed, dist):
+        """The acceptance bound: p50/p95/p99 agree with the NumPy order
+        statistic within one log-bucket width (a factor of ``growth``)."""
+        rng = np.random.default_rng(seed)
+        if dist == "uniform":
+            values = rng.uniform(1e-4, 1.0, size=5000)
+        elif dist == "lognormal":
+            values = rng.lognormal(mean=-5.0, sigma=1.0, size=5000)
+        else:
+            values = rng.exponential(scale=0.01, size=5000)
+        hist = from_values(values)
+        for q in (0.50, 0.95, 0.99):
+            reference = float(np.quantile(values, q))
+            measured = hist.quantile(q)
+            assert measured is not None
+            # One bucket of slack on either side of the true value.
+            assert reference / DEFAULT_GROWTH <= measured
+            assert measured <= reference * DEFAULT_GROWTH
+
+    def test_single_value(self):
+        hist = from_values([0.25])
+        assert hist.quantile(0.0) == 0.25
+        assert hist.quantile(0.5) == 0.25
+        assert hist.quantile(1.0) == 0.25
+        assert hist.min == hist.max == 0.25
+
+    def test_zero_and_tiny_values_clamp_to_zero_bucket(self):
+        hist = QuantileHistogram()
+        hist.observe(0.0)
+        hist.observe(1e-12)
+        assert hist.count == 2
+        assert hist.quantile(0.5) == 0.0
+
+    def test_empty_quantile_is_none(self):
+        assert QuantileHistogram().quantile(0.95) is None
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            from_values([1.0]).quantile(1.5)
+
+    def test_mean_min_max_exact(self):
+        hist = from_values([1.0, 2.0, 3.0])
+        assert hist.mean == 2.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.sum == 6.0
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        """Merging shards gives the same answer as observing the union —
+        the property fleet percentiles rely on."""
+        rng = np.random.default_rng(7)
+        a = rng.exponential(scale=0.005, size=2000)
+        b = rng.lognormal(mean=-6.0, sigma=0.8, size=3000)
+        merged = from_values(a).merge(from_values(b))
+        union = from_values(np.concatenate([a, b]))
+        assert merged.count == union.count
+        assert merged.buckets == union.buckets
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == union.quantile(q)
+
+    def test_merge_growth_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            QuantileHistogram(1.05).merge(QuantileHistogram(1.10))
+
+    def test_merge_returns_self(self):
+        a, b = from_values([1.0]), from_values([2.0])
+        assert a.merge(b) is a
+
+    def test_copy_is_independent(self):
+        a = from_values([1.0, 2.0])
+        b = a.copy()
+        b.observe(3.0)
+        assert a.count == 2
+        assert b.count == 3
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        hist = from_values([0.001, 0.01, 0.1, 1.0])
+        clone = QuantileHistogram.from_dict(hist.to_dict())
+        assert clone.count == hist.count
+        assert clone.buckets == hist.buckets
+        assert clone.quantile(0.95) == hist.quantile(0.95)
+
+    def test_dict_is_json_ready(self):
+        import json
+
+        text = json.dumps(from_values([0.5, 0.25]).to_dict())
+        assert "buckets" in text
+
+    def test_pickle_round_trip(self):
+        hist = from_values([0.5, 0.25, 0.125])
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.buckets == hist.buckets
+        assert clone.quantile(0.5) == hist.quantile(0.5)
+
+    def test_deepcopy(self):
+        hist = from_values([0.5])
+        clone = copy.deepcopy(hist)
+        clone.observe(1.0)
+        assert hist.count == 1
+
+    def test_summary_block(self):
+        summary = from_values([0.001, 0.002, 0.003]).summary(
+            scale=1e3, digits=4
+        )
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert 0.9 <= summary["p50"] <= 3.1

@@ -78,6 +78,39 @@ class TestSpans:
         assert len(t) == 0
 
 
+class TestFlow:
+    def test_flow_records_phase_and_id(self):
+        t = Tracer()
+        with t.span("shard.submit"):
+            t.flow("request", "s", "abc-1")
+        t.flow("request", "t", "abc-1")
+        t.flow("request", "f", "abc-1")
+        flows = [r for r in t.records() if r.flow is not None]
+        assert [r.flow for r in flows] == ["s", "t", "f"]
+        assert all(r.flow_id == "abc-1" for r in flows)
+        assert all(r.start == r.end for r in flows)
+
+    def test_invalid_phase_raises(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.flow("request", "x", "abc-1")
+
+    def test_disabled_flow_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.flow("request", "s", "abc-1")
+        # Not even the phase check runs on the disabled path.
+        t.flow("request", "bogus", "abc-1")
+        assert len(t) == 0
+
+    def test_ordinary_spans_carry_no_flow(self):
+        t = Tracer()
+        with t.span("plain"):
+            pass
+        (record,) = t.records()
+        assert record.flow is None
+        assert record.flow_id is None
+
+
 class TestThreads:
     def test_threads_have_independent_stacks(self):
         t = Tracer()
@@ -119,6 +152,24 @@ class TestDisabled:
         t = Tracer(enabled=False)
         t.instant("x")
         assert len(t) == 0
+
+    def test_disabled_span_allocates_nothing(self):
+        """The serving hot path's zero-overhead bar: with tracing off,
+        span() hands back the shared no-op without allocating."""
+        import tracemalloc
+
+        t = Tracer(enabled=False)
+        t.span("warmup")  # intern anything lazily created
+        tracemalloc.start()
+        try:
+            before = tracemalloc.get_traced_memory()[0]
+            for _ in range(100):
+                with t.span("hot", category="service", batch=8):
+                    pass
+            after = tracemalloc.get_traced_memory()[0]
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
 
     def test_reenable(self):
         t = Tracer(enabled=False)

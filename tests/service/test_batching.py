@@ -17,10 +17,15 @@ import pytest
 from repro.observability import (
     MetricsRegistry,
     Tracer,
+    chrome_trace,
+    flow_chains,
     get_registry,
+    get_tracer,
     set_registry,
     set_tracer,
+    validate_flow_chains,
 )
+from repro.observability.context import RequestContext, active_contexts
 from repro.service import (
     BatchingEngine,
     InferenceSession,
@@ -393,6 +398,104 @@ class TestRealSession:
                 np.testing.assert_array_equal(
                     results[ti][ri], expected[ti][ri]
                 )
+
+    def test_request_context_flows_single_process(self):
+        """Tracing on: submit mints a context ("s"), batch.execute
+        terminates the local chain ("f"), and the execute slice sees the
+        coalesced requests' contexts via the thread-local binding."""
+
+        class ContextSpy(StubSession):
+            def __init__(self, **kw):
+                super().__init__(**kw)
+                self.bound = []
+
+            def execute_bucket(self, inputs, batch, bucket):
+                self.bound.append(active_contexts())
+                return super().execute_bucket(inputs, batch, bucket)
+
+        original = get_tracer()
+        tracer = set_tracer(Tracer(enabled=True))
+        try:
+            spy = ContextSpy(buckets=(8,))
+            engine = BatchingEngine(
+                spy, max_batch=8, batch_timeout_us=200_000
+            )
+            futures = [submit_rows(engine, 2)[0] for _ in range(4)]
+            for future in futures:
+                future.result(timeout=10)
+            engine.close()
+        finally:
+            set_tracer(original)
+        # One combined execution saw all four requests' contexts.
+        (bound,) = spy.bound
+        assert len(bound) == 4
+        assert all(isinstance(ctx, RequestContext) for ctx in bound)
+        assert all(ctx.hop == 0 for ctx in bound)
+        assert len({ctx.trace_id for ctx in bound}) == 4
+        document = chrome_trace(tracer)
+        assert validate_flow_chains(document) == []
+        chains = flow_chains(document)
+        assert len(chains) == 4
+        for events in chains.values():
+            assert [e["ph"] for e in events] == ["s", "f"]
+
+    def test_tracing_off_binds_no_context(self):
+        """The hot path with tracing off: no context is minted, nothing
+        is bound around execute, and the tracer records nothing."""
+
+        class ContextSpy(StubSession):
+            def __init__(self, **kw):
+                super().__init__(**kw)
+                self.bound = []
+
+            def execute_bucket(self, inputs, batch, bucket):
+                self.bound.append(active_contexts())
+                return super().execute_bucket(inputs, batch, bucket)
+
+        original = get_tracer()
+        tracer = set_tracer(Tracer(enabled=False))
+        try:
+            spy = ContextSpy(buckets=(8,))
+            engine = BatchingEngine(
+                spy, max_batch=8, batch_timeout_us=5_000
+            )
+            future, _ = submit_rows(engine, 2)
+            future.result(timeout=10)
+            engine.close()
+        finally:
+            set_tracer(original)
+        assert spy.bound == [()]
+        assert len(tracer) == 0
+
+    @pytest.mark.slow
+    def test_tracing_off_submit_overhead_bounded(self):
+        """Serving-throughput guard: with tracing disabled, submit() must
+        stay in the tens of microseconds — no context minting, no span
+        bookkeeping on the hot path."""
+        original = get_tracer()
+        set_tracer(Tracer(enabled=False))
+        gate = threading.Event()
+        try:
+            stub = StubSession(buckets=(8,), block=gate)
+            engine = BatchingEngine(
+                stub, max_batch=8, batch_timeout_us=0, queue_depth=None
+            )
+            x = np.ones((1, 1), np.float32)
+            for _ in range(100):  # warm allocator and code paths
+                engine.submit({"x": x})
+            n = 2000
+            start = time.perf_counter()
+            for _ in range(n):
+                engine.submit({"x": x})
+            elapsed = time.perf_counter() - start
+            gate.set()
+            engine.close(drain=True)
+        finally:
+            set_tracer(original)
+        per_submit = elapsed / n
+        # Generous bound (CI machines vary) but still catches an
+        # accidental always-on span or per-call allocation storm.
+        assert per_submit < 500e-6, f"submit took {per_submit * 1e6:.1f}us"
 
     def test_observability_spans_and_metrics(self):
         registry = set_registry(MetricsRegistry())

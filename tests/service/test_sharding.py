@@ -6,6 +6,7 @@ exactly one worker, survive a SIGKILLed worker with zero failed
 requests, and never leak a worker process or shared-memory segment.
 """
 
+import json
 import os
 import signal
 import threading
@@ -15,6 +16,17 @@ import numpy as np
 import pytest
 
 from repro.errors import SessionClosedError
+from repro.observability import (
+    FLIGHT_DIR_ENV,
+    Tracer,
+    chrome_trace,
+    flow_chains,
+    get_tracer,
+    set_tracer,
+    validate_chrome_trace,
+    validate_exposition_text,
+    validate_flow_chains,
+)
 from repro.service import (
     ConsistentHashRing,
     InferenceSession,
@@ -281,6 +293,102 @@ class TestLifecycle:
             ShardedSession([])
         with pytest.raises(ValueError, match="duplicate"):
             ShardedSession([make_spec(), make_spec()])
+
+
+class TestTelemetry:
+    def test_flow_chains_stitch_front_end_to_workers(self):
+        """The acceptance walk: every request's flow chain starts at the
+        front end ("s"), relays through the worker's spans ("t"), and
+        terminates back at the front end ("f") — across process rows."""
+        original = get_tracer()
+        tracer = set_tracer(Tracer(enabled=True))
+        try:
+            # Workers inherit the tracer's enabled flag at spawn time.
+            session = ShardedSession(
+                [make_spec(buckets=(8,))], num_workers=2
+            )
+            try:
+                session.warm_up()
+                x = make_mlp_inputs("MLP_1", 8, seed=21)["x"]
+                futures = [session.submit({"x": x}) for _ in range(6)]
+                for future in futures:
+                    future.result(timeout=120)
+                spans = session.collect_worker_spans()
+            finally:
+                session.close()
+            document = chrome_trace(tracer, processes=spans)
+        finally:
+            set_tracer(original)
+        assert validate_chrome_trace(document) == []
+        assert validate_flow_chains(document) == []
+        chains = flow_chains(document)
+        assert len(chains) >= 6  # warm-up requests trace too
+        front_pid = 1
+        for events in chains.values():
+            phases = [e["ph"] for e in events]
+            assert phases[0] == "s" and phases[-1] == "f"
+            assert all(ph == "t" for ph in phases[1:-1])
+            pids = {e["pid"] for e in events}
+            # Minted and terminated at the front end, relayed in a worker.
+            assert events[0]["pid"] == front_pid
+            assert events[-1]["pid"] == front_pid
+            assert pids - {front_pid}, "chain never entered a worker"
+
+    def test_metrics_text_merges_fleet(self, fleet):
+        x = make_mlp_inputs("MLP_1", 8, seed=22)["x"]
+        fleet.run({"x": x})
+        text = fleet.metrics_text()
+        assert validate_exposition_text(text) == []
+        # Front-end counters and worker-side counters in one scrape.
+        assert "service_shard_requests" in text
+        assert "service_worker_requests" in text
+        assert 'service_shard_slot_wait_seconds{quantile="0.95"}' in text
+
+    def test_worker_death_leaves_flight_dump(self, monkeypatch, tmp_path):
+        tmp = str(tmp_path)
+        monkeypatch.setenv(FLIGHT_DIR_ENV, tmp)
+        session = ShardedSession(
+            [make_spec(buckets=(8,))],
+            num_workers=2,
+            heartbeat_interval=0.1,
+        )
+        try:
+            session.warm_up()
+            x = make_mlp_inputs("MLP_1", 8, seed=23)["x"]
+            target = session.worker_for("MLP_1", 8)
+            victim = session.workers()[target]
+            # Run some load, then give the heartbeat a couple of cycles
+            # to piggyback the victim's flight ring back to the parent.
+            for _ in range(4):
+                session.run({"x": x})
+            time.sleep(0.4)
+            futures = [session.submit({"x": x}) for _ in range(10)]
+            os.kill(victim.pid, signal.SIGKILL)
+            results = [f.result(timeout=120) for f in futures]
+            assert len(results) == 10
+            assert all(r is not None for r in results)
+        finally:
+            session.close()
+        dumps = [f for f in os.listdir(tmp) if "worker-death" in f]
+        assert dumps, "worker death should have dumped a flight trace"
+        path = os.path.join(tmp, sorted(dumps)[0])
+        assert validate_chrome_trace(json.load(open(path))) == []
+        document = json.load(open(path))
+        other = document["otherData"]
+        assert other["flight_reason"] == "worker-death"
+        assert other["flight_attrs"]["worker"] == target
+        assert other["flight_attrs"]["incarnation"] == 0
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "shard.worker_death" in names
+        # The dead worker's piggybacked ring renders as its own process
+        # row carrying its last recorded requests.
+        process_rows = {
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert f"shard-{target}#0" in process_rows
+        assert "worker.start" in names or "worker.request" in names
 
 
 class TestCrashRecovery:

@@ -1,5 +1,6 @@
 """ServiceStats.merge and the per-worker format_stats breakdown."""
 
+from repro.observability.quantile import from_values
 from repro.service import ServiceStats, format_stats
 from repro.service.stats import SignatureStats
 
@@ -121,6 +122,81 @@ class TestMerge:
         )
         assert merged.utilization == 12 / 16
         assert merged.padded_rows == 4
+
+
+class TestLatencyPercentiles:
+    """Per-signature latency distributions must survive the fleet merge —
+    an EWMA alone cannot answer a fleet-wide p95 honestly."""
+
+    def test_percentiles_survive_merge(self):
+        fast = sig(
+            "aaa",
+            latency_hist=from_values([0.001] * 95),
+            latency_samples=95,
+        )
+        slow = sig(
+            "aaa",
+            latency_hist=from_values([1.0] * 5),
+            latency_samples=5,
+        )
+        merged = ServiceStats.merge(
+            [stats(signatures=(fast,)), stats(signatures=(slow,))]
+        )
+        (m,) = merged.signatures
+        assert m.latency_hist.count == 100
+        # Quantiles answer over the union: the median is a fast request,
+        # the tail sees the slow worker.
+        assert m.latency_quantile_seconds(0.5) < 0.01
+        assert m.latency_quantile_seconds(0.99) > 0.5
+        assert m.latency_p95_seconds is not None
+
+    def test_one_sided_histogram_survives(self):
+        with_hist = sig("aaa", latency_hist=from_values([0.5]))
+        without = sig("aaa", latency_hist=None)
+        merged = ServiceStats.merge(
+            [stats(signatures=(with_hist,)), stats(signatures=(without,))]
+        )
+        assert merged.signatures[0].latency_hist.count == 1
+
+    def test_merge_does_not_mutate_parts(self):
+        original = from_values([0.1])
+        a = sig("aaa", latency_hist=original)
+        b = sig("aaa", latency_hist=from_values([0.2, 0.3]))
+        ServiceStats.merge(
+            [stats(signatures=(a,)), stats(signatures=(b,))]
+        )
+        assert original.count == 1
+
+    def test_no_histogram_means_no_quantiles(self):
+        plain = sig("aaa")
+        assert plain.latency_quantile_seconds(0.95) is None
+        assert plain.latency_p50_ms is None
+        assert plain.to_dict()["latency_p95_ms"] is None
+
+    def test_to_dict_serializes_distribution(self):
+        s = sig(
+            "aaa",
+            latency_hist=from_values([i / 1000.0 for i in range(1, 101)]),
+        )
+        d = s.to_dict()
+        assert d["latency_hist"]["count"] == 100
+        assert 0.0 < d["latency_p50_ms"] < d["latency_p95_ms"]
+        assert d["latency_p99_ms"] <= 0.1 * 1e3
+
+    def test_p95_column_renders(self):
+        text = format_stats(
+            stats(
+                signatures=(
+                    sig("abcdef123456", latency_hist=from_values([0.002])),
+                )
+            )
+        )
+        assert "p95_ms" in text
+        # 2ms within one log bucket: the rendered value starts with "2."
+        row = next(
+            ln for ln in text.splitlines() if "abcdef123456" in ln
+        )
+        assert " 2." in row
 
 
 class TestFormat:
