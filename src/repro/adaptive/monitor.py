@@ -202,6 +202,8 @@ class AdaptiveManager:
         tuning_cache_path: Where retuned records are written back; must
             match the path the session compiles with.
         tuning_seed: Search-strategy seed (mirrors compile-time tuning).
+        executor: The session's runtime backend; folded into tuning keys
+            so retuned records stay isolated per executor.
     """
 
     def __init__(
@@ -213,6 +215,7 @@ class AdaptiveManager:
         compile_fresh_for: Callable[[str], Optional[Callable]],
         tuning_cache_path: Optional[str] = None,
         tuning_seed: int = 0,
+        executor: str = "compiled",
     ) -> None:
         self.cache = cache
         self.machine = machine
@@ -225,6 +228,7 @@ class AdaptiveManager:
             config,
             tuning_cache_path=tuning_cache_path,
             tuning_seed=tuning_seed,
+            executor=executor,
         )
         self._lifecycles: Dict[str, _SigLifecycle] = {}
         self._lock = threading.Lock()

@@ -105,6 +105,7 @@ class Retuner:
         config: AdaptiveConfig,
         tuning_cache_path: Optional[str] = None,
         tuning_seed: int = 0,
+        executor: str = "compiled",
     ) -> None:
         self.machine = machine
         self.config = config
@@ -115,6 +116,7 @@ class Retuner:
             budget=config.retune_budget,
             seed=tuning_seed,
             measure_repeats=config.retune_repeats,
+            executor=executor,
         )
 
     @property

@@ -158,6 +158,7 @@ def _tuning_selector(
         mode=options.tuning,
         budget=options.tuning_budget,
         seed=options.tuning_seed,
+        executor=options.executor,
     )
     return tuner.selector
 

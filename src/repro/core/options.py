@@ -30,9 +30,14 @@ class CompilerOptions:
     #: specializes the module once into a flat program of pre-bound
     #: closures (op schemas resolved, slice offsets in closed form,
     #: constant loop bounds folded, calls pre-linked) executed on a
-    #: persistent thread pool; ``"interpret"`` re-walks the IR tree on
-    #: every call — slower, but the reference semantics the compiled
-    #: executor is differential-tested against.
+    #: persistent thread pool; ``"codegen"`` goes one tier flatter and
+    #: ``exec``-generates one Python code object per Tensor IR function
+    #: (literal loops, inline slice subscripts, locals instead of dict
+    #: environments); ``"interpret"`` re-walks the IR tree on every
+    #: call — slower, but the reference semantics the other executors
+    #: are differential-tested against.  The chosen value folds into
+    #: ``graph_signature``, so partitions compiled under different
+    #: backends never share cache entries.
     executor: str = "compiled"
     #: Template-parameter selection: ``"off"`` uses the expert heuristic
     #: only; ``"cached-only"`` serves previously tuned configs but never

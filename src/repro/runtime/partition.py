@@ -30,12 +30,13 @@ from ..lowering.lower_graph import LoweredPartition
 from ..observability import get_registry, get_tracer
 from ..observability.context import active_contexts
 from ..tensor_ir.module import TirModule
+from .codegen import CodegenExecutor
 from .executor import CompiledExecutor
 from .interpreter import ExecutionStats, Interpreter
 
 #: Valid values for ``CompilerOptions.executor`` / the ``executor=``
 #: constructor override.
-EXECUTOR_BACKENDS = ("interpret", "compiled")
+EXECUTOR_BACKENDS = ("interpret", "compiled", "codegen")
 
 
 class _Role(enum.Enum):
@@ -112,13 +113,15 @@ class CompiledPartition:
                 f"unknown executor backend {executor!r}; "
                 f"expected one of {EXECUTOR_BACKENDS}"
             )
-        #: Runtime backend: ``"compiled"`` specializes the module into a
-        #: closure program once; ``"interpret"`` re-walks the IR per call
-        #: (the reference backend).
+        #: Runtime backend: ``"codegen"`` exec-generates one flat Python
+        #: function per TIR function; ``"compiled"`` specializes the
+        #: module into a closure program once; ``"interpret"`` re-walks
+        #: the IR per call (the reference backend).
         self.executor = executor
         self._executor_lock = threading.Lock()
         self._close_lock = threading.Lock()
         self._compiled: Optional[CompiledExecutor] = None
+        self._codegen: Optional[CodegenExecutor] = None
         #: Persistent worker pool shared across calls and parallel loops;
         #: (re)built lazily whenever ``num_threads`` changes.
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -263,6 +266,10 @@ class CompiledPartition:
             return self._compiled_executor().run(
                 buffers, pool=pool, num_threads=num_threads
             )
+        if self.executor == "codegen":
+            return self._codegen_executor().run(
+                buffers, pool=pool, num_threads=num_threads
+            )
         interp = Interpreter(
             lowered.module,
             arena_size=self.arena_size or None,
@@ -286,6 +293,21 @@ class CompiledPartition:
                         arena_size=self.arena_size or None,
                     )
                 executor = self._compiled
+        return executor
+
+    def _codegen_executor(self) -> CodegenExecutor:
+        """The whole-program codegen executor, built once per partition."""
+        executor = self._codegen
+        if executor is None:
+            with self._executor_lock:
+                if self._codegen is None:
+                    lowered = self.lowered
+                    self._codegen = CodegenExecutor(
+                        lowered.module,
+                        machine=lowered.ctx.machine,
+                        arena_size=self.arena_size or None,
+                    )
+                executor = self._codegen
         return executor
 
     def _shared_pool(self, num_threads: int) -> Optional[ThreadPoolExecutor]:

@@ -173,8 +173,9 @@ class InferenceSession:
             get an exact-size specialization.  ``None`` compiles exactly
             per distinct batch size.
         num_threads: Intra-partition parallelism for compiled partitions.
-        executor: Runtime backend override (``"interpret"`` or
-            ``"compiled"``); ``None`` keeps ``options.executor``.  The
+        executor: Runtime backend override (``"interpret"``,
+            ``"compiled"`` or ``"codegen"``); ``None`` keeps
+            ``options.executor``.  The
             choice participates in partition-cache signatures, so sessions
             with different backends never share compiled artifacts.
         batching: ``"off"`` serves every ``run()`` synchronously on the
@@ -285,6 +286,7 @@ class InferenceSession:
                 compile_fresh_for=self._fresh_compiler_for,
                 tuning_cache_path=self._options.tuning_cache_path,
                 tuning_seed=self._options.tuning_seed,
+                executor=self._options.executor,
             )
             self._adaptive_manager.start()
 

@@ -263,7 +263,34 @@ def run_fig8_mha(dtype: DType, batches) -> None:
 
 
 #: Schema tag of the runtime-bench artifact; bump on breaking changes.
-BENCH_RUNTIME_SCHEMA = "repro.bench_runtime/v1"
+#: v2 adds the codegen executor (three-way comparison: per-workload
+#: ``speedup`` becomes a dict of ratios) and real machine provenance
+#: (``machine`` becomes an object with ``host_cpus`` etc.).
+BENCH_RUNTIME_SCHEMA = "repro.bench_runtime/v2"
+
+#: Older runtime schema (two-way, string machine tag); committed v1
+#: artifacts still validate.
+BENCH_RUNTIME_SCHEMA_V1 = "repro.bench_runtime/v1"
+
+#: Ratio keys of the v2 ``speedup`` dict, in report order.
+_RUNTIME_RATIOS = (
+    ("compiled", "interpret", "compiled"),
+    ("codegen", "interpret", "codegen"),
+    ("codegen_vs_compiled", "compiled", "codegen"),
+)
+
+
+def _runtime_machine() -> dict:
+    """Real provenance of the measuring host (not a hardcoded tag)."""
+    import os as _os
+    import platform as _platform
+
+    return {
+        "host_cpus": _os.cpu_count(),
+        "platform": _platform.platform(),
+        "processor": _platform.processor() or _platform.machine(),
+        "python": _platform.python_version(),
+    }
 
 
 def _runtime_workloads(dtype: DType, quick: bool):
@@ -334,16 +361,21 @@ def _measure_backend(builder, backend: str, repeat: int, threads: int):
 def run_runtime(
     executor: str, repeat: int, threads: int, dtype: DType, quick: bool
 ) -> dict:
-    """Interpreter-vs-executor steady-state latency over fig7/fig8.
+    """Steady-state latency of the executor backends over fig7/fig8.
 
     Returns the ``BENCH_runtime.json`` document (schema
-    ``repro.bench_runtime/v1``).
+    ``repro.bench_runtime/v2``): per-workload latency for each measured
+    backend, a ``speedup`` dict of pairwise ratios, and a bit-identity
+    flag across every backend pair.
     """
     import numpy as np
 
-    backends = (
-        ["interpret", "compiled"] if executor == "both" else [executor]
-    )
+    if executor == "all":
+        backends = ["interpret", "compiled", "codegen"]
+    elif executor == "both":
+        backends = ["interpret", "compiled"]
+    else:
+        backends = [executor]
     workloads = []
     ratios_by_group: dict = {}
     for group, label, builder in _runtime_workloads(dtype, quick):
@@ -356,23 +388,30 @@ def run_runtime(
             entry[f"{backend}_ms"] = round(ms, 4)
             entry["brgemm_calls"] = stats.get("brgemm_calls", 0)
             outputs[backend] = outs
-        if len(backends) == 2:
-            entry["speedup"] = round(
-                entry["interpret_ms"] / entry["compiled_ms"], 4
-            )
-            entry["identical"] = len(outputs["interpret"]) == len(
-                outputs["compiled"]
-            ) and all(
-                np.array_equal(a, b)
-                for a, b in zip(
-                    outputs["interpret"], outputs["compiled"]
+        if len(backends) > 1:
+            speedup = {}
+            for ratio, base, target in _RUNTIME_RATIOS:
+                if base in outputs and target in outputs:
+                    speedup[ratio] = round(
+                        entry[f"{base}_ms"] / entry[f"{target}_ms"], 4
+                    )
+            entry["speedup"] = speedup
+            reference = outputs[backends[0]]
+            entry["identical"] = all(
+                len(outs) == len(reference)
+                and all(
+                    np.array_equal(a, b)
+                    for a, b in zip(reference, outs)
                 )
+                for outs in outputs.values()
             )
-            ratios_by_group.setdefault(group, []).append(entry["speedup"])
+            group_ratios = ratios_by_group.setdefault(group, {})
+            for ratio, value in speedup.items():
+                group_ratios.setdefault(ratio, []).append(value)
         workloads.append(entry)
     document = {
         "schema": BENCH_RUNTIME_SCHEMA,
-        "machine": "XEON_8358",
+        "machine": _runtime_machine(),
         "dtype": dtype.value,
         "num_threads": threads,
         "repeat": repeat,
@@ -380,29 +419,54 @@ def run_runtime(
         "workloads": workloads,
     }
     if ratios_by_group:
-        document["geomean_speedup"] = {
-            group: round(geomean(ratios), 4)
-            for group, ratios in sorted(ratios_by_group.items())
+        all_ratios: dict = {}
+        geo = {}
+        for group, by_ratio in sorted(ratios_by_group.items()):
+            geo[group] = {
+                ratio: round(geomean(values), 4)
+                for ratio, values in by_ratio.items()
+            }
+            for ratio, values in by_ratio.items():
+                all_ratios.setdefault(ratio, []).extend(values)
+        geo["all"] = {
+            ratio: round(geomean(values), 4)
+            for ratio, values in all_ratios.items()
         }
-        document["geomean_speedup"]["all"] = round(
-            geomean([r for rs in ratios_by_group.values() for r in rs]), 4
-        )
+        document["geomean_speedup"] = geo
     return document
 
 
 def validate_bench_runtime(document: dict) -> List[str]:
-    """Schema check for BENCH_runtime.json; returns a list of problems."""
+    """Schema check for BENCH_runtime.json; returns a list of problems.
+
+    Accepts the current v2 schema and legacy v1 artifacts.  v2 requires
+    real machine provenance (``machine.host_cpus`` and ``.platform``)
+    and a per-workload ``speedup`` dict; v1 used a string machine tag
+    and a scalar two-way speedup.
+    """
     errors: List[str] = []
     if not isinstance(document, dict):
         return ["document is not an object"]
-    if document.get("schema") != BENCH_RUNTIME_SCHEMA:
+    schema = document.get("schema")
+    if schema not in (BENCH_RUNTIME_SCHEMA, BENCH_RUNTIME_SCHEMA_V1):
         errors.append(
-            f"schema is {document.get('schema')!r}, "
-            f"expected {BENCH_RUNTIME_SCHEMA!r}"
+            f"schema is {schema!r}, expected {BENCH_RUNTIME_SCHEMA!r} "
+            f"(or legacy {BENCH_RUNTIME_SCHEMA_V1!r})"
         )
+    v2 = schema == BENCH_RUNTIME_SCHEMA
     for key in ("machine", "dtype", "num_threads", "repeat", "executors"):
         if key not in document:
             errors.append(f"missing key {key!r}")
+    if v2 and "machine" in document:
+        machine = document["machine"]
+        if not isinstance(machine, dict):
+            errors.append("machine must be an object with provenance")
+        else:
+            cpus = machine.get("host_cpus")
+            if not isinstance(cpus, int) or cpus <= 0:
+                errors.append("machine.host_cpus must be a positive int")
+            if not isinstance(machine.get("platform"), str):
+                errors.append("machine.platform missing or not a string")
     executors = document.get("executors", [])
     if not isinstance(executors, list) or not executors:
         errors.append("executors must be a non-empty list")
@@ -410,7 +474,7 @@ def validate_bench_runtime(document: dict) -> List[str]:
     if not isinstance(workloads, list) or not workloads:
         errors.append("workloads must be a non-empty list")
         return errors
-    paired = len(executors) == 2
+    multi = isinstance(executors, list) and len(executors) > 1
     for index, entry in enumerate(workloads):
         where = f"workloads[{index}]"
         if not isinstance(entry, dict):
@@ -423,32 +487,55 @@ def validate_bench_runtime(document: dict) -> List[str]:
             ms = entry.get(f"{backend}_ms")
             if not isinstance(ms, (int, float)) or ms <= 0:
                 errors.append(f"{where}.{backend}_ms must be positive")
-        if paired:
-            if not isinstance(entry.get("speedup"), (int, float)):
+        if multi:
+            speedup = entry.get("speedup")
+            if v2:
+                if not isinstance(speedup, dict) or not speedup:
+                    errors.append(f"{where}.speedup dict missing")
+                elif not all(
+                    isinstance(v, (int, float)) and v > 0
+                    for v in speedup.values()
+                ):
+                    errors.append(
+                        f"{where}.speedup ratios must be positive"
+                    )
+            elif not isinstance(speedup, (int, float)):
                 errors.append(f"{where}.speedup missing")
             if entry.get("identical") is not True:
                 errors.append(
                     f"{where}: backends disagree (identical != true)"
                 )
-    if paired and not isinstance(document.get("geomean_speedup"), dict):
+    if multi and not isinstance(document.get("geomean_speedup"), dict):
         errors.append("geomean_speedup missing")
     return errors
 
 
 def _print_runtime_report(document: dict) -> None:
     rows = []
-    paired = len(document["executors"]) == 2
+    multi = len(document["executors"]) > 1
+    ratio_keys: List[str] = []
+    if multi:
+        seen = set()
+        for entry in document["workloads"]:
+            seen.update(entry.get("speedup", {}))
+        ratio_keys = [r for r, _, _ in _RUNTIME_RATIOS if r in seen]
     for entry in document["workloads"]:
         row = {"test": f"{entry['group']}: {entry['name']}"}
         for backend in document["executors"]:
             row[backend] = f"{entry[f'{backend}_ms']:.2f}ms"
-        if paired:
-            row["speedup"] = entry["speedup"]
+        for ratio in ratio_keys:
+            value = entry.get("speedup", {}).get(ratio)
+            row[f"x {ratio}"] = value if value is not None else "-"
+        if multi:
             row["identical"] = str(entry["identical"]).lower()
         rows.append(row)
-    columns = ["test"] + list(document["executors"])
-    if paired:
-        columns += ["speedup", "identical"]
+    columns = (
+        ["test"]
+        + list(document["executors"])
+        + [f"x {ratio}" for ratio in ratio_keys]
+    )
+    if multi:
+        columns.append("identical")
     print(
         format_speedup_table(
             f"Runtime backends — steady-state latency, "
@@ -457,8 +544,11 @@ def _print_runtime_report(document: dict) -> None:
             columns,
         )
     )
-    for group, value in document.get("geomean_speedup", {}).items():
-        print(f"geomean speedup [{group}]: {value:.2f}")
+    for group, by_ratio in document.get("geomean_speedup", {}).items():
+        ratios = ", ".join(
+            f"{ratio} {value:.2f}x" for ratio, value in by_ratio.items()
+        )
+        print(f"geomean speedup [{group}]: {ratios}")
 
 
 #: Schema tag of the serving-bench artifact; bump on breaking changes.
@@ -1428,10 +1518,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=["interpret", "compiled", "both"],
-        default="both",
-        help="runtime backend(s) the `runtime` figure measures "
-        "(default: both, with a bit-identical output check)",
+        choices=["interpret", "compiled", "codegen", "both", "all"],
+        default="all",
+        help="runtime backend(s) the `runtime` figure measures: one "
+        "backend, `both` (interpret+compiled) or `all` (the default — "
+        "all three, with a bit-identical output check)",
     )
     parser.add_argument(
         "--repeat",

@@ -5,10 +5,14 @@ Usage::
     python -m repro.tools.dump --workload MLP_1 --batch 64 --dtype int8
     python -m repro.tools.dump --matmul 256x512x256 --tir
     python -m repro.tools.dump --workload MHA_2 --batch 32 --perf
+    python -m repro.tools.dump --workload MLP_1 --emit-codegen out/
 
 Prints the optimized Graph IR, the pass log (fusion decisions, layout
 choices), optionally the generated Tensor IR (``--tir``) and the modeled
 performance against the primitives baseline (``--perf``).
+``--emit-codegen DIR`` writes the codegen executor's generated Python
+source for each Tensor IR function to ``DIR`` (the ``REPRO_DUMP_CODEGEN``
+environment variable does the same for any codegen-backed run).
 """
 
 from __future__ import annotations
@@ -101,6 +105,12 @@ def main(argv=None) -> int:
         help="pick template parameters with the autotuner (repro.tuner)",
     )
     parser.add_argument(
+        "--emit-codegen",
+        metavar="DIR",
+        help="write the codegen executor's generated Python source for "
+        "each Tensor IR function to DIR",
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         help="write a Chrome trace-event JSON of the compilation "
@@ -139,6 +149,19 @@ def main(argv=None) -> int:
     if args.tir:
         print("\n== Tensor IR ==")
         print(format_module(partition.lowered.module))
+
+    if args.emit_codegen:
+        from ..runtime import CodegenExecutor
+
+        generator = CodegenExecutor(
+            partition.lowered.module,
+            machine=partition.lowered.ctx.machine,
+            arena_size=partition.arena_size or None,
+        )
+        paths = generator.dump_sources(args.emit_codegen)
+        print(f"\n== emitted codegen sources ({len(paths)}) ==")
+        for path in paths:
+            print(f"  {path}")
 
     if args.perf:
         compiled_cycles = _model(partition)

@@ -67,18 +67,22 @@ def tuning_key(
     machine: MachineModel,
     batch: int = 1,
     constraints: Optional[HeuristicConstraints] = None,
+    executor: str = "compiled",
 ) -> str:
     """The cache key of one tuning problem.
 
     Incorporates the op fingerprint (shape, dtype, batch), the machine
-    fingerprint, and the constraints other optimizations imposed — the
-    same problem under a different layout-negotiation pin is a different
-    tuning task.
+    fingerprint, the constraints other optimizations imposed — the same
+    problem under a different layout-negotiation pin is a different
+    tuning task — and the executor backend: measured-mode rankings time
+    real executions under the configured backend, so records tuned for
+    one executor are never served to another.
     """
     c = constraints or HeuristicConstraints()
     payload = {
         "op": [batch, m, n, k, dtype.value],
         "machine": machine_fingerprint(machine),
+        "executor": executor,
         "constraints": [
             c.require_npn,
             c.require_mpn,

@@ -118,6 +118,7 @@ class MatmulTuner:
         seed: int = 0,
         measure_top_k: int = 3,
         measure_repeats: int = 3,
+        executor: str = "compiled",
     ) -> None:
         if mode not in TUNING_MODES:
             raise ValueError(
@@ -126,6 +127,7 @@ class MatmulTuner:
         self.machine = machine
         self.cache = cache if cache is not None else TuningCache()
         self.mode = mode
+        self.executor = executor
         self.budget = max(1, budget)
         self.seed = seed
         self.measure_top_k = max(1, measure_top_k)
@@ -193,7 +195,8 @@ class MatmulTuner:
         constraints: Optional[HeuristicConstraints],
     ) -> TuningResult:
         key = tuning_key(
-            m, n, k, dtype, self.machine, batch=batch, constraints=constraints
+            m, n, k, dtype, self.machine, batch=batch,
+            constraints=constraints, executor=self.executor,
         )
         record = self.cache.get(key)
         if record is not None:
@@ -297,7 +300,8 @@ class MatmulTuner:
         than the original search.
         """
         key = tuning_key(
-            m, n, k, dtype, self.machine, batch=batch, constraints=constraints
+            m, n, k, dtype, self.machine, batch=batch,
+            constraints=constraints, executor=self.executor,
         )
         heuristic = select_matmul_params(
             m, n, k, dtype, self.machine, batch=batch, constraints=constraints
