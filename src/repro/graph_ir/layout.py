@@ -23,6 +23,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..errors import LayoutError
+from .symbolic import is_symbolic
 
 
 @dataclass(frozen=True)
@@ -78,18 +79,40 @@ class BlockedLayout:
         return size
 
     def padded_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
-        """Logical shape rounded up so each axis divides its total block."""
+        """Logical shape rounded up so each axis divides its total block.
+
+        Symbolic dims pass through unchanged: a dynamic axis may not be
+        blocked (padding a runtime-bound dim at compile time is exactly
+        the waste symbolic shapes eliminate), so its block is always 1.
+        """
         self._check_rank(shape)
         return tuple(
-            int(math.ceil(dim / self.total_block(axis))) * self.total_block(axis)
-            for axis, dim in enumerate(shape)
+            self._pad_dim(axis, dim) for axis, dim in enumerate(shape)
         )
+
+    def _pad_dim(self, axis: int, dim):
+        block = self.total_block(axis)
+        if is_symbolic(dim):
+            if block != 1:
+                raise LayoutError(
+                    f"symbolic dim {dim!r} on axis {axis} cannot be blocked "
+                    f"(block size {block})"
+                )
+            return dim
+        return int(math.ceil(dim / block)) * block
 
     def physical_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
         """Shape of the physical buffer holding a logical ``shape`` tensor."""
         self._check_rank(shape)
         padded = self.padded_shape(shape)
-        outer = [padded[axis] // self.total_block(axis) for axis in self.outer_order]
+        # ``//`` on a SymDim would degrade it to its hint; an unblocked
+        # axis (the only legal home for a symbolic dim) passes through.
+        outer = [
+            padded[axis]
+            if self.total_block(axis) == 1
+            else padded[axis] // self.total_block(axis)
+            for axis in self.outer_order
+        ]
         return tuple(outer) + tuple(b for _, b in self.inner_blocks)
 
     def num_elements(self, shape: Sequence[int]) -> int:

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from ..dtypes import DType
 from ..errors import ShapeInferenceError
 from .layout import BlockedLayout, plain
+from .symbolic import is_symbolic
 
 
 class PropertyKind(enum.Enum):
@@ -56,7 +57,11 @@ class LogicalTensor:
     id: int = field(default_factory=lambda: next(_ids))
 
     def __post_init__(self) -> None:
-        self.shape = tuple(int(s) for s in self.shape)
+        # SymDims pass through untouched (int() would strip the name and
+        # silently freeze the hint into the shape).
+        self.shape = tuple(
+            s if is_symbolic(s) else int(s) for s in self.shape
+        )
         for dim in self.shape:
             if dim <= 0:
                 raise ShapeInferenceError(
@@ -92,6 +97,11 @@ class LogicalTensor:
     @property
     def is_constant(self) -> bool:
         return self.prop is PropertyKind.CONSTANT
+
+    @property
+    def is_dynamic(self) -> bool:
+        """True when any dim is symbolic (runtime-bound batch)."""
+        return any(is_symbolic(d) for d in self.shape)
 
     def with_layout(self, layout: BlockedLayout) -> "LogicalTensor":
         """A fresh logical tensor identical to this one but relaid-out."""

@@ -19,6 +19,7 @@ import numpy as np
 from ..dtypes import DType, accumulator_dtype, dequantize_array, quantize_array
 from ..errors import DataTypeError, ShapeInferenceError, UnsupportedOpError
 from .op import OpCategory
+from .symbolic import is_symbolic
 
 # An inference function maps (input specs, attrs) -> output specs, where a
 # spec is a (dtype, shape) pair.
@@ -65,11 +66,50 @@ def get_schema(kind: str) -> OpSchema:
 
 
 def broadcast_shapes(*shapes: Tuple[int, ...]) -> Tuple[int, ...]:
-    """Numpy-style broadcast of shapes, with a typed error on mismatch."""
+    """Numpy-style broadcast of shapes, with a typed error on mismatch.
+
+    Symbolic dims broadcast like their runtime value: a SymDim position
+    accepts 1 or the same-named SymDim and yields the SymDim (``int(d)``
+    via numpy would silently freeze the hint into the result).
+    """
+    if any(any(is_symbolic(d) for d in s) for s in shapes):
+        return _broadcast_symbolic(shapes)
     try:
         return tuple(int(d) for d in np.broadcast_shapes(*shapes))
     except ValueError:
         raise ShapeInferenceError(f"shapes {shapes} are not broadcastable")
+
+
+def _broadcast_symbolic(shapes) -> Tuple[int, ...]:
+    rank = max(len(s) for s in shapes)
+    aligned = [(1,) * (rank - len(s)) + tuple(s) for s in shapes]
+    out = []
+    for pos in range(rank):
+        dims = [s[pos] for s in aligned]
+        syms = [d for d in dims if is_symbolic(d)]
+        if syms:
+            names = {d.name for d in syms}
+            if len(names) > 1 or any(
+                not is_symbolic(d) and d != 1 for d in dims
+            ):
+                raise ShapeInferenceError(
+                    f"shapes {shapes} are not broadcastable: position {pos} "
+                    f"mixes symbolic dims {sorted(names)} with static sizes"
+                )
+            out.append(syms[0])
+            continue
+        result = 1
+        for d in dims:
+            d = int(d)
+            if d == 1:
+                continue
+            if result not in (1, d):
+                raise ShapeInferenceError(
+                    f"shapes {shapes} are not broadcastable"
+                )
+            result = d
+        out.append(result)
+    return tuple(out)
 
 
 def _same_dtype(specs: Sequence[Spec], kind: str) -> DType:
@@ -421,6 +461,11 @@ register(
 
 def _infer_reshape(specs: Sequence[Spec], attrs: Dict[str, Any]) -> List[Spec]:
     dtype, shape = specs[0]
+    if any(is_symbolic(d) for d in shape):
+        raise ShapeInferenceError(
+            f"reshape of a symbolic-shaped tensor {shape} is not supported; "
+            f"keep the dynamic batch as the leading dim"
+        )
     new_shape = tuple(int(d) for d in attrs.get("shape", ()))
     if int(np.prod(shape)) != int(np.prod(new_shape)):
         raise ShapeInferenceError(

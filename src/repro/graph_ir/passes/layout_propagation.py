@@ -17,6 +17,7 @@ Graph inputs and outputs always keep plain layouts, as in the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional
 
 from ...dtypes import DType
@@ -33,6 +34,7 @@ from ..layout import BlockedLayout, blocked_2d
 from ..logical_tensor import LogicalTensor
 from ..op import Op
 from ..op_registry import get_schema
+from ..symbolic import is_symbolic
 from .pass_base import CompileContext, GraphPass
 
 #: Accept a producer's layout if the constrained parameters cost at most
@@ -77,6 +79,10 @@ class LayoutPropagationPass(GraphPass):
     name = "layout_propagation"
 
     def run(self, graph: Graph, ctx: CompileContext) -> Graph:
+        #: op.id -> the params the *hint-sized static* program would pick;
+        #: dynamic-m negotiation consults this shadow map so its k-geometry
+        #: (and thus its numerics) matches the static bucket program.
+        self._hint_params: Dict[int, MatmulParams] = {}
         consumers = graph.consumer_map()
         producers = graph.producer_map()
         for op in graph.topological_order():
@@ -106,17 +112,23 @@ class LayoutPropagationPass(GraphPass):
             else None
         )
         selector = ctx.param_selector or select_matmul_params
-        best = selector(
-            m, n, k, dtype, ctx.machine, batch=batch, constraints=base
-        )
-        best_cost = estimate_matmul_cost(
-            best, dtype, ctx.machine, original_sizes=(m, n, k)
-        ).total_cycles
+        if is_symbolic(m):
+            params, a_mode = self._plan_dynamic_m(
+                graph, op, producers, ctx, base, batch, m, n, k, dtype,
+                selector,
+            )
+        else:
+            best = selector(
+                m, n, k, dtype, ctx.machine, batch=batch, constraints=base
+            )
+            best_cost = estimate_matmul_cost(
+                best, dtype, ctx.machine, original_sizes=(m, n, k)
+            ).total_cycles
 
-        params, a_mode = self._negotiate_a_layout(
-            graph, op, producers, ctx, base, best, best_cost,
-            batch, m, n, k, dtype,
-        )
+            params, a_mode = self._negotiate_a_layout(
+                graph, op, producers, ctx, base, best, best_cost,
+                batch, m, n, k, dtype,
+            )
         b_mode = self._plan_b_operand(graph, op, params, ctx)
 
         ctx.matmul_params[op.id] = params
@@ -126,6 +138,142 @@ class LayoutPropagationPass(GraphPass):
             f"layout: {op.name} -> {params.describe()} "
             f"a={a_mode.value} b={b_mode.value}"
         )
+
+    def _plan_dynamic_m(
+        self,
+        graph: Graph,
+        op: Op,
+        producers: Dict[int, Op],
+        ctx: CompileContext,
+        base: HeuristicConstraints,
+        batch: int,
+        m,
+        n: int,
+        k: int,
+        dtype: DType,
+        selector,
+    ):
+        """Parameter planning for a matmul whose m is a symbolic dim.
+
+        Strategy: decide exactly as the *hint-sized static* program would
+        (same selection, same producer-layout negotiation, via the shadow
+        ``_hint_params`` map), then canonicalize the m-grid so the program
+        is valid for every runtime m — one m-block per parallel task (the
+        template emits a runtime-count block loop), no k-slicing (its
+        combine grid is m-dependent), no L2 m-chunking.  nb/kb/bs — the
+        dims that determine per-row numerics — keep the hint program's
+        choice, so rows come out bit-identical to the static bucket
+        program.  The A operand is always a full runtime-geometry pack:
+        BLOCKED sharing and PACK_SLICE key on static m equalities.
+        """
+        from ...templates.params import TemplateKind
+
+        hint = int(m)
+        hint_best = selector(
+            hint, n, k, dtype, ctx.machine, batch=batch, constraints=base
+        )
+        hint_cost = estimate_matmul_cost(
+            hint_best, dtype, ctx.machine, original_sizes=(hint, n, k)
+        ).total_cycles
+        hint_params = self._hint_negotiate(
+            graph, op, producers, ctx, base, hint_best, hint_cost,
+            batch, hint, n, k, dtype,
+        )
+        self._hint_params[op.id] = hint_params
+        params = dataclasses.replace(
+            hint_params,
+            m=hint_params.mb,
+            mpn=1,
+            kpn=1,
+            l2_chunk=0,
+            kind=TemplateKind.CACHE_RESIDENT,
+        )
+        return params, OperandMode.PACK_FULL
+
+    def _hint_negotiate(
+        self,
+        graph: Graph,
+        op: Op,
+        producers: Dict[int, Op],
+        ctx: CompileContext,
+        base: HeuristicConstraints,
+        best: MatmulParams,
+        best_cost: float,
+        batch: int,
+        m: int,
+        n: int,
+        k: int,
+        dtype: DType,
+    ) -> MatmulParams:
+        """Side-effect-free mirror of :meth:`_negotiate_a_layout`.
+
+        Returns the params the hint-sized static program would use, with
+        the producer looked up in the ``_hint_params`` shadow map (the real
+        map holds the canonicalized dynamic params, whose m-grid would
+        fail the chainable equalities the static program passes).  Never
+        touches layouts or modes — only the parameter choice matters here.
+        """
+        from ...templates.params import TemplateKind
+
+        a = op.inputs[0]
+        producer = _producing_matmul(graph, a, producers, ctx)
+        prod_params = (
+            self._hint_params.get(producer.id)
+            if producer is not None
+            else None
+        )
+        chainable = (
+            prod_params is not None
+            and not op.attr("transpose_a", False)
+            and not graph.is_output(a)
+            and len(graph.consumers(a)) == 1
+            and prod_params.batch == batch
+        )
+        if chainable:
+            forced = self._try_constrained(
+                m, n, k, dtype, ctx, batch,
+                HeuristicConstraints(
+                    require_npn=base.require_npn,
+                    require_mb=prod_params.mb,
+                    require_kb=prod_params.nb,
+                    require_mpn=prod_params.mpn,
+                ),
+            )
+            blocks_only_padding = forced is not None and (
+                forced.m == -(-m // forced.mb) * forced.mb
+                and forced.k == -(-k // forced.kb) * forced.kb
+            )
+            if (
+                forced is not None
+                and blocks_only_padding
+                and forced.m == prod_params.m
+                and forced.k == prod_params.n
+            ):
+                forced_cost = estimate_matmul_cost(
+                    forced, dtype, ctx.machine, original_sizes=(m, n, k)
+                ).total_cycles
+                if forced_cost <= LAYOUT_MATCH_TOLERANCE * best_cost:
+                    return forced
+        if (
+            prod_params is not None
+            and prod_params.m == best.m
+            and prod_params.mpn != best.mpn
+            and prod_params.kind is TemplateKind.CACHE_RESIDENT
+        ):
+            aligned = self._try_constrained(
+                m, n, k, dtype, ctx, batch,
+                HeuristicConstraints(
+                    require_npn=base.require_npn,
+                    require_mpn=prod_params.mpn,
+                ),
+            )
+            if aligned is not None and aligned.m == prod_params.m:
+                aligned_cost = estimate_matmul_cost(
+                    aligned, dtype, ctx.machine, original_sizes=(m, n, k)
+                ).total_cycles
+                if aligned_cost <= LAYOUT_MATCH_TOLERANCE * best_cost:
+                    return aligned
+        return best
 
     def _negotiate_a_layout(
         self,

@@ -1,0 +1,79 @@
+"""Symbolic dimensions for shape-polymorphic partitions.
+
+A :class:`SymDim` is an ``int`` subclass carrying a name: the integer
+value is a *hint* (a representative concrete size used by heuristics and
+cost models), while the name identifies the runtime-bound dimension.
+Code that only estimates — cost models, cache-byte budgets, layout
+scoring — can treat a SymDim as its hint transparently.  Code where the
+distinction is load-bearing — cache keys, template validity, lowering —
+must check :func:`is_symbolic` explicitly, because ``SymDim == int``
+compares by hint and JSON serializes a SymDim as a plain number.
+
+The IR contract (see DESIGN.md "Dynamic shapes"): at most one dynamic
+dimension per tensor, and it must be the leading (batch) dimension.
+Everything else — tuning keys, weight layouts, template validity — stays
+keyed on static dims only, so one compiled program covers every batch.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = ["SymDim", "dyn", "is_symbolic", "canonical_dim", "DEFAULT_HINT"]
+
+#: Representative batch used when a symbolic dim needs a concrete stand-in
+#: (heuristic parameter selection, cost estimates, graph naming).
+DEFAULT_HINT = 32
+
+
+class SymDim(int):
+    """A named symbolic dimension whose int value is a planning hint.
+
+    ``SymDim("B", 32)`` behaves as ``32`` under arithmetic (results
+    degrade to plain ``int`` — intended for heuristics), but carries
+    ``.name`` for identity.  Pickles and unpickles preserving the name
+    (sharded-serving workers receive graphs built from SymDims).
+    """
+
+    name: str
+
+    def __new__(cls, name: str, hint: int = DEFAULT_HINT) -> "SymDim":
+        if not name or not isinstance(name, str):
+            raise ValueError(f"SymDim needs a non-empty name, got {name!r}")
+        if int(hint) <= 0:
+            raise ValueError(f"SymDim {name!r} hint must be positive")
+        self = super().__new__(cls, int(hint))
+        self.name = name
+        return self
+
+    @property
+    def hint(self) -> int:
+        return int(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"dyn({self.name!r}, {int(self)})"
+
+    def __reduce__(self):
+        return (SymDim, (self.name, int(self)))
+
+
+def dyn(name: str = "B", hint: int = DEFAULT_HINT) -> SymDim:
+    """Shorthand constructor: ``dyn("B")`` is a symbolic batch dim."""
+    return SymDim(name, hint)
+
+
+def is_symbolic(dim: Union[int, SymDim]) -> bool:
+    """True when ``dim`` is a symbolic (runtime-bound) dimension."""
+    return isinstance(dim, SymDim)
+
+
+def canonical_dim(dim: Union[int, SymDim]):
+    """JSON-stable encoding of one dimension for cache keys.
+
+    Static dims encode as the plain int; symbolic dims as
+    ``["dyn", name, hint]`` so a dynamic program never collides with the
+    static program whose batch equals the hint.
+    """
+    if is_symbolic(dim):
+        return ["dyn", dim.name, int(dim)]
+    return int(dim)

@@ -15,7 +15,9 @@ from ..errors import LoweringError
 from ..graph_ir.layout import BlockedLayout
 from ..graph_ir.op import Op
 from ..graph_ir.op_registry import get_schema
+from ..graph_ir.symbolic import is_symbolic
 from ..tensor_ir.builder import TirBuilder
+from ..tensor_ir.expr import as_expr
 from ..tensor_ir.function import TirFunction
 from ..tensor_ir.stmt import SliceRef, full_slice
 
@@ -86,9 +88,23 @@ def _lower_reorder(b: TirBuilder, op: Op, arg_names: Dict[int, str]) -> None:
         if not batch_dims:
             emit(())
             return
-        total = 1
-        for d in batch_dims:
-            total *= d
+        if any(is_symbolic(d) for d in batch_dims[1:]):
+            raise LoweringError(
+                f"reorder {op.name}: only the leading batch dim may be "
+                f"symbolic, got {batch_dims}"
+            )
+        # Trailing batch dims are static; only the leading one may be a
+        # SymDim, in which case the loop total stays a runtime expression
+        # (a bare ``total *= d`` would silently freeze it to its hint).
+        rest = 1
+        for d in batch_dims[1:]:
+            rest *= int(d)
+        if is_symbolic(batch_dims[0]):
+            total = as_expr(batch_dims[0]) * rest if rest != 1 else as_expr(
+                batch_dims[0]
+            )
+        else:
+            total = int(batch_dims[0]) * rest
         with b.parallel_for("rbi", total) as bi:
             idx = []
             rem = bi
@@ -96,13 +112,20 @@ def _lower_reorder(b: TirBuilder, op: Op, arg_names: Dict[int, str]) -> None:
             s = 1
             for d in reversed(batch_dims):
                 strides.append(s)
-                s *= d
+                s *= int(d)
             strides.reverse()
             for axis, d in enumerate(batch_dims):
                 if len(batch_dims) == 1:
                     idx.append(bi)
+                elif axis == 0:
+                    # The leading index never needs the modulo (it is the
+                    # highest-order digit), which also keeps the expression
+                    # valid when the extent is symbolic.
+                    idx.append(b.let(f"rb{axis}", rem // strides[axis]))
                 else:
-                    idx.append(b.let(f"rb{axis}", (rem // strides[axis]) % d))
+                    idx.append(
+                        b.let(f"rb{axis}", (rem // strides[axis]) % int(d))
+                    )
             emit(tuple(idx))
 
     def tail_slice(name, phys, pfx):

@@ -69,6 +69,7 @@ from ..tensor_ir.stmt import (
     Stmt,
     Unpack,
 )
+from .dynamic import bind_shapes, run_pack, run_unpack
 from .executor import (
     _BIN_FMT,
     _POOL_DEPTH,
@@ -220,6 +221,8 @@ class _FunctionEmitter:
             "_broadcast_to": np.broadcast_to,
             "_einsum": _C_EINSUM,
             "_contig": np.ascontiguousarray,
+            "_rpack": run_pack,
+            "_runpack": run_unpack,
             "_pc": time.perf_counter,
             "_bca": brgemm_cost_attrs,
         }
@@ -340,6 +343,8 @@ class _FunctionEmitter:
         """Static checks only — no runtime lines (reduction extra srcs)."""
         extents = self._slice_extents(ref)
         for off_expr, size, extent in zip(ref.offsets, ref.sizes, extents):
+            if isinstance(size, Expr) or isinstance(extent, Expr):
+                continue  # runtime-extent axis: checked by emitted code
             folded = fold(off_expr)
             if isinstance(folded, Const):
                 const = folded.value
@@ -367,6 +372,36 @@ class _FunctionEmitter:
         dims = zip(ref.offsets, ref.sizes, extents)
         for axis, (off_expr, size, extent) in enumerate(dims):
             folded = fold(off_expr)
+            if isinstance(size, Expr) or isinstance(extent, Expr):
+                # Runtime-extent axis: offset, size and bound all resolve
+                # to locals; bounds-check inline against the live shape.
+                off_src = (
+                    repr(folded.value)
+                    if isinstance(folded, Const)
+                    else self.expr_src(folded)
+                )
+                size_src = (
+                    self.expr_src(fold(size))
+                    if isinstance(size, Expr)
+                    else repr(int(size))
+                )
+                extent_src = (
+                    f"{base}.shape[{axis}]"
+                    if isinstance(extent, Expr)
+                    else repr(int(extent))
+                )
+                o = self.temp("o")
+                z = self.temp("z")
+                self.emit(f"{o} = {off_src}")
+                self.emit(f"{z} = {size_src}")
+                self.emit(f"if {o} < 0 or {o} + {z} > {extent_src}:")
+                self.emit(
+                    f"    _oob({repr(ref)!r}, {o}, {z}, {extent_src})"
+                )
+                parts.append(
+                    o if axis in squeeze_axes else f"{o}:{o} + {z}"
+                )
+                continue
             if isinstance(folded, Const):
                 const = folded.value
                 if const < 0 or const + size > extent:
@@ -470,6 +505,9 @@ class _FunctionEmitter:
         self.emit(f"{ident} = {src}")
 
     def _emit_alloc(self, stmt: Alloc) -> None:
+        if not stmt.is_static:
+            self._emit_dynamic_alloc(stmt)
+            return
         site = _AllocSite(stmt)
         self.alloc_sites[stmt.tensor] = (site, self.region, self.depth)
         if stmt.thread_local:
@@ -510,6 +548,41 @@ class _FunctionEmitter:
             f"category='runtime', nbytes={site.nbytes}, arena={is_arena})"
         )
 
+    def _emit_dynamic_alloc(self, stmt: Alloc) -> None:
+        """Alloc with runtime extents (symbolic batch): sized per call.
+
+        Never pooled or arena-placed — the buffer-reuse pass skips
+        non-static allocs, and a free-list keyed on a varying shape would
+        thrash.  Thread-local runtime-sized scratch is unsupported (the
+        shrink pass reduces dynamic scratch to static slots first).
+        """
+        if stmt.thread_local:
+            raise _SpecializationError(
+                TensorIRError,
+                f"thread-local buffer {stmt.tensor!r} has a runtime-sized "
+                f"shape {stmt.shape!r}",
+            )
+        # ``None`` site: _emit_free recognizes a runtime-sized buffer and
+        # notes the live nbytes instead of a precomputed constant.
+        self.alloc_sites[stmt.tensor] = (None, self.region, self.depth)
+        ident = self.buffer_ident(stmt.tensor)
+        self.buffer_scope[stmt.tensor] = ident
+        dt = self.bind("dt", stmt.dtype.to_numpy())
+        dim_srcs = [
+            self.expr_src(fold(s)) if isinstance(s, Expr) else repr(int(s))
+            for s in stmt.shape
+        ]
+        shape_src = "(" + ", ".join(dim_srcs) + (
+            ",)" if len(dim_srcs) == 1 else ")"
+        )
+        self.emit(f"{ident} = _zeros({shape_src}, {dt})")
+        self.emit(f"_stats.note_alloc({ident}.nbytes)")
+        self.emit("if _tr is not None:")
+        self.emit(
+            f"    _tr.instant({'alloc:' + stmt.tensor!r}, "
+            f"category='runtime', nbytes={ident}.nbytes, arena=False)"
+        )
+
     def _emit_free(self, stmt: Free) -> None:
         record = self.alloc_sites.get(stmt.tensor)
         self.tl_live.pop(stmt.tensor, None)
@@ -522,6 +595,9 @@ class _FunctionEmitter:
             # that allocated a buffer may free/recycle it (parallel
             # chunks inherit the tensor but not the allocation).
             return
+        if site is None:  # runtime-sized: nbytes only known live
+            self.emit(f"_stats.note_free({ident}.nbytes)")
+            return
         self.emit(f"_stats.note_free({site.nbytes})")
         if site.poolable:
             fl = self.bind("fl", site.free_list)
@@ -533,6 +609,20 @@ class _FunctionEmitter:
         self.emit(f"{view} = {stmt.value!r}")
 
     def _emit_copy(self, stmt: Copy) -> None:
+        if not (stmt.dst.is_static and stmt.src.is_static):
+            # Runtime extents: validate and reshape against the resolved
+            # views, exactly as the other backends do.
+            dst = self.emit_slice(stmt.dst)
+            src = self.emit_slice(stmt.src)
+            self.emit(f"_d = {dst}")
+            self.emit(f"_s = {src}")
+            self.emit("if _d.size != _s.size:")
+            self.emit(
+                "    raise _ExecutionError('copy size mismatch: ' + "
+                "str(_d.shape) + ' <- ' + str(_s.shape))"
+            )
+            self.emit("_d[...] = _s.reshape(_d.shape)")
+            return
         if stmt.dst.num_elements != stmt.src.num_elements:
             raise _SpecializationError(
                 ExecutionError,
@@ -551,7 +641,7 @@ class _FunctionEmitter:
                 f"compute references unknown op {stmt.op!r}",
             )
         dst_ndim = len(stmt.dst.sizes)
-        dst_size = stmt.dst.num_elements
+        dst_static = stmt.dst.is_static
         attrs = {k: v for k, v in stmt.attrs.items() if k != "accumulate"}
         # Static validation in the same order as the closure executor
         # (dst slice, accumulate mode, then each source), so the same
@@ -601,14 +691,22 @@ class _FunctionEmitter:
 
         if not schema.is_reduction and not schema.is_elementwise:
             head = f"compute {stmt.op}: result has "
-            tail = f" elements for a destination of {dst_size}"
+            mid = " elements for a destination of "
             self.emit(f"_d = {dst}")
             self.emit(f"_r = _asarray({call})")
-            self.emit(f"if _r.size != {dst_size}:")
-            self.emit(
-                f"    raise _ExecutionError({head!r} + str(_r.size) "
-                f"+ {tail!r})"
-            )
+            if dst_static:
+                dst_size = stmt.dst.num_elements
+                self.emit(f"if _r.size != {dst_size}:")
+                self.emit(
+                    f"    raise _ExecutionError({head!r} + str(_r.size) "
+                    f"+ {mid + str(dst_size)!r})"
+                )
+            else:
+                self.emit("if _r.size != _d.size:")
+                self.emit(
+                    f"    raise _ExecutionError({head!r} + str(_r.size) "
+                    f"+ {mid!r} + str(_d.size))"
+                )
             self.emit("_d[...] = _r.reshape(_d.shape).astype(_d.dtype)")
             return
 
@@ -638,7 +736,44 @@ class _FunctionEmitter:
         for line in body:
             self.emit("        " + line)
 
+    def _emit_runtime_pack(self, stmt: Pack) -> None:
+        """Pack/unpack with runtime geometry: the shared reference helper
+        resolves block counts from the live buffers."""
+        b1, b2 = stmt.block_sizes
+        self.count("pack_stmts")
+        src = self.emit_slice(stmt.src)
+        dst = self.emit_slice(stmt.dst)
+        body = [
+            f"_rpack({dst}, {src}, {stmt.block_sizes!r}, "
+            f"swap_inner={stmt.swap_inner!r}, "
+            f"outer_transposed={stmt.outer_transposed!r}, "
+            f"transpose_src={stmt.transpose_src!r})"
+        ]
+        span = (
+            f"_tr.span('pack', category='runtime', "
+            f"tensor={stmt.dst.tensor!r}, blocks={f'{b1}x{b2}'!r})"
+        )
+        self._emit_traced_body(body, span)
+
+    def _emit_runtime_unpack(self, stmt: Unpack) -> None:
+        b1, b2 = stmt.block_sizes
+        self.count("pack_stmts")
+        src = self.emit_slice(stmt.src)
+        dst = self.emit_slice(stmt.dst)
+        body = [
+            f"_runpack({dst}, {src}, {stmt.block_sizes!r}, "
+            f"swap_inner={stmt.swap_inner!r})"
+        ]
+        span = (
+            f"_tr.span('unpack', category='runtime', "
+            f"tensor={stmt.dst.tensor!r}, blocks={f'{b1}x{b2}'!r})"
+        )
+        self._emit_traced_body(body, span)
+
     def _emit_pack(self, stmt: Pack) -> None:
+        if not (stmt.src.is_static and stmt.dst.is_static):
+            self._emit_runtime_pack(stmt)
+            return
         src_axes, src_shape = _static_squeeze(
             stmt.src.sizes, 2, "pack source"
         )
@@ -695,6 +830,9 @@ class _FunctionEmitter:
         self._emit_traced_body(body, span)
 
     def _emit_unpack(self, stmt: Unpack) -> None:
+        if not (stmt.src.is_static and stmt.dst.is_static):
+            self._emit_runtime_unpack(stmt)
+            return
         dst_axes, dst_shape = _static_squeeze(
             stmt.dst.sizes, 2, "unpack destination"
         )
@@ -830,11 +968,24 @@ class _FunctionEmitter:
             )
         for arg, param in zip(stmt.args, callee.params):
             arg_shape = self.shapes.get(arg)
-            if arg_shape is not None and arg_shape != tuple(param.shape):
+            if arg_shape is None:
+                continue
+            want = tuple(param.shape)
+            mismatch = len(arg_shape) != len(want)
+            if not mismatch:
+                for got, expect in zip(arg_shape, want):
+                    # Symbolic dims re-bind inside the callee (it derives
+                    # them from its own params); static dims must match.
+                    if isinstance(got, Expr) or isinstance(expect, Expr):
+                        continue
+                    if int(got) != int(expect):
+                        mismatch = True
+                        break
+            if mismatch:
                 raise _SpecializationError(
                     ExecutionError,
                     f"buffer {param.name!r} has shape {arg_shape}, "
-                    f"function {stmt.func} expects {tuple(param.shape)}",
+                    f"function {stmt.func} expects {want}",
                 )
         self.count("function_calls")
         args = []
@@ -1064,6 +1215,18 @@ class _FunctionEmitter:
         self._indent = 1
         self.emit("_stats = _ctx.stats")
         self.emit("_tr = _ctx.tracer")
+        # Symbolic dims bind from the live param shapes: one local per
+        # Var, so every loop bound / slice / alloc below folds to plain
+        # arithmetic over these.
+        for p in self.func.params:
+            for axis, dim in enumerate(p.shape):
+                if isinstance(dim, Var) and dim.name not in self.scalar_scope:
+                    ident = self.scalar_ident(dim.name)
+                    self.scalar_scope[dim.name] = ident
+                    self.emit(
+                        f"{ident} = {self.buffer_ident(p.name)}"
+                        f".shape[{axis}]"
+                    )
         mark = len(self._buf)
         self.emit_body(self.func.body)
         init = self.counter_init_line()
@@ -1183,13 +1346,10 @@ class CodegenExecutor:
                 raise ExecutionError(
                     f"missing buffer {param.name!r} for function {name}"
                 )
-            array = buffers[param.name]
-            if tuple(array.shape) != param.shape:
-                raise ExecutionError(
-                    f"buffer {param.name!r} has shape {array.shape}, "
-                    f"function {name} expects {param.shape}"
-                )
-            args.append(array)
+            args.append(buffers[param.name])
+        # Validates static dims exactly and symbolic dims consistently;
+        # the generated code re-derives the bindings from the shapes.
+        bind_shapes(func.params, buffers)
         tracer = get_tracer()
         ctx.tracer = tracer if tracer.enabled else None
         ctx.machine = self.machine

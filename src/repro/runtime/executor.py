@@ -42,9 +42,10 @@ import numpy as np
 from ..errors import ExecutionError, TensorIRError
 from ..graph_ir.op_registry import OP_REGISTRY
 from ..observability import get_tracer
-from ..tensor_ir.expr import Binary, BinaryOp, Const, Expr, Var, fold
+from ..tensor_ir.expr import Binary, BinaryOp, Const, Expr, Var, as_expr, fold
 from ..tensor_ir.function import TirFunction
 from ..tensor_ir.module import TirModule
+from .dynamic import bind_shapes, run_pack, run_unpack
 from ..tensor_ir.stmt import (
     Alloc,
     Assign,
@@ -352,7 +353,10 @@ class _FunctionCompiler:
         dynamic = False
         for off_expr, size, extent in zip(ref.offsets, ref.sizes, extents):
             const, fn = compile_scalar(off_expr)
-            if const is not None:
+            static_dim = not isinstance(size, Expr) and not isinstance(
+                extent, Expr
+            )
+            if const is not None and static_dim:
                 if const < 0 or const + size > extent:
                     raise _SpecializationError(
                         ExecutionError,
@@ -363,7 +367,12 @@ class _FunctionCompiler:
                 parts.append((const, None))
             else:
                 dynamic = True
-                parts.append((None, expr_source(fold(off_expr))))
+                off_src = (
+                    repr(const)
+                    if const is not None
+                    else expr_source(fold(off_expr))
+                )
+                parts.append((None, off_src))
         if not dynamic:
             index = tuple(
                 slice(c, c + s) for (c, _), s in zip(parts, ref.sizes)
@@ -373,7 +382,10 @@ class _FunctionCompiler:
                 return t[_n][_i]
 
             return run
-        # Dynamic offsets: generate one closed-form index function.
+        # Dynamic offsets (or runtime sizes/extents): generate one
+        # closed-form index function.  Symbolic extents are read off the
+        # actual array — the declared Expr and the runtime shape agree by
+        # the caller's shape binding.
         ref_repr = repr(ref)
         lines = ["def _slice_fn(t, s):", f"    a = t[{name!r}]"]
         env: Dict[str, object] = {
@@ -391,12 +403,23 @@ class _FunctionCompiler:
                 env[f"_c{i}"] = slice(const, const + size)
                 index_srcs.append(f"_c{i}")
             else:
-                lines.append(f"    o{i} = {src}")
-                lines.append(
-                    f"    if o{i} < 0 or o{i} + {size} > {extent}:"
+                size_src = (
+                    expr_source(fold(size))
+                    if isinstance(size, Expr)
+                    else repr(size)
                 )
-                lines.append(f"        _oob(_ref, o{i}, {size}, {extent})")
-                index_srcs.append(f"slice(o{i}, o{i} + {size})")
+                extent_src = (
+                    f"a.shape[{i}]" if isinstance(extent, Expr) else repr(extent)
+                )
+                lines.append(f"    o{i} = {src}")
+                lines.append(f"    z{i} = {size_src}")
+                lines.append(
+                    f"    if o{i} < 0 or o{i} + z{i} > {extent_src}:"
+                )
+                lines.append(
+                    f"        _oob(_ref, o{i}, z{i}, {extent_src})"
+                )
+                index_srcs.append(f"slice(o{i}, o{i} + z{i})")
         env["slice"] = slice
         lines.append(f"    return a[({', '.join(index_srcs)},)]")
         exec("\n".join(lines), env)  # noqa: S102 - compile-time codegen
@@ -421,6 +444,8 @@ class _FunctionCompiler:
         return run
 
     def _compile_alloc(self, stmt: Alloc) -> Callable:
+        if not stmt.is_static:
+            return self._compile_dynamic_alloc(stmt)
         site = _AllocSite(stmt)
         self.alloc_sites[stmt.tensor] = site
         if stmt.thread_local:
@@ -460,6 +485,47 @@ class _FunctionCompiler:
                     category="runtime",
                     nbytes=nbytes,
                     arena=is_arena,
+                )
+
+        return run
+
+    def _compile_dynamic_alloc(self, stmt: Alloc) -> Callable:
+        """Alloc with runtime extents (symbolic batch): sized per call.
+
+        Never pooled or arena-placed — the buffer-reuse pass skips
+        non-static allocs, and a free-list keyed on a varying shape would
+        thrash.  Thread-local runtime-sized scratch is unsupported (the
+        shrink pass reduces dynamic scratch to static slots first).
+        """
+        if stmt.thread_local:
+            raise _SpecializationError(
+                TensorIRError,
+                f"thread-local buffer {stmt.tensor!r} has a runtime-sized "
+                f"shape {stmt.shape!r}",
+            )
+        name = stmt.tensor
+        np_dtype = stmt.dtype.to_numpy()
+        dims: List[Tuple[Optional[int], Optional[Callable]]] = [
+            compile_scalar(as_expr(s)) if isinstance(s, Expr) else (int(s), None)
+            for s in stmt.shape
+        ]
+
+        def run(ctx):
+            scalars = ctx.scalars
+            shape = tuple(
+                c if fn is None else fn(scalars) for c, fn in dims
+            )
+            buf = np.zeros(shape, dtype=np_dtype)
+            ctx.tensors[name] = buf
+            ctx.alloc_bytes[name] = buf.nbytes
+            ctx.stats.note_alloc(buf.nbytes)
+            tracer = ctx.tracer
+            if tracer is not None:
+                tracer.instant(
+                    f"alloc:{name}",
+                    category="runtime",
+                    nbytes=buf.nbytes,
+                    arena=False,
                 )
 
         return run
@@ -504,6 +570,20 @@ class _FunctionCompiler:
     def _compile_copy(self, stmt: Copy) -> Callable:
         dst_fn = self._compile_slice(stmt.dst)
         src_fn = self._compile_slice(stmt.src)
+        if not (stmt.dst.is_static and stmt.src.is_static):
+            # Runtime extents: validate and reshape against the resolved
+            # views, exactly as the interpreter does.
+            def run(ctx):
+                t, s = ctx.tensors, ctx.scalars
+                dst = dst_fn(t, s)
+                src = src_fn(t, s)
+                if dst.size != src.size:
+                    raise ExecutionError(
+                        f"copy size mismatch: {dst.shape} <- {src.shape}"
+                    )
+                dst[...] = src.reshape(dst.shape)
+
+            return run
         if stmt.dst.num_elements != stmt.src.num_elements:
             raise _SpecializationError(
                 ExecutionError,
@@ -535,7 +615,6 @@ class _FunctionCompiler:
             )
         dst_fn = self._compile_slice(stmt.dst)
         dst_ndim = len(stmt.dst.sizes)
-        dst_size = stmt.dst.num_elements
         attrs = {k: v for k, v in stmt.attrs.items() if k != "accumulate"}
         acc_op = stmt.attrs.get("accumulate")
         if acc_op and acc_op not in (True, "add", "max"):
@@ -589,10 +668,10 @@ class _FunctionCompiler:
                 result = np.asarray(
                     reference([f(t, s) for f in fetchers], attrs)[0]
                 )
-                if result.size != dst_size:
+                if result.size != dst.size:
                     raise ExecutionError(
                         f"compute {op_name}: result has {result.size} "
-                        f"elements for a destination of {dst_size}"
+                        f"elements for a destination of {dst.size}"
                     )
                 dst[...] = result.reshape(dst.shape).astype(dst.dtype)
 
@@ -646,6 +725,8 @@ class _FunctionCompiler:
     # -- pack / unpack ---------------------------------------------------------
 
     def _compile_pack(self, stmt: Pack) -> Callable:
+        if not (stmt.src.is_static and stmt.dst.is_static):
+            return self._compile_runtime_pack(stmt)
         src_axes, src_shape = _static_squeeze(
             stmt.src.sizes, 2, "pack source"
         )
@@ -715,7 +796,48 @@ class _FunctionCompiler:
 
         return run
 
+    def _compile_runtime_pack(self, stmt: Pack) -> Callable:
+        """Pack with runtime geometry: resolve views, then the shared
+        reference helper (same semantics as the interpreter)."""
+        src_fn = self._compile_slice(stmt.src)
+        dst_fn = self._compile_slice(stmt.dst)
+        block_sizes = stmt.block_sizes
+        swap_inner = stmt.swap_inner
+        outer_transposed = stmt.outer_transposed
+        transpose_src = stmt.transpose_src
+        tensor_name = stmt.dst.tensor
+        blocks_label = f"{block_sizes[0]}x{block_sizes[1]}"
+
+        def body(ctx):
+            t, s = ctx.tensors, ctx.scalars
+            run_pack(
+                dst_fn(t, s),
+                src_fn(t, s),
+                block_sizes,
+                swap_inner=swap_inner,
+                outer_transposed=outer_transposed,
+                transpose_src=transpose_src,
+            )
+
+        def run(ctx):
+            ctx.stats.pack_stmts += 1
+            tracer = ctx.tracer
+            if tracer is not None:
+                with tracer.span(
+                    "pack",
+                    category="runtime",
+                    tensor=tensor_name,
+                    blocks=blocks_label,
+                ):
+                    body(ctx)
+            else:
+                body(ctx)
+
+        return run
+
     def _compile_unpack(self, stmt: Unpack) -> Callable:
+        if not (stmt.src.is_static and stmt.dst.is_static):
+            return self._compile_runtime_unpack(stmt)
         dst_axes, dst_shape = _static_squeeze(
             stmt.dst.sizes, 2, "unpack destination"
         )
@@ -750,6 +872,39 @@ class _FunctionCompiler:
             blocks = src.reshape(reshape).transpose(perm)
             plain = blocks.reshape(rb * b1, cb * b2)
             dst[...] = plain[:rows, :cols].astype(dst.dtype)
+
+        def run(ctx):
+            ctx.stats.pack_stmts += 1
+            tracer = ctx.tracer
+            if tracer is not None:
+                with tracer.span(
+                    "unpack",
+                    category="runtime",
+                    tensor=tensor_name,
+                    blocks=blocks_label,
+                ):
+                    body(ctx)
+            else:
+                body(ctx)
+
+        return run
+
+    def _compile_runtime_unpack(self, stmt: Unpack) -> Callable:
+        src_fn = self._compile_slice(stmt.src)
+        dst_fn = self._compile_slice(stmt.dst)
+        block_sizes = stmt.block_sizes
+        swap_inner = stmt.swap_inner
+        tensor_name = stmt.dst.tensor
+        blocks_label = f"{block_sizes[0]}x{block_sizes[1]}"
+
+        def body(ctx):
+            t, s = ctx.tensors, ctx.scalars
+            run_unpack(
+                dst_fn(t, s),
+                src_fn(t, s),
+                block_sizes,
+                swap_inner=swap_inner,
+            )
 
         def run(ctx):
             ctx.stats.pack_stmts += 1
@@ -888,12 +1043,35 @@ class _FunctionCompiler:
             )
         for arg, param in zip(stmt.args, callee.params):
             arg_shape = self.shapes.get(arg)
-            if arg_shape is not None and arg_shape != tuple(param.shape):
+            if arg_shape is None:
+                continue
+            want = tuple(param.shape)
+            if len(arg_shape) != len(want):
                 raise _SpecializationError(
                     ExecutionError,
                     f"buffer {param.name!r} has shape {arg_shape}, "
-                    f"function {stmt.func} expects {tuple(param.shape)}",
+                    f"function {stmt.func} expects {want}",
                 )
+            for got, expect in zip(arg_shape, want):
+                # Symbolic dims on either side defer to the runtime
+                # binding check; static dims must match exactly.
+                if isinstance(got, Expr) or isinstance(expect, Expr):
+                    continue
+                if int(got) != int(expect):
+                    raise _SpecializationError(
+                        ExecutionError,
+                        f"buffer {param.name!r} has shape {arg_shape}, "
+                        f"function {stmt.func} expects {want}",
+                    )
+        # Symbolic callee dims bind from the caller's runtime arrays: one
+        # (param, axis) source per Var, resolved when the call fires.
+        bind_plan = []
+        seen_vars = set()
+        for param in callee.params:
+            for axis, dim in enumerate(param.shape):
+                if isinstance(dim, Var) and dim.name not in seen_vars:
+                    seen_vars.add(dim.name)
+                    bind_plan.append((dim.name, param.name, axis))
         # Pre-linked: the callee's program object is filled by the time
         # any program runs (two-phase build), so the closure binds it now.
         program = self.executor.program(stmt.func)
@@ -916,6 +1094,8 @@ class _FunctionCompiler:
                 )
             child = _Ctx()
             child.tensors = bound
+            for var_name, param_name, axis in bind_plan:
+                child.scalars[var_name] = int(bound[param_name].shape[axis])
             child.stats = ctx.stats
             child.pool = ctx.pool
             child.workers = ctx.workers
@@ -1145,13 +1325,9 @@ class CompiledExecutor:
                 raise ExecutionError(
                     f"missing buffer {param.name!r} for function {name}"
                 )
-            array = buffers[param.name]
-            if tuple(array.shape) != param.shape:
-                raise ExecutionError(
-                    f"buffer {param.name!r} has shape {array.shape}, "
-                    f"function {name} expects {param.shape}"
-                )
-            ctx.tensors[param.name] = array
+            ctx.tensors[param.name] = buffers[param.name]
+        # Binds symbolic dims from the arrays and exact-checks static ones.
+        ctx.scalars.update(bind_shapes(program.func.params, buffers))
         tracer = get_tracer()
         ctx.tracer = tracer if tracer.enabled else None
         ctx.machine = self.machine

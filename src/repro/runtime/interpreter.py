@@ -21,9 +21,10 @@ from ..errors import ExecutionError, TensorIRError
 from ..graph_ir.op_registry import OP_REGISTRY
 from ..microkernel.brgemm import batch_reduce_gemm
 from ..observability import get_tracer
-from ..tensor_ir.expr import evaluate
+from ..tensor_ir.expr import Expr, evaluate
 from ..tensor_ir.function import TirFunction
 from ..tensor_ir.module import TirModule
+from .dynamic import bind_shapes, concrete_shape, run_pack, run_unpack, squeeze_to
 from ..tensor_ir.stmt import (
     Alloc,
     Assign,
@@ -234,13 +235,10 @@ class Interpreter:
                 raise ExecutionError(
                     f"missing buffer {param.name!r} for function {name}"
                 )
-            array = buffers[param.name]
-            if tuple(array.shape) != param.shape:
-                raise ExecutionError(
-                    f"buffer {param.name!r} has shape {array.shape}, "
-                    f"function {name} expects {param.shape}"
-                )
-            frame.tensors[param.name] = array
+            frame.tensors[param.name] = buffers[param.name]
+        # Derive symbolic-dim values (dynamic batch) from the runtime
+        # arrays; static dims are validated exactly in the same pass.
+        frame.scalars.update(bind_shapes(func.params, buffers))
         self._exec(func.body, frame)
 
     # -- statement dispatch ------------------------------------------------------
@@ -366,8 +364,15 @@ class Interpreter:
 
     def _exec_alloc(self, stmt: Alloc, frame: _Frame) -> None:
         dtype = stmt.dtype.to_numpy()
+        # Symbolic extents (dynamic batch) resolve against the bindings
+        # derived from the parameter shapes at function entry.
+        shape = (
+            stmt.shape
+            if stmt.is_static
+            else concrete_shape(stmt.shape, frame.scalars)
+        )
         count = 1
-        for s in stmt.shape:
+        for s in shape:
             count *= s
         nbytes = count * dtype.itemsize
         if stmt.arena_offset is not None and self._arena is not None:
@@ -378,9 +383,9 @@ class Interpreter:
                     f"{end} bytes, arena has {self._arena.nbytes}"
                 )
             view = self._arena[stmt.arena_offset : end].view(dtype)
-            frame.tensors[stmt.tensor] = view.reshape(stmt.shape)
+            frame.tensors[stmt.tensor] = view.reshape(shape)
         else:
-            frame.tensors[stmt.tensor] = np.zeros(stmt.shape, dtype=dtype)
+            frame.tensors[stmt.tensor] = np.zeros(shape, dtype=dtype)
         frame.alloc_bytes[stmt.tensor] = nbytes
         if stmt.thread_local:
             frame.thread_local_names.add(stmt.tensor)
@@ -480,40 +485,14 @@ class Interpreter:
             self._run_pack(stmt, frame)
 
     def _run_pack(self, stmt: Pack, frame: _Frame) -> None:
-        src = self._squeeze_to(self._view(stmt.src, frame), 2, "pack source")
-        if stmt.transpose_src:
-            src = src.T
-        dst = self._view(stmt.dst, frame)
-        b1, b2 = stmt.block_sizes
-        rows, cols = src.shape
-        # Block counts come from the destination: grid padding can make the
-        # blocked buffer larger than ceil(src / block).
-        dst4 = self._squeeze_to(dst, 4, "pack destination")
-        rb, cb = dst4.shape[0], dst4.shape[1]
-        if stmt.outer_transposed:
-            rb, cb = cb, rb
-        if rb * b1 < rows or cb * b2 < cols:
-            raise ExecutionError(
-                f"pack destination {stmt.dst!r} too small for source "
-                f"({rows}x{cols} into {rb}x{b1} x {cb}x{b2})"
-            )
-        if rows != rb * b1 or cols != cb * b2:
-            padded = np.zeros((rb * b1, cb * b2), dtype=src.dtype)
-            padded[:rows, :cols] = src
-            src = padded
-        blocks = src.reshape(rb, b1, cb, b2)
-        if stmt.swap_inner:
-            blocks = blocks.transpose(0, 2, 3, 1)  # [rb, cb, b2, b1]
-        else:
-            blocks = blocks.transpose(0, 2, 1, 3)  # [rb, cb, b1, b2]
-        if stmt.outer_transposed:
-            blocks = blocks.transpose(1, 0, 2, 3)  # [cb, rb, ...]
-        if dst.size != blocks.size:
-            raise ExecutionError(
-                f"pack destination {stmt.dst!r} has {dst.size} elements, "
-                f"blocks have {blocks.size}"
-            )
-        dst[...] = blocks.reshape(dst.shape).astype(dst.dtype)
+        run_pack(
+            self._view(stmt.dst, frame),
+            self._view(stmt.src, frame),
+            stmt.block_sizes,
+            swap_inner=stmt.swap_inner,
+            outer_transposed=stmt.outer_transposed,
+            transpose_src=stmt.transpose_src,
+        )
 
     def _exec_unpack(self, stmt: Unpack, frame: _Frame) -> None:
         with self._stats_lock:
@@ -531,28 +510,12 @@ class Interpreter:
             self._run_unpack(stmt, frame)
 
     def _run_unpack(self, stmt: Unpack, frame: _Frame) -> None:
-        src = self._view(stmt.src, frame)
-        dst = self._squeeze_to(
-            self._view(stmt.dst, frame), 2, "unpack destination"
+        run_unpack(
+            self._view(stmt.dst, frame),
+            self._view(stmt.src, frame),
+            stmt.block_sizes,
+            swap_inner=stmt.swap_inner,
         )
-        b1, b2 = stmt.block_sizes
-        rows, cols = dst.shape
-        # Block counts come from the (blocked) source so padded buffers
-        # unpack correctly; the result is cropped to the destination.
-        total_blocks = src.size // (b1 * b2)
-        rb = max(1, -(-rows // b1))
-        cb = total_blocks // rb
-        if rb * cb != total_blocks or cb * b2 < cols:
-            raise ExecutionError(
-                f"unpack geometry mismatch: {src.size} elements as "
-                f"{rb}x{cb} blocks of {b1}x{b2} for output {rows}x{cols}"
-            )
-        if stmt.swap_inner:
-            blocks = src.reshape(rb, cb, b2, b1).transpose(0, 3, 1, 2)
-        else:
-            blocks = src.reshape(rb, cb, b1, b2).transpose(0, 2, 1, 3)
-        plain = blocks.reshape(rb * b1, cb * b2)
-        dst[...] = plain[:rows, :cols].astype(dst.dtype)
 
     def _exec_brgemm(self, stmt: BrgemmCall, frame: _Frame) -> None:
         with self._stats_lock:
@@ -628,6 +591,8 @@ class Interpreter:
         index = []
         for off_expr, size, extent in zip(ref.offsets, ref.sizes, array.shape):
             off = evaluate(off_expr, frame.scalars)
+            if isinstance(size, Expr):
+                size = evaluate(size, frame.scalars)
             if off < 0 or off + size > extent:
                 raise ExecutionError(
                     f"slice {ref!r} out of bounds: [{off}, {off + size}) "
@@ -636,26 +601,5 @@ class Interpreter:
             index.append(slice(off, off + size))
         return array[tuple(index)]
 
-    @staticmethod
-    def _squeeze_to(array: np.ndarray, ndim: int, what: str) -> np.ndarray:
-        """Drop length-1 dims (leftmost first) until ``ndim`` dims remain.
-
-        Slices like ``B'[ksi:BS, npsi:1, 0:NB, 0:KB]`` resolve to views with
-        interior length-1 dims; squeezing them recovers the dense
-        ``[BS, NB, KB]`` batch the microkernel consumes.
-        """
-        while array.ndim > ndim:
-            for axis, extent in enumerate(array.shape):
-                if extent == 1:
-                    array = np.squeeze(array, axis=axis)
-                    break
-            else:
-                raise ExecutionError(
-                    f"{what} has shape {array.shape}; cannot squeeze to "
-                    f"{ndim} dims"
-                )
-        if array.ndim != ndim:
-            raise ExecutionError(
-                f"{what} has shape {array.shape}; expected {ndim} dims"
-            )
-        return array
+    #: The shared squeeze helper (see :mod:`repro.runtime.dynamic`).
+    _squeeze_to = staticmethod(squeeze_to)

@@ -26,11 +26,13 @@ import numpy as np
 from ..errors import ExecutionError
 from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import LogicalTensor
+from ..graph_ir.symbolic import is_symbolic
 from ..lowering.lower_graph import LoweredPartition
 from ..observability import get_registry, get_tracer
 from ..observability.context import active_contexts
 from ..tensor_ir.module import TirModule
 from .codegen import CodegenExecutor
+from .dynamic import concrete_shape
 from .executor import CompiledExecutor
 from .interpreter import ExecutionStats, Interpreter
 
@@ -219,16 +221,30 @@ class CompiledPartition:
         buffers: Dict[str, np.ndarray] = {}
         outputs: Dict[str, np.ndarray] = {}
         lowered = self.lowered
+        # Two passes: inputs are fetched first so symbolic dims (dynamic
+        # batch) bind to their runtime values, then outputs whose declared
+        # shape references those dims are allocated concretely.
+        dim_bindings: Dict[str, int] = {}
+        deferred: List[Tuple[LogicalTensor, object]] = []
         for tensor, param, role in self._main_bindings:
             if role is _Role.OUTPUT:
-                array = np.zeros(param.shape, tensor.dtype.to_numpy())
+                if getattr(param, "is_static", True):
+                    array = np.zeros(param.shape, tensor.dtype.to_numpy())
+                else:
+                    deferred.append((tensor, param))
+                    continue
                 outputs[tensor.name] = array
             elif role is _Role.CACHED:
                 array = cache[tensor.id]
             elif role is _Role.CONST:
                 array = lowered.const_data[tensor.id]
             else:
-                array = self._fetch(inputs, tensor)
+                array = self._fetch(inputs, tensor, dim_bindings)
+            buffers[param.name] = array
+        for tensor, param in deferred:
+            shape = concrete_shape(param.shape, dim_bindings)
+            array = np.zeros(shape, tensor.dtype.to_numpy())
+            outputs[tensor.name] = array
             buffers[param.name] = array
         start = time.perf_counter()
         tracer = get_tracer()
@@ -410,21 +426,60 @@ class CompiledPartition:
         self.init_stats = interp.stats
         return cache
 
-    def _fetch(self, inputs: Mapping[str, np.ndarray], tensor) -> np.ndarray:
+    def _fetch(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        tensor,
+        dim_bindings: Optional[Dict[str, int]] = None,
+    ) -> np.ndarray:
         if tensor.name not in inputs:
             raise ExecutionError(
                 f"missing input {tensor.name!r} "
                 f"(required: {self.input_names + self.weight_names})"
             )
         array = np.ascontiguousarray(inputs[tensor.name])
-        if tuple(array.shape) != tensor.shape:
-            raise ExecutionError(
-                f"input {tensor.name!r} has shape {array.shape}, expected "
-                f"{tensor.shape}"
-            )
+        self._match_shape(array, tensor, dim_bindings)
         if array.dtype != tensor.dtype.to_numpy():
             raise ExecutionError(
                 f"input {tensor.name!r} has dtype {array.dtype}, expected "
                 f"{tensor.dtype.to_numpy()}"
             )
         return array
+
+    @staticmethod
+    def _match_shape(
+        array: np.ndarray,
+        tensor,
+        dim_bindings: Optional[Dict[str, int]],
+    ) -> None:
+        """Validate a runtime array against a (possibly symbolic) shape.
+
+        Static dims must match exactly; a symbolic dim binds on first
+        sight into ``dim_bindings`` and must be consistent across inputs.
+        """
+        shape = tensor.shape
+        if len(array.shape) != len(shape):
+            raise ExecutionError(
+                f"input {tensor.name!r} has shape {array.shape}, expected "
+                f"{shape}"
+            )
+        for got, want in zip(array.shape, shape):
+            if is_symbolic(want):
+                if dim_bindings is None:
+                    raise ExecutionError(
+                        f"input {tensor.name!r} has a symbolic dim "
+                        f"{want.name!r} outside a dynamic execution"
+                    )
+                prev = dim_bindings.get(want.name)
+                if prev is None:
+                    dim_bindings[want.name] = int(got)
+                elif prev != int(got):
+                    raise ExecutionError(
+                        f"symbolic dim {want.name!r} bound inconsistently: "
+                        f"{prev} vs {got} (input {tensor.name!r})"
+                    )
+            elif int(got) != int(want):
+                raise ExecutionError(
+                    f"input {tensor.name!r} has shape {array.shape}, "
+                    f"expected {shape}"
+                )

@@ -33,6 +33,13 @@ Buckets are what make coalescing shape-stable: requests whose bucket is an
 *exact* specialization (a session without ``batch_buckets``, or a batch
 beyond the largest bucket) are dispatched solo, since combining them would
 mint new partition shapes per combination and churn the cache.
+
+Sessions in ``dynamic_batch="on"`` mode change the rules: the one
+shape-polymorphic partition serves any row count, so every request joins a
+single queue (sentinel bucket 0), windows coalesce up to ``max_batch``
+requests with **no row bound**, and each window executes at exactly its
+combined row count — padding is structurally zero and the cache holds one
+entry no matter how batches combine.
 """
 
 from __future__ import annotations
@@ -74,7 +81,8 @@ class _BucketQueue:
     def __init__(self, bucket: int, capacity: Optional[int]) -> None:
         self.bucket = bucket
         #: Max combined batch units per execution; ``None`` disables
-        #: coalescing (exact-specialization buckets dispatch solo).
+        #: coalescing (exact-specialization buckets dispatch solo) and
+        #: ``float("inf")`` removes the row bound (dynamic-batch mode).
         self.capacity = capacity
         self.items: "deque[_Request]" = deque()
         self.cond = threading.Condition()
@@ -232,6 +240,7 @@ class BatchingEngine:
         if queue_depth is not None and queue_depth < 1:
             raise ValueError("queue_depth must be >= 1 (or None)")
         self._session = session
+        self._dynamic = getattr(session, "dynamic_batch", "off") == "on"
         self.max_batch = int(max_batch)
         self.batch_timeout_us = int(batch_timeout_us)
         self.queue_depth = queue_depth
@@ -297,7 +306,9 @@ class BatchingEngine:
         if batch <= 0:
             raise ValueError("batch must be positive")
         arrays = self._validated(inputs, batch)
-        bucket = self._session.bucket_for(batch)
+        # Dynamic sessions coalesce every request in one queue (sentinel
+        # bucket 0): any combined row count runs exactly, unpadded.
+        bucket = 0 if self._dynamic else self._session.bucket_for(batch)
         tracer = get_tracer()
         if tracer.enabled:
             phase = "t"
@@ -388,13 +399,19 @@ class BatchingEngine:
     def _queue_for_locked(self, bucket: int) -> _BucketQueue:
         queue = self._queues.get(bucket)
         if queue is None:
-            buckets = self._session.buckets
-            coalescible = buckets is not None and bucket in buckets
-            queue = _BucketQueue(bucket, bucket if coalescible else None)
+            if self._dynamic:
+                # One queue, unbounded row capacity: the dynamic
+                # partition executes any combined row count exactly, so
+                # windows close on max_batch or the timeout alone.
+                queue = _BucketQueue(bucket, float("inf"))
+            else:
+                buckets = self._session.buckets
+                coalescible = buckets is not None and bucket in buckets
+                queue = _BucketQueue(bucket, bucket if coalescible else None)
             queue.thread = threading.Thread(
                 target=self._dispatch,
                 args=(queue,),
-                name=f"repro-batch-{bucket}",
+                name=f"repro-batch-{'dyn' if self._dynamic else bucket}",
                 daemon=True,
             )
             self._queues[bucket] = queue
@@ -474,11 +491,12 @@ class BatchingEngine:
         if not live:
             return
         rows = sum(r.batch for r in live)
-        bucket = (
-            queue.bucket
-            if queue.capacity is not None
-            else self._session.bucket_for(rows)
-        )
+        if self._dynamic:
+            bucket = rows  # exact execution: padding is structurally zero
+        elif queue.capacity is not None:
+            bucket = queue.bucket
+        else:
+            bucket = self._session.bucket_for(rows)
         start = time.perf_counter()
         tracer = get_tracer()
         ctxs = [r.ctx for r in live if r.ctx is not None]

@@ -1,0 +1,54 @@
+"""Shared shape-bucket resolution for the serving front ends.
+
+:class:`~repro.service.session.InferenceSession` and the sharded tier's
+:class:`~repro.service.sharding.ModelSpec` used to carry byte-identical
+copies of the round-up loop; keeping them in one place means the two
+tiers can never disagree about which partition serves a batch.
+
+The oversize path is the serving cache's only unbounded edge: a batch
+beyond the largest configured bucket gets an *exact* specialization, so
+an adversarial (or merely long-tailed) batch distribution mints one
+compiled partition per distinct oversize batch.  Callers minting a new
+signature for such a bucket report it through :func:`note_oversize_compile`
+(the ``service.oversize_compiles`` counter) so the hazard is visible in
+metrics before it becomes an eviction storm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..observability import get_registry
+
+
+def resolve_bucket(buckets: Optional[Sequence[int]], batch: int) -> int:
+    """The compilation bucket serving ``batch`` requests.
+
+    ``buckets`` must be sorted ascending (both front ends normalize at
+    construction).  ``None`` means exact per-batch specialization; a
+    batch beyond the largest bucket also specializes exactly.
+    """
+    if buckets is None:
+        return batch
+    for bucket in buckets:
+        if bucket >= batch:
+            return bucket
+    return batch  # beyond the largest bucket: exact specialization
+
+
+def is_oversize(buckets: Optional[Sequence[int]], bucket: int) -> bool:
+    """True when ``bucket`` lies beyond the largest configured bucket."""
+    return bool(buckets) and bucket > buckets[-1]
+
+
+def note_oversize_compile(model: str = "") -> None:
+    """Count one exact specialization minted beyond the bucket set.
+
+    The unlabeled counter is the fleet total (what a dashboard alerts
+    on); the ``model`` label attributes the miss when the caller knows
+    which model's distribution overflowed its buckets.
+    """
+    registry = get_registry()
+    registry.counter("service.oversize_compiles").inc()
+    if model:
+        registry.counter("service.oversize_compiles", model=model).inc()

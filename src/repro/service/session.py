@@ -35,11 +35,13 @@ from ..dtypes import DType
 from ..errors import SessionClosedError
 from ..graph_ir.graph import Graph
 from ..graph_ir.logical_tensor import PropertyKind
+from ..graph_ir.symbolic import dyn
 from ..microkernel.machine import MachineModel, XEON_8358
 from ..observability import get_registry, get_tracer
 from ..observability.context import active_contexts
 from ..observability.flight import get_flight_recorder
 from .batching import BatchingEngine
+from .buckets import is_oversize, note_oversize_compile, resolve_bucket
 from .cache import PartitionCache
 from .signature import graph_signature
 from .stats import ServiceStats
@@ -54,6 +56,15 @@ BATCHING_MODES = ("off", "on")
 
 #: Valid values for ``InferenceSession(adaptive=)``.
 ADAPTIVE_MODES = ("off", "on")
+
+#: Valid values for ``InferenceSession(dynamic_batch=)``.
+DYNAMIC_BATCH_MODES = ("off", "on")
+
+#: Compile-time size hint for the symbolic batch dim: template selection
+#: and layout negotiation run against this value, so the one dynamic
+#: partition carries exactly the program a static bucket of this size
+#: would (that is what makes dynamic and padded-static bit-identical).
+DYNAMIC_BATCH_HINT = 32
 
 
 def _diff_batch_axes(
@@ -201,6 +212,17 @@ class InferenceSession:
         adaptive_config: Knobs for the adaptive loop
             (:class:`~repro.adaptive.AdaptiveConfig`); defaults apply
             when omitted.  Ignored with ``adaptive="off"``.
+        dynamic_batch: ``"off"`` (default) serves through static shape
+            buckets as above.  ``"on"`` compiles ONE shape-polymorphic
+            partition (the graph is built with a symbolic leading dim,
+            ``dyn("B", DYNAMIC_BATCH_HINT)``) and executes every request
+            at its exact batch size: no bucket round-up, no zero padding,
+            ``service.padding_rows`` stays 0, and the partition cache
+            holds a single entry regardless of the batch distribution.
+            Mutually exclusive with ``batch_buckets``.  Composes with
+            ``batching="on"`` (requests coalesce without a row bound) and
+            with ``adaptive="on"`` (the one dynamic signature is retuned
+            like any static one — challengers are rebuilt symbolically).
     """
 
     def __init__(
@@ -220,6 +242,7 @@ class InferenceSession:
         queue_depth: Optional[int] = 256,
         adaptive: str = "off",
         adaptive_config=None,
+        dynamic_batch: str = "off",
     ) -> None:
         self._builder = graph_builder
         self._weights: Dict[str, np.ndarray] = dict(weights or {})
@@ -232,6 +255,18 @@ class InferenceSession:
         self._owns_cache = cache is None
         self._cache = cache if cache is not None else PartitionCache()
         self._num_threads = num_threads
+        if dynamic_batch not in DYNAMIC_BATCH_MODES:
+            raise ValueError(
+                f"unknown dynamic_batch mode {dynamic_batch!r}; "
+                f"expected one of {DYNAMIC_BATCH_MODES}"
+            )
+        self._dynamic = dynamic_batch == "on"
+        if self._dynamic and batch_buckets is not None:
+            raise ValueError(
+                "dynamic_batch='on' is incompatible with batch_buckets: "
+                "the shape-polymorphic partition serves every batch "
+                "exactly, so there are no buckets to round up to"
+            )
         if batch_buckets is not None:
             buckets = sorted(set(int(b) for b in batch_buckets))
             if not buckets or buckets[0] <= 0:
@@ -366,6 +401,10 @@ class InferenceSession:
         return self._adaptive
 
     @property
+    def dynamic_batch(self) -> str:
+        return "on" if self._dynamic else "off"
+
+    @property
     def adaptive_manager(self):
         """The adaptive retuning loop, or None with ``adaptive="off"``."""
         return self._adaptive_manager
@@ -376,13 +415,14 @@ class InferenceSession:
         return self._engine
 
     def bucket_for(self, batch: int) -> int:
-        """The compilation bucket serving ``batch`` requests."""
-        if self._buckets is None:
+        """The compilation bucket serving ``batch`` requests.
+
+        In dynamic mode the partition is shape-polymorphic, so every
+        batch is its own (exact) bucket and no padding ever happens.
+        """
+        if self._dynamic:
             return batch
-        for bucket in self._buckets:
-            if bucket >= batch:
-                return bucket
-        return batch  # beyond the largest bucket: exact specialization
+        return resolve_bucket(self._buckets, batch)
 
     def infer_batch(self, inputs: Mapping[str, np.ndarray]) -> int:
         """Batch size of one request, read off a batch-scaled input dim."""
@@ -554,24 +594,41 @@ class InferenceSession:
             sliced[name] = self._slice(array, axes, batch)
         return sliced
 
+    def _compile_batch(self, bucket: int):
+        """The batch value the graph builder sees when compiling ``bucket``.
+
+        Dynamic sessions always build the symbolic graph — every bucket
+        maps to the one shape-polymorphic program, compiled against the
+        static hint so template selection matches a hint-sized bucket.
+        """
+        return dyn("B", DYNAMIC_BATCH_HINT) if self._dynamic else bucket
+
     def _partition_for(self, bucket: int):
+        # Dynamic mode has exactly one partition; key its signature under
+        # the sentinel bucket 0 (never a legal batch size).
+        key = 0 if self._dynamic else bucket
         with self._lock:
-            signature = self._sig_by_bucket.get(bucket)
-            label = self._label_by_bucket.get(bucket, "")
+            signature = self._sig_by_bucket.get(key)
+            label = self._label_by_bucket.get(key, "")
         if signature is None:
-            probe = self._builder(bucket)
+            probe = self._builder(self._compile_batch(bucket))
             signature = graph_signature(probe, self._machine, self._options)
             label = probe.name
             with self._lock:
-                self._sig_by_bucket.setdefault(bucket, signature)
-                self._label_by_bucket.setdefault(bucket, label)
+                minted = key not in self._sig_by_bucket
+                self._sig_by_bucket.setdefault(key, signature)
+                self._label_by_bucket.setdefault(key, label)
+            if minted and is_oversize(self._buckets, bucket):
+                # Exact specialization beyond the bucket set: the one
+                # unbounded edge of the serving cache — make it countable.
+                note_oversize_compile(label)
 
         def _compile():
             # compile_graph mutates its graph, so build a fresh one here
             # (runs at most once per signature thanks to single-flight).
             if self._adaptive_manager is None:
                 return compile_graph(
-                    self._builder(bucket),
+                    self._builder(self._compile_batch(bucket)),
                     self._machine,
                     self._options,
                     num_threads=self._num_threads,
@@ -582,7 +639,7 @@ class InferenceSession:
 
             with TuningProblemCapture() as capture:
                 partition = compile_graph(
-                    self._builder(bucket),
+                    self._builder(self._compile_batch(bucket)),
                     self._machine,
                     self._options,
                     num_threads=self._num_threads,
@@ -632,7 +689,7 @@ class InferenceSession:
             from ..adaptive import OutputAliasPartition
 
             partition = compile_graph(
-                self._builder(bucket),
+                self._builder(self._compile_batch(bucket)),
                 self._machine,
                 self._options,
                 num_threads=self._num_threads,

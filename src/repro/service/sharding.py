@@ -83,6 +83,7 @@ from ..errors import (
     WorkerCrashError,
 )
 from ..graph_ir.graph import Graph
+from ..graph_ir.symbolic import dyn
 from ..microkernel.machine import MachineModel, XEON_8358
 from ..observability import (
     MetricsRegistry,
@@ -96,8 +97,14 @@ from ..observability.flight import dump_flight, get_flight_recorder
 from ..observability.metrics import set_registry
 from ..observability.tracer import SpanRecord, set_tracer
 from .batching import BatchingStats
+from .buckets import is_oversize, note_oversize_compile, resolve_bucket
 from .cache import PartitionCache
-from .session import InferenceSession, ModelProbe
+from .session import (
+    DYNAMIC_BATCH_HINT,
+    DYNAMIC_BATCH_MODES,
+    InferenceSession,
+    ModelProbe,
+)
 from .shm import TensorRing, request_nbytes
 from .signature import graph_signature
 from .stats import ServiceStats, format_stats
@@ -242,12 +249,7 @@ class ModelSpec:
         raise ValueError(f"unknown workload {self.workload!r}; known: {known}")
 
     def bucket_for(self, batch: int) -> int:
-        if self.batch_buckets is None:
-            return batch
-        for bucket in self.batch_buckets:
-            if bucket >= batch:
-                return bucket
-        return batch  # beyond the largest bucket: exact specialization
+        return resolve_bucket(self.batch_buckets, batch)
 
 
 @dataclass(frozen=True)
@@ -268,6 +270,9 @@ class _WorkerConfig:
     adaptive: str = "off"
     #: Knobs for the per-worker adaptive loop (None = defaults).
     adaptive_config: Optional[object] = None
+    #: Shape-polymorphic serving ("off"/"on"); worker sessions compile
+    #: one symbolic-batch partition per model and ignore spec buckets.
+    dynamic_batch: str = "off"
 
 
 def _portable_exception(exc: BaseException) -> BaseException:
@@ -338,13 +343,17 @@ def _worker_main(
             with tracer.span(
                 "shard.worker.session", category="service", model=model
             ):
+                dynamic = config.dynamic_batch == "on"
                 session = InferenceSession(
                     spec.resolve_builder(),
                     weights=dict(spec.weights),
                     machine=config.machine,
                     options=options,
                     cache=cache,
-                    batch_buckets=spec.batch_buckets,
+                    # Dynamic serving has no buckets to round up to; the
+                    # session rejects the combination outright.
+                    batch_buckets=None if dynamic else spec.batch_buckets,
+                    dynamic_batch=config.dynamic_batch,
                     num_threads=config.num_threads,
                     batching=config.batching,
                     max_batch=config.max_batch,
@@ -791,6 +800,13 @@ class ShardedSession:
             resumes from its predecessor's learning.  Default ``"off"``.
         adaptive_config: :class:`~repro.adaptive.AdaptiveConfig` knobs
             forwarded to every worker's loop.
+        dynamic_batch: ``"on"`` serves every model through one
+            shape-polymorphic partition per worker (see
+            :class:`.InferenceSession`): requests route by model alone
+            (one signature per model, so one home worker), execute at
+            their exact batch size, and ``ModelSpec.batch_buckets`` is
+            ignored — no round-up, no padding, one compile per
+            (model, worker).  Default ``"off"``.
     """
 
     def __init__(
@@ -816,6 +832,7 @@ class ShardedSession:
         replicas: int = 64,
         adaptive: str = "off",
         adaptive_config=None,
+        dynamic_batch: str = "off",
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -849,6 +866,12 @@ class ShardedSession:
                 f"expected one of {ADAPTIVE_MODES}"
             )
         self._adaptive = adaptive
+        if dynamic_batch not in DYNAMIC_BATCH_MODES:
+            raise ValueError(
+                f"unknown dynamic_batch mode {dynamic_batch!r}; "
+                f"expected one of {DYNAMIC_BATCH_MODES}"
+            )
+        self._dynamic = dynamic_batch == "on"
         self._config = _WorkerConfig(
             models=dict(self._models),
             machine=machine,
@@ -861,6 +884,7 @@ class ShardedSession:
             trace_enabled=get_tracer().enabled,
             adaptive=adaptive,
             adaptive_config=adaptive_config,
+            dynamic_batch=dynamic_batch,
         )
         self._probes: Dict[str, ModelProbe] = {
             name: ModelProbe(spec.resolve_builder())
@@ -1226,22 +1250,40 @@ class ShardedSession:
         return sorted(self._models)
 
     def signature_for(self, model: str, bucket: int) -> str:
-        """The compile signature of (model, bucket) — the routing key."""
-        key = (model, bucket)
+        """The compile signature of (model, bucket) — the routing key.
+
+        Dynamic mode collapses the bucket axis: every batch of a model
+        shares the one shape-polymorphic signature (keyed under the
+        sentinel bucket 0), so the model has a single home worker.
+        """
+        key = (model, 0) if self._dynamic else (model, bucket)
         with self._sig_lock:
             signature = self._signatures.get(key)
         if signature is None:
-            builder = self._models[model].resolve_builder()
+            spec = self._models[model]
+            compile_batch = (
+                dyn("B", DYNAMIC_BATCH_HINT) if self._dynamic else bucket
+            )
             signature = graph_signature(
-                builder(bucket), self._machine, self._options
+                spec.resolve_builder()(compile_batch),
+                self._machine,
+                self._options,
             )
             with self._sig_lock:
+                minted = key not in self._signatures
                 self._signatures.setdefault(key, signature)
+            if minted and is_oversize(spec.batch_buckets, bucket):
+                # Routing just minted an exact oversize specialization —
+                # the worker that owns it is about to compile it.
+                note_oversize_compile(model)
         return signature
 
     def worker_for(self, model: str, batch: int) -> str:
         """Which worker a request for (model, batch) routes to."""
-        bucket = self._models[model].bucket_for(batch)
+        bucket = (
+            batch if self._dynamic
+            else self._models[model].bucket_for(batch)
+        )
         return self._assign_worker(self.signature_for(model, bucket))
 
     def _assign_worker(self, signature: str) -> str:
@@ -1347,7 +1389,10 @@ class ShardedSession:
             if name not in inputs:
                 raise ValueError(f"missing input {name!r}")
             arrays[name] = np.asarray(inputs[name])
-        bucket = self._models[model].bucket_for(batch)
+        bucket = (
+            batch if self._dynamic
+            else self._models[model].bucket_for(batch)
+        )
         signature = self.signature_for(model, bucket)
         tracer = get_tracer()
         ctx = RequestContext.mint() if tracer.enabled else None
@@ -1408,11 +1453,19 @@ class ShardedSession:
         the exact placement steady-state routing will use.
         """
         if pairs is None:
-            pairs = [
-                (name, bucket)
-                for name, spec in sorted(self._models.items())
-                for bucket in (spec.batch_buckets or ())
-            ]
+            if self._dynamic:
+                # One dynamic partition per model: warming any batch
+                # warms it; use the compile hint as a representative.
+                pairs = [
+                    (name, DYNAMIC_BATCH_HINT)
+                    for name in sorted(self._models)
+                ]
+            else:
+                pairs = [
+                    (name, bucket)
+                    for name, spec in sorted(self._models.items())
+                    for bucket in (spec.batch_buckets or ())
+                ]
         by_worker: Dict[str, List[Tuple[str, int]]] = {}
         for model, bucket in pairs:
             if model not in self._models:
@@ -1445,6 +1498,10 @@ class ShardedSession:
     @property
     def adaptive(self) -> str:
         return self._adaptive
+
+    @property
+    def dynamic_batch(self) -> str:
+        return "on" if self._dynamic else "off"
 
     def adaptive_reports(
         self, timeout: float = 30.0

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.options import CompilerOptions
 from ..graph_ir.graph import Graph
+from ..graph_ir.symbolic import canonical_dim
 from ..microkernel.machine import MachineModel, XEON_8358
 
 
@@ -71,7 +72,10 @@ def canonical_graph_form(graph: Graph) -> Any:
             [
                 canon[tensor.id],
                 tensor.dtype.value,
-                list(tensor.shape),
+                # Symbolic dims encode as ["dyn", name, hint]: a dynamic
+                # program must never share a signature with the static
+                # program whose batch happens to equal the hint.
+                [canonical_dim(d) for d in tensor.shape],
                 tensor.layout.tag(),
                 tensor.prop.value,
                 # Input names are the caller-facing binding surface;

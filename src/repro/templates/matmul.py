@@ -30,9 +30,10 @@ from ..errors import LoweringError
 from ..graph_ir.fused_op import FusedMatmul, OperandMode
 from ..graph_ir.logical_tensor import LogicalTensor
 from ..graph_ir.op_registry import get_schema
+from ..graph_ir.symbolic import is_symbolic
 from ..microkernel.machine import MachineModel
 from ..tensor_ir.builder import TirBuilder
-from ..tensor_ir.expr import Const, Expr, Var
+from ..tensor_ir.expr import Const, Expr, Var, as_expr
 from ..tensor_ir.function import TirFunction
 from ..tensor_ir.stmt import SliceRef
 from .params import TemplateKind
@@ -98,13 +99,58 @@ class _MatmulTemplate:
         self._anchor3_work = None
         #: Blocked temp holding the raw accumulator rows for anchor #3.
         self.entry_block_temp: Optional[str] = None
+        #: Dynamic-m mode: the m dim is a symbolic batch bound at runtime.
+        #: Params are canonicalized to one m-block per parallel task
+        #: (m=mb, mpn=msn=1), so the mpi loop runs over the runtime block
+        #: count and every inner slice keeps static sizes.
+        self.dyn_m = is_symbolic(self.problem.m)
+        self.dyn_batch = any(is_symbolic(d) for d in self.problem.batch_dims)
         self._validate()
+
+    @property
+    def m_blocks(self):
+        """Number of m blocks: static count, or a runtime ceil-div expr."""
+        p, prob = self.params, self.problem
+        if self.dyn_m:
+            return (as_expr(prob.m) + (p.mb - 1)) // p.mb
+        return p.m // p.mb
+
+    @property
+    def padded_m(self):
+        """Extent of the padded m dim (``m_blocks * mb`` when dynamic)."""
+        if self.dyn_m:
+            return self.m_blocks * self.params.mb
+        return self.params.m
 
     # -- validation -------------------------------------------------------------
 
     def _validate(self) -> None:
         p, prob = self.params, self.problem
         name = self.b.func.name
+        if any(is_symbolic(d) for d in prob.batch_dims[1:]):
+            raise LoweringError(
+                f"{name}: only the leading batch dim may be symbolic, got "
+                f"{prob.batch_dims}"
+            )
+        if self.dyn_m:
+            # Layout propagation canonicalizes dynamic-m params; anything
+            # else here means a selector bypassed that path (hint-equality
+            # would otherwise let invalid modes slip through silently).
+            if p.mpn != 1 or p.m != p.mb:
+                raise LoweringError(
+                    f"{name}: dynamic m requires m=mb and mpn=1, got "
+                    f"m={p.m} mb={p.mb} mpn={p.mpn}"
+                )
+            if p.kind is not TemplateKind.CACHE_RESIDENT:
+                raise LoweringError(
+                    f"{name}: dynamic m requires the cache-resident "
+                    f"template, got {p.kind.value}"
+                )
+            if self.fused.a_mode is not OperandMode.PACK_FULL:
+                raise LoweringError(
+                    f"{name}: dynamic m requires a full runtime-geometry "
+                    f"A pack, got {self.fused.a_mode.value}"
+                )
         if p.batch != prob.batch_total:
             raise LoweringError(
                 f"{name}: params.batch={p.batch} but problem batch="
@@ -229,7 +275,7 @@ class _MatmulTemplate:
         blocked = self.b.alloc(
             "A_blk",
             fused.a.dtype,
-            prob.batch_dims + (p.m // p.mb, p.k // p.kb, p.mb, p.kb),
+            prob.batch_dims + (self.m_blocks, p.k // p.kb, p.mb, p.kb),
         )
         if fused.a_mode is OperandMode.PACK_SLICE:
             # Packed inside the ksi loop (pre-op anchor #4); the full-size
@@ -237,7 +283,7 @@ class _MatmulTemplate:
             return blocked
         self._emit_full_pack(
             dst=blocked,
-            dst_block_dims=(p.m // p.mb, p.k // p.kb, p.mb, p.kb),
+            dst_block_dims=(self.m_blocks, p.k // p.kb, p.mb, p.kb),
             src_tensor=fused.a,
             block_sizes=(p.mb, p.kb),
             swap_inner=False,
@@ -274,7 +320,21 @@ class _MatmulTemplate:
         p, prob = self.params, self.problem
         out = self.fused.output
         if self._out_blocked():
+            if self.dyn_m:
+                raise LoweringError(
+                    f"{self.b.func.name}: dynamic m cannot write a blocked "
+                    f"output"
+                )
             return self.arg_names[out.id], False
+        if self.dyn_m:
+            # Hint-equality (p.m == prob.m when the runtime batch matches
+            # the planning hint) must not skip the pad/crop: any other
+            # batch would then write out of bounds.  Always round up to
+            # whole blocks and crop the exact runtime rows at the end.
+            name = self.b.alloc(
+                "C_pad", out.dtype, prob.batch_dims + (self.padded_m, p.n)
+            )
+            return name, True
         if p.m == prob.m and p.n == prob.n:
             return self.arg_names[out.id], False
         name = self.b.alloc("C_pad", out.dtype, prob.batch_dims + (p.m, p.n))
@@ -283,9 +343,24 @@ class _MatmulTemplate:
     def _prepare_external_pads(self) -> None:
         """Padded copies of externals whose m/n dims the template padded."""
         p, prob = self.params, self.problem
-        if p.m == prob.m and p.n == prob.n:
-            return
         out_ndims = len(prob.batch_dims) + 2
+        if self.dyn_m:
+            # An external operand spanning the dynamic m dim would need a
+            # runtime-padded copy per call; no target workload does this,
+            # so fail loudly instead of slicing out of bounds silently.
+            for tensor in self.fused.external_inputs()[2:]:
+                shape = tensor.shape
+                offset = out_ndims - len(shape)
+                for i, dim in enumerate(shape):
+                    if offset + i == out_ndims - 2 and is_symbolic(dim):
+                        raise LoweringError(
+                            f"{self.b.func.name}: external operand "
+                            f"{tensor.name} spans the dynamic m dim"
+                        )
+        if not self.dyn_m and p.m == prob.m and p.n == prob.n:
+            return
+        if self.dyn_m and p.n == prob.n:
+            return
         for tensor in self.fused.external_inputs()[2:]:
             shape = tensor.shape
             offset = out_ndims - len(shape)
@@ -293,7 +368,11 @@ class _MatmulTemplate:
             touches = False
             for i, dim in enumerate(shape):
                 role = offset + i
-                if role == out_ndims - 2 and dim == prob.m != p.m:
+                if (
+                    role == out_ndims - 2
+                    and not self.dyn_m
+                    and dim == prob.m != p.m
+                ):
                     padded_shape[i] = p.m
                     touches = True
                 elif role == out_ndims - 1 and dim == prob.n != p.n:
@@ -327,7 +406,7 @@ class _MatmulTemplate:
             self.block_temps[out.id] = self.b.alloc(
                 f"pv_{out.name}",
                 out.dtype,
-                prob.batch_dims + (p.m // p.mb, p.n // p.nb, p.mb, p.nb),
+                prob.batch_dims + (self.m_blocks, p.n // p.nb, p.mb, p.nb),
             )
         if group2:
             entry = group1[-1].outputs[0] if group1 else self.fused.matmul.outputs[0]
@@ -339,19 +418,19 @@ class _MatmulTemplate:
                 self.entry_block_temp = self.b.alloc(
                     f"pv_{entry.name}",
                     entry.dtype,
-                    prob.batch_dims + (p.m // p.mb, p.n // p.nb, p.mb, p.nb),
+                    prob.batch_dims + (self.m_blocks, p.n // p.nb, p.mb, p.nb),
                 )
             self.row_temps[entry.id] = self.b.alloc(
                 f"rv_{entry.name}",
                 entry.dtype,
-                prob.batch_dims + (p.m // p.mb, p.mb, prob.n),
+                prob.batch_dims + (self.m_blocks, p.mb, prob.n),
             )
             for op in group2:
                 out = op.outputs[0]
                 self.row_temps[out.id] = self.b.alloc(
                     f"rv_{out.name}",
                     out.dtype,
-                    prob.batch_dims + (p.m // p.mb, p.mb, out.shape[-1]),
+                    prob.batch_dims + (self.m_blocks, p.mb, out.shape[-1]),
                 )
 
     def _emit_full_pack(
@@ -394,9 +473,19 @@ class _MatmulTemplate:
         if not batch_dims:
             yield []
             return
-        total = 1
-        for d in batch_dims:
-            total *= d
+        if any(is_symbolic(d) for d in batch_dims):
+            # Only the leading dim may be symbolic (validated); the trip
+            # count becomes a runtime expression B * (static rest).
+            rest = 1
+            for d in batch_dims[1:]:
+                rest *= int(d)
+            total = as_expr(batch_dims[0]) * rest if rest != 1 else as_expr(
+                batch_dims[0]
+            )
+        else:
+            total = 1
+            for d in batch_dims:
+                total *= d
         with self.b.parallel_for(f"{prefix}i", total, merge_tag=merge_tag) as bi:
             if len(batch_dims) == 1:
                 yield [bi]
@@ -405,28 +494,36 @@ class _MatmulTemplate:
             s = 1
             for d in reversed(batch_dims):
                 strides.append(s)
-                s *= d
+                s *= int(d)
             strides.reverse()
             indices: List[Expr] = []
             for axis, d in enumerate(batch_dims):
-                indices.append(
-                    self.b.let(f"{prefix}{axis}", (bi // strides[axis]) % d)
+                # Axis 0 needs no modulus: bi < total already bounds it
+                # (and the extent may be symbolic).
+                idx = (
+                    bi // strides[axis]
+                    if axis == 0
+                    else (bi // strides[axis]) % int(d)
                 )
+                indices.append(self.b.let(f"{prefix}{axis}", idx))
             yield indices
 
     def _emit_main_loops(self) -> None:
         p, prob = self.params, self.problem
         tag = self.fused.merge_tag
+        # Dynamic m: the parallel m loop runs over the runtime block count
+        # (msn == 1, so mpsi degenerates to mpi) — one program, any batch.
+        mpn = self.m_blocks if self.dyn_m else p.mpn
         if prob.batch_dims:
             with self._batch_loop(prob.batch_dims, merge_tag=tag) as batch_idx:
-                with self.b.parallel_for("mpi", p.mpn) as mpi:
+                with self.b.parallel_for("mpi", mpn) as mpi:
                     with self.b.parallel_for("npi", p.npn) as npi:
                         self._emit_single_core_kernel(
                             tuple(batch_idx), mpi, npi
                         )
                     self._emit_anchor3(tuple(batch_idx), mpi)
         else:
-            with self.b.parallel_for("mpi", p.mpn, merge_tag=tag) as mpi:
+            with self.b.parallel_for("mpi", mpn, merge_tag=tag) as mpi:
                 with self.b.parallel_for("npi", p.npn) as npi:
                     self._emit_single_core_kernel((), mpi, npi)
                 self._emit_anchor3((), mpi)

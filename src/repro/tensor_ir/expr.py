@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Union
 
 from ..errors import TensorIRError
+from ..graph_ir.symbolic import is_symbolic
 
 
 class BinaryOp(enum.Enum):
@@ -91,12 +92,30 @@ ExprLike = Union[Expr, int]
 
 
 def as_expr(value: ExprLike) -> Expr:
-    """Coerce a Python int to a :class:`Const` (idempotent on Exprs)."""
+    """Coerce a Python int to a :class:`Const` (idempotent on Exprs).
+
+    A symbolic dim becomes the :class:`Var` of its name — never the
+    ``Const`` of its hint, which would silently freeze the planning batch
+    into generated code.
+    """
     if isinstance(value, Expr):
         return value
     if isinstance(value, (int,)):
+        if is_symbolic(value):
+            return Var(value.name)
         return Const(int(value))
     raise TensorIRError(f"cannot convert {value!r} to a Tensor IR expression")
+
+
+def as_dim(value) -> Union[Expr, int]:
+    """Coerce one tensor-shape dim: plain ints stay ints (the static fast
+    path every executor specializes on), symbolic dims become Vars, Exprs
+    pass through."""
+    if isinstance(value, Expr):
+        return value
+    if is_symbolic(value):
+        return Var(value.name)
+    return int(value)
 
 
 def evaluate(expr: Expr, env: Dict[str, int]) -> int:

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dtypes import DType
 from ..errors import TensorIRError
+from .expr import Expr, as_dim
 from .stmt import Alloc, Seq, Stmt
 
 
@@ -25,12 +26,24 @@ class TensorDecl:
     shape: Tuple[int, ...]
 
     def __post_init__(self) -> None:
-        self.shape = tuple(int(s) for s in self.shape)
+        # A symbolic dim (dynamic batch) declares as a Var extent; static
+        # dims stay plain ints so the executors' shape checks are exact.
+        self.shape = tuple(as_dim(s) for s in self.shape)
+
+    @property
+    def is_static(self) -> bool:
+        """True when every dim is a compile-time constant."""
+        return not any(isinstance(s, Expr) for s in self.shape)
 
     @property
     def num_elements(self) -> int:
         result = 1
         for s in self.shape:
+            if isinstance(s, Expr):
+                raise TensorIRError(
+                    f"num_elements of dynamic tensor {self.name!r}: dim "
+                    f"{s!r} is only known at runtime"
+                )
             result *= s
         return result
 

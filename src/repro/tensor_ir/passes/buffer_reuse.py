@@ -111,6 +111,11 @@ class BufferReusePass:
         allocs: Dict[str, Alloc] = {}
         for stmt in func.body.body:
             if isinstance(stmt, Alloc):
+                if not stmt.is_static:
+                    # Runtime-sized buffers (symbolic batch dims) cannot
+                    # be planned into a fixed arena; the executor
+                    # allocates them individually at call time.
+                    continue
                 size = stmt.shape and _bytes(stmt)
                 offset = arena.allocate(size)
                 stmt.arena_offset = offset

@@ -55,10 +55,24 @@ class TensorShrinkPass:
             if plan is None:
                 continue
             new_shape, keep = plan
-            old_elems = alloc_elements(alloc.shape)
-            new_elems = alloc_elements(new_shape)
-            if new_elems >= old_elems:
+            if any(isinstance(s, Expr) for s in new_shape):
+                # A dynamic dim survived into the plan: leave the buffer
+                # alone rather than emit a runtime-sized thread-local.
                 continue
+            new_elems = alloc_elements(new_shape)
+            if not alloc.is_static:
+                # Shrinking a runtime-sized buffer (e.g. per-block value
+                # temps whose leading dim is the symbolic batch) down to
+                # static slots is always a win: the hot thread-local
+                # scratch stays statically preplannable.  Report the
+                # product of the static dims as the "before" size.
+                old_elems = alloc_elements(
+                    [s for s in alloc.shape if not isinstance(s, Expr)]
+                )
+            else:
+                old_elems = alloc_elements(alloc.shape)
+                if new_elems >= old_elems:
+                    continue
             alloc.shape = new_shape
             # A shrunk buffer is per-iteration scratch: its slots are
             # reused across the loop iterations whose variables the old
@@ -102,18 +116,26 @@ def _shrink_plan(
     keep: List[bool] = []
     shrunk = False
     for dim in range(ndims):
+        extent = alloc.shape[dim]
+        sizes = [ref.sizes[dim] for ref in slices]
+        if any(isinstance(s, Expr) for s in sizes):
+            # Runtime extents are never shrunk (nothing to gain: the
+            # whole dim is touched each access).
+            new_shape.append(extent)
+            keep.append(True)
+            continue
         offsets = {repr(fold(ref.offsets[dim])) for ref in slices}
-        max_size = max(ref.sizes[dim] for ref in slices)
-        if len(offsets) == 1 and not _is_zero_full(
-            slices, dim, alloc.shape[dim]
-        ):
+        max_size = max(sizes)
+        if len(offsets) == 1 and not _is_zero_full(slices, dim, extent):
             # Single offset expression: one slot of max_size suffices.
+            # Collapsing a dynamic extent to a static slot always counts
+            # as a shrink.
             new_shape.append(max_size)
             keep.append(False)
-            if max_size < alloc.shape[dim]:
+            if isinstance(extent, Expr) or max_size < extent:
                 shrunk = True
         else:
-            new_shape.append(alloc.shape[dim])
+            new_shape.append(extent)
             keep.append(True)
     if not shrunk:
         return None

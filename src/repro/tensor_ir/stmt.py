@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from .expr import Expr, ExprLike, as_expr
+from ..errors import TensorIRError
+from .expr import Expr, ExprLike, as_dim, as_expr
 
 
 @dataclass(frozen=True)
@@ -30,18 +31,30 @@ class SliceRef:
 
     tensor: str
     offsets: Tuple[Expr, ...]
-    sizes: Tuple[int, ...]
+    sizes: Tuple[Union[int, Expr], ...]
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "offsets", tuple(as_expr(o) for o in self.offsets)
         )
-        object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        # Sizes stay plain ints on the static path (executors specialize
+        # on them); a symbolic dim becomes a Var extent bound at runtime.
+        object.__setattr__(self, "sizes", tuple(as_dim(s) for s in self.sizes))
+
+    @property
+    def is_static(self) -> bool:
+        """True when every extent is a compile-time constant."""
+        return not any(isinstance(s, Expr) for s in self.sizes)
 
     @property
     def num_elements(self) -> int:
         result = 1
         for s in self.sizes:
+            if isinstance(s, Expr):
+                raise TensorIRError(
+                    f"num_elements of dynamic slice {self!r}: extent {s!r} "
+                    f"is only known at runtime"
+                )
             result *= s
         return result
 
@@ -114,12 +127,17 @@ class Alloc(Stmt):
 
     tensor: str
     dtype: Any  # DType; typed loosely to avoid a circular import
-    shape: Tuple[int, ...]
+    shape: Tuple[Union[int, Expr], ...]
     thread_local: bool = False
     arena_offset: Optional[int] = None
 
     def __post_init__(self) -> None:
-        self.shape = tuple(int(s) for s in self.shape)
+        self.shape = tuple(as_dim(s) for s in self.shape)
+
+    @property
+    def is_static(self) -> bool:
+        """True when the buffer size is a compile-time constant."""
+        return not any(isinstance(s, Expr) for s in self.shape)
 
 
 @dataclass

@@ -563,8 +563,17 @@ BENCH_SERVING_SCHEMA_V1 = "repro.bench_serving/v1"
 #: writing v2; all three schemas validate.
 BENCH_SERVING_SCHEMA_V3 = "repro.bench_serving/v3"
 
+#: v3 plus the ``dynamic`` section: the bucketed-vs-shape-polymorphic
+#: comparison recorded by ``serve --dynamic-batch`` (mixed 1..32 batch
+#: plan, padded_rows and compile counts per mode).  Earlier schemas keep
+#: validating.
+BENCH_SERVING_SCHEMA_V4 = "repro.bench_serving/v4"
+
 #: Serving modes the ``serve`` figure compares.
 SERVING_MODES = ("unbatched", "batched")
+
+#: Serving modes the ``--dynamic-batch`` scenario compares.
+DYNAMIC_MODES = ("bucketed", "dynamic")
 
 
 def _serving_plans(
@@ -720,6 +729,195 @@ def _run_serving_mode(
             ),
         }
     return result, outputs, batching_stats
+
+
+#: Mixed batch plan of the ``--dynamic-batch`` scenario: the whole 1..32
+#: range a bucket set cannot cover without padding (primes, non-divisors
+#: of the microkernel tile, the bucket boundaries themselves).
+DYNAMIC_BATCH_SIZES = (1, 2, 3, 5, 8, 12, 17, 24, 32)
+
+
+def _run_dynamic_mode(
+    workload: str,
+    dtype: DType,
+    mode: str,
+    plans,
+    buckets,
+    max_batch: int,
+    timeout_us: int,
+    threads: int,
+):
+    """Replay the plans against one ``--dynamic-batch`` scenario mode.
+
+    ``bucketed`` is the static path (round up, pad, slice);
+    ``dynamic`` serves the same plan through one shape-polymorphic
+    partition.  Both run with micro-batching on.  Returns
+    (result dict, per-request outputs); the result carries the mode's
+    compile count and padded-row total — the two numbers the scenario
+    exists to compare.
+    """
+    import threading as _threading
+    import time
+
+    import numpy as np
+
+    from ..core.compiler import compile_counter
+    from ..service import InferenceSession
+    from ..workloads import MLP_CONFIGS, make_mlp_inputs
+
+    weights = {
+        name: array
+        for name, array in make_mlp_inputs(workload, 32, dtype).items()
+        if name.startswith("w")
+    }
+    session = InferenceSession.for_workload(
+        workload,
+        dtype=dtype,
+        weights=weights,
+        batch_buckets=buckets if mode == "bucketed" else None,
+        dynamic_batch="on" if mode == "dynamic" else "off",
+        num_threads=threads,
+        batching="on",
+        max_batch=max_batch,
+        batch_timeout_us=timeout_us,
+    )
+    features = MLP_CONFIGS[workload][0]
+    warm_dtype = np.float32 if dtype == DType.f32 else np.uint8
+    with compile_counter() as compiles:
+        # Warm every partition the replay can touch, then replay; the
+        # counter spans both so lazy compiles cannot hide from it.
+        warm_batches = buckets if mode == "bucketed" else [max(buckets)]
+        for batch in warm_batches:
+            session.run({"x": np.zeros((batch, features), warm_dtype)})
+
+        latencies = [[0.0] * len(plan) for plan in plans]
+        outputs = [[None] * len(plan) for plan in plans]
+        barrier = _threading.Barrier(len(plans) + 1)
+        errors = []
+
+        def client(ci):
+            try:
+                barrier.wait()
+                for ri, (batch, x, think) in enumerate(plans[ci]):
+                    if think:
+                        time.sleep(think)
+                    t0 = time.perf_counter()
+                    out = session.run({"x": x})
+                    latencies[ci][ri] = time.perf_counter() - t0
+                    outputs[ci][ri] = next(iter(out.values()))
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        workers = [
+            _threading.Thread(
+                target=client, args=(ci,), name=f"client-{ci}"
+            )
+            for ci in range(len(plans))
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    batching_stats = session.engine.stats()
+    session.close()
+
+    from ..observability.quantile import from_values
+
+    hist = from_values(
+        lat for per_client in latencies for lat in per_client
+    )
+    summary = hist.summary(scale=1e3, digits=4)
+    total_rows = sum(batch for plan in plans for batch, _, _ in plan)
+    result = {
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(hist.count / wall, 2),
+        "rows_per_s": round(total_rows / wall, 1),
+        "latency_ms": {
+            "mean": summary["mean"],
+            "p50": summary["p50"],
+            "p95": summary["p95"],
+            "p99": summary["p99"],
+            "max": summary["max"],
+        },
+        "compiles": compiles.count,
+        "padded_rows": batching_stats.padded_rows,
+        "batches": batching_stats.batches,
+        "coalesce_ratio": round(batching_stats.coalesce_ratio, 4),
+        "utilization": round(batching_stats.utilization, 4),
+    }
+    return result, outputs
+
+
+def run_dynamic_scenario(
+    workload: str,
+    dtype: DType,
+    clients: int,
+    requests: int,
+    buckets,
+    max_batch: int,
+    timeout_us: int,
+    think_ms: float,
+    seed: int,
+    threads: int,
+) -> dict:
+    """The ``serve --dynamic-batch`` figure: padding eliminated at source.
+
+    One seeded mixed-batch plan (1..32) replays through the static
+    bucketed path and through one shape-polymorphic partition.  The
+    record shows what the tentpole claims: the dynamic mode compiles
+    once, pads zero rows, and returns bit-identical outputs at equal or
+    better throughput.
+    """
+    import numpy as np
+
+    plans = _serving_plans(
+        workload,
+        dtype,
+        clients,
+        requests,
+        DYNAMIC_BATCH_SIZES,
+        think_ms,
+        seed,
+    )
+    section = {
+        "workload": workload,
+        "dtype": dtype.value,
+        "batch_sizes": list(DYNAMIC_BATCH_SIZES),
+        "buckets": list(buckets),
+        "modes": list(DYNAMIC_MODES),
+    }
+    outputs = {}
+    for mode in DYNAMIC_MODES:
+        result, outs = _run_dynamic_mode(
+            workload,
+            dtype,
+            mode,
+            plans,
+            buckets,
+            max_batch,
+            timeout_us,
+            threads,
+        )
+        section[mode] = result
+        outputs[mode] = outs
+    section["identical"] = all(
+        a is not None and b is not None and np.array_equal(a, b)
+        for client_a, client_b in zip(
+            outputs["bucketed"], outputs["dynamic"]
+        )
+        for a, b in zip(client_a, client_b)
+    )
+    section["speedup"] = round(
+        section["dynamic"]["throughput_rps"]
+        / section["bucketed"]["throughput_rps"],
+        4,
+    )
+    return section
 
 
 def _worker_levels(max_workers: int, quick: bool = False) -> List[int]:
@@ -1042,12 +1240,15 @@ def run_serve(
     quick: bool = False,
     adaptive: bool = False,
     drift_ms: float = 20.0,
+    dynamic: bool = False,
 ) -> dict:
     """Unbatched-vs-batched comparison plus a sharded scaling curve.
 
     Returns the ``BENCH_serving.json`` document (schema
-    ``repro.bench_serving/v2``, or v3 with ``adaptive=True``, which
-    appends the :func:`run_adaptive_scenario` drift-injection record);
+    ``repro.bench_serving/v2``; v3 with ``adaptive=True``, which
+    appends the :func:`run_adaptive_scenario` drift-injection record;
+    v4 with ``dynamic=True``, which appends the
+    :func:`run_dynamic_scenario` bucketed-vs-shape-polymorphic record);
     per-request outputs must be bit-identical
     across the two single-process modes or ``identical`` is false (a
     schema violation).  The ``sharding`` section replays the same request
@@ -1188,6 +1389,20 @@ def run_serve(
             seed=seed,
         )
         document["schema"] = BENCH_SERVING_SCHEMA_V3
+    if dynamic:
+        document["dynamic"] = run_dynamic_scenario(
+            workload=workloads[0],
+            dtype=dtype,
+            clients=clients,
+            requests=8 if quick else requests,
+            buckets=buckets,
+            max_batch=max_batch,
+            timeout_us=timeout_us,
+            think_ms=think_ms,
+            seed=seed,
+            threads=threads,
+        )
+        document["schema"] = BENCH_SERVING_SCHEMA_V4
     document["_batching_stats"] = stats_by_workload  # stripped before dump
     document["_worker_spans"] = worker_spans  # stripped before dump
     document["_metrics_records"] = fleet_metrics  # stripped before dump
@@ -1197,23 +1412,25 @@ def run_serve(
 def validate_bench_serving(document: dict) -> List[str]:
     """Schema check for BENCH_serving.json; returns a list of problems.
 
-    Accepts ``repro.bench_serving/v3`` (with the adaptive retuning
-    scenario), v2 (with the sharded worker-scaling curve) and the older
-    v1 (without either), so committed artifacts keep validating.
+    Accepts ``repro.bench_serving/v4`` (with the dynamic-batch
+    comparison), v3 (with the adaptive retuning scenario), v2 (with the
+    sharded worker-scaling curve) and the older v1 (without any), so
+    committed artifacts keep validating.
     """
     errors: List[str] = []
     if not isinstance(document, dict):
         return ["document is not an object"]
     schema = document.get("schema")
     if schema not in (
+        BENCH_SERVING_SCHEMA_V4,
         BENCH_SERVING_SCHEMA_V3,
         BENCH_SERVING_SCHEMA,
         BENCH_SERVING_SCHEMA_V1,
     ):
         errors.append(
-            f"schema is {schema!r}, expected {BENCH_SERVING_SCHEMA_V3!r} "
-            f"(or legacy {BENCH_SERVING_SCHEMA!r} / "
-            f"{BENCH_SERVING_SCHEMA_V1!r})"
+            f"schema is {schema!r}, expected {BENCH_SERVING_SCHEMA_V4!r} "
+            f"(or legacy {BENCH_SERVING_SCHEMA_V3!r} / "
+            f"{BENCH_SERVING_SCHEMA!r} / {BENCH_SERVING_SCHEMA_V1!r})"
         )
     for key in (
         "machine",
@@ -1269,7 +1486,11 @@ def validate_bench_serving(document: dict) -> List[str]:
             errors.append(
                 f"{where}: modes disagree (identical != true)"
             )
-    if schema in (BENCH_SERVING_SCHEMA, BENCH_SERVING_SCHEMA_V3):
+    if schema in (
+        BENCH_SERVING_SCHEMA,
+        BENCH_SERVING_SCHEMA_V3,
+        BENCH_SERVING_SCHEMA_V4,
+    ):
         sharding = document.get("sharding")
         if not isinstance(sharding, dict):
             errors.append("missing sharding section (required by v2+)")
@@ -1298,7 +1519,11 @@ def validate_bench_serving(document: dict) -> List[str]:
                 )
         if not isinstance(sharding.get("speedup"), (int, float)):
             errors.append("sharding.speedup missing")
-    if schema == BENCH_SERVING_SCHEMA_V3:
+    # v3 requires the adaptive section; v4 validates it when present
+    # (--dynamic-batch and --adaptive are independent flags).
+    if schema == BENCH_SERVING_SCHEMA_V3 or (
+        schema == BENCH_SERVING_SCHEMA_V4 and "adaptive" in document
+    ):
         adaptive = document.get("adaptive")
         if not isinstance(adaptive, dict):
             errors.append("missing adaptive section (required by v3)")
@@ -1336,6 +1561,45 @@ def validate_bench_serving(document: dict) -> List[str]:
                 "adaptive: outputs drifted across the swap "
                 "(identical != true)"
             )
+    if schema == BENCH_SERVING_SCHEMA_V4:
+        dynamic = document.get("dynamic")
+        if not isinstance(dynamic, dict):
+            errors.append("missing dynamic section (required by v4)")
+            return errors
+        for mode in DYNAMIC_MODES:
+            result = dynamic.get(mode)
+            if not isinstance(result, dict):
+                errors.append(f"dynamic.{mode} missing")
+                continue
+            rps = result.get("throughput_rps")
+            if not isinstance(rps, (int, float)) or rps <= 0:
+                errors.append(
+                    f"dynamic.{mode}.throughput_rps must be positive"
+                )
+            if not isinstance(result.get("compiles"), int):
+                errors.append(f"dynamic.{mode}.compiles missing")
+            if not isinstance(result.get("padded_rows"), int):
+                errors.append(f"dynamic.{mode}.padded_rows missing")
+        dyn_mode = dynamic.get("dynamic")
+        if isinstance(dyn_mode, dict):
+            # The two numbers the tentpole promises: zero padding and a
+            # single compile covering the whole batch distribution.
+            if dyn_mode.get("padded_rows") != 0:
+                errors.append(
+                    "dynamic.dynamic.padded_rows must be 0 "
+                    "(shape-polymorphic execution never pads)"
+                )
+            if dyn_mode.get("compiles") != 1:
+                errors.append(
+                    "dynamic.dynamic.compiles must be 1 "
+                    "(one partition serves every batch)"
+                )
+        if dynamic.get("identical") is not True:
+            errors.append(
+                "dynamic: modes disagree (identical != true)"
+            )
+        if not isinstance(dynamic.get("speedup"), (int, float)):
+            errors.append("dynamic.speedup missing")
     return errors
 
 
@@ -1458,6 +1722,41 @@ def _print_serve_report(document: dict) -> None:
             f"({swap_note}), "
             f"recovered={str(adaptive['recovered']).lower()}, "
             f"identical={str(adaptive['identical']).lower()}"
+        )
+    dynamic = document.get("dynamic")
+    if dynamic:
+        rows = [
+            {
+                "mode": mode,
+                "req/s": dynamic[mode]["throughput_rps"],
+                "rows/s": dynamic[mode]["rows_per_s"],
+                "p50ms": dynamic[mode]["latency_ms"]["p50"],
+                "p99ms": dynamic[mode]["latency_ms"]["p99"],
+                "compiles": dynamic[mode]["compiles"],
+                "padded": dynamic[mode]["padded_rows"],
+            }
+            for mode in dynamic["modes"]
+        ]
+        print()
+        print(
+            format_speedup_table(
+                f"Dynamic batch — {dynamic['workload']} mixed batches "
+                f"{dynamic['batch_sizes']}, buckets {dynamic['buckets']}",
+                rows,
+                [
+                    "mode",
+                    "req/s",
+                    "rows/s",
+                    "p50ms",
+                    "p99ms",
+                    "compiles",
+                    "padded",
+                ],
+            )
+        )
+        print(
+            f"dynamic throughput {dynamic['speedup']:.2f}x bucketed, "
+            f"identical={str(dynamic['identical']).lower()}"
         )
 
 
@@ -1631,6 +1930,15 @@ def main(argv=None) -> int:
         "tuning drift",
     )
     parser.add_argument(
+        "--dynamic-batch",
+        action="store_true",
+        help="`serve`: replay a mixed 1..32 batch plan through the "
+        "static bucketed path and through one shape-polymorphic "
+        "(symbolic batch dim) partition, recording throughput, latency, "
+        "padded rows and compile counts per mode; writes the v4 serving "
+        "artifact",
+    )
+    parser.add_argument(
         "--min-shard-speedup",
         type=float,
         default=None,
@@ -1766,6 +2074,7 @@ def main(argv=None) -> int:
                 quick=args.quick,
                 adaptive=args.adaptive,
                 drift_ms=args.drift_ms,
+                dynamic=args.dynamic_batch,
             )
         finally:
             _OBSERVE = False

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..dtypes import DType
+from ..graph_ir.symbolic import canonical_dim
 from ..microkernel.machine import MachineModel
 from ..templates.heuristics import HeuristicConstraints
 from ..templates.params import MatmulParams
@@ -80,7 +81,11 @@ def tuning_key(
     """
     c = constraints or HeuristicConstraints()
     payload = {
-        "op": [batch, m, n, k, dtype.value],
+        # A symbolic dim encodes as ["dyn", name, hint] so the dynamic
+        # program's tuning entry never collides with the static problem
+        # whose size equals the hint (SymDim would JSON-serialize as a
+        # plain number otherwise).
+        "op": [canonical_dim(d) for d in (batch, m, n, k)] + [dtype.value],
         "machine": machine_fingerprint(machine),
         "executor": executor,
         "constraints": [

@@ -532,3 +532,62 @@ class TestRealSession:
         finally:
             set_registry(MetricsRegistry())
             set_tracer(Tracer(enabled=False))
+
+
+class TestDynamicBatchMode:
+    """dynamic_batch sessions: one queue, no row bound, zero padding."""
+
+    def test_stub_dynamic_coalesces_without_row_bound(self):
+        stub = StubSession(buckets=())
+        stub.buckets = None
+        stub.dynamic_batch = "on"
+        block = threading.Event()
+        stub.block = block
+        engine = BatchingEngine(
+            stub, max_batch=4, batch_timeout_us=50_000
+        )
+        try:
+            futures = [submit_rows(engine, b)[0] for b in (5, 7, 9)]
+            block.set()
+            for future, batch in zip(futures, (5, 7, 9)):
+                assert future.result(timeout=30)["y"].shape[0] == batch
+            # 21 combined rows would overflow any static bucket; the
+            # dynamic queue shipped them in at most two exact windows.
+            assert len(stub.calls) <= 2
+            for batch, bucket in stub.calls:
+                assert bucket == batch  # exact execution, no padding
+        finally:
+            stub.block = None
+            engine.close()
+
+    def test_real_dynamic_session_unpadded_and_identical(self):
+        weights = mlp_weights()
+        reference = InferenceSession.for_workload(
+            "MLP_1", weights=weights, dynamic_batch="on"
+        )
+        with InferenceSession.for_workload(
+            "MLP_1",
+            weights=weights,
+            dynamic_batch="on",
+            batching="on",
+            max_batch=8,
+            batch_timeout_us=5_000,
+        ) as sess:
+            rng = np.random.RandomState(11)
+            xs = {
+                b: rng.randn(b, 13).astype(np.float32)
+                for b in (1, 3, 8, 17, 32)
+            }
+            futures = {
+                b: [sess.submit({"x": xs[b]}) for _ in range(2)]
+                for b in xs
+            }
+            for b, futs in futures.items():
+                want = next(iter(reference.run({"x": xs[b]}).values()))
+                for future in futs:
+                    got = next(iter(future.result(30).values()))
+                    np.testing.assert_array_equal(got, want)
+            stats = sess.engine.stats()
+            assert stats.padded_rows == 0
+            assert stats.completed == 10
+        reference.close()

@@ -392,3 +392,79 @@ class TestBatchingMode:
             assert sess.engine.stats().completed == 1
         assert sess.engine.closed
         reference.close()
+
+
+class TestDynamicBatch:
+    """dynamic_batch='on': one shape-polymorphic partition, zero padding."""
+
+    def test_one_compile_serves_every_batch_unpadded(self):
+        from repro.observability import get_registry
+
+        registry = get_registry()
+        padded_before = registry.value("service.padding_rows") or 0
+        weights = mlp_weights()
+        sess = mlp_session(weights, dynamic_batch="on")
+        assert sess.dynamic_batch == "on"
+        assert sess.buckets is None
+        rng = np.random.RandomState(3)
+        with compile_counter() as counter:
+            for batch in (1, 3, 8, 17, 32):
+                out = sess.run(
+                    {"x": rng.randn(batch, 13).astype(np.float32)}
+                )
+                assert next(iter(out.values())).shape[0] == batch
+        assert counter.count == 1
+        assert sess.stats().compiles == 1
+        padded_after = registry.value("service.padding_rows") or 0
+        assert padded_after == padded_before
+        sess.close()
+
+    def test_bit_identical_to_static_bucket_path(self):
+        weights = mlp_weights()
+        dynamic = mlp_session(weights, dynamic_batch="on")
+        bucketed = mlp_session(weights, batch_buckets=[32])
+        rng = np.random.RandomState(4)
+        for batch in (1, 3, 8, 17, 32):
+            x = rng.randn(batch, 13).astype(np.float32)
+            got = next(iter(dynamic.run({"x": x}).values()))
+            want = next(iter(bucketed.run({"x": x}).values()))
+            np.testing.assert_array_equal(got, want)
+        dynamic.close()
+        bucketed.close()
+
+    def test_dynamic_rejects_buckets_and_bad_mode(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            mlp_session(
+                mlp_weights(), dynamic_batch="on", batch_buckets=[32]
+            )
+        with pytest.raises(ValueError, match="dynamic_batch"):
+            mlp_session(mlp_weights(), dynamic_batch="sometimes")
+
+    def test_warm_compiles_the_one_partition(self):
+        sess = mlp_session(mlp_weights(), dynamic_batch="on")
+        with compile_counter() as counter:
+            sess.warm(8)
+        assert counter.count == 1
+        with compile_counter() as counter:
+            sess.run({"x": np.zeros((17, 13), np.float32)})
+        assert counter.count == 0
+        sess.close()
+
+
+class TestOversizeAccounting:
+    def test_oversize_compile_counted_once_per_bucket(self):
+        from repro.observability import get_registry
+
+        registry = get_registry()
+        before = registry.value("service.oversize_compiles") or 0
+        sess = mlp_session(mlp_weights(), batch_buckets=[8, 16])
+        rng = np.random.RandomState(5)
+        for batch in (4, 16):  # in-bucket: no oversize marks
+            sess.run({"x": rng.randn(batch, 13).astype(np.float32)})
+        assert (registry.value("service.oversize_compiles") or 0) == before
+        for _ in range(2):  # same oversize bucket counts once
+            sess.run({"x": rng.randn(24, 13).astype(np.float32)})
+        assert (registry.value("service.oversize_compiles") or 0) == before + 1
+        sess.run({"x": rng.randn(40, 13).astype(np.float32)})
+        assert (registry.value("service.oversize_compiles") or 0) == before + 2
+        sess.close()

@@ -449,3 +449,44 @@ class TestCrashRecovery:
             assert session.stats().restarts["w0"] == 1
         finally:
             session.close()
+
+
+class TestDynamicBatchFleet:
+    """dynamic_batch='on': one signature per model, exact execution."""
+
+    def test_dynamic_fleet_round_trip(self):
+        weights = mlp_weights()
+        reference = InferenceSession.for_workload(
+            "MLP_1", weights=weights, dynamic_batch="on"
+        )
+        with ShardedSession(
+            [ModelSpec(name="MLP_1", workload="MLP_1", weights=weights)],
+            num_workers=2,
+            dynamic_batch="on",
+            warmup=True,
+        ) as session:
+            assert session.dynamic_batch == "on"
+            batches = (1, 3, 8, 17, 32)
+            # One signature -> every batch shares one home worker.
+            assert len({session.worker_for("MLP_1", b) for b in batches}) == 1
+            rng = np.random.RandomState(13)
+            for batch in batches:
+                x = rng.randn(batch, 13).astype(np.float32)
+                got = next(iter(session.run({"x": x}).values()))
+                want = next(iter(reference.run({"x": x}).values()))
+                np.testing.assert_array_equal(got, want)
+            stats = session.stats()
+            assert stats.merged.compiles == 1
+            padded = sum(
+                b.padded_rows
+                for per_model in stats.batching.values()
+                for b in per_model.values()
+            )
+            assert padded == 0
+        reference.close()
+
+    def test_dynamic_mode_validation(self):
+        with pytest.raises(ValueError, match="dynamic_batch"):
+            ShardedSession(
+                [make_spec()], num_workers=1, dynamic_batch="sometimes"
+            )
